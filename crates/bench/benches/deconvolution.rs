@@ -1,0 +1,96 @@
+//! Benchmarks the end-to-end deconvolution fit: constrained QP solve at
+//! figure-scale problem sizes, fixed-λ versus GCV-scanned.
+
+use std::time::Duration;
+
+use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, LambdaSelection, PhaseProfile};
+use cellsync_popsim::{CellCycleParams, InitialCondition, KernelEstimator, Population};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup() -> (cellsync_popsim::PhaseKernel, Vec<f64>) {
+    let params = CellCycleParams::caulobacter().expect("valid defaults");
+    let mut rng = StdRng::seed_from_u64(3);
+    let pop = Population::synchronized(5_000, &params, InitialCondition::UniformSwarmer, &mut rng)
+        .expect("non-empty")
+        .simulate_until(180.0)
+        .expect("finite");
+    let times: Vec<f64> = (0..19).map(|i| i as f64 * 10.0).collect();
+    let kernel = KernelEstimator::new(100)
+        .expect("bins")
+        .estimate(&pop, &times)
+        .expect("times");
+    let truth = PhaseProfile::from_fn(300, |phi| {
+        2.0 + (2.0 * std::f64::consts::PI * phi).sin()
+    })
+    .expect("valid profile");
+    let g = ForwardModel::new(kernel.clone()).predict(&truth).expect("predict");
+    (kernel, g)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (kernel, g) = setup();
+    let mut group = c.benchmark_group("deconvolution_fit");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+
+    for &basis in &[12usize, 24, 36] {
+        group.bench_with_input(
+            BenchmarkId::new("fixed_lambda_basis", basis),
+            &basis,
+            |b, &basis| {
+                let config = DeconvolutionConfig::builder()
+                    .basis_size(basis)
+                    .lambda(1e-4)
+                    .build()
+                    .expect("valid config");
+                let deconv = Deconvolver::new(kernel.clone(), config).expect("deconvolver");
+                b.iter(|| black_box(deconv.fit(&g, None).expect("fit")));
+            },
+        );
+    }
+
+    group.bench_function("gcv_scan_19_lambdas", |b| {
+        let config = DeconvolutionConfig::builder()
+            .basis_size(24)
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: -8.0,
+                log10_max: 1.0,
+                points: 19,
+            })
+            .build()
+            .expect("valid config");
+        let deconv = Deconvolver::new(kernel.clone(), config).expect("deconvolver");
+        b.iter(|| black_box(deconv.fit(&g, None).expect("fit")));
+    });
+
+    group.bench_function("full_constraints", |b| {
+        let config = DeconvolutionConfig::builder()
+            .basis_size(24)
+            .conservation(true)
+            .rate_continuity(true)
+            .lambda(1e-4)
+            .build()
+            .expect("valid config");
+        let deconv = Deconvolver::new(kernel.clone(), config).expect("deconvolver");
+        b.iter(|| black_box(deconv.fit(&g, None).expect("fit")));
+    });
+
+    group.bench_function("engine_construction", |b| {
+        let config = DeconvolutionConfig::builder()
+            .basis_size(24)
+            .conservation(true)
+            .rate_continuity(true)
+            .lambda(1e-4)
+            .build()
+            .expect("valid config");
+        b.iter(|| {
+            black_box(Deconvolver::new(kernel.clone(), config.clone()).expect("deconvolver"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

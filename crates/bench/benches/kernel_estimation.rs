@@ -1,0 +1,62 @@
+//! Benchmarks the Monte-Carlo kernel estimator: population simulation and
+//! volume-histogram construction at the scales the figure reproductions
+//! use, including the serial/parallel split.
+
+use std::time::Duration;
+
+use cellsync_popsim::{
+    CellCycleParams, InitialCondition, KernelEstimator, Population, VolumeModel,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn population(cells: usize, seed: u64) -> Population {
+    let params = CellCycleParams::caulobacter().expect("valid defaults");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Population::synchronized(cells, &params, InitialCondition::UniformSwarmer, &mut rng)
+        .expect("non-empty population")
+        .simulate_until(180.0)
+        .expect("finite horizon")
+}
+
+fn bench_population_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_simulation");
+    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    for &cells in &[1_000usize, 5_000, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, &n| {
+            b.iter(|| black_box(population(n, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_estimation(c: &mut Criterion) {
+    let pop = population(10_000, 7);
+    let times: Vec<f64> = (0..19).map(|i| i as f64 * 10.0).collect();
+    let mut group = c.benchmark_group("kernel_estimation");
+    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let est = KernelEstimator::new(100)
+                    .expect("bins > 0")
+                    .with_threads(threads);
+                b.iter(|| black_box(est.estimate(&pop, &times).expect("valid times")));
+            },
+        );
+    }
+    group.bench_function("linear_volume_model", |b| {
+        let est = KernelEstimator::new(100)
+            .expect("bins > 0")
+            .with_volume_model(VolumeModel::Linear);
+        b.iter(|| black_box(est.estimate(&pop, &times).expect("valid times")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_population_simulation, bench_kernel_estimation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks the ODE integrators on the 150-minute Lotka–Volterra system
+//! used by the Fig. 2/3 reproductions.
+
+use std::time::Duration;
+
+use cellsync_ode::models::LotkaVolterra;
+use cellsync_ode::period::rescale_lotka_volterra;
+use cellsync_ode::solver::{DormandPrince, Euler, Heun, Rk4};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_integrators(c: &mut Criterion) {
+    let shape = LotkaVolterra::new(1.0, 0.2, 1.0, 1.0).expect("positive rates");
+    let (lv, _) =
+        rescale_lotka_volterra(&shape, [2.4, 5.0], 150.0).expect("rescaling succeeds");
+    let y0 = [2.4, 5.0];
+
+    let mut group = c.benchmark_group("lv_150min_one_period");
+    group.measurement_time(Duration::from_secs(4));
+    group.bench_function("euler_dt0.05", |b| {
+        let solver = Euler::new(0.05).expect("dt > 0");
+        b.iter(|| black_box(solver.integrate(&lv, &y0, 0.0, 150.0).expect("integrates")));
+    });
+    group.bench_function("heun_dt0.1", |b| {
+        let solver = Heun::new(0.1).expect("dt > 0");
+        b.iter(|| black_box(solver.integrate(&lv, &y0, 0.0, 150.0).expect("integrates")));
+    });
+    group.bench_function("rk4_dt0.25", |b| {
+        let solver = Rk4::new(0.25).expect("dt > 0");
+        b.iter(|| black_box(solver.integrate(&lv, &y0, 0.0, 150.0).expect("integrates")));
+    });
+    group.bench_function("dopri_rtol1e-8", |b| {
+        let solver = DormandPrince::new(1e-8, 1e-10).expect("tolerances > 0");
+        b.iter(|| black_box(solver.integrate(&lv, &y0, 0.0, 150.0).expect("integrates")));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("period_measurement");
+    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group.bench_function("measure_lv_period", |b| {
+        b.iter(|| {
+            black_box(
+                cellsync_ode::period::measure_lv_period(&lv, y0, 4).expect("period found"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrators);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Benchmarks the three optimization backends on the same
+//! positivity-constrained deconvolution instance: active-set QP,
+//! Lawson–Hanson NNLS, and projected gradient.
+
+use std::time::Duration;
+
+use cellsync_linalg::{Matrix, Vector};
+use cellsync_opt::{Nnls, ProjectedGradient, QuadraticProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A synthetic but realistic instance: smooth design matrix rows (kernel
+/// moments), ill-conditioned like the real problem.
+fn instance(n: usize, m: usize) -> (Matrix, Vector) {
+    let a = Matrix::from_fn(m, n, |r, c| {
+        let t = r as f64 / (m - 1) as f64;
+        let phi = c as f64 / (n - 1) as f64;
+        (-((phi - t).powi(2)) / 0.02).exp() + 0.05
+    });
+    let truth = Vector::from_fn(n, |i| {
+        let phi = i as f64 / (n - 1) as f64;
+        (2.0 * std::f64::consts::PI * phi).sin().max(0.0) * 2.0
+    });
+    let b = a.matvec(&truth).expect("shapes agree");
+    (a, b)
+}
+
+fn qp_pieces(a: &Matrix, b: &Vector, lambda: f64) -> (Matrix, Vector) {
+    let n = a.cols();
+    let mut h = a.gram();
+    for i in 0..n {
+        h[(i, i)] += lambda + 1e-9;
+    }
+    let mut h = h.scaled(2.0);
+    h.symmetrize().expect("square");
+    let c = -&a.tr_matvec(b).expect("shapes agree").scaled(2.0);
+    (h, c)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qp_backends");
+    group.measurement_time(Duration::from_secs(4)).sample_size(20);
+    for &n in &[12usize, 24, 48] {
+        let (a, b) = instance(n, 19);
+        // Moderate ridge keeps the instance condition number ~10³ so the
+        // projected-gradient baseline (rate ∝ condition number) finishes
+        // inside its iteration budget at every size.
+        let (h, lin) = qp_pieces(&a, &b, 1e-2);
+
+        group.bench_with_input(BenchmarkId::new("active_set_qp", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    QuadraticProgram::new(h.clone(), lin.clone())
+                        .expect("valid qp")
+                        .with_inequalities(Matrix::identity(n), Vector::zeros(n))
+                        .expect("shapes agree")
+                        .solve()
+                        .expect("solvable"),
+                )
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("nnls", n), &n, |bench, _| {
+            bench.iter(|| black_box(Nnls::new().solve(&a, &b).expect("solvable")));
+        });
+
+        group.bench_with_input(BenchmarkId::new("projected_gradient", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    ProjectedGradient::new(2_000_000, 1e-8)
+                        .solve(&h, &lin, &Vector::zeros(n))
+                        .expect("solvable"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks the natural-spline basis: construction, penalty assembly,
+//! and evaluation at figure-scale basis sizes.
+
+use std::time::Duration;
+
+use cellsync_spline::NaturalSplineBasis;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_basis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spline_basis");
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[12usize, 24, 48] {
+        group.bench_with_input(BenchmarkId::new("construction", n), &n, |b, &n| {
+            b.iter(|| black_box(NaturalSplineBasis::uniform(n, 0.0, 1.0).expect("n >= 4")));
+        });
+        let basis = NaturalSplineBasis::uniform(n, 0.0, 1.0).expect("n >= 4");
+        group.bench_with_input(BenchmarkId::new("penalty_matrix", n), &n, |b, _| {
+            b.iter(|| black_box(basis.penalty_matrix()));
+        });
+        group.bench_with_input(BenchmarkId::new("eval_all_101_points", n), &n, |b, _| {
+            b.iter(|| {
+                for i in 0..=100 {
+                    black_box(basis.eval_all(i as f64 / 100.0));
+                }
+            });
+        });
+        let coeffs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() + 1.5).collect();
+        group.bench_with_input(BenchmarkId::new("combination_400_points", n), &n, |b, _| {
+            b.iter(|| {
+                for i in 0..400 {
+                    black_box(
+                        basis
+                            .eval_combination(&coeffs, i as f64 / 399.0)
+                            .expect("lengths match"),
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_basis);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Runs every figure/experiment reproduction in sequence and prints the
+//! combined paper-vs-measured report (the source of EXPERIMENTS.md).
+
+use cellsync_bench::experiments;
+
+fn main() {
+    let jobs: Vec<(&str, fn(u64) -> experiments::ExpResult)> = vec![
+        ("fig2", experiments::run_fig2),
+        ("fig3", experiments::run_fig3),
+        ("fig4", experiments::run_fig4),
+        ("fig5", experiments::run_fig5),
+        ("paramfit", experiments::run_paramfit),
+        ("ablations", experiments::run_ablations),
+    ];
+    let mut failed = false;
+    for (name, job) in jobs {
+        println!("=== {name} ===");
+        match job(42) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                failed = true;
+            }
+        }
+        println!();
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

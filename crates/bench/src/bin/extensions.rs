@@ -1,0 +1,199 @@
+//! Beyond-paper extension experiments (the paper's §5 "ongoing work"
+//! direction plus robustness studies):
+//!
+//! 1. **Goodwin gene-circuit deconvolution** — the paper validates on
+//!    Lotka–Volterra only; here the same pipeline recovers the mRNA
+//!    profile of a biochemically grounded negative-feedback oscillator.
+//! 2. **Synchrony decay** — quantifies how fast batch-culture synchrony is
+//!    lost (the phenomenon deconvolution corrects for), via the Kuramoto
+//!    order parameter.
+//! 3. **λ selection** — GCV vs k-fold cross validation on the same noisy
+//!    series.
+//!
+//! Writes CSVs to target/figures/ and prints a report.
+
+use cellsync::synthetic::SyntheticExperiment;
+use cellsync::{
+    DeconvolutionConfig, Deconvolver, LambdaSelection, PhaseProfile,
+};
+use cellsync_bench::{report, standard_kernel, write_csv, CYCLE_MINUTES};
+use cellsync_ode::models::Goodwin;
+use cellsync_ode::period::estimate_period;
+use cellsync_ode::solver::DormandPrince;
+use cellsync_popsim::{synchrony, CellCycleParams, InitialCondition, Population};
+use cellsync_stats::noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn goodwin_deconvolution(seed: u64) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    // Integrate the Gonze-form Goodwin circuit past its transient, measure
+    // its period, and map one period of the mRNA component onto the cell
+    // cycle (as the paper does with LV).
+    let g = Goodwin::classic()?;
+    let solver = DormandPrince::new(1e-9, 1e-11)?;
+    let warm = solver.integrate(&g, &[0.1, 0.25, 2.5], 0.0, 400.0)?;
+    let period = estimate_period(&warm, 0, 0.5)?;
+    let start_state = warm.sample(300.0)?;
+    let traj = solver.integrate(&g, &start_state, 0.0, 2.0 * period)?;
+    // Locate a peak-aligned window one period long.
+    let truth_raw = PhaseProfile::from_trajectory(&traj, 0, 0.0, period, 400)?;
+    // Rescale amplitudes into microarray-like units.
+    let scale = 8.0 / truth_raw.max();
+    let truth = PhaseProfile::from_samples(
+        truth_raw.values().iter().map(|v| v * scale + 0.5).collect(),
+    )?;
+
+    let kernel = standard_kernel(180.0, 19, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(41));
+    let experiment = SyntheticExperiment::generate(
+        kernel.clone(),
+        &truth,
+        NoiseModel::RelativeGaussian { fraction: 0.10 },
+        &mut rng,
+    )?;
+    let config = DeconvolutionConfig::builder()
+        .basis_size(24)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 19,
+        })
+        .build()?;
+    let result =
+        Deconvolver::new(kernel, config)?.fit(experiment.noisy(), Some(experiment.sigmas()))?;
+    let recovered = result.profile(400)?;
+
+    let rows = (0..=200).map(|i| {
+        let phi = i as f64 / 200.0;
+        vec![phi * CYCLE_MINUTES, truth.eval(phi), recovered.eval(phi)]
+    });
+    write_csv(
+        "ext_goodwin.csv",
+        "simulated_minutes,goodwin_mrna_true,goodwin_mrna_deconvolved",
+        rows,
+    )?;
+
+    let nrmse = truth.nrmse(&recovered)?;
+    let corr = truth.correlation(&recovered)?;
+    Ok(vec![
+        format!(
+            "Extension 1 (Goodwin gene circuit, period {:.1} time units mapped to 150 min)",
+            period
+        ),
+        report(
+            "goodwin mRNA recovery at 10 % noise",
+            "beyond paper (LV only)",
+            &format!("NRMSE {nrmse:.3}, corr {corr:.3}"),
+            nrmse < 0.25 && corr > 0.9,
+        ),
+    ])
+}
+
+fn synchrony_decay(seed: u64) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let params = CellCycleParams::caulobacter()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop =
+        Population::synchronized(20_000, &params, InitialCondition::UniformSwarmer, &mut rng)?
+            .simulate_until(750.0)?;
+    let times: Vec<f64> = (0..=25).map(|i| 30.0 * i as f64).collect();
+    let curve = synchrony::decay_curve(&pop, &times)?;
+    write_csv(
+        "ext_synchrony_decay.csv",
+        "minutes,order_parameter,circular_variance,cells",
+        times.iter().zip(&curve).map(|(&t, s)| {
+            vec![
+                t,
+                s.order_parameter,
+                s.circular_variance,
+                s.cells as f64,
+            ]
+        }),
+    )?;
+    let half = synchrony::time_below(&pop, &times, 0.5)?;
+    let r0 = curve[0].order_parameter;
+    let r_end = curve[curve.len() - 1].order_parameter;
+    Ok(vec![
+        "Extension 2 (synchrony decay of a batch culture)".to_string(),
+        report(
+            "order parameter decays toward asynchrony",
+            "implicit premise of the method",
+            &format!(
+                "R {r0:.2} → {r_end:.2}; falls below 0.5 at {} min",
+                half.map_or("never".to_string(), |t| format!("{t:.0}"))
+            ),
+            r0 > 0.9 && r_end < 0.5 && half.is_some(),
+        ),
+    ])
+}
+
+fn lambda_selection_comparison(seed: u64) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let truth = PhaseProfile::from_fn(300, |phi| {
+        2.0 + (2.0 * std::f64::consts::PI * phi).sin() + 0.6 * (4.0 * std::f64::consts::PI * phi).cos()
+    })?;
+    let kernel = standard_kernel(180.0, 19, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5));
+    let experiment = SyntheticExperiment::generate(
+        kernel.clone(),
+        &truth,
+        NoiseModel::RelativeGaussian { fraction: 0.10 },
+        &mut rng,
+    )?;
+    let fit_with = |sel: LambdaSelection| -> Result<(f64, f64), Box<dyn std::error::Error>> {
+        let config = DeconvolutionConfig::builder()
+            .basis_size(20)
+            .lambda_selection(sel)
+            .build()?;
+        let r = Deconvolver::new(kernel.clone(), config)?
+            .fit(experiment.noisy(), Some(experiment.sigmas()))?;
+        Ok((r.lambda(), truth.nrmse(&r.profile(300)?)?))
+    };
+    let (l_gcv, e_gcv) = fit_with(LambdaSelection::Gcv {
+        log10_min: -8.0,
+        log10_max: 1.0,
+        points: 19,
+    })?;
+    let (l_kf, e_kf) = fit_with(LambdaSelection::KFold {
+        folds: 5,
+        log10_min: -8.0,
+        log10_max: 1.0,
+        points: 10,
+        seed: 77,
+    })?;
+    Ok(vec![
+        "Extension 3 (lambda selection: GCV vs 5-fold CV)".to_string(),
+        report(
+            "both selectors give comparable recovery",
+            "'selected via cross validation'",
+            &format!(
+                "GCV λ={l_gcv:.1e} NRMSE {e_gcv:.3}; k-fold λ={l_kf:.1e} NRMSE {e_kf:.3}"
+            ),
+            (e_gcv - e_kf).abs() < 0.1,
+        ),
+    ])
+}
+
+fn main() {
+    let mut failed = false;
+    for (name, job) in [
+        ("goodwin", goodwin_deconvolution as fn(u64) -> _),
+        ("synchrony", synchrony_decay),
+        ("lambda-selection", lambda_selection_comparison),
+    ] {
+        match job(42) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("extension {name} failed: {e}");
+                failed = true;
+            }
+        }
+        println!();
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the data behind the paper's fig5 experiment (see
+//! EXPERIMENTS.md). Prints a paper-vs-measured report and writes CSV
+//! series to target/figures/.
+
+fn main() {
+    match cellsync_bench::experiments::run_fig5(42) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the data behind the paper's paramfit experiment (see
+//! EXPERIMENTS.md). Prints a paper-vs-measured report and writes CSV
+//! series to target/figures/.
+
+fn main() {
+    match cellsync_bench::experiments::run_paramfit(42) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("paramfit failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Deconvolution configuration.
+
+use crate::{DeconvError, Result};
+
+/// How the smoothing parameter λ of paper eq. 5 is chosen.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LambdaSelection {
+    /// Use the given λ directly.
+    Fixed(f64),
+    /// Generalized cross validation (Craven & Wahba 1978): scan a
+    /// log-spaced grid of λ values and pick the GCV minimizer. The GCV
+    /// score is computed on the *unconstrained* smoother (standard
+    /// practice — the influence matrix of the constrained fit is not
+    /// linear), then the selected λ is used for the constrained solve.
+    Gcv {
+        /// `log₁₀` of the smallest λ scanned.
+        log10_min: f64,
+        /// `log₁₀` of the largest λ scanned.
+        log10_max: f64,
+        /// Number of grid points.
+        points: usize,
+    },
+    /// K-fold cross validation on the measurements: refit (with the full
+    /// constraint set) on each training fold and score the held-out
+    /// weighted squared error.
+    KFold {
+        /// Number of folds (≥ 2).
+        folds: usize,
+        /// `log₁₀` of the smallest λ scanned.
+        log10_min: f64,
+        /// `log₁₀` of the largest λ scanned.
+        log10_max: f64,
+        /// Number of grid points.
+        points: usize,
+        /// Seed for the fold shuffle (fits are deterministic given this).
+        seed: u64,
+    },
+}
+
+impl LambdaSelection {
+    /// The default GCV scan: 25 points over `λ ∈ [10⁻⁸, 10²]`.
+    pub fn default_gcv() -> Self {
+        LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 2.0,
+            points: 25,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        match self {
+            LambdaSelection::Fixed(l) => {
+                if !(*l >= 0.0) || !l.is_finite() {
+                    return Err(DeconvError::InvalidConfig(
+                        "fixed lambda must be finite and non-negative",
+                    ));
+                }
+            }
+            LambdaSelection::Gcv {
+                log10_min,
+                log10_max,
+                points,
+            } => {
+                if log10_min >= log10_max || *points < 2 {
+                    return Err(DeconvError::InvalidConfig(
+                        "gcv grid needs log10_min < log10_max and at least 2 points",
+                    ));
+                }
+            }
+            LambdaSelection::KFold {
+                folds,
+                log10_min,
+                log10_max,
+                points,
+                ..
+            } => {
+                if *folds < 2 {
+                    return Err(DeconvError::InvalidConfig("k-fold needs at least 2 folds"));
+                }
+                if log10_min >= log10_max || *points < 2 {
+                    return Err(DeconvError::InvalidConfig(
+                        "k-fold grid needs log10_min < log10_max and at least 2 points",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The λ grid implied by this selection (single point for `Fixed`).
+    pub fn lambda_grid(&self) -> Vec<f64> {
+        match self {
+            LambdaSelection::Fixed(l) => vec![*l],
+            LambdaSelection::Gcv {
+                log10_min,
+                log10_max,
+                points,
+            }
+            | LambdaSelection::KFold {
+                log10_min,
+                log10_max,
+                points,
+                ..
+            } => (0..*points)
+                .map(|i| {
+                    let t = i as f64 / (*points - 1) as f64;
+                    10f64.powf(log10_min + t * (log10_max - log10_min))
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for LambdaSelection {
+    fn default() -> Self {
+        LambdaSelection::default_gcv()
+    }
+}
+
+/// Configuration of the constrained spline deconvolution (paper §2.3, §3).
+///
+/// Build with [`DeconvolutionConfig::builder`]:
+///
+/// ```
+/// use cellsync::DeconvolutionConfig;
+///
+/// # fn main() -> Result<(), cellsync::DeconvError> {
+/// let config = DeconvolutionConfig::builder()
+///     .basis_size(24)
+///     .positivity(true)
+///     .conservation(true)
+///     .rate_continuity(true)
+///     .build()?;
+/// assert_eq!(config.basis_size(), 24);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeconvolutionConfig {
+    basis_size: usize,
+    positivity: bool,
+    conservation: bool,
+    rate_continuity: bool,
+    positivity_grid: usize,
+    lambda: LambdaSelection,
+    ridge: f64,
+}
+
+impl DeconvolutionConfig {
+    /// Starts a builder with the defaults: 24 basis functions, positivity
+    /// on, division constraints off (they encode Caulobacter-specific
+    /// biology; enable them for Caulobacter data), GCV λ selection,
+    /// 101-point positivity grid, ridge 10⁻⁹.
+    pub fn builder() -> DeconvolutionConfigBuilder {
+        DeconvolutionConfigBuilder::default()
+    }
+
+    /// Number of spline basis functions `N_c` (paper eq. 4).
+    pub fn basis_size(&self) -> usize {
+        self.basis_size
+    }
+
+    /// Whether `f_α(φ) ≥ 0` is enforced on the positivity grid.
+    pub fn positivity(&self) -> bool {
+        self.positivity
+    }
+
+    /// Whether the RNA-conservation equality (paper §2.3) is enforced.
+    pub fn conservation(&self) -> bool {
+        self.conservation
+    }
+
+    /// Whether the transcript-rate-continuity equality (paper §3.2) is
+    /// enforced.
+    pub fn rate_continuity(&self) -> bool {
+        self.rate_continuity
+    }
+
+    /// Number of uniform grid points where positivity is imposed.
+    pub fn positivity_grid(&self) -> usize {
+        self.positivity_grid
+    }
+
+    /// The λ-selection strategy.
+    pub fn lambda(&self) -> &LambdaSelection {
+        &self.lambda
+    }
+
+    /// Tikhonov ridge `ε` added to the normal matrix for numerical
+    /// definiteness.
+    pub fn ridge(&self) -> f64 {
+        self.ridge
+    }
+}
+
+impl Default for DeconvolutionConfig {
+    fn default() -> Self {
+        DeconvolutionConfig::builder()
+            .build()
+            .expect("default configuration is valid")
+    }
+}
+
+/// Builder for [`DeconvolutionConfig`].
+#[derive(Debug, Clone)]
+pub struct DeconvolutionConfigBuilder {
+    basis_size: usize,
+    positivity: bool,
+    conservation: bool,
+    rate_continuity: bool,
+    positivity_grid: usize,
+    lambda: LambdaSelection,
+    ridge: f64,
+}
+
+impl Default for DeconvolutionConfigBuilder {
+    fn default() -> Self {
+        DeconvolutionConfigBuilder {
+            basis_size: 24,
+            positivity: true,
+            conservation: false,
+            rate_continuity: false,
+            positivity_grid: 101,
+            lambda: LambdaSelection::default_gcv(),
+            ridge: 1e-9,
+        }
+    }
+}
+
+impl DeconvolutionConfigBuilder {
+    /// Sets the number of spline basis functions (≥ 4).
+    #[must_use]
+    pub fn basis_size(mut self, n: usize) -> Self {
+        self.basis_size = n;
+        self
+    }
+
+    /// Enables or disables the positivity constraint.
+    #[must_use]
+    pub fn positivity(mut self, on: bool) -> Self {
+        self.positivity = on;
+        self
+    }
+
+    /// Enables or disables the RNA-conservation equality.
+    #[must_use]
+    pub fn conservation(mut self, on: bool) -> Self {
+        self.conservation = on;
+        self
+    }
+
+    /// Enables or disables the rate-continuity equality.
+    #[must_use]
+    pub fn rate_continuity(mut self, on: bool) -> Self {
+        self.rate_continuity = on;
+        self
+    }
+
+    /// Sets the positivity grid resolution (≥ 2 when positivity is on).
+    #[must_use]
+    pub fn positivity_grid(mut self, n: usize) -> Self {
+        self.positivity_grid = n;
+        self
+    }
+
+    /// Shortcut for a fixed smoothing parameter.
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = LambdaSelection::Fixed(lambda);
+        self
+    }
+
+    /// Sets the full λ-selection strategy.
+    #[must_use]
+    pub fn lambda_selection(mut self, selection: LambdaSelection) -> Self {
+        self.lambda = selection;
+        self
+    }
+
+    /// Sets the numerical ridge `ε ≥ 0`.
+    #[must_use]
+    pub fn ridge(mut self, ridge: f64) -> Self {
+        self.ridge = ridge;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeconvError::InvalidConfig`] for out-of-range values.
+    pub fn build(self) -> Result<DeconvolutionConfig> {
+        if self.basis_size < 4 {
+            return Err(DeconvError::InvalidConfig("basis_size must be at least 4"));
+        }
+        if self.positivity && self.positivity_grid < 2 {
+            return Err(DeconvError::InvalidConfig(
+                "positivity_grid must be at least 2 when positivity is enabled",
+            ));
+        }
+        if !(self.ridge >= 0.0) || !self.ridge.is_finite() {
+            return Err(DeconvError::InvalidConfig(
+                "ridge must be finite and non-negative",
+            ));
+        }
+        self.lambda.validate()?;
+        Ok(DeconvolutionConfig {
+            basis_size: self.basis_size,
+            positivity: self.positivity,
+            conservation: self.conservation,
+            rate_continuity: self.rate_continuity,
+            positivity_grid: self.positivity_grid,
+            lambda: self.lambda,
+            ridge: self.ridge,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DeconvolutionConfig::default();
+        assert_eq!(c.basis_size(), 24);
+        assert!(c.positivity());
+        assert!(!c.conservation());
+        assert!(!c.rate_continuity());
+        assert!(matches!(c.lambda(), LambdaSelection::Gcv { .. }));
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let c = DeconvolutionConfig::builder()
+            .basis_size(16)
+            .positivity(false)
+            .conservation(true)
+            .rate_continuity(true)
+            .positivity_grid(51)
+            .lambda(0.01)
+            .ridge(1e-8)
+            .build()
+            .unwrap();
+        assert_eq!(c.basis_size(), 16);
+        assert!(!c.positivity());
+        assert!(c.conservation());
+        assert!(c.rate_continuity());
+        assert_eq!(c.lambda(), &LambdaSelection::Fixed(0.01));
+        assert_eq!(c.ridge(), 1e-8);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DeconvolutionConfig::builder().basis_size(3).build().is_err());
+        assert!(DeconvolutionConfig::builder()
+            .positivity_grid(1)
+            .build()
+            .is_err());
+        assert!(DeconvolutionConfig::builder().ridge(-1.0).build().is_err());
+        assert!(DeconvolutionConfig::builder()
+            .lambda(f64::NAN)
+            .build()
+            .is_err());
+        assert!(DeconvolutionConfig::builder()
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: 1.0,
+                log10_max: 0.0,
+                points: 10
+            })
+            .build()
+            .is_err());
+        assert!(DeconvolutionConfig::builder()
+            .lambda_selection(LambdaSelection::KFold {
+                folds: 1,
+                log10_min: -4.0,
+                log10_max: 0.0,
+                points: 5,
+                seed: 0
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn lambda_grid_log_spaced() {
+        let sel = LambdaSelection::Gcv {
+            log10_min: -4.0,
+            log10_max: 0.0,
+            points: 5,
+        };
+        let grid = sel.lambda_grid();
+        assert_eq!(grid.len(), 5);
+        assert!((grid[0] - 1e-4).abs() < 1e-16);
+        assert!((grid[4] - 1.0).abs() < 1e-12);
+        assert!((grid[2] - 1e-2).abs() < 1e-14);
+        assert_eq!(LambdaSelection::Fixed(0.5).lambda_grid(), vec![0.5]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Unified error type for the deconvolution pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the deconvolution pipeline, wrapping substrate
+/// failures with pipeline-level context.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeconvError {
+    /// Measurements/sigmas/times are inconsistent in length.
+    LengthMismatch {
+        /// Description of what mismatched.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig(&'static str),
+    /// Too few measurements to fit the requested basis.
+    TooFewMeasurements {
+        /// Measurements available.
+        measurements: usize,
+        /// Spline coefficients requested.
+        basis: usize,
+    },
+    /// A phase outside `[0, 1]` was supplied.
+    InvalidPhase(f64),
+    /// Linear-algebra substrate failure.
+    Linalg(cellsync_linalg::LinalgError),
+    /// Numerics substrate failure.
+    Numerics(cellsync_numerics::NumericsError),
+    /// Statistics substrate failure.
+    Stats(cellsync_stats::StatsError),
+    /// Spline substrate failure.
+    Spline(cellsync_spline::SplineError),
+    /// Population-simulation substrate failure.
+    Popsim(cellsync_popsim::PopsimError),
+    /// Optimization substrate failure.
+    Opt(cellsync_opt::OptError),
+    /// ODE substrate failure.
+    Ode(cellsync_ode::OdeError),
+}
+
+impl fmt::Display for DeconvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeconvError::LengthMismatch { what, expected, got } => {
+                write!(f, "length mismatch in {what}: expected {expected}, got {got}")
+            }
+            DeconvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DeconvError::TooFewMeasurements { measurements, basis } => write!(
+                f,
+                "too few measurements ({measurements}) to constrain {basis} spline coefficients \
+                 (need regularization to remain well-posed; reduce basis_size or add data)"
+            ),
+            DeconvError::InvalidPhase(p) => write!(f, "phase must lie in [0, 1], got {p}"),
+            DeconvError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            DeconvError::Numerics(e) => write!(f, "numerics failure: {e}"),
+            DeconvError::Stats(e) => write!(f, "statistics failure: {e}"),
+            DeconvError::Spline(e) => write!(f, "spline failure: {e}"),
+            DeconvError::Popsim(e) => write!(f, "population simulation failure: {e}"),
+            DeconvError::Opt(e) => write!(f, "optimization failure: {e}"),
+            DeconvError::Ode(e) => write!(f, "ode failure: {e}"),
+        }
+    }
+}
+
+impl Error for DeconvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeconvError::Linalg(e) => Some(e),
+            DeconvError::Numerics(e) => Some(e),
+            DeconvError::Stats(e) => Some(e),
+            DeconvError::Spline(e) => Some(e),
+            DeconvError::Popsim(e) => Some(e),
+            DeconvError::Opt(e) => Some(e),
+            DeconvError::Ode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for DeconvError {
+            fn from(e: $ty) -> Self {
+                DeconvError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Linalg, cellsync_linalg::LinalgError);
+impl_from!(Numerics, cellsync_numerics::NumericsError);
+impl_from!(Stats, cellsync_stats::StatsError);
+impl_from!(Spline, cellsync_spline::SplineError);
+impl_from!(Popsim, cellsync_popsim::PopsimError);
+impl_from!(Opt, cellsync_opt::OptError);
+impl_from!(Ode, cellsync_ode::OdeError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_sources_chain() {
+        let errs: Vec<DeconvError> = vec![
+            DeconvError::LengthMismatch { what: "sigmas", expected: 3, got: 2 },
+            DeconvError::InvalidConfig("basis too small"),
+            DeconvError::TooFewMeasurements { measurements: 2, basis: 24 },
+            DeconvError::InvalidPhase(1.5),
+            cellsync_linalg::LinalgError::Singular.into(),
+            cellsync_numerics::NumericsError::InvalidArgument("x").into(),
+            cellsync_stats::StatsError::EmptySample.into(),
+            cellsync_spline::SplineError::InvalidKnots.into(),
+            cellsync_popsim::PopsimError::InvalidPhase(2.0).into(),
+            cellsync_opt::OptError::InvalidArgument("y").into(),
+            cellsync_ode::OdeError::InvalidStep(0.0).into(),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(Error::source(&errs[4]).is_some());
+        assert!(Error::source(&errs[0]).is_none());
+    }
+}

@@ -1,0 +1,349 @@
+//! Phase-indexed expression profiles.
+
+use cellsync_ode::Trajectory;
+
+use crate::{DeconvError, Result};
+
+/// A single-cell expression profile as a function of cell-cycle phase
+/// `φ ∈ [0, 1]` — the object the deconvolution recovers and the ground
+/// truth the validations compare against.
+///
+/// Stored as uniform samples with linear interpolation between them; dense
+/// enough grids (≥ 100 points) make the representation error negligible
+/// relative to measurement noise.
+///
+/// # Example
+///
+/// ```
+/// use cellsync::PhaseProfile;
+///
+/// # fn main() -> Result<(), cellsync::DeconvError> {
+/// let p = PhaseProfile::from_fn(100, |phi| phi * 2.0)?;
+/// assert!((p.eval(0.5) - 1.0).abs() < 1e-12);
+/// assert_eq!(p.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Uniform grid sample values; sample `i` sits at `φ = i/(n−1)`.
+    values: Vec<f64>,
+}
+
+/// Biologically meaningful features extracted from a profile — used to
+/// check that deconvolution recovers what the raw population data hides
+/// (the ftsZ transcription delay and post-peak decline of Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileFeatures {
+    /// First phase at which the profile exceeds 10 % of its maximum
+    /// (the "transcription onset").
+    pub onset_phase: f64,
+    /// Phase of the global maximum.
+    pub peak_phase: f64,
+    /// Value at the global maximum.
+    pub peak_value: f64,
+    /// Whether the profile declines monotonically (within 5 % of the peak
+    /// as slack) after the peak.
+    pub declines_after_peak: bool,
+}
+
+impl PhaseProfile {
+    /// Creates a profile from uniform samples over `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeconvError::InvalidConfig`] for fewer than two samples or
+    /// non-finite values.
+    pub fn from_samples(values: Vec<f64>) -> Result<Self> {
+        if values.len() < 2 {
+            return Err(DeconvError::InvalidConfig(
+                "profile needs at least two samples",
+            ));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(DeconvError::InvalidConfig("profile samples must be finite"));
+        }
+        Ok(PhaseProfile { values })
+    }
+
+    /// Creates a profile by sampling `f` on `n` uniform phases.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhaseProfile::from_samples`].
+    pub fn from_fn<F: FnMut(f64) -> f64>(n: usize, mut f: F) -> Result<Self> {
+        if n < 2 {
+            return Err(DeconvError::InvalidConfig(
+                "profile needs at least two samples",
+            ));
+        }
+        let values: Vec<f64> = (0..n)
+            .map(|i| f(i as f64 / (n - 1) as f64))
+            .collect();
+        PhaseProfile::from_samples(values)
+    }
+
+    /// Builds the phase profile of one trajectory component over a single
+    /// period: `f(φ) = x_c(t₀ + φ·period)`.
+    ///
+    /// This is how the paper turns the Lotka–Volterra oscillation into the
+    /// "true synchronized single cell" expression of Fig. 2: the cycle
+    /// phase is mapped onto one 150-minute period of the oscillator.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeconvError::InvalidConfig`] for a non-positive period or `n < 2`.
+    /// * Propagates trajectory sampling errors (e.g. the trajectory does
+    ///   not cover `[t0, t0 + period]`).
+    pub fn from_trajectory(
+        traj: &Trajectory,
+        component: usize,
+        t0: f64,
+        period: f64,
+        n: usize,
+    ) -> Result<Self> {
+        if !(period > 0.0) || !period.is_finite() {
+            return Err(DeconvError::InvalidConfig("period must be positive"));
+        }
+        if n < 2 {
+            return Err(DeconvError::InvalidConfig(
+                "profile needs at least two samples",
+            ));
+        }
+        let times: Vec<f64> = (0..n)
+            .map(|i| t0 + period * i as f64 / (n - 1) as f64)
+            .collect();
+        let values = traj.sample_component(component, &times)?;
+        PhaseProfile::from_samples(values)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the profile is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The underlying uniform samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The uniform phase grid the samples live on.
+    pub fn phases(&self) -> Vec<f64> {
+        let n = self.values.len();
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    /// Evaluates the profile at `phi` by linear interpolation, clamping
+    /// outside `[0, 1]`.
+    pub fn eval(&self, phi: f64) -> f64 {
+        let n = self.values.len();
+        if phi <= 0.0 {
+            return self.values[0];
+        }
+        if phi >= 1.0 {
+            return self.values[n - 1];
+        }
+        let pos = phi * (n - 1) as f64;
+        let i = pos.floor() as usize;
+        let w = pos - i as f64;
+        if i + 1 >= n {
+            return self.values[n - 1];
+        }
+        self.values[i] * (1.0 - w) + self.values[i + 1] * w
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Root-mean-square difference against another profile, evaluated on
+    /// the finer of the two grids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metric errors (never in practice: grids are non-empty).
+    pub fn rmse(&self, other: &PhaseProfile) -> Result<f64> {
+        let n = self.len().max(other.len());
+        let a: Vec<f64> = (0..n).map(|i| self.eval(i as f64 / (n - 1) as f64)).collect();
+        let b: Vec<f64> = (0..n).map(|i| other.eval(i as f64 / (n - 1) as f64)).collect();
+        Ok(cellsync_stats::metrics::rmse(&a, &b)?)
+    }
+
+    /// RMSE normalized by this profile's range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metric errors (constant truth has no range).
+    pub fn nrmse(&self, other: &PhaseProfile) -> Result<f64> {
+        let n = self.len().max(other.len());
+        let a: Vec<f64> = (0..n).map(|i| self.eval(i as f64 / (n - 1) as f64)).collect();
+        let b: Vec<f64> = (0..n).map(|i| other.eval(i as f64 / (n - 1) as f64)).collect();
+        Ok(cellsync_stats::metrics::nrmse(&a, &b)?)
+    }
+
+    /// Pearson correlation against another profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metric errors (constant profiles have no correlation).
+    pub fn correlation(&self, other: &PhaseProfile) -> Result<f64> {
+        let n = self.len().max(other.len());
+        let a: Vec<f64> = (0..n).map(|i| self.eval(i as f64 / (n - 1) as f64)).collect();
+        let b: Vec<f64> = (0..n).map(|i| other.eval(i as f64 / (n - 1) as f64)).collect();
+        Ok(cellsync_stats::metrics::pearson(&a, &b)?)
+    }
+
+    /// Extracts the onset/peak/decline features used in the Fig. 5
+    /// analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeconvError::InvalidConfig`] when the profile is all zero
+    /// (no features to find).
+    pub fn features(&self) -> Result<ProfileFeatures> {
+        let peak_value = self.max();
+        if peak_value <= 0.0 {
+            return Err(DeconvError::InvalidConfig(
+                "profile has no positive mass; features undefined",
+            ));
+        }
+        let n = self.values.len();
+        let peak_idx = self
+            .values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite samples"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let threshold = 0.10 * peak_value;
+        let onset_idx = self
+            .values
+            .iter()
+            .position(|&v| v > threshold)
+            .unwrap_or(0);
+        // Monotone decline check with 5 % slack for estimator wiggle.
+        let slack = 0.05 * peak_value;
+        let mut declines = true;
+        let mut running_min = self.values[peak_idx];
+        for &v in &self.values[peak_idx..] {
+            if v > running_min + slack {
+                declines = false;
+                break;
+            }
+            running_min = running_min.min(v);
+        }
+        Ok(ProfileFeatures {
+            onset_phase: onset_idx as f64 / (n - 1) as f64,
+            peak_phase: peak_idx as f64 / (n - 1) as f64,
+            peak_value,
+            declines_after_peak: declines,
+        })
+    }
+
+    /// Maps the profile to "simulated time" pairs `(φ·period, f(φ))` — the
+    /// x-axis scaling used in the paper's Fig. 5 bottom panel.
+    pub fn to_time_series(&self, period: f64) -> Vec<(f64, f64)> {
+        self.phases()
+            .into_iter()
+            .zip(self.values.iter())
+            .map(|(phi, &v)| (phi * period, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let p = PhaseProfile::from_samples(vec![0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(p.eval(0.25), 0.5);
+        assert_eq!(p.eval(0.5), 1.0);
+        assert_eq!(p.eval(-1.0), 0.0);
+        assert_eq!(p.eval(2.0), 0.0);
+    }
+
+    #[test]
+    fn from_fn_samples_uniformly() {
+        let p = PhaseProfile::from_fn(11, |phi| phi).unwrap();
+        assert_eq!(p.values()[5], 0.5);
+        assert_eq!(p.phases()[10], 1.0);
+    }
+
+    #[test]
+    fn rmse_and_correlation() {
+        let a = PhaseProfile::from_fn(50, |phi| phi).unwrap();
+        let b = PhaseProfile::from_fn(200, |phi| phi).unwrap();
+        assert!(a.rmse(&b).unwrap() < 1e-12);
+        assert!((a.correlation(&b).unwrap() - 1.0).abs() < 1e-9);
+        let c = PhaseProfile::from_fn(50, |phi| 1.0 - phi).unwrap();
+        assert!((a.correlation(&c).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn features_of_delayed_peak() {
+        // Zero until 0.2, ramp to peak at 0.4, fall to 0.1 of peak.
+        let p = PhaseProfile::from_fn(201, |phi| {
+            if phi < 0.2 {
+                0.0
+            } else if phi < 0.4 {
+                (phi - 0.2) / 0.2
+            } else {
+                (1.0 - (phi - 0.4)).max(0.05)
+            }
+        })
+        .unwrap();
+        let f = p.features().unwrap();
+        assert!((f.onset_phase - 0.22).abs() < 0.03, "onset {}", f.onset_phase);
+        assert!((f.peak_phase - 0.4).abs() < 0.01);
+        assert!(f.declines_after_peak);
+    }
+
+    #[test]
+    fn non_monotone_after_peak_detected() {
+        let p = PhaseProfile::from_fn(101, |phi| {
+            // Peak at 0.3, secondary rise near 1.0.
+            (-((phi - 0.3) / 0.1).powi(2)).exp() + if phi > 0.8 { 0.5 } else { 0.0 }
+        })
+        .unwrap();
+        let f = p.features().unwrap();
+        assert!(!f.declines_after_peak);
+    }
+
+    #[test]
+    fn time_series_scaling() {
+        let p = PhaseProfile::from_fn(3, |phi| phi).unwrap();
+        let ts = p.to_time_series(150.0);
+        assert_eq!(ts[0], (0.0, 0.0));
+        assert_eq!(ts[1], (75.0, 0.5));
+        assert_eq!(ts[2], (150.0, 1.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PhaseProfile::from_samples(vec![1.0]).is_err());
+        assert!(PhaseProfile::from_samples(vec![1.0, f64::NAN]).is_err());
+        assert!(PhaseProfile::from_fn(1, |_| 0.0).is_err());
+        let zero = PhaseProfile::from_samples(vec![0.0, 0.0]).unwrap();
+        assert!(zero.features().is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        let p = PhaseProfile::from_samples(vec![3.0, -1.0, 2.0]).unwrap();
+        assert_eq!(p.max(), 3.0);
+        assert_eq!(p.min(), -1.0);
+    }
+}

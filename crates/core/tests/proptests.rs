@@ -1,0 +1,99 @@
+//! Property-based tests of the deconvolution core: forward-model algebra
+//! and profile invariants on randomized inputs.
+
+use cellsync::{ForwardModel, PhaseProfile};
+use cellsync_popsim::{CellCycleParams, InitialCondition, KernelEstimator, Population};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small shared kernel (built once; proptest cases reuse it).
+fn kernel() -> cellsync_popsim::PhaseKernel {
+    use std::sync::OnceLock;
+    static KERNEL: OnceLock<cellsync_popsim::PhaseKernel> = OnceLock::new();
+    KERNEL
+        .get_or_init(|| {
+            let params = CellCycleParams::caulobacter().expect("defaults valid");
+            let mut rng = StdRng::seed_from_u64(1234);
+            let pop = Population::synchronized(
+                2000,
+                &params,
+                InitialCondition::UniformSwarmer,
+                &mut rng,
+            )
+            .expect("non-empty")
+            .simulate_until(150.0)
+            .expect("finite");
+            let times: Vec<f64> = (0..12).map(|i| 150.0 * i as f64 / 11.0).collect();
+            KernelEstimator::new(50)
+                .expect("bins > 0")
+                .estimate(&pop, &times)
+                .expect("valid times")
+        })
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_transform_preserves_constants(c in 0.1..10.0f64) {
+        let fm = ForwardModel::new(kernel());
+        let profile = PhaseProfile::from_fn(50, |_| c).expect("constant profile");
+        for g in fm.predict(&profile).expect("predict") {
+            prop_assert!((g - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_transform_is_monotone(values in prop::collection::vec(0.1..5.0f64, 20)) {
+        // f ≤ g pointwise ⟹ G_f ≤ G_g pointwise (Q ≥ 0).
+        let fm = ForwardModel::new(kernel());
+        let f = PhaseProfile::from_samples(values.clone()).expect("finite samples");
+        let g = PhaseProfile::from_samples(values.iter().map(|v| v + 1.0).collect())
+            .expect("finite samples");
+        let gf = fm.predict(&f).expect("predict");
+        let gg = fm.predict(&g).expect("predict");
+        for (a, b) in gf.iter().zip(&gg) {
+            prop_assert!(a <= b, "monotonicity violated: {a} > {b}");
+        }
+    }
+
+    #[test]
+    fn forward_output_within_profile_hull(values in prop::collection::vec(0.0..8.0f64, 10..40)) {
+        // G(t) is a Q-weighted average of f, so it stays within [min f, max f].
+        let fm = ForwardModel::new(kernel());
+        let f = PhaseProfile::from_samples(values.clone()).expect("finite samples");
+        let lo = f.min();
+        let hi = f.max();
+        for g in fm.predict(&f).expect("predict") {
+            prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9, "G = {g} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn profile_eval_bounded_by_samples(values in prop::collection::vec(-3.0..3.0f64, 2..40), q in 0.0..1.0f64) {
+        let p = PhaseProfile::from_samples(values.clone()).expect("finite samples");
+        let v = p.eval(q);
+        prop_assert!(v >= p.min() - 1e-12 && v <= p.max() + 1e-12);
+    }
+
+    #[test]
+    fn profile_metrics_identities(values in prop::collection::vec(0.0..5.0f64, 5..30)) {
+        let p = PhaseProfile::from_samples(values).expect("finite samples");
+        prop_assert!(p.rmse(&p).expect("same grid") < 1e-12);
+        if p.max() > p.min() {
+            prop_assert!(p.nrmse(&p).expect("range > 0") < 1e-12);
+            prop_assert!((p.correlation(&p).expect("non-constant") - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rmse_symmetric(a in prop::collection::vec(0.0..5.0f64, 10), b in prop::collection::vec(0.0..5.0f64, 10)) {
+        let pa = PhaseProfile::from_samples(a).expect("finite");
+        let pb = PhaseProfile::from_samples(b).expect("finite");
+        let ab = pa.rmse(&pb).expect("grids align");
+        let ba = pb.rmse(&pa).expect("grids align");
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+}

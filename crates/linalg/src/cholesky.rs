@@ -1,0 +1,253 @@
+//! Cholesky decomposition for symmetric positive definite matrices.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Cholesky decomposition `A = L·Lᵀ` of a symmetric positive definite matrix.
+///
+/// The regularized normal equations of the spline fit,
+/// `(AᵀW²A + λΩ + εI)α = AᵀW²G`, are SPD by construction, so Cholesky is the
+/// preferred solver on the unconstrained path and inside GCV scans where the
+/// same Hessian is refactored for many λ values.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), cellsync_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0],
+///                             &[15.0, 18.0,  0.0],
+///                             &[-5.0,  0.0, 11.0]])?;
+/// let ch = a.cholesky()?;
+/// let x = ch.solve(&Vector::from_slice(&[1.0, 2.0, 3.0]))?;
+/// assert!((&a.matvec(&x)? - &Vector::from_slice(&[1.0, 2.0, 3.0])).norm2() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CholeskyDecomposition {
+    /// Lower-triangular factor, stored densely with zeros above the diagonal.
+    l: Matrix,
+}
+
+impl CholeskyDecomposition {
+    /// Factors a symmetric positive definite matrix.
+    ///
+    /// Symmetry is enforced up to a tolerance of `1e-8 · ‖A‖∞` and the upper
+    /// triangle is ignored afterwards.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] / [`LinalgError::Empty`] for bad shapes.
+    /// * [`LinalgError::InvalidArgument`] for non-finite or asymmetric input.
+    /// * [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::InvalidArgument("matrix entries must be finite"));
+        }
+        let scale = a.norm_inf().max(1.0);
+        if a.asymmetry()? > 1e-8 * scale {
+            return Err(LinalgError::InvalidArgument(
+                "matrix must be symmetric for cholesky",
+            ));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = sum / ljj;
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// A reference to the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "cholesky solve",
+            });
+        }
+        // Forward solve L·y = b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l[(i, j)] * y[j];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward solve Lᵀ·x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.l[(j, i)] * x[j];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "cholesky solve_matrix",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Natural log of the determinant of `A` (always finite for SPD input).
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (none expected after successful
+    /// factorization).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_matches_textbook() {
+        let ch = spd_example().cholesky().unwrap();
+        let l = ch.factor();
+        // Known factor: [[5,0,0],[3,3,0],[-1,1,3]]
+        assert!((l[(0, 0)] - 5.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 3.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 3.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 1.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd_example();
+        let l = a.cholesky().unwrap().factor().clone();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!((&recon - &a).norm_frobenius() < 1e-12);
+    }
+
+    #[test]
+    fn solve_residual_small() {
+        let a = spd_example();
+        let b = Vector::from_slice(&[1.0, -2.0, 4.0]);
+        let x = a.cholesky().unwrap().solve(&b).unwrap();
+        assert!((&a.matvec(&x).unwrap() - &b).norm2() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            a.cholesky().unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            a.cholesky().unwrap_err(),
+            LinalgError::InvalidArgument(_)
+        ));
+    }
+
+    #[test]
+    fn log_determinant_matches_lu() {
+        let a = spd_example();
+        let logdet = a.cholesky().unwrap().log_determinant();
+        let det = a.lu().unwrap().determinant();
+        assert!((logdet - det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = spd_example();
+        let inv = a.cholesky().unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(3)).norm_frobenius() < 1e-11);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(Matrix::zeros(0, 0).cholesky().is_err());
+        assert!(Matrix::zeros(2, 3).cholesky().is_err());
+        let ch = spd_example().cholesky().unwrap();
+        assert!(ch.solve(&Vector::zeros(2)).is_err());
+        assert!(ch.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a symmetric matrix, computed with
+/// the cyclic Jacobi rotation method.
+///
+/// Jacobi is slow (`O(n³)` per sweep) but unconditionally robust and
+/// accurate for the small symmetric matrices that arise here (spline Gram
+/// matrices, QP Hessians, influence matrices for GCV), and it requires no
+/// shift heuristics.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cellsync_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = a.symmetric_eigen()?;
+/// let evs = eig.eigenvalues();
+/// assert!((evs[0] - 1.0).abs() < 1e-12 && (evs[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricEigen {
+    /// Eigenvalues sorted ascending.
+    values: Vector,
+    /// Orthonormal eigenvectors as columns, ordered to match `values`.
+    vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Maximum number of Jacobi sweeps before giving up.
+    const MAX_SWEEPS: usize = 100;
+
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] / [`LinalgError::Empty`] for bad shapes.
+    /// * [`LinalgError::InvalidArgument`] for non-finite or asymmetric input.
+    /// * [`LinalgError::ConvergenceFailed`] if the off-diagonal mass does not
+    ///   vanish within the sweep budget (not observed in practice).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::InvalidArgument("matrix entries must be finite"));
+        }
+        let scale = a.norm_inf().max(1.0);
+        if a.asymmetry()? > 1e-8 * scale {
+            return Err(LinalgError::InvalidArgument(
+                "matrix must be symmetric for eigendecomposition",
+            ));
+        }
+
+        let n = a.rows();
+        let mut m = a.clone();
+        m.symmetrize()?;
+        let mut v = Matrix::identity(n);
+
+        let off = |m: &Matrix| -> f64 {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+            s
+        };
+
+        let tol = 1e-30 * scale * scale * (n * n) as f64 + f64::MIN_POSITIVE;
+        let mut sweeps = 0;
+        while off(&m) > tol {
+            if sweeps >= Self::MAX_SWEEPS {
+                return Err(LinalgError::ConvergenceFailed { iterations: sweeps });
+            }
+            sweeps += 1;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    // Stable tangent of the rotation angle.
+                    let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Update rows/columns p and q of the working matrix.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+
+        // Sort eigenpairs ascending by eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("finite eigenvalues"));
+        let values = Vector::from_fn(n, |i| m[(order[i], order[i])]);
+        let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+        Ok(SymmetricEigen { values, vectors })
+    }
+
+    /// Eigenvalues sorted ascending.
+    pub fn eigenvalues(&self) -> &Vector {
+        &self.values
+    }
+
+    /// Orthonormal eigenvectors as matrix columns, ordered like
+    /// [`SymmetricEigen::eigenvalues`].
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min_eigenvalue(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Largest eigenvalue.
+    pub fn max_eigenvalue(&self) -> f64 {
+        self.values[self.values.len() - 1]
+    }
+
+    /// Spectral condition number `|λ_max| / |λ_min|`; infinite when the
+    /// smallest eigenvalue is zero.
+    pub fn condition_number(&self) -> f64 {
+        let lo = self.min_eigenvalue().abs();
+        let hi = self
+            .values
+            .iter()
+            .fold(0.0_f64, |acc, &x| acc.max(x.abs()));
+        if lo == 0.0 {
+            f64::INFINITY
+        } else {
+            hi / lo
+        }
+    }
+
+    /// Whether all eigenvalues exceed `tol` (positive definiteness check).
+    pub fn is_positive_definite(&self, tol: f64) -> bool {
+        self.min_eigenvalue() > tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::from_diagonal(&Vector::from_slice(&[3.0, 1.0, 2.0]));
+        let eig = a.symmetric_eigen().unwrap();
+        assert_eq!(eig.eigenvalues().as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = a.symmetric_eigen().unwrap();
+        assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ])
+        .unwrap();
+        let eig = a.symmetric_eigen().unwrap();
+        let v = eig.eigenvectors();
+        let d = Matrix::from_diagonal(eig.eigenvalues());
+        let recon = v.matmul(&d).unwrap().matmul(&v.transpose()).unwrap();
+        assert!((&recon - &a).norm_frobenius() < 1e-10);
+        let vtv = v.transpose().matmul(v).unwrap();
+        assert!((&vtv - &Matrix::identity(4)).norm_frobenius() < 1e-11);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let eig = a.symmetric_eigen().unwrap();
+        assert!((eig.eigenvalues().sum() - a.trace().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_definite_detection() {
+        let spd = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert!(spd.symmetric_eigen().unwrap().is_positive_definite(1e-12));
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(!indef.symmetric_eigen().unwrap().is_positive_definite(1e-12));
+    }
+
+    #[test]
+    fn condition_number() {
+        let a = Matrix::from_diagonal(&Vector::from_slice(&[1.0, 100.0]));
+        let eig = a.symmetric_eigen().unwrap();
+        assert!((eig.condition_number() - 100.0).abs() < 1e-9);
+        let z = Matrix::from_diagonal(&Vector::from_slice(&[0.0, 1.0]));
+        assert!(z.symmetric_eigen().unwrap().condition_number().is_infinite());
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(a.symmetric_eigen().is_err());
+    }
+
+    #[test]
+    fn identity_eigen() {
+        let eig = Matrix::identity(5).symmetric_eigen().unwrap();
+        for &v in eig.eigenvalues().iter() {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Dense linear algebra substrate for the `cellsync` workspace.
+//!
+//! The deconvolution method of Eisenberg, Ash & Siegal-Gaskins (2011) reduces
+//! to a sequence of dense linear-algebra problems: assembling Gram matrices
+//! for the spline roughness penalty, solving the KKT systems of an active-set
+//! quadratic program, and evaluating the influence-matrix trace used by
+//! generalized cross validation. None of the approved external crates provide
+//! these primitives, so this crate implements them from scratch:
+//!
+//! * [`Matrix`] / [`Vector`] — row-major dense storage with the usual
+//!   arithmetic, products, and norms.
+//! * [`LuDecomposition`] — LU with partial pivoting: solves, determinant,
+//!   inverse.
+//! * [`CholeskyDecomposition`] — for symmetric positive definite systems.
+//! * [`QrDecomposition`] — Householder QR: least squares, orthonormal bases,
+//!   null spaces (used by the null-space active-set QP in `cellsync-opt`).
+//! * [`SymmetricEigen`] — cyclic Jacobi eigendecomposition of symmetric
+//!   matrices (used for influence traces and diagnostics).
+//! * [`Tridiagonal`] — Thomas-algorithm solver (used by the natural-spline
+//!   interpolation in `cellsync-spline`).
+//!
+//! # Example
+//!
+//! ```
+//! use cellsync_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), cellsync_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let b = Vector::from_slice(&[1.0, 2.0]);
+//! let x = a.cholesky()?.solve(&b)?;
+//! let r = &a.matvec(&x)? - &b;
+//! assert!(r.norm2() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod cholesky;
+mod eigen;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+mod tridiagonal;
+mod vector;
+
+pub use cholesky::CholeskyDecomposition;
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use qr::QrDecomposition;
+pub use tridiagonal::Tridiagonal;
+pub use vector::Vector;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

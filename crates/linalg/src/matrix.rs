@@ -1,0 +1,648 @@
+//! Row-major dense matrices of `f64`.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::{
+    CholeskyDecomposition, LinalgError, LuDecomposition, QrDecomposition, Result, SymmetricEigen,
+    Vector,
+};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The deconvolution pipeline manipulates design matrices `A[m,i] =
+/// ∫Q(φ,t_m)ψ_i(φ)dφ`, spline Gram matrices, and QP Hessians — all dense and
+/// modest in size (tens to a few hundred rows), so a straightforward
+/// row-major layout with `O(n³)` factorizations is the right tool.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cellsync_linalg::LinalgError> {
+/// let a = Matrix::identity(3);
+/// let b = a.matmul(&a)?;
+/// assert_eq!(b, Matrix::identity(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &Vector) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = diag[i];
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for zero rows and
+    /// [`LinalgError::InvalidArgument`] for ragged rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::InvalidArgument(
+                "all rows must have the same length",
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row-major packed data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] when `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(
+                "data length must equal rows * cols",
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Whether the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A borrowed view of the packed row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= cols`.
+    pub fn col(&self, j: usize) -> Vector {
+        assert!(j < self.cols, "column index out of bounds");
+        Vector::from_fn(self.rows, |i| self[(i, j)])
+    }
+
+    /// Copies row `i` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= rows`.
+    pub fn row_vector(&self, i: usize) -> Vector {
+        Vector::from_slice(self.row(i))
+    }
+
+    /// Replaces row `i` with the contents of `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `row.len() != cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= rows`.
+    pub fn set_row(&mut self, i: usize, row: &[f64]) -> Result<()> {
+        assert!(i < self.rows, "row index out of bounds");
+        if row.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, self.cols),
+                right: (1, row.len()),
+                op: "set_row",
+            });
+        }
+        self.data[i * self.cols..(i + 1) * self.cols].copy_from_slice(row);
+        Ok(())
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix–matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order keeps the inner loop contiguous in both operands.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += aik * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector> {
+        if self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "matvec",
+            });
+        }
+        Ok(Vector::from_fn(self.rows, |i| {
+            self.row(i)
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        }))
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != rows`.
+    pub fn tr_matvec(&self, x: &Vector) -> Result<Vector> {
+        if self.rows != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "tr_matvec",
+            });
+        }
+        let mut out = Vector::zeros(self.cols);
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..self.cols {
+                out[j] += self[(i, j)] * xi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram product `selfᵀ * self`, always symmetric positive semidefinite.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for a in 0..self.cols {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    out[(a, b)] += ra * row[b];
+                }
+            }
+        }
+        for a in 0..self.cols {
+            for b in 0..a {
+                out[(a, b)] = out[(b, a)];
+            }
+        }
+        out
+    }
+
+    /// Returns a scaled copy.
+    pub fn scaled(&self, factor: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * factor).collect(),
+        }
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        Vector::from_slice(&self.data).norm2()
+    }
+
+    /// Maximum absolute row sum (operator infinity norm).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute asymmetry `max |A_ij - A_ji|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn asymmetry(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        let mut worst = 0.0_f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Symmetrizes in place: `A ← (A + Aᵀ)/2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn symmetrize(&mut self) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the contiguous submatrix with rows `r0..r1` and columns
+    /// `c0..c1` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ranges are out of bounds or empty.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 < r1 && r1 <= self.rows, "bad row range");
+        assert!(c0 < c1 && c1 <= self.cols, "bad column range");
+        Matrix::from_fn(r1 - r0, c1 - c0, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "vstack",
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError::NotSquare`] and [`LinalgError::Singular`].
+    pub fn lu(&self) -> Result<LuDecomposition> {
+        LuDecomposition::new(self)
+    }
+
+    /// Cholesky decomposition (`self` must be symmetric positive definite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError::NotPositiveDefinite`].
+    pub fn cholesky(&self) -> Result<CholeskyDecomposition> {
+        CholeskyDecomposition::new(self)
+    }
+
+    /// Householder QR decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty matrix.
+    pub fn qr(&self) -> Result<QrDecomposition> {
+        QrDecomposition::new(self)
+    }
+
+    /// Jacobi eigendecomposition of a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError::NotSquare`] and
+    /// [`LinalgError::ConvergenceFailed`].
+    pub fn symmetric_eigen(&self) -> Result<SymmetricEigen> {
+        SymmetricEigen::new(self)
+    }
+
+    /// Solves `self * x = b` via LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        self.lu()?.solve(b)
+    }
+
+    /// Matrix inverse via LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.lu()?.inverse()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics when the shapes differ.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add: shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + rhs[(i, j)])
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics when the shapes differ.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub: shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - rhs[(i, j)])
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scaled(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn construction() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(1, 0)], 3.0);
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3.trace().unwrap(), 3.0);
+        let d = Matrix::from_diagonal(&Vector::from_slice(&[1.0, 2.0]));
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert!(a.matmul(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let x = Vector::from_slice(&[1.0, 0.0, -1.0]);
+        assert_eq!(a.matvec(&x).unwrap().as_slice(), &[-2.0, -2.0]);
+        let at = a.transpose();
+        assert_eq!(at.shape(), (3, 2));
+        assert_eq!(at[(2, 1)], 6.0);
+        let y = Vector::from_slice(&[1.0, 1.0]);
+        assert_eq!(
+            a.tr_matvec(&y).unwrap().as_slice(),
+            at.matvec(&y).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_correct() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let g = a.gram();
+        let expect = a.transpose().matmul(&a).unwrap();
+        assert_eq!(g, expect);
+        assert_eq!(g.asymmetry().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn norms_and_trace() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert_eq!(m.norm_frobenius(), 5.0);
+        assert_eq!(m.norm_inf(), 4.0);
+        assert_eq!(m.trace().unwrap(), 7.0);
+        assert!(Matrix::zeros(2, 3).trace().is_err());
+    }
+
+    #[test]
+    fn submatrix_and_vstack() {
+        let m = Matrix::from_fn(3, 3, |i, j| (3 * i + j) as f64);
+        let s = m.submatrix(1, 3, 0, 2);
+        assert_eq!(s, Matrix::from_rows(&[&[3.0, 4.0], &[6.0, 7.0]]).unwrap());
+        let v = s.vstack(&s).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert!(s.vstack(&m).is_err());
+    }
+
+    #[test]
+    fn symmetrize_removes_asymmetry() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 3.0]]).unwrap();
+        assert!(m.asymmetry().unwrap() > 0.0);
+        m.symmetrize().unwrap();
+        assert_eq!(m.asymmetry().unwrap(), 0.0);
+        assert!(approx(m[(0, 1)], 3.0, 1e-15));
+    }
+
+    #[test]
+    fn set_row_validates() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set_row(0, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert!(m.set_row(1, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let m = Matrix::identity(2);
+        let s = format!("{m}");
+        assert!(s.contains("1.000000"));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::identity(2);
+        let b = &a + &a;
+        assert_eq!(b[(0, 0)], 2.0);
+        let c = &b - &a;
+        assert_eq!(c, a);
+        let d = &a * 3.0;
+        assert_eq!(d[(1, 1)], 3.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Householder QR decomposition, least squares, and null-space bases.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Householder QR decomposition `A = Q·R` of an `m × n` matrix (`m ≥ n` or
+/// `m < n` both supported; the full square `Q` is formed explicitly).
+///
+/// The active-set quadratic program in `cellsync-opt` eliminates equality
+/// constraints through the null space of the constraint matrix, which this
+/// type exposes via [`QrDecomposition::null_space_basis`] on the transposed
+/// constraint matrix.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), cellsync_linalg::LinalgError> {
+/// // Overdetermined least squares: best line through three points.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let y = Vector::from_slice(&[0.1, 1.0, 2.1]);
+/// let beta = a.qr()?.solve_least_squares(&y)?;
+/// assert!((beta[1] - 1.0).abs() < 0.05); // slope ≈ 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QrDecomposition {
+    /// Orthogonal factor, `m × m`.
+    q: Matrix,
+    /// Upper-trapezoidal factor, `m × n`.
+    r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Factors `a` using Householder reflections.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] for an empty matrix.
+    /// * [`LinalgError::InvalidArgument`] for non-finite entries.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::InvalidArgument("matrix entries must be finite"));
+        }
+        let m = a.rows();
+        let n = a.cols();
+        let mut r = a.clone();
+        let mut q = Matrix::identity(m);
+
+        for k in 0..n.min(m.saturating_sub(1)) {
+            // Build the Householder vector for column k.
+            let mut norm = 0.0_f64;
+            for i in k..m {
+                norm = norm.hypot(r[(i, k)]);
+            }
+            if norm == 0.0 {
+                continue; // column already zero below the diagonal
+            }
+            let alpha = if r[(k, k)] > 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            v[k] = r[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                v[i] = r[(i, k)];
+            }
+            let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+            if vnorm2 == 0.0 {
+                continue;
+            }
+            // Apply H = I - 2vvᵀ/(vᵀv) to R (columns k..n).
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let f = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    r[(i, j)] -= f * v[i];
+                }
+            }
+            // Accumulate Q ← Q·H (apply H to Q's columns from the right).
+            for i in 0..m {
+                let mut dot = 0.0;
+                for l in k..m {
+                    dot += q[(i, l)] * v[l];
+                }
+                let f = 2.0 * dot / vnorm2;
+                for l in k..m {
+                    q[(i, l)] -= f * v[l];
+                }
+            }
+        }
+        // Clean tiny subdiagonal residue so `r` is exactly triangular.
+        for j in 0..n {
+            for i in (j + 1)..m {
+                if r[(i, j)].abs() < 1e-300 {
+                    r[(i, j)] = 0.0;
+                }
+            }
+        }
+        Ok(QrDecomposition { q, r })
+    }
+
+    /// The full orthogonal factor `Q` (`m × m`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-trapezoidal factor `R` (`m × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Numerical rank: the number of diagonal entries of `R` larger than
+    /// `tol · max|R_ii|`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let k = self.r.rows().min(self.r.cols());
+        let maxdiag = (0..k)
+            .map(|i| self.r[(i, i)].abs())
+            .fold(0.0_f64, f64::max);
+        if maxdiag == 0.0 {
+            return 0;
+        }
+        (0..k)
+            .filter(|&i| self.r[(i, i)].abs() > tol * maxdiag)
+            .count()
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂` for full-column-rank
+    /// `A` (`m ≥ n`).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `b.len() != m`.
+    /// * [`LinalgError::Singular`] when `R` is rank deficient.
+    /// * [`LinalgError::InvalidArgument`] when `m < n`.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector> {
+        let m = self.r.rows();
+        let n = self.r.cols();
+        if m < n {
+            return Err(LinalgError::InvalidArgument(
+                "least squares requires rows >= cols",
+            ));
+        }
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                left: (m, n),
+                right: (b.len(), 1),
+                op: "qr solve_least_squares",
+            });
+        }
+        // x = R₁⁻¹ (Qᵀb)₁..n
+        let qtb = self.q.tr_matvec(b)?;
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = qtb[i];
+            for j in (i + 1)..n {
+                sum -= self.r[(i, j)] * x[j];
+            }
+            let rii = self.r[(i, i)];
+            if rii.abs() < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+
+    /// Orthonormal basis for the null space of the factored matrix's
+    /// **transpose**, i.e. the trailing `m − rank` columns of `Q`.
+    ///
+    /// For a constraint matrix `C` (`p × n`, `p < n`) factor `Cᵀ` and call
+    /// this to obtain `Z` (`n × (n − rank)`) with `C·Z = 0`; any feasible
+    /// point plus `Z·w` stays feasible — the null-space method for
+    /// equality-constrained QPs.
+    ///
+    /// Returns `None` when the null space is trivial.
+    pub fn null_space_basis(&self, tol: f64) -> Option<Matrix> {
+        let m = self.r.rows();
+        let rank = self.rank(tol);
+        if rank >= m {
+            return None;
+        }
+        Some(self.q.submatrix(0, m, rank, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orthogonality_error(q: &Matrix) -> f64 {
+        let qtq = q.transpose().matmul(q).unwrap();
+        (&qtq - &Matrix::identity(q.rows())).norm_frobenius()
+    }
+
+    #[test]
+    fn reconstruction_square() {
+        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]])
+            .unwrap();
+        let qr = a.qr().unwrap();
+        assert!(orthogonality_error(qr.q()) < 1e-12);
+        let recon = qr.q().matmul(qr.r()).unwrap();
+        assert!((&recon - &a).norm_frobenius() < 1e-11);
+        // R upper triangular
+        for i in 1..3 {
+            for j in 0..i {
+                assert!(qr.r()[(i, j)].abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_tall() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64).sin() + 2.0 * (i == j) as u8 as f64);
+        let qr = a.qr().unwrap();
+        assert!(orthogonality_error(qr.q()) < 1e-12);
+        let recon = qr.q().matmul(qr.r()).unwrap();
+        assert!((&recon - &a).norm_frobenius() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = Vector::from_slice(&[1.0, 2.9, 5.1, 7.0]);
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations solution
+        let g = a.gram();
+        let rhs = a.tr_matvec(&b).unwrap();
+        let x2 = g.cholesky().unwrap().solve(&rhs).unwrap();
+        assert!((&x - &x2).norm2() < 1e-10);
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        let full = Matrix::identity(3);
+        assert_eq!(full.qr().unwrap().rank(1e-12), 3);
+        let deficient =
+            Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert_eq!(deficient.qr().unwrap().rank(1e-10), 1);
+    }
+
+    #[test]
+    fn null_space_is_annihilated() {
+        // C is 1x3: x + y + z = const. Null space of Cᵀ's transpose...
+        // factor Cᵀ (3x1) and request trailing columns of Q.
+        let c = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]).unwrap();
+        let qr = c.transpose().qr().unwrap();
+        let z = qr.null_space_basis(1e-12).expect("null space exists");
+        assert_eq!(z.shape(), (3, 2));
+        let cz = c.matmul(&z).unwrap();
+        assert!(cz.norm_frobenius() < 1e-12);
+        // Columns orthonormal
+        let ztz = z.transpose().matmul(&z).unwrap();
+        assert!((&ztz - &Matrix::identity(2)).norm_frobenius() < 1e-12);
+    }
+
+    #[test]
+    fn null_space_trivial_for_full_rank_square() {
+        let a = Matrix::identity(3);
+        assert!(a.qr().unwrap().null_space_basis(1e-12).is_none());
+    }
+
+    #[test]
+    fn underdetermined_solve_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        assert!(qr.solve_least_squares(&Vector::zeros(1)).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(Matrix::zeros(0, 0).qr().is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(a.qr().is_err());
+    }
+
+    #[test]
+    fn least_squares_shape_mismatch() {
+        let a = Matrix::from_fn(4, 2, |i, j| (i + j) as f64 + 1.0);
+        let qr = a.qr().unwrap();
+        assert!(qr.solve_least_squares(&Vector::zeros(3)).is_err());
+    }
+}

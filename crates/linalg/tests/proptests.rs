@@ -1,0 +1,125 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These exercise algebraic invariants on randomly generated matrices:
+//! factorization residuals, orthogonality, and solver consistency across
+//! independent code paths (LU vs Cholesky vs QR).
+
+use cellsync_linalg::{Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy: a square matrix with entries in [-10, 10].
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).expect("sized data"))
+}
+
+/// Strategy: a vector with entries in [-10, 10].
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    prop::collection::vec(-10.0..10.0f64, n).prop_map(Vector::from)
+}
+
+/// Makes an SPD matrix from an arbitrary square one: `AᵀA + n·I`.
+fn make_spd(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut g = a.gram();
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+    g.symmetrize().expect("square");
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_has_small_residual(a in square_matrix(4), b in vector(4)) {
+        // Skip (rare) near-singular draws by conditioning through SPD shift.
+        let spd = make_spd(&a);
+        let lu = spd.lu().expect("spd is nonsingular");
+        let x = lu.solve(&b).expect("solve");
+        let r = &spd.matvec(&x).expect("matvec") - &b;
+        prop_assert!(r.norm2() <= 1e-8 * (1.0 + b.norm2()));
+    }
+
+    #[test]
+    fn cholesky_and_lu_agree_on_spd(a in square_matrix(5), b in vector(5)) {
+        let spd = make_spd(&a);
+        let x_ch = spd.cholesky().expect("spd").solve(&b).expect("solve");
+        let x_lu = spd.lu().expect("nonsingular").solve(&b).expect("solve");
+        prop_assert!((&x_ch - &x_lu).norm2() <= 1e-7 * (1.0 + x_lu.norm2()));
+    }
+
+    #[test]
+    fn qr_reconstructs_input(a in square_matrix(4)) {
+        let qr = a.qr().expect("qr");
+        let recon = qr.q().matmul(qr.r()).expect("shapes");
+        prop_assert!((&recon - &a).norm_frobenius() <= 1e-9 * (1.0 + a.norm_frobenius()));
+    }
+
+    #[test]
+    fn qr_q_is_orthogonal(a in square_matrix(4)) {
+        let qr = a.qr().expect("qr");
+        let qtq = qr.q().transpose().matmul(qr.q()).expect("shapes");
+        let err = (&qtq - &Matrix::identity(4)).norm_frobenius();
+        prop_assert!(err <= 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in square_matrix(4)) {
+        let spd = make_spd(&a);
+        let eig = spd.symmetric_eigen().expect("symmetric");
+        let v = eig.eigenvectors();
+        let d = Matrix::from_diagonal(eig.eigenvalues());
+        let recon = v.matmul(&d).expect("shapes").matmul(&v.transpose()).expect("shapes");
+        prop_assert!((&recon - &spd).norm_frobenius() <= 1e-8 * (1.0 + spd.norm_frobenius()));
+    }
+
+    #[test]
+    fn eigenvalues_of_spd_are_positive(a in square_matrix(4)) {
+        let spd = make_spd(&a);
+        let eig = spd.symmetric_eigen().expect("symmetric");
+        prop_assert!(eig.min_eigenvalue() > 0.0);
+    }
+
+    #[test]
+    fn determinant_is_multiplicative(a in square_matrix(3), b in square_matrix(3)) {
+        let spd_a = make_spd(&a);
+        let spd_b = make_spd(&b);
+        let det_a = spd_a.lu().expect("a").determinant();
+        let det_b = spd_b.lu().expect("b").determinant();
+        let det_ab = spd_a.matmul(&spd_b).expect("shapes").lu().expect("ab").determinant();
+        let rel = (det_ab - det_a * det_b).abs() / (1.0 + (det_a * det_b).abs());
+        prop_assert!(rel <= 1e-8);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in square_matrix(4)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_linear(a in square_matrix(3), x in vector(3), y in vector(3)) {
+        let lhs = a.matvec(&(&x + &y)).expect("matvec");
+        let rhs = &a.matvec(&x).expect("matvec") + &a.matvec(&y).expect("matvec");
+        prop_assert!((&lhs - &rhs).norm2() <= 1e-9 * (1.0 + lhs.norm2()));
+    }
+
+    #[test]
+    fn dot_commutes(x in vector(6), y in vector(6)) {
+        let a = x.dot(&y).expect("dot");
+        let b = y.dot(&x).expect("dot");
+        prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn cauchy_schwarz(x in vector(5), y in vector(5)) {
+        let d = x.dot(&y).expect("dot").abs();
+        prop_assert!(d <= x.norm2() * y.norm2() + 1e-9);
+    }
+
+    #[test]
+    fn norm_triangle_inequality(x in vector(5), y in vector(5)) {
+        prop_assert!((&x + &y).norm2() <= x.norm2() + y.norm2() + 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! Finite-difference derivative stencils.
+//!
+//! Used throughout the test suites to verify analytic derivatives: the
+//! spline basis derivatives `ψ'`, `ψ''`, the cell-volume rate conditions of
+//! paper eqs. (9)–(10), and the rate-continuity constraint assembly.
+
+use crate::{NumericsError, Result};
+
+/// Central first derivative `(f(x+h) − f(x−h)) / 2h`, `O(h²)` accurate.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidArgument`] for non-finite `x` or non-positive `h`.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_numerics::diff::central_first;
+/// let d = central_first(|x: f64| x * x, 3.0, 1e-6)?;
+/// assert!((d - 6.0).abs() < 1e-8);
+/// # Ok::<(), cellsync_numerics::NumericsError>(())
+/// ```
+pub fn central_first<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> Result<f64> {
+    check(x, h)?;
+    Ok((f(x + h) - f(x - h)) / (2.0 * h))
+}
+
+/// Central second derivative `(f(x+h) − 2f(x) + f(x−h)) / h²`, `O(h²)`.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidArgument`] for non-finite `x` or non-positive `h`.
+pub fn central_second<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> Result<f64> {
+    check(x, h)?;
+    Ok((f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h))
+}
+
+/// One-sided forward first derivative with second-order accuracy:
+/// `(−3f(x) + 4f(x+h) − f(x+2h)) / 2h`.
+///
+/// Needed at the left boundary `φ = 0` where cell-cycle functions are not
+/// defined for negative phase.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidArgument`] for non-finite `x` or non-positive `h`.
+pub fn forward_first<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> Result<f64> {
+    check(x, h)?;
+    Ok((-3.0 * f(x) + 4.0 * f(x + h) - f(x + 2.0 * h)) / (2.0 * h))
+}
+
+/// One-sided backward first derivative with second-order accuracy:
+/// `(3f(x) − 4f(x−h) + f(x−2h)) / 2h`.
+///
+/// Needed at the right boundary `φ = 1` (end of the cell cycle).
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidArgument`] for non-finite `x` or non-positive `h`.
+pub fn backward_first<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> Result<f64> {
+    check(x, h)?;
+    Ok((3.0 * f(x) - 4.0 * f(x - h) + f(x - 2.0 * h)) / (2.0 * h))
+}
+
+/// Richardson-extrapolated central first derivative: combines `h` and `h/2`
+/// stencils for `O(h⁴)` accuracy.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidArgument`] for non-finite `x` or non-positive `h`.
+pub fn richardson_first<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> Result<f64> {
+    check(x, h)?;
+    let d_h = (f(x + h) - f(x - h)) / (2.0 * h);
+    let d_h2 = (f(x + 0.5 * h) - f(x - 0.5 * h)) / h;
+    Ok((4.0 * d_h2 - d_h) / 3.0)
+}
+
+/// Derivative of tabulated samples via second-order differences (central in
+/// the interior, one-sided at the boundaries). Returns one value per sample.
+///
+/// # Errors
+///
+/// [`NumericsError::TooFewPoints`] for fewer than three samples;
+/// [`NumericsError::InvalidArgument`] for non-positive spacing.
+pub fn gradient_sampled(y: &[f64], h: f64) -> Result<Vec<f64>> {
+    if y.len() < 3 {
+        return Err(NumericsError::TooFewPoints { got: y.len(), need: 3 });
+    }
+    if !(h > 0.0) || !h.is_finite() {
+        return Err(NumericsError::InvalidArgument("spacing must be positive"));
+    }
+    let n = y.len();
+    let mut out = vec![0.0; n];
+    out[0] = (-3.0 * y[0] + 4.0 * y[1] - y[2]) / (2.0 * h);
+    for i in 1..n - 1 {
+        out[i] = (y[i + 1] - y[i - 1]) / (2.0 * h);
+    }
+    out[n - 1] = (3.0 * y[n - 1] - 4.0 * y[n - 2] + y[n - 3]) / (2.0 * h);
+    Ok(out)
+}
+
+fn check(x: f64, h: f64) -> Result<()> {
+    if !x.is_finite() || !(h > 0.0) || !h.is_finite() {
+        return Err(NumericsError::InvalidArgument(
+            "x must be finite and h positive",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_first_on_sin() {
+        let d = central_first(|x: f64| x.sin(), 1.0, 1e-6).unwrap();
+        assert!((d - 1.0_f64.cos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn central_second_on_sin() {
+        let d = central_second(|x: f64| x.sin(), 1.0, 1e-4).unwrap();
+        assert!((d + 1.0_f64.sin()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_sided_match_central_for_smooth() {
+        let f = |x: f64| x.exp();
+        let c = central_first(f, 0.5, 1e-6).unwrap();
+        let fw = forward_first(f, 0.5, 1e-5).unwrap();
+        let bw = backward_first(f, 0.5, 1e-5).unwrap();
+        assert!((c - fw).abs() < 1e-7);
+        assert!((c - bw).abs() < 1e-7);
+    }
+
+    #[test]
+    fn richardson_beats_plain_central() {
+        let f = |x: f64| x.sin();
+        let h = 1e-3;
+        let exact = 1.0_f64.cos();
+        let plain = (central_first(f, 1.0, h).unwrap() - exact).abs();
+        let rich = (richardson_first(f, 1.0, h).unwrap() - exact).abs();
+        assert!(rich < plain);
+    }
+
+    #[test]
+    fn gradient_sampled_linear_exact() {
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let g = gradient_sampled(&y, 1.0).unwrap();
+        for v in g {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_sampled_quadratic_exact() {
+        // Second-order stencils are exact on quadratics, boundaries included.
+        let h = 0.5;
+        let y: Vec<f64> = (0..8).map(|i| { let x = i as f64 * h; x * x }).collect();
+        let g = gradient_sampled(&y, h).unwrap();
+        for (i, v) in g.iter().enumerate() {
+            let x = i as f64 * h;
+            assert!((v - 2.0 * x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(central_first(|x| x, f64::NAN, 1e-6).is_err());
+        assert!(central_second(|x| x, 0.0, 0.0).is_err());
+        assert!(gradient_sampled(&[1.0, 2.0], 0.1).is_err());
+        assert!(gradient_sampled(&[1.0, 2.0, 3.0], -1.0).is_err());
+    }
+}

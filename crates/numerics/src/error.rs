@@ -1,0 +1,88 @@
+//! Error type for numerical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quadrature, root-finding, and interpolation routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// An interval `[a, b]` with `a >= b` (or non-finite bounds) was given.
+    InvalidInterval {
+        /// Lower bound supplied.
+        a: f64,
+        /// Upper bound supplied.
+        b: f64,
+    },
+    /// A subdivision/point count was too small for the requested rule.
+    TooFewPoints {
+        /// The number that was supplied.
+        got: usize,
+        /// The minimum the rule requires.
+        need: usize,
+    },
+    /// The function values do not bracket a root.
+    RootNotBracketed {
+        /// `f(a)` at the left endpoint.
+        fa: f64,
+        /// `f(b)` at the right endpoint.
+        fb: f64,
+    },
+    /// An iterative method exhausted its iteration budget.
+    ConvergenceFailed {
+        /// Iterations performed.
+        iterations: usize,
+        /// Best residual achieved.
+        residual: f64,
+    },
+    /// Generic invalid argument (NaN inputs, unsorted abscissae, ...).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::InvalidInterval { a, b } => {
+                write!(f, "invalid interval [{a}, {b}]")
+            }
+            NumericsError::TooFewPoints { got, need } => {
+                write!(f, "too few points: got {got}, need at least {need}")
+            }
+            NumericsError::RootNotBracketed { fa, fb } => {
+                write!(f, "root not bracketed: f(a)={fa}, f(b)={fb}")
+            }
+            NumericsError::ConvergenceFailed {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "failed to converge after {iterations} iterations (residual {residual:e})"
+            ),
+            NumericsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            NumericsError::InvalidInterval { a: 1.0, b: 0.0 },
+            NumericsError::TooFewPoints { got: 1, need: 2 },
+            NumericsError::RootNotBracketed { fa: 1.0, fb: 2.0 },
+            NumericsError::ConvergenceFailed {
+                iterations: 7,
+                residual: 1e-3,
+            },
+            NumericsError::InvalidArgument("x"),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Piecewise-linear interpolation over sorted abscissae.
+//!
+//! The kernel `Q(φ, t)` is estimated on a discrete time grid but the forward
+//! model may be queried at arbitrary measurement times; linear interpolation
+//! in `t` bridges the two. (Interpolation in `φ` uses the spline crate.)
+
+use crate::{NumericsError, Result};
+
+/// A piecewise-linear interpolant over strictly increasing abscissae.
+///
+/// Queries outside the domain are clamped to the boundary values — the
+/// correct behaviour for fractional-volume kernels, which are constant
+/// before the first sample and after the last in our usage.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_numerics::interp::LinearInterpolator;
+///
+/// # fn main() -> Result<(), cellsync_numerics::NumericsError> {
+/// let li = LinearInterpolator::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0])?;
+/// assert_eq!(li.eval(0.5), 5.0);
+/// assert_eq!(li.eval(-1.0), 0.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterpolator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterpolator {
+    /// Creates an interpolant from matched samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::TooFewPoints`] for fewer than two samples.
+    /// * [`NumericsError::InvalidArgument`] for length mismatch, non-finite
+    ///   values, or non-increasing abscissae.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.len() < 2 {
+            return Err(NumericsError::TooFewPoints { got: xs.len(), need: 2 });
+        }
+        if xs.len() != ys.len() {
+            return Err(NumericsError::InvalidArgument(
+                "abscissae and ordinates must have equal length",
+            ));
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(NumericsError::InvalidArgument("samples must be finite"));
+        }
+        if xs.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(NumericsError::InvalidArgument(
+                "abscissae must be strictly increasing",
+            ));
+        }
+        Ok(LinearInterpolator { xs, ys })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the interpolant is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Domain of the interpolant as `(min, max)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], self.xs[self.xs.len() - 1])
+    }
+
+    /// Evaluates the interpolant at `x`, clamping outside the domain.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the bracketing segment.
+        let idx = match self.xs.binary_search_by(|v| {
+            v.partial_cmp(&x).expect("finite by construction")
+        }) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i, // xs[i-1] < x < xs[i]
+        };
+        let x0 = self.xs[idx - 1];
+        let x1 = self.xs[idx];
+        let w = (x - x0) / (x1 - x0);
+        self.ys[idx - 1] * (1.0 - w) + self.ys[idx] * w
+    }
+
+    /// Evaluates the interpolant at many points.
+    pub fn eval_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_linearly() {
+        let li = LinearInterpolator::new(vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        assert_eq!(li.eval(1.0), 2.0);
+        assert_eq!(li.eval(0.5), 1.0);
+    }
+
+    #[test]
+    fn hits_knots_exactly() {
+        let li =
+            LinearInterpolator::new(vec![0.0, 1.0, 3.0], vec![5.0, -1.0, 2.0]).unwrap();
+        assert_eq!(li.eval(0.0), 5.0);
+        assert_eq!(li.eval(1.0), -1.0);
+        assert_eq!(li.eval(3.0), 2.0);
+    }
+
+    #[test]
+    fn clamps_out_of_domain() {
+        let li = LinearInterpolator::new(vec![1.0, 2.0], vec![10.0, 20.0]).unwrap();
+        assert_eq!(li.eval(0.0), 10.0);
+        assert_eq!(li.eval(5.0), 20.0);
+        assert_eq!(li.domain(), (1.0, 2.0));
+    }
+
+    #[test]
+    fn eval_many_matches_scalar() {
+        let li = LinearInterpolator::new(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        let pts = [0.25, 0.75];
+        let out = li.eval_many(&pts);
+        assert_eq!(out, vec![li.eval(0.25), li.eval(0.75)]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LinearInterpolator::new(vec![0.0], vec![1.0]).is_err());
+        assert!(LinearInterpolator::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(LinearInterpolator::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterpolator::new(vec![0.0, f64::NAN], vec![1.0, 2.0]).is_err());
+    }
+}

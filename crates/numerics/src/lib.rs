@@ -1,0 +1,42 @@
+//! Numerical analysis substrate for the `cellsync` workspace.
+//!
+//! The deconvolution pipeline repeatedly evaluates integrals of products of
+//! kernel samples, spline basis functions, and probability densities —
+//! e.g. the design matrix entries `A[m,i] = ∫Q(φ,t_m)ψ_i(φ)dφ` and the
+//! constraint functionals `β₀ = ∫β(φ)p(φ)dφ` of Eisenberg et al. (2011),
+//! eqs. 14–16. This crate provides the quadrature rules, root finders,
+//! finite-difference stencils, and interpolation used for those evaluations:
+//!
+//! * [`quadrature`] — trapezoid / Simpson composite rules on uniform grids,
+//!   a trapezoid rule for sampled (tabulated) data, Gauss–Legendre rules with
+//!   computed nodes, and adaptive Simpson integration.
+//! * [`rootfind`] — bisection, Brent's method, and damped Newton.
+//! * [`diff`] — central finite differences for first and second derivatives
+//!   (used to cross-check analytic spline derivatives in tests).
+//! * [`interp`] — piecewise-linear interpolation over sorted abscissae.
+//!
+//! # Example
+//!
+//! ```
+//! use cellsync_numerics::quadrature;
+//!
+//! # fn main() -> Result<(), cellsync_numerics::NumericsError> {
+//! let integral = quadrature::simpson(|x| x * x, 0.0, 1.0, 100)?;
+//! assert!((integral - 1.0 / 3.0).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod diff;
+mod error;
+pub mod interp;
+pub mod quadrature;
+pub mod rootfind;
+
+pub use error::NumericsError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NumericsError>;

@@ -1,0 +1,295 @@
+//! Scalar root finding: bisection, Brent's method, damped Newton.
+//!
+//! Used for Gauss–Legendre node computation, period detection in the ODE
+//! substrate (locating oscillator zero crossings), and quantile inversion in
+//! the stats substrate.
+
+use crate::{NumericsError, Result};
+
+/// Outcome of a successful root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Location of the root.
+    pub x: f64,
+    /// Function value at `x` (residual).
+    pub fx: f64,
+    /// Number of iterations used.
+    pub iterations: usize,
+}
+
+/// Bisection on a bracketing interval `[a, b]` with `f(a)·f(b) ≤ 0`.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidInterval`] for a bad interval.
+/// * [`NumericsError::RootNotBracketed`] when signs match.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_numerics::rootfind::bisect;
+/// let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((r.x - 2.0_f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), cellsync_numerics::NumericsError>(())
+/// ```
+pub fn bisect<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize) -> Result<Root> {
+    check_interval(a, b)?;
+    let mut lo = a;
+    let mut hi = b;
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(Root { x: lo, fx: 0.0, iterations: 0 });
+    }
+    if fhi == 0.0 {
+        return Ok(Root { x: hi, fx: 0.0, iterations: 0 });
+    }
+    if flo * fhi > 0.0 {
+        return Err(NumericsError::RootNotBracketed { fa: flo, fb: fhi });
+    }
+    for i in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || 0.5 * (hi - lo) < tol {
+            return Ok(Root { x: mid, fx: fmid, iterations: i + 1 });
+        }
+        if flo * fmid < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    Err(NumericsError::ConvergenceFailed {
+        iterations: max_iter,
+        residual: (hi - lo).abs(),
+    })
+}
+
+/// Brent's method: inverse-quadratic interpolation with bisection fallback.
+///
+/// Converges superlinearly on smooth functions while retaining the
+/// robustness of bisection.
+///
+/// # Errors
+///
+/// Same as [`bisect`].
+///
+/// # Example
+///
+/// ```
+/// use cellsync_numerics::rootfind::brent;
+/// let r = brent(|x: f64| x.cos() - x, 0.0, 1.0, 1e-14, 100)?;
+/// assert!((r.x - 0.7390851332151607).abs() < 1e-12);
+/// # Ok::<(), cellsync_numerics::NumericsError>(())
+/// ```
+pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize) -> Result<Root> {
+    check_interval(a, b)?;
+    let mut a = a;
+    let mut b = b;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(Root { x: a, fx: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, fx: 0.0, iterations: 0 });
+    }
+    if fa * fb > 0.0 {
+        return Err(NumericsError::RootNotBracketed { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = c;
+
+    for i in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(Root { x: b, fx: fb, iterations: i });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((lo.min(b) < s) && (s < lo.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && (c - d).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::ConvergenceFailed {
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
+}
+
+/// Damped Newton iteration from an initial guess with a user-supplied
+/// derivative; halves the step until the residual decreases.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidArgument`] for a non-finite guess.
+/// * [`NumericsError::ConvergenceFailed`] when the budget is exhausted or
+///   the derivative vanishes.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_numerics::rootfind::newton;
+/// let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, 1e-14, 50)?;
+/// assert!((r.x - 2.0_f64.sqrt()).abs() < 1e-12);
+/// # Ok::<(), cellsync_numerics::NumericsError>(())
+/// ```
+pub fn newton<F, D>(f: F, df: D, x0: f64, tol: f64, max_iter: usize) -> Result<Root>
+where
+    F: Fn(f64) -> f64,
+    D: Fn(f64) -> f64,
+{
+    if !x0.is_finite() {
+        return Err(NumericsError::InvalidArgument("initial guess must be finite"));
+    }
+    let mut x = x0;
+    let mut fx = f(x);
+    for i in 0..max_iter {
+        if fx.abs() < tol {
+            return Ok(Root { x, fx, iterations: i });
+        }
+        let dfx = df(x);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(NumericsError::ConvergenceFailed {
+                iterations: i,
+                residual: fx.abs(),
+            });
+        }
+        let mut step = fx / dfx;
+        // Damping: halve the step until the residual shrinks (max 30 halvings).
+        let mut trial = x - step;
+        let mut ftrial = f(trial);
+        let mut halvings = 0;
+        while ftrial.abs() > fx.abs() && halvings < 30 {
+            step *= 0.5;
+            trial = x - step;
+            ftrial = f(trial);
+            halvings += 1;
+        }
+        x = trial;
+        fx = ftrial;
+    }
+    if fx.abs() < tol {
+        Ok(Root { x, fx, iterations: max_iter })
+    } else {
+        Err(NumericsError::ConvergenceFailed {
+            iterations: max_iter,
+            residual: fx.abs(),
+        })
+    }
+}
+
+fn check_interval(a: f64, b: f64) -> Result<()> {
+    if !a.is_finite() || !b.is_finite() || a >= b {
+        return Err(NumericsError::InvalidInterval { a, b });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 100).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap();
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn bisect_rejects_unbracketed() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err(),
+            NumericsError::RootNotBracketed { .. }
+        ));
+    }
+
+    #[test]
+    fn brent_faster_than_bisection() {
+        let rb = brent(|x: f64| x.cos() - x, 0.0, 1.0, 1e-13, 100).unwrap();
+        let ri = bisect(|x: f64| x.cos() - x, 0.0, 1.0, 1e-13, 100).unwrap();
+        assert!((rb.x - ri.x).abs() < 1e-10);
+        assert!(rb.iterations < ri.iterations);
+    }
+
+    #[test]
+    fn brent_handles_flat_regions() {
+        // f is cubic-flat near the root at 1.
+        let r = brent(|x: f64| (x - 1.0).powi(3), 0.0, 3.0, 1e-12, 200).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn newton_quadratic_convergence() {
+        let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, 1e-14, 50).unwrap();
+        assert!(r.iterations <= 8);
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_damped_survives_overshoot() {
+        // atan has small derivative far out: undamped Newton diverges from 2.
+        let r = newton(|x: f64| x.atan(), |x: f64| 1.0 / (1.0 + x * x), 2.0, 1e-12, 200).unwrap();
+        assert!(r.x.abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_zero_derivative_errors() {
+        assert!(matches!(
+            newton(|_| 1.0, |_| 0.0, 0.5, 1e-12, 10).unwrap_err(),
+            NumericsError::ConvergenceFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert!(bisect(|x| x, 1.0, 0.0, 1e-12, 10).is_err());
+        assert!(brent(|x| x, f64::NAN, 1.0, 1e-12, 10).is_err());
+        assert!(newton(|x| x, |_| 1.0, f64::INFINITY, 1e-12, 10).is_err());
+    }
+}

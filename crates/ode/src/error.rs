@@ -1,0 +1,104 @@
+//! Error type for ODE integration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by integrators and model constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OdeError {
+    /// A model parameter was invalid (non-finite or out of range).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+    /// The initial state has the wrong dimension for the system.
+    DimensionMismatch {
+        /// Dimension the system expects.
+        expected: usize,
+        /// Dimension that was supplied.
+        got: usize,
+    },
+    /// The integration time span is empty or non-finite.
+    InvalidTimeSpan {
+        /// Start time.
+        t0: f64,
+        /// End time.
+        t1: f64,
+    },
+    /// Step size or tolerance is non-positive / non-finite.
+    InvalidStep(f64),
+    /// The solution left the finite range (blow-up or NaN in the RHS).
+    SolutionDiverged {
+        /// Time at which divergence was detected.
+        t: f64,
+    },
+    /// The adaptive controller could not meet the tolerance before hitting
+    /// its minimum step size.
+    StepSizeUnderflow {
+        /// Time at which the controller gave up.
+        t: f64,
+    },
+    /// A trajectory query fell outside the integrated span.
+    OutOfRange {
+        /// Queried time.
+        t: f64,
+        /// Available span.
+        span: (f64, f64),
+    },
+    /// The requested signal feature could not be found (e.g. no peaks).
+    FeatureNotFound(&'static str),
+}
+
+impl fmt::Display for OdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdeError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            OdeError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: system has {expected}, state has {got}")
+            }
+            OdeError::InvalidTimeSpan { t0, t1 } => {
+                write!(f, "invalid time span [{t0}, {t1}]")
+            }
+            OdeError::InvalidStep(h) => write!(f, "invalid step size or tolerance {h}"),
+            OdeError::SolutionDiverged { t } => {
+                write!(f, "solution diverged near t = {t}")
+            }
+            OdeError::StepSizeUnderflow { t } => {
+                write!(f, "step size underflow near t = {t}")
+            }
+            OdeError::OutOfRange { t, span } => {
+                write!(f, "query t = {t} outside integrated span [{}, {}]", span.0, span.1)
+            }
+            OdeError::FeatureNotFound(what) => write!(f, "feature not found: {what}"),
+        }
+    }
+}
+
+impl Error for OdeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            OdeError::InvalidParameter { name: "a", value: -1.0 },
+            OdeError::DimensionMismatch { expected: 2, got: 3 },
+            OdeError::InvalidTimeSpan { t0: 1.0, t1: 0.0 },
+            OdeError::InvalidStep(0.0),
+            OdeError::SolutionDiverged { t: 2.0 },
+            OdeError::StepSizeUnderflow { t: 2.0 },
+            OdeError::OutOfRange { t: 5.0, span: (0.0, 1.0) },
+            OdeError::FeatureNotFound("peak"),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The right-hand-side trait implemented by all ODE models.
+
+/// A first-order ODE system `dy/dt = f(t, y)`.
+///
+/// Implementors write the derivative into a caller-provided buffer so the
+/// integrator inner loop is allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_ode::OdeSystem;
+///
+/// /// Scalar exponential decay y' = -k·y.
+/// struct Decay { k: f64 }
+///
+/// impl OdeSystem for Decay {
+///     fn dim(&self) -> usize { 1 }
+///     fn rhs(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+///         dydt[0] = -self.k * y[0];
+///     }
+/// }
+///
+/// let d = Decay { k: 2.0 };
+/// let mut out = [0.0];
+/// d.rhs(0.0, &[3.0], &mut out);
+/// assert_eq!(out[0], -6.0);
+/// ```
+pub trait OdeSystem {
+    /// Number of state variables.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, y)` into `dydt`.
+    ///
+    /// Implementations may assume `y.len() == dim()` and
+    /// `dydt.len() == dim()`; integrators in this crate guarantee it.
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+
+    /// A human-readable name used in diagnostics and experiment logs.
+    fn name(&self) -> &str {
+        "ode system"
+    }
+}
+
+/// Blanket implementation so `&S` can be passed where an `OdeSystem` is
+/// expected.
+impl<S: OdeSystem + ?Sized> OdeSystem for &S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (**self).rhs(t, y, dydt)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant;
+
+    impl OdeSystem for Constant {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn rhs(&self, _t: f64, _y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = 1.0;
+            dydt[1] = 2.0;
+        }
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let c = Constant;
+        let by_ref: &dyn OdeSystem = &c;
+        assert_eq!(by_ref.dim(), 2);
+        assert_eq!(by_ref.name(), "ode system");
+        let mut buf = [0.0, 0.0];
+        c.rhs(0.0, &[0.0, 0.0], &mut buf);
+        assert_eq!(buf, [1.0, 2.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Dense ODE solution storage with interpolation.
+
+use crate::{OdeError, Result};
+
+/// A time-ordered sequence of states produced by an integrator.
+///
+/// Provides component extraction (for building phase-indexed expression
+/// profiles) and linear interpolation at arbitrary times inside the
+/// integrated span.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_ode::Trajectory;
+///
+/// # fn main() -> Result<(), cellsync_ode::OdeError> {
+/// let traj = Trajectory::from_parts(
+///     vec![0.0, 1.0, 2.0],
+///     vec![vec![0.0], vec![10.0], vec![20.0]],
+/// )?;
+/// let y = traj.sample(0.5)?;
+/// assert_eq!(y[0], 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from matched times and states.
+    ///
+    /// # Errors
+    ///
+    /// * [`OdeError::InvalidTimeSpan`] for empty input or non-increasing
+    ///   times.
+    /// * [`OdeError::DimensionMismatch`] when states differ in length.
+    pub fn from_parts(times: Vec<f64>, states: Vec<Vec<f64>>) -> Result<Self> {
+        if times.is_empty() || times.len() != states.len() {
+            return Err(OdeError::InvalidTimeSpan {
+                t0: f64::NAN,
+                t1: f64::NAN,
+            });
+        }
+        if times.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(OdeError::InvalidTimeSpan {
+                t0: times[0],
+                t1: times[times.len() - 1],
+            });
+        }
+        let dim = states[0].len();
+        if states.iter().any(|s| s.len() != dim) {
+            return Err(OdeError::DimensionMismatch {
+                expected: dim,
+                got: states.iter().map(|s| s.len()).find(|&l| l != dim).unwrap_or(dim),
+            });
+        }
+        Ok(Trajectory { times, states })
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the trajectory stores no points (never true after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.states[0].len()
+    }
+
+    /// Stored time stamps, ascending.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The state recorded at index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of bounds.
+    pub fn state(&self, idx: usize) -> &[f64] {
+        &self.states[idx]
+    }
+
+    /// Integrated span `(t_first, t_last)`.
+    pub fn span(&self) -> (f64, f64) {
+        (self.times[0], self.times[self.times.len() - 1])
+    }
+
+    /// The time series of component `c` across all stored points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::DimensionMismatch`] when `c >= dim()`.
+    pub fn component(&self, c: usize) -> Result<Vec<f64>> {
+        if c >= self.dim() {
+            return Err(OdeError::DimensionMismatch {
+                expected: self.dim(),
+                got: c,
+            });
+        }
+        Ok(self.states.iter().map(|s| s[c]).collect())
+    }
+
+    /// Linear interpolation of the full state at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::OutOfRange`] outside the integrated span (with a
+    /// small tolerance of 10⁻⁹·span at the boundaries).
+    pub fn sample(&self, t: f64) -> Result<Vec<f64>> {
+        let (t0, t1) = self.span();
+        let tol = 1e-9 * (t1 - t0).abs().max(1.0);
+        if t < t0 - tol || t > t1 + tol {
+            return Err(OdeError::OutOfRange { t, span: (t0, t1) });
+        }
+        let t = t.clamp(t0, t1);
+        let idx = match self
+            .times
+            .binary_search_by(|v| v.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => return Ok(self.states[i].clone()),
+            Err(i) => i,
+        };
+        let i1 = idx.min(self.times.len() - 1).max(1);
+        let i0 = i1 - 1;
+        let w = (t - self.times[i0]) / (self.times[i1] - self.times[i0]);
+        Ok((0..self.dim())
+            .map(|c| self.states[i0][c] * (1.0 - w) + self.states[i1][c] * w)
+            .collect())
+    }
+
+    /// Samples component `c` at each time in `ts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Trajectory::sample`] and [`Trajectory::component`]
+    /// errors.
+    pub fn sample_component(&self, c: usize, ts: &[f64]) -> Result<Vec<f64>> {
+        if c >= self.dim() {
+            return Err(OdeError::DimensionMismatch {
+                expected: self.dim(),
+                got: c,
+            });
+        }
+        ts.iter().map(|&t| Ok(self.sample(t)?[c])).collect()
+    }
+
+    /// The final recorded state.
+    pub fn last_state(&self) -> &[f64] {
+        &self.states[self.states.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear() -> Trajectory {
+        Trajectory::from_parts(
+            vec![0.0, 1.0, 2.0],
+            vec![vec![0.0, 0.0], vec![1.0, -1.0], vec![2.0, -2.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Trajectory::from_parts(vec![], vec![]).is_err());
+        assert!(Trajectory::from_parts(vec![0.0, 0.0], vec![vec![1.0], vec![1.0]]).is_err());
+        assert!(Trajectory::from_parts(vec![0.0, 1.0], vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn interpolation_linear() {
+        let t = linear();
+        assert_eq!(t.sample(0.5).unwrap(), vec![0.5, -0.5]);
+        assert_eq!(t.sample(2.0).unwrap(), vec![2.0, -2.0]);
+        assert_eq!(t.sample(0.0).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn component_extraction() {
+        let t = linear();
+        assert_eq!(t.component(1).unwrap(), vec![0.0, -1.0, -2.0]);
+        assert!(t.component(2).is_err());
+        assert_eq!(
+            t.sample_component(0, &[0.25, 1.75]).unwrap(),
+            vec![0.25, 1.75]
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let t = linear();
+        assert!(t.sample(-0.5).is_err());
+        assert!(t.sample(2.5).is_err());
+    }
+
+    #[test]
+    fn span_and_last() {
+        let t = linear();
+        assert_eq!(t.span(), (0.0, 2.0));
+        assert_eq!(t.last_state(), &[2.0, -2.0]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dim(), 2);
+    }
+}

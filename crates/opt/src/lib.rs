@@ -1,0 +1,58 @@
+//! Constrained-optimization substrate for the `cellsync` workspace.
+//!
+//! The single-cell profile estimate of Eisenberg et al. (2011) is "the set
+//! of α-coefficients that minimize (5) while satisfying all of the
+//! constraints" — a convex quadratic program with two homogeneous equality
+//! constraints (RNA conservation, transcript-rate continuity) and positivity
+//! inequalities on a dense phase grid. No approved external crate solves
+//! QPs, so this crate implements the required machinery:
+//!
+//! * [`QuadraticProgram`] — primal active-set method with null-space KKT
+//!   solves (Nocedal & Wright, §16.5) for convex QPs with general linear
+//!   equality and inequality constraints.
+//! * [`Nnls`] — Lawson–Hanson nonnegative least squares (independent
+//!   cross-check of the QP on positivity-only problems).
+//! * [`ProjectedGradient`] — projected gradient descent for box-constrained
+//!   QPs (second independent cross-check).
+//! * [`NelderMead`] — derivative-free simplex minimization, used by the
+//!   §5 parameter-estimation application to fit ODE rate constants.
+//! * [`golden_section`] — scalar unimodal minimization (λ grid refinement).
+//!
+//! # Example
+//!
+//! ```
+//! use cellsync_linalg::{Matrix, Vector};
+//! use cellsync_opt::QuadraticProgram;
+//!
+//! # fn main() -> Result<(), cellsync_opt::OptError> {
+//! // min ½‖x‖² − x·(1,1)  s.t.  x₀ + x₁ = 1  →  x = (0.5, 0.5)
+//! let h = Matrix::identity(2);
+//! let c = Vector::from_slice(&[-1.0, -1.0]);
+//! let eq = Matrix::from_rows(&[&[1.0, 1.0]]).expect("non-empty");
+//! let sol = QuadraticProgram::new(h, c)?
+//!     .with_equalities(eq, Vector::from_slice(&[1.0]))?
+//!     .solve()?;
+//! assert!((sol.x[0] - 0.5).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+mod golden;
+mod nelder_mead;
+mod nnls;
+mod projgrad;
+mod qp;
+
+pub use error::OptError;
+pub use golden::golden_section;
+pub use nelder_mead::{NelderMead, SimplexResult};
+pub use nnls::Nnls;
+pub use projgrad::ProjectedGradient;
+pub use qp::{QpSolution, QuadraticProgram};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, OptError>;

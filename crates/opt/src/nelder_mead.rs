@@ -1,0 +1,318 @@
+//! Nelder–Mead simplex minimization.
+
+use crate::{OptError, Result};
+
+/// Result of a simplex minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of iterations (simplex transformations) performed.
+    pub iterations: usize,
+    /// Number of objective evaluations.
+    pub evaluations: usize,
+}
+
+/// Derivative-free Nelder–Mead simplex minimizer.
+///
+/// Drives the parameter-estimation application of paper §5: fitting the
+/// Lotka–Volterra rate constants to deconvolved (vs raw population)
+/// expression series, where gradients of the ODE-solution mismatch are
+/// unavailable.
+///
+/// Uses the standard coefficients (reflection 1, expansion 2, contraction
+/// ½, shrink ½) and terminates when the simplex function-value spread falls
+/// below the tolerance.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_opt::NelderMead;
+///
+/// # fn main() -> Result<(), cellsync_opt::OptError> {
+/// // Rosenbrock valley, minimum at (1, 1).
+/// let rosen = |p: &[f64]| {
+///     (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2)
+/// };
+/// let result = NelderMead::new(5000, 1e-12)?.minimize(rosen, &[-1.2, 1.0])?;
+/// assert!((result.x[0] - 1.0).abs() < 1e-4);
+/// assert!((result.x[1] - 1.0).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMead {
+    max_iterations: usize,
+    tolerance: f64,
+    initial_step: f64,
+}
+
+impl NelderMead {
+    /// Creates a minimizer with the given iteration budget and tolerance on
+    /// the simplex value spread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidArgument`] for a non-positive tolerance
+    /// or zero budget.
+    pub fn new(max_iterations: usize, tolerance: f64) -> Result<Self> {
+        if max_iterations == 0 {
+            return Err(OptError::InvalidArgument("iteration budget must be positive"));
+        }
+        if !(tolerance > 0.0) || !tolerance.is_finite() {
+            return Err(OptError::InvalidArgument("tolerance must be positive"));
+        }
+        Ok(NelderMead {
+            max_iterations,
+            tolerance,
+            initial_step: 0.1,
+        })
+    }
+
+    /// Replaces the relative size of the initial simplex (default 0.1).
+    #[must_use]
+    pub fn with_initial_step(mut self, step: f64) -> Self {
+        self.initial_step = step;
+        self
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::InvalidArgument`] for an empty or non-finite start.
+    /// * [`OptError::IterationLimit`] when the budget runs out before the
+    ///   spread tolerance is met (the best point found so far is carried in
+    ///   the error's residual; rerun with a larger budget if needed).
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(
+        &self,
+        mut f: F,
+        x0: &[f64],
+    ) -> Result<SimplexResult> {
+        let n = x0.len();
+        if n == 0 {
+            return Err(OptError::InvalidArgument("starting point must be non-empty"));
+        }
+        if x0.iter().any(|v| !v.is_finite()) {
+            return Err(OptError::InvalidArgument("starting point must be finite"));
+        }
+
+        let mut evaluations = 0usize;
+        let mut eval = |p: &[f64], evals: &mut usize| -> f64 {
+            *evals += 1;
+            let v = f(p);
+            if v.is_nan() {
+                f64::INFINITY
+            } else {
+                v
+            }
+        };
+
+        // Initial simplex: x0 plus a perturbation along each axis.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        for i in 0..n {
+            let mut p = x0.to_vec();
+            let delta = if p[i].abs() > 1e-12 {
+                self.initial_step * p[i].abs()
+            } else {
+                self.initial_step * 0.25
+            };
+            p[i] += delta;
+            simplex.push(p);
+        }
+        let mut values: Vec<f64> = simplex
+            .iter()
+            .map(|p| eval(p, &mut evaluations))
+            .collect();
+
+        for iteration in 0..self.max_iterations {
+            // Order the simplex.
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&i, &j| {
+                values[i]
+                    .partial_cmp(&values[j])
+                    .expect("values are not NaN")
+            });
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+
+            // Terminate on BOTH value spread and simplex diameter — a
+            // simplex can straddle the minimum with equal vertex values
+            // (e.g. {0, 1} around a minimum at 0.5), so the value test
+            // alone is not sufficient.
+            let spread = (values[worst] - values[best]).abs();
+            let diameter = simplex
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .zip(&simplex[best])
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0_f64, f64::max)
+                })
+                .fold(0.0_f64, f64::max);
+            let x_scale = 1.0 + simplex[best].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            if spread <= self.tolerance * (1.0 + values[best].abs())
+                && diameter <= self.tolerance.sqrt() * x_scale
+            {
+                return Ok(SimplexResult {
+                    x: simplex[best].clone(),
+                    fx: values[best],
+                    iterations: iteration,
+                    evaluations,
+                });
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for &i in order.iter().take(n) {
+                for d in 0..n {
+                    centroid[d] += simplex[i][d] / n as f64;
+                }
+            }
+
+            let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+                a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+            };
+
+            // Reflection.
+            let reflected = lerp(&centroid, &simplex[worst], -1.0);
+            let f_ref = eval(&reflected, &mut evaluations);
+            if f_ref < values[best] {
+                // Expansion.
+                let expanded = lerp(&centroid, &simplex[worst], -2.0);
+                let f_exp = eval(&expanded, &mut evaluations);
+                if f_exp < f_ref {
+                    simplex[worst] = expanded;
+                    values[worst] = f_exp;
+                } else {
+                    simplex[worst] = reflected;
+                    values[worst] = f_ref;
+                }
+            } else if f_ref < values[second_worst] {
+                simplex[worst] = reflected;
+                values[worst] = f_ref;
+            } else {
+                // Contraction (outside if reflection improved on worst,
+                // inside otherwise).
+                let towards = if f_ref < values[worst] {
+                    lerp(&centroid, &reflected, 0.5)
+                } else {
+                    lerp(&centroid, &simplex[worst], 0.5)
+                };
+                let f_con = eval(&towards, &mut evaluations);
+                if f_con < values[worst].min(f_ref) {
+                    simplex[worst] = towards;
+                    values[worst] = f_con;
+                } else {
+                    // Shrink toward the best vertex.
+                    let best_point = simplex[best].clone();
+                    for i in 0..=n {
+                        if i == best {
+                            continue;
+                        }
+                        simplex[i] = lerp(&best_point, &simplex[i], 0.5);
+                        values[i] = eval(&simplex[i], &mut evaluations);
+                    }
+                }
+            }
+        }
+        Err(OptError::IterationLimit {
+            iterations: self.max_iterations,
+            residual: values
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let r = NelderMead::new(2000, 1e-12)
+            .unwrap()
+            .minimize(|p| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2), &[0.0, 0.0])
+            .unwrap();
+        assert!((r.x[0] - 3.0).abs() < 1e-5);
+        assert!((r.x[1] + 1.0).abs() < 1e-5);
+        assert!(r.fx < 1e-9);
+    }
+
+    #[test]
+    fn rosenbrock() {
+        let r = NelderMead::new(10_000, 1e-14)
+            .unwrap()
+            .minimize(
+                |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
+                &[-1.2, 1.0],
+            )
+            .unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-5, "x = {:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let r = NelderMead::new(500, 1e-12)
+            .unwrap()
+            .minimize(|p| (p[0] - 0.5).powi(2) + 2.0, &[10.0])
+            .unwrap();
+        assert!((r.x[0] - 0.5).abs() < 1e-5);
+        assert!((r.fx - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_objective_treated_as_infinite() {
+        // NaN off the valid domain must not poison the simplex ordering.
+        let r = NelderMead::new(2000, 1e-10)
+            .unwrap()
+            .minimize(
+                |p| {
+                    if p[0] <= 0.0 {
+                        f64::NAN
+                    } else {
+                        (p[0].ln()).powi(2)
+                    }
+                },
+                &[3.0],
+            )
+            .unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let r = NelderMead::new(2, 1e-30)
+            .unwrap()
+            .minimize(
+                |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
+                &[-1.2, 1.0],
+            );
+        assert!(matches!(r.unwrap_err(), OptError::IterationLimit { .. }));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(NelderMead::new(0, 1e-8).is_err());
+        assert!(NelderMead::new(10, 0.0).is_err());
+        let nm = NelderMead::new(10, 1e-8).unwrap();
+        assert!(nm.minimize(|_| 0.0, &[]).is_err());
+        assert!(nm.minimize(|_| 0.0, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn counts_evaluations() {
+        let r = NelderMead::new(100, 1e-9)
+            .unwrap()
+            .minimize(|p| p[0] * p[0], &[1.0])
+            .unwrap();
+        assert!(r.evaluations >= r.iterations);
+    }
+}

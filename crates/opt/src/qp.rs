@@ -1,0 +1,632 @@
+//! Primal active-set method for convex quadratic programs.
+
+use cellsync_linalg::{Matrix, Vector};
+
+use crate::{OptError, Result};
+
+/// A convex quadratic program
+///
+/// ```text
+/// minimize   ½·xᵀH x + cᵀx
+/// subject to E x = e          (equalities)
+///            A x ≥ b          (inequalities)
+/// ```
+///
+/// solved with the primal active-set method using null-space KKT solves
+/// (Nocedal & Wright, *Numerical Optimization*, §16.5). `H` must be
+/// symmetric positive definite — the deconvolution Hessian
+/// `2(AᵀW²A + λΩ + εI)` always is.
+///
+/// The solver needs a feasible starting point. One is found automatically
+/// when the origin or the minimum-norm equality solution is feasible (both
+/// hold for the deconvolution problem, whose constraints are homogeneous);
+/// otherwise supply one via [`QuadraticProgram::with_start`].
+///
+/// # Example
+///
+/// ```
+/// use cellsync_linalg::{Matrix, Vector};
+/// use cellsync_opt::QuadraticProgram;
+///
+/// # fn main() -> Result<(), cellsync_opt::OptError> {
+/// // min (x−1)² + (y−2.5)² s.t. x ≥ 0, y ≥ 0, y ≤ 2  →  (1, 2)
+/// let h = Matrix::identity(2).scaled(2.0);
+/// let c = Vector::from_slice(&[-2.0, -5.0]);
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]).expect("rows");
+/// let b = Vector::from_slice(&[0.0, 0.0, -2.0]);
+/// let sol = QuadraticProgram::new(h, c)?
+///     .with_inequalities(a, b)?
+///     .solve()?;
+/// assert!((sol.x[0] - 1.0).abs() < 1e-9);
+/// assert!((sol.x[1] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadraticProgram {
+    h: Matrix,
+    c: Vector,
+    eq: Option<(Matrix, Vector)>,
+    ineq: Option<(Matrix, Vector)>,
+    start: Option<Vector>,
+    max_iterations: usize,
+    tolerance: f64,
+}
+
+/// The result of a successful QP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpSolution {
+    /// The minimizer.
+    pub x: Vector,
+    /// Objective value `½xᵀHx + cᵀx` at the minimizer.
+    pub objective: f64,
+    /// Active-set iterations used.
+    pub iterations: usize,
+    /// Indices of inequality constraints active at the solution.
+    pub active_set: Vec<usize>,
+}
+
+impl QuadraticProgram {
+    /// Creates an unconstrained QP `min ½xᵀHx + cᵀx`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::DimensionMismatch`] when `c.len() != H.rows()`.
+    /// * [`OptError::NotConvex`] when `H` is rectangular or asymmetric.
+    /// * [`OptError::InvalidArgument`] for non-finite entries.
+    pub fn new(h: Matrix, c: Vector) -> Result<Self> {
+        if !h.is_square() {
+            return Err(OptError::NotConvex("hessian must be square".into()));
+        }
+        if !h.is_finite() || !c.is_finite() {
+            return Err(OptError::InvalidArgument("entries must be finite"));
+        }
+        let scale = h.norm_inf().max(1.0);
+        if h.asymmetry()? > 1e-7 * scale {
+            return Err(OptError::NotConvex("hessian must be symmetric".into()));
+        }
+        if c.len() != h.rows() {
+            return Err(OptError::DimensionMismatch {
+                what: "linear term",
+                expected: h.rows(),
+                got: c.len(),
+            });
+        }
+        let n = h.rows();
+        Ok(QuadraticProgram {
+            h,
+            c,
+            eq: None,
+            ineq: None,
+            start: None,
+            max_iterations: 100 * (n + 10),
+            tolerance: 1e-10,
+        })
+    }
+
+    /// Adds equality constraints `E x = e`.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::DimensionMismatch`] for inconsistent shapes.
+    pub fn with_equalities(mut self, e_mat: Matrix, e_rhs: Vector) -> Result<Self> {
+        if e_mat.cols() != self.dim() {
+            return Err(OptError::DimensionMismatch {
+                what: "equality matrix columns",
+                expected: self.dim(),
+                got: e_mat.cols(),
+            });
+        }
+        if e_mat.rows() != e_rhs.len() {
+            return Err(OptError::DimensionMismatch {
+                what: "equality rhs",
+                expected: e_mat.rows(),
+                got: e_rhs.len(),
+            });
+        }
+        self.eq = Some((e_mat, e_rhs));
+        Ok(self)
+    }
+
+    /// Adds inequality constraints `A x ≥ b`.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::DimensionMismatch`] for inconsistent shapes.
+    pub fn with_inequalities(mut self, a_mat: Matrix, b_rhs: Vector) -> Result<Self> {
+        if a_mat.cols() != self.dim() {
+            return Err(OptError::DimensionMismatch {
+                what: "inequality matrix columns",
+                expected: self.dim(),
+                got: a_mat.cols(),
+            });
+        }
+        if a_mat.rows() != b_rhs.len() {
+            return Err(OptError::DimensionMismatch {
+                what: "inequality rhs",
+                expected: a_mat.rows(),
+                got: b_rhs.len(),
+            });
+        }
+        self.ineq = Some((a_mat, b_rhs));
+        Ok(self)
+    }
+
+    /// Supplies a feasible starting point.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::DimensionMismatch`] for a wrong-length vector.
+    pub fn with_start(mut self, x0: Vector) -> Result<Self> {
+        if x0.len() != self.dim() {
+            return Err(OptError::DimensionMismatch {
+                what: "starting point",
+                expected: self.dim(),
+                got: x0.len(),
+            });
+        }
+        self.start = Some(x0);
+        Ok(self)
+    }
+
+    /// Replaces the iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.h.rows()
+    }
+
+    fn objective(&self, x: &Vector) -> Result<f64> {
+        Ok(0.5 * x.dot(&self.h.matvec(x)?)? + self.c.dot(x)?)
+    }
+
+    fn gradient(&self, x: &Vector) -> Result<Vector> {
+        Ok(&self.h.matvec(x)? + &self.c)
+    }
+
+    /// Checks feasibility of `x` within tolerance `tol`.
+    fn is_feasible(&self, x: &Vector, tol: f64) -> Result<bool> {
+        if let Some((e_mat, e_rhs)) = &self.eq {
+            let r = &e_mat.matvec(x)? - e_rhs;
+            if r.norm_inf() > tol {
+                return Ok(false);
+            }
+        }
+        if let Some((a_mat, b_rhs)) = &self.ineq {
+            let ax = a_mat.matvec(x)?;
+            for i in 0..b_rhs.len() {
+                if ax[i] < b_rhs[i] - tol {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Finds a feasible starting point (user-supplied, origin, or
+    /// minimum-norm equality solution).
+    fn feasible_start(&self, tol: f64) -> Result<Vector> {
+        if let Some(x0) = &self.start {
+            if self.is_feasible(x0, tol)? {
+                return Ok(x0.clone());
+            }
+            return Err(OptError::Infeasible(
+                "supplied starting point violates constraints".into(),
+            ));
+        }
+        let origin = Vector::zeros(self.dim());
+        if self.is_feasible(&origin, tol)? {
+            return Ok(origin);
+        }
+        if let Some((e_mat, e_rhs)) = &self.eq {
+            // Minimum-norm solution of Ex = e: x = Eᵀ(EEᵀ)⁻¹e.
+            let eet = e_mat.matmul(&e_mat.transpose())?;
+            let w = eet.lu()?.solve(e_rhs)?;
+            let x = e_mat.tr_matvec(&w)?;
+            if self.is_feasible(&x, tol.max(1e-8))? {
+                return Ok(x);
+            }
+        }
+        Err(OptError::Infeasible(
+            "no feasible starting point found (supply one with with_start)".into(),
+        ))
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::Infeasible`] when no feasible start exists.
+    /// * [`OptError::NotConvex`] when the reduced Hessian is not positive
+    ///   definite.
+    /// * [`OptError::IterationLimit`] if the active-set loop fails to
+    ///   terminate (degenerate cycling; not observed on the deconvolution
+    ///   problems).
+    pub fn solve(&self) -> Result<QpSolution> {
+        let n = self.dim();
+        let tol = self.tolerance;
+        let mut x = self.feasible_start(tol)?;
+
+        let n_eq = self.eq.as_ref().map_or(0, |(m, _)| m.rows());
+        let n_ineq = self.ineq.as_ref().map_or(0, |(m, _)| m.rows());
+
+        // Working set: indices into the inequality rows that are treated as
+        // equalities. Start EMPTY (equalities only): constraints are added
+        // exclusively as blocking constraints, which guarantees the working
+        // matrix stays full rank — a blocking row satisfies aᵀp ≠ 0 for the
+        // current null-space direction p, so it cannot be a linear
+        // combination of rows already in the set.
+        let mut working: Vec<usize> = Vec::new();
+
+        for iteration in 0..self.max_iterations {
+            // Assemble the working-constraint matrix.
+            let m_w = n_eq + working.len();
+            let a_w = if m_w > 0 {
+                let mut m = Matrix::zeros(m_w, n);
+                let mut row = 0;
+                if let Some((e_mat, _)) = &self.eq {
+                    for r in 0..e_mat.rows() {
+                        m.set_row(row, e_mat.row(r))?;
+                        row += 1;
+                    }
+                }
+                if let Some((a_mat, _)) = &self.ineq {
+                    for &i in &working {
+                        m.set_row(row, a_mat.row(i))?;
+                        row += 1;
+                    }
+                }
+                Some(m)
+            } else {
+                None
+            };
+
+            // Null-space step: p = Z·pz with (ZᵀHZ)pz = −Zᵀg.
+            let grad = self.gradient(&x)?;
+            let p = match &a_w {
+                None => {
+                    // Unconstrained Newton step.
+                    let step = self.h.cholesky().map_err(|_| {
+                        OptError::NotConvex("hessian is not positive definite".into())
+                    })?;
+                    step.solve(&(-&grad))?
+                }
+                Some(aw) => {
+                    let qr = aw.transpose().qr()?;
+                    match qr.null_space_basis(1e-12) {
+                        None => Vector::zeros(n), // fully constrained
+                        Some(z) => {
+                            let hz = self.h.matmul(&z)?;
+                            let mut zhz = z.transpose().matmul(&hz)?;
+                            zhz.symmetrize()?;
+                            let rhs = -&z.tr_matvec(&grad)?;
+                            let pz = zhz
+                                .cholesky()
+                                .map_err(|_| {
+                                    OptError::NotConvex(
+                                        "reduced hessian is not positive definite".into(),
+                                    )
+                                })?
+                                .solve(&rhs)?;
+                            z.matvec(&pz)?
+                        }
+                    }
+                }
+            };
+
+            let p_scale = 1.0 + x.norm2();
+            if p.norm2() <= tol * p_scale {
+                // Stationary on the working set: check multipliers.
+                if working.is_empty() {
+                    return Ok(QpSolution {
+                        objective: self.objective(&x)?,
+                        x,
+                        iterations: iteration,
+                        active_set: working,
+                    });
+                }
+                let aw = a_w.expect("working set non-empty");
+                // Least-squares multipliers: A_Wᵀ λ ≈ grad.
+                let lambda = aw.transpose().qr()?.solve_least_squares(&grad)?;
+                // Inequality multipliers are the last working.len() entries.
+                let mut most_negative: Option<(usize, f64)> = None;
+                for (k, &ci) in working.iter().enumerate() {
+                    let l = lambda[n_eq + k];
+                    if l < -1e-8 {
+                        match most_negative {
+                            Some((_, best)) if l >= best => {}
+                            _ => most_negative = Some((ci, l)),
+                        }
+                    }
+                }
+                match most_negative {
+                    None => {
+                        return Ok(QpSolution {
+                            objective: self.objective(&x)?,
+                            x,
+                            iterations: iteration,
+                            active_set: working,
+                        });
+                    }
+                    Some((drop_idx, _)) => {
+                        working.retain(|&i| i != drop_idx);
+                    }
+                }
+            } else {
+                // Line search to the nearest blocking constraint.
+                let mut alpha = 1.0;
+                let mut blocking: Option<usize> = None;
+                if let Some((a_mat, b_rhs)) = &self.ineq {
+                    let ap = a_mat.matvec(&p)?;
+                    let ax = a_mat.matvec(&x)?;
+                    for i in 0..n_ineq {
+                        if working.contains(&i) {
+                            continue;
+                        }
+                        if ap[i] < -tol {
+                            let step = (b_rhs[i] - ax[i]) / ap[i];
+                            if step < alpha {
+                                alpha = step.max(0.0);
+                                blocking = Some(i);
+                            }
+                        }
+                    }
+                }
+                x = x.axpy(alpha, &p)?;
+                if let Some(bi) = blocking {
+                    if n_eq + working.len() < n {
+                        working.push(bi);
+                    }
+                }
+            }
+        }
+        Err(OptError::IterationLimit {
+            iterations: self.max_iterations,
+            residual: f64::NAN,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_matches_linear_solve() {
+        // min ½xᵀHx + cᵀx → Hx = −c.
+        let h = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let c = Vector::from_slice(&[-1.0, -2.0]);
+        let sol = QuadraticProgram::new(h.clone(), c.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
+        let direct = h.lu().unwrap().solve(&(-&c)).unwrap();
+        assert!((&sol.x - &direct).norm2() < 1e-10);
+        assert!(sol.active_set.is_empty());
+    }
+
+    #[test]
+    fn equality_constrained_known_solution() {
+        // min ½(x² + y²) s.t. x + y = 2 → (1, 1), objective 1.
+        let sol = QuadraticProgram::new(Matrix::identity(2), Vector::zeros(2))
+            .unwrap()
+            .with_equalities(
+                Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(),
+                Vector::from_slice(&[2.0]),
+            )
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-10);
+        assert!((sol.x[1] - 1.0).abs() < 1e-10);
+        assert!((sol.objective - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn textbook_inequality_example() {
+        // Nocedal & Wright example 16.4:
+        // min (x1−1)² + (x2−2.5)² s.t. x1−2x2+2 ≥ 0, −x1−2x2+6 ≥ 0,
+        //     −x1+2x2+2 ≥ 0, x1 ≥ 0, x2 ≥ 0. Solution (1.4, 1.7).
+        let h = Matrix::identity(2).scaled(2.0);
+        let c = Vector::from_slice(&[-2.0, -5.0]);
+        let a = Matrix::from_rows(&[
+            &[1.0, -2.0],
+            &[-1.0, -2.0],
+            &[-1.0, 2.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+        ])
+        .unwrap();
+        let b = Vector::from_slice(&[-2.0, -6.0, -2.0, 0.0, 0.0]);
+        let sol = QuadraticProgram::new(h, c)
+            .unwrap()
+            .with_inequalities(a, b)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.x[0] - 1.4).abs() < 1e-8, "x = {}", sol.x);
+        assert!((sol.x[1] - 1.7).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inactive_constraints_do_not_bind() {
+        // Unconstrained optimum (1, 1) already satisfies x ≥ 0.
+        let h = Matrix::identity(2).scaled(2.0);
+        let c = Vector::from_slice(&[-2.0, -2.0]);
+        let sol = QuadraticProgram::new(h, c)
+            .unwrap()
+            .with_inequalities(Matrix::identity(2), Vector::zeros(2))
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-9);
+        assert!((sol.x[1] - 1.0).abs() < 1e-9);
+        assert!(sol.active_set.is_empty());
+    }
+
+    #[test]
+    fn active_bound_solution() {
+        // min ½‖x − (−1, 2)‖² s.t. x ≥ 0 → (0, 2) with constraint 0 active.
+        let h = Matrix::identity(2);
+        let c = Vector::from_slice(&[1.0, -2.0]);
+        let sol = QuadraticProgram::new(h, c)
+            .unwrap()
+            .with_inequalities(Matrix::identity(2), Vector::zeros(2))
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!(sol.x[0].abs() < 1e-9);
+        assert!((sol.x[1] - 2.0).abs() < 1e-9);
+        assert_eq!(sol.active_set, vec![0]);
+    }
+
+    #[test]
+    fn mixed_equality_and_inequality() {
+        // min ½‖x‖² s.t. x1+x2+x3 = 3, x ≥ 0 and x2 ≥ 1.5.
+        let h = Matrix::identity(3);
+        let c = Vector::zeros(3);
+        let e = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]).unwrap();
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let b = Vector::from_slice(&[0.0, 0.0, 0.0, 1.5]);
+        let sol = QuadraticProgram::new(h, c)
+            .unwrap()
+            .with_equalities(e, Vector::from_slice(&[3.0]))
+            .unwrap()
+            .with_inequalities(a, b)
+            .unwrap()
+            // Inhomogeneous constraints: neither the origin nor the
+            // minimum-norm equality solution (1,1,1) is feasible, so a
+            // feasible start must be supplied.
+            .with_start(Vector::from_slice(&[0.0, 3.0, 0.0]))
+            .unwrap()
+            .solve()
+            .unwrap();
+        // With x2 pinned at 1.5, the rest splits evenly: (0.75, 1.5, 0.75).
+        assert!((sol.x[0] - 0.75).abs() < 1e-8, "x = {}", sol.x);
+        assert!((sol.x[1] - 1.5).abs() < 1e-8);
+        assert!((sol.x[2] - 0.75).abs() < 1e-8);
+    }
+
+    #[test]
+    fn homogeneous_constraints_feasible_at_origin() {
+        // The deconvolution pattern: Ex = 0, Ax ≥ 0 — origin feasible.
+        let h = Matrix::identity(3).scaled(2.0);
+        let c = Vector::from_slice(&[-1.0, -4.0, -2.0]);
+        let e = Matrix::from_rows(&[&[1.0, -1.0, 0.0]]).unwrap();
+        let sol = QuadraticProgram::new(h, c)
+            .unwrap()
+            .with_equalities(e.clone(), Vector::zeros(1))
+            .unwrap()
+            .with_inequalities(Matrix::identity(3), Vector::zeros(3))
+            .unwrap()
+            .solve()
+            .unwrap();
+        // KKT check: equality holds, positivity holds.
+        assert!((sol.x[0] - sol.x[1]).abs() < 1e-9);
+        assert!(sol.x.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn infeasible_start_rejected() {
+        let h = Matrix::identity(1);
+        let c = Vector::zeros(1);
+        let qp = QuadraticProgram::new(h, c)
+            .unwrap()
+            .with_inequalities(
+                Matrix::from_rows(&[&[1.0]]).unwrap(),
+                Vector::from_slice(&[5.0]),
+            )
+            .unwrap()
+            .with_start(Vector::zeros(1))
+            .unwrap();
+        assert!(matches!(qp.solve().unwrap_err(), OptError::Infeasible(_)));
+    }
+
+    #[test]
+    fn user_start_used() {
+        let h = Matrix::identity(1).scaled(2.0);
+        let c = Vector::from_slice(&[-8.0]); // unconstrained min at 4
+        let sol = QuadraticProgram::new(h, c)
+            .unwrap()
+            .with_inequalities(
+                Matrix::from_rows(&[&[1.0]]).unwrap(),
+                Vector::from_slice(&[5.0]),
+            )
+            .unwrap()
+            .with_start(Vector::from_slice(&[6.0]))
+            .unwrap()
+            .solve()
+            .unwrap();
+        // Constrained minimum at the bound x = 5.
+        assert!((sol.x[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(QuadraticProgram::new(Matrix::zeros(2, 3), Vector::zeros(3)).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 5.0], &[0.0, 1.0]]).unwrap();
+        assert!(QuadraticProgram::new(asym, Vector::zeros(2)).is_err());
+        let ok = QuadraticProgram::new(Matrix::identity(2), Vector::zeros(2)).unwrap();
+        assert!(ok
+            .clone()
+            .with_equalities(Matrix::identity(3), Vector::zeros(3))
+            .is_err());
+        assert!(ok
+            .clone()
+            .with_inequalities(Matrix::identity(2), Vector::zeros(3))
+            .is_err());
+        assert!(ok.with_start(Vector::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn indefinite_hessian_detected() {
+        let h = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let qp = QuadraticProgram::new(h, Vector::zeros(2)).unwrap();
+        assert!(matches!(qp.solve().unwrap_err(), OptError::NotConvex(_)));
+    }
+
+    #[test]
+    fn larger_random_problem_kkt() {
+        // 12-dimensional strictly convex QP with positivity constraints:
+        // verify KKT conditions rather than a known solution.
+        let n = 12;
+        let mut h = Matrix::zeros(n, n);
+        for i in 0..n {
+            h[(i, i)] = 2.0 + (i as f64 * 0.37).sin().abs();
+            if i + 1 < n {
+                h[(i, i + 1)] = 0.5;
+                h[(i + 1, i)] = 0.5;
+            }
+        }
+        let c = Vector::from_fn(n, |i| ((i * 7 % 5) as f64) - 2.0);
+        let sol = QuadraticProgram::new(h.clone(), c.clone())
+            .unwrap()
+            .with_inequalities(Matrix::identity(n), Vector::zeros(n))
+            .unwrap()
+            .solve()
+            .unwrap();
+        // Primal feasibility.
+        assert!(sol.x.iter().all(|&v| v >= -1e-9));
+        // Stationarity on inactive coordinates: gradient must vanish there.
+        let grad = &h.matvec(&sol.x).unwrap() + &c;
+        for i in 0..n {
+            if sol.x[i] > 1e-7 {
+                assert!(grad[i].abs() < 1e-7, "coordinate {i}: grad {}", grad[i]);
+            } else {
+                // Active bound: multiplier = grad ≥ 0.
+                assert!(grad[i] > -1e-7, "coordinate {i}: grad {}", grad[i]);
+            }
+        }
+    }
+}

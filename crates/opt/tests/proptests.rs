@@ -1,0 +1,117 @@
+//! Property-based tests of the optimizers: KKT conditions on random
+//! convex problems and cross-solver agreement.
+
+use cellsync_linalg::{Matrix, Vector};
+use cellsync_opt::{golden_section, NelderMead, Nnls, ProjectedGradient, QuadraticProgram};
+use proptest::prelude::*;
+
+/// Random SPD Hessian: AᵀA + n·I from bounded entries.
+fn spd_hessian(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0..2.0f64, n * n).prop_map(move |data| {
+        let a = Matrix::from_vec(n, n, data).expect("sized data");
+        let mut g = a.gram();
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g.symmetrize().expect("square");
+        g
+    })
+}
+
+fn linear_term(n: usize) -> impl Strategy<Value = Vector> {
+    prop::collection::vec(-5.0..5.0f64, n).prop_map(Vector::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn qp_satisfies_kkt_on_positivity_problems(
+        h in spd_hessian(6),
+        c in linear_term(6),
+    ) {
+        let sol = QuadraticProgram::new(h.clone(), c.clone())
+            .expect("valid qp")
+            .with_inequalities(Matrix::identity(6), Vector::zeros(6))
+            .expect("shapes agree")
+            .solve()
+            .expect("solvable");
+        let grad = &h.matvec(&sol.x).expect("shapes") + &c;
+        for i in 0..6 {
+            prop_assert!(sol.x[i] >= -1e-8, "primal feasibility at {i}");
+            if sol.x[i] > 1e-6 {
+                prop_assert!(grad[i].abs() < 1e-6, "stationarity at {i}: {}", grad[i]);
+            } else {
+                prop_assert!(grad[i] > -1e-6, "dual feasibility at {i}: {}", grad[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn qp_objective_not_above_projected_gradient(
+        h in spd_hessian(5),
+        c in linear_term(5),
+    ) {
+        let qp = QuadraticProgram::new(h.clone(), c.clone())
+            .expect("valid qp")
+            .with_inequalities(Matrix::identity(5), Vector::zeros(5))
+            .expect("shapes agree")
+            .solve()
+            .expect("solvable");
+        let pg = ProjectedGradient::new(500_000, 1e-12)
+            .solve(&h, &c, &Vector::zeros(5))
+            .expect("converges");
+        let obj = |x: &Vector| {
+            0.5 * x.dot(&h.matvec(x).expect("shapes")).expect("shapes")
+                + c.dot(x).expect("shapes")
+        };
+        prop_assert!(obj(&qp.x) <= obj(&pg) + 1e-7, "{} vs {}", obj(&qp.x), obj(&pg));
+    }
+
+    #[test]
+    fn nnls_never_returns_negatives(
+        data in prop::collection::vec(-3.0..3.0f64, 8 * 4),
+        rhs in prop::collection::vec(-3.0..3.0f64, 8),
+    ) {
+        let a = Matrix::from_vec(8, 4, data).expect("sized data");
+        let b = Vector::from(rhs);
+        // Degenerate (rank-deficient) draws are legal NNLS inputs too; the
+        // solver must still return a nonnegative KKT point or error out
+        // cleanly rather than panic.
+        if let Ok(x) = Nnls::new().solve(&a, &b) {
+            prop_assert!(x.iter().all(|&v| v >= 0.0));
+            let w = a.tr_matvec(&(&b - &a.matvec(&x).expect("shapes"))).expect("shapes");
+            for i in 0..4 {
+                if x[i] > 1e-8 {
+                    prop_assert!(w[i].abs() < 1e-6, "active gradient {}", w[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nelder_mead_descends(start in prop::collection::vec(-3.0..3.0f64, 2)) {
+        let f = |p: &[f64]| (p[0] - 1.0).powi(2) + 3.0 * (p[1] + 0.5).powi(2);
+        let initial = f(&start);
+        let r = NelderMead::new(3000, 1e-10)
+            .expect("valid settings")
+            .minimize(f, &start)
+            .expect("converges on a bowl");
+        prop_assert!(r.fx <= initial + 1e-12);
+        prop_assert!((r.x[0] - 1.0).abs() < 1e-3);
+        prop_assert!((r.x[1] + 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn golden_section_brackets_parabola_minimum(center in -5.0..5.0f64) {
+        let (x, _) = golden_section(
+            |x| (x - center) * (x - center),
+            center - 3.0,
+            center + 4.0,
+            1e-9,
+            200,
+        )
+        .expect("unimodal");
+        prop_assert!((x - center).abs() < 1e-4, "found {x}, center {center}");
+    }
+}

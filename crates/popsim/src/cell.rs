@@ -1,0 +1,179 @@
+//! A single cell agent with linear phase progression.
+
+use crate::{PopsimError, Result, Theta};
+
+/// One cell in the simulated population.
+///
+/// A cell is born at `birth_time` with phase `phi0` and advances at the
+/// constant rate `1/T`: `φ(t) = φ₀ + (t − t_birth)/T` (paper §2.1). It
+/// lives until the division time at which `φ = 1`.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_popsim::{Cell, Theta};
+///
+/// # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+/// let cell = Cell::new(
+///     0.0,
+///     0.0,
+///     Theta { phi_sst: 0.15, cycle_time: 150.0 },
+/// )?;
+/// assert_eq!(cell.division_time(), 150.0);
+/// assert_eq!(cell.phase_at(75.0), Some(0.5));
+/// assert_eq!(cell.phase_at(151.0), None); // already divided
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    phi0: f64,
+    birth_time: f64,
+    theta: Theta,
+}
+
+impl Cell {
+    /// Creates a cell born at `birth_time` with initial phase `phi0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PopsimError::InvalidPhase`] for `phi0 ∉ [0, 1)`.
+    /// * [`PopsimError::InvalidParameter`] for non-positive cycle time,
+    ///   `phi_sst ∉ (0, 1)`, or non-finite birth time.
+    pub fn new(phi0: f64, birth_time: f64, theta: Theta) -> Result<Self> {
+        if !(0.0..1.0).contains(&phi0) || !phi0.is_finite() {
+            return Err(PopsimError::InvalidPhase(phi0));
+        }
+        if !(theta.cycle_time > 0.0) || !theta.cycle_time.is_finite() {
+            return Err(PopsimError::InvalidParameter {
+                name: "cycle_time",
+                value: theta.cycle_time,
+            });
+        }
+        if !(theta.phi_sst > 0.0 && theta.phi_sst < 1.0) {
+            return Err(PopsimError::InvalidParameter {
+                name: "phi_sst",
+                value: theta.phi_sst,
+            });
+        }
+        if !birth_time.is_finite() {
+            return Err(PopsimError::InvalidParameter {
+                name: "birth_time",
+                value: birth_time,
+            });
+        }
+        Ok(Cell {
+            phi0,
+            birth_time,
+            theta,
+        })
+    }
+
+    /// Initial phase at birth.
+    pub fn initial_phase(&self) -> f64 {
+        self.phi0
+    }
+
+    /// Time the cell entered the population.
+    pub fn birth_time(&self) -> f64 {
+        self.birth_time
+    }
+
+    /// The cell's cycle parameters.
+    pub fn theta(&self) -> Theta {
+        self.theta
+    }
+
+    /// Absolute time at which the cell reaches `φ = 1` and divides:
+    /// `t_birth + T·(1 − φ₀)` (paper §2.1).
+    pub fn division_time(&self) -> f64 {
+        self.birth_time + self.theta.cycle_time * (1.0 - self.phi0)
+    }
+
+    /// Whether the cell is alive (born, not yet divided) at time `t`.
+    /// The birth instant is inclusive, the division instant exclusive.
+    pub fn is_alive_at(&self, t: f64) -> bool {
+        t >= self.birth_time && t < self.division_time()
+    }
+
+    /// Cycle phase at time `t`, or `None` when the cell is not alive then.
+    pub fn phase_at(&self, t: f64) -> Option<f64> {
+        if !self.is_alive_at(t) {
+            return None;
+        }
+        Some(self.phi0 + (t - self.birth_time) / self.theta.cycle_time)
+    }
+
+    /// Whether the cell is still in its swarmer stage at time `t`
+    /// (`φ < φ_sst`), or `None` when not alive.
+    pub fn is_swarmer_at(&self, t: f64) -> Option<bool> {
+        self.phase_at(t).map(|phi| phi < self.theta.phi_sst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta() -> Theta {
+        Theta {
+            phi_sst: 0.15,
+            cycle_time: 100.0,
+        }
+    }
+
+    #[test]
+    fn phase_progression_linear() {
+        let c = Cell::new(0.2, 10.0, theta()).unwrap();
+        assert_eq!(c.phase_at(10.0), Some(0.2));
+        assert_eq!(c.phase_at(60.0), Some(0.7));
+        // Division at t = 10 + 100·0.8 = 90.
+        assert_eq!(c.division_time(), 90.0);
+        assert_eq!(c.phase_at(90.0), None);
+        assert_eq!(c.phase_at(5.0), None);
+    }
+
+    #[test]
+    fn alive_interval_half_open() {
+        let c = Cell::new(0.0, 0.0, theta()).unwrap();
+        assert!(c.is_alive_at(0.0));
+        assert!(c.is_alive_at(99.999));
+        assert!(!c.is_alive_at(100.0));
+        assert!(!c.is_alive_at(-1.0));
+    }
+
+    #[test]
+    fn swarmer_classification() {
+        let c = Cell::new(0.0, 0.0, theta()).unwrap();
+        assert_eq!(c.is_swarmer_at(1.0), Some(true)); // φ = 0.01
+        assert_eq!(c.is_swarmer_at(50.0), Some(false)); // φ = 0.5
+        assert_eq!(c.is_swarmer_at(150.0), None);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Cell::new(1.0, 0.0, theta()).is_err());
+        assert!(Cell::new(-0.1, 0.0, theta()).is_err());
+        assert!(Cell::new(
+            0.0,
+            0.0,
+            Theta { phi_sst: 0.15, cycle_time: 0.0 }
+        )
+        .is_err());
+        assert!(Cell::new(
+            0.0,
+            0.0,
+            Theta { phi_sst: 1.5, cycle_time: 100.0 }
+        )
+        .is_err());
+        assert!(Cell::new(0.0, f64::NAN, theta()).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Cell::new(0.1, 5.0, theta()).unwrap();
+        assert_eq!(c.initial_phase(), 0.1);
+        assert_eq!(c.birth_time(), 5.0);
+        assert_eq!(c.theta().cycle_time, 100.0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Morphological cell-type classification (paper §4.2, Fig. 4).
+//!
+//! Simulated cells are grouped by cycle phase into swarmer (SW), early
+//! stalked (STE), early predivisional (STEPD), and late predivisional
+//! (STLPD) — the four classes scored in the Judd et al. (2003) microscopy
+//! experiment the paper validates against. The SW→STE boundary is each
+//! cell's own `φ_sst`; the later boundaries are difficult to score
+//! experimentally, so the paper uses *ranges*: 0.6–0.7 for STE→STEPD and
+//! 0.85–0.9 for STEPD→STLPD.
+
+use crate::{PopsimError, Population, Result};
+
+/// The four morphological classes of the Caulobacter cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellType {
+    /// Motile swarmer cell (`φ < φ_sst`).
+    Swarmer,
+    /// Early stalked cell.
+    StalkedEarly,
+    /// Early predivisional cell.
+    EarlyPredivisional,
+    /// Late predivisional cell.
+    LatePredivisional,
+}
+
+impl CellType {
+    /// All four types in cycle order.
+    pub const ALL: [CellType; 4] = [
+        CellType::Swarmer,
+        CellType::StalkedEarly,
+        CellType::EarlyPredivisional,
+        CellType::LatePredivisional,
+    ];
+
+    /// Short label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellType::Swarmer => "SW",
+            CellType::StalkedEarly => "STE",
+            CellType::EarlyPredivisional => "STEPD",
+            CellType::LatePredivisional => "STLPD",
+        }
+    }
+}
+
+impl std::fmt::Display for CellType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Transition phases for the later (experimentally fuzzy) boundaries.
+///
+/// Paper §4.2 uses the ranges `[0.6, 0.7]` (STE→STEPD) and `[0.85, 0.9]`
+/// (STEPD→STLPD); Fig. 4 shades the band swept by the range and draws the
+/// midpoint. [`CellTypeThresholds::paper_low`], [`paper_mid`] and
+/// [`paper_high`] give the three corresponding settings.
+///
+/// [`paper_mid`]: CellTypeThresholds::paper_mid
+/// [`paper_high`]: CellTypeThresholds::paper_high
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTypeThresholds {
+    ste_to_stepd: f64,
+    stepd_to_stlpd: f64,
+}
+
+impl CellTypeThresholds {
+    /// Creates thresholds with explicit transition phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::InvalidParameter`] unless
+    /// `0 < ste_to_stepd < stepd_to_stlpd < 1`.
+    pub fn new(ste_to_stepd: f64, stepd_to_stlpd: f64) -> Result<Self> {
+        if !(ste_to_stepd > 0.0 && ste_to_stepd < 1.0) {
+            return Err(PopsimError::InvalidParameter {
+                name: "ste_to_stepd",
+                value: ste_to_stepd,
+            });
+        }
+        if !(stepd_to_stlpd > ste_to_stepd && stepd_to_stlpd < 1.0) {
+            return Err(PopsimError::InvalidParameter {
+                name: "stepd_to_stlpd",
+                value: stepd_to_stlpd,
+            });
+        }
+        Ok(CellTypeThresholds {
+            ste_to_stepd,
+            stepd_to_stlpd,
+        })
+    }
+
+    /// Lower edge of the paper's ranges: STE→STEPD at 0.6, STEPD→STLPD at
+    /// 0.85.
+    pub fn paper_low() -> Self {
+        CellTypeThresholds {
+            ste_to_stepd: 0.6,
+            stepd_to_stlpd: 0.85,
+        }
+    }
+
+    /// Midpoint of the paper's ranges (the solid line in Fig. 4): 0.65 and
+    /// 0.875.
+    pub fn paper_mid() -> Self {
+        CellTypeThresholds {
+            ste_to_stepd: 0.65,
+            stepd_to_stlpd: 0.875,
+        }
+    }
+
+    /// Upper edge of the paper's ranges: 0.7 and 0.9.
+    pub fn paper_high() -> Self {
+        CellTypeThresholds {
+            ste_to_stepd: 0.7,
+            stepd_to_stlpd: 0.9,
+        }
+    }
+
+    /// The STE→STEPD transition phase.
+    pub fn ste_to_stepd(&self) -> f64 {
+        self.ste_to_stepd
+    }
+
+    /// The STEPD→STLPD transition phase.
+    pub fn stepd_to_stlpd(&self) -> f64 {
+        self.stepd_to_stlpd
+    }
+
+    /// Classifies a cell by its phase and its own transition phase
+    /// `phi_sst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::InvalidPhase`] for `phi ∉ [0, 1]`.
+    pub fn classify(&self, phi: f64, phi_sst: f64) -> Result<CellType> {
+        if !(0.0..=1.0).contains(&phi) || !phi.is_finite() {
+            return Err(PopsimError::InvalidPhase(phi));
+        }
+        Ok(if phi < phi_sst {
+            CellType::Swarmer
+        } else if phi < self.ste_to_stepd {
+            CellType::StalkedEarly
+        } else if phi < self.stepd_to_stlpd {
+            CellType::EarlyPredivisional
+        } else {
+            CellType::LatePredivisional
+        })
+    }
+}
+
+impl Default for CellTypeThresholds {
+    fn default() -> Self {
+        CellTypeThresholds::paper_mid()
+    }
+}
+
+/// Fractions of each cell type at a sequence of times — the curves of the
+/// paper's Fig. 4. Row order matches [`CellType::ALL`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTypeFractions {
+    times: Vec<f64>,
+    /// `4 × times.len()` fractions in `[0, 1]`, each column summing to 1.
+    fractions: Vec<[f64; 4]>,
+}
+
+impl CellTypeFractions {
+    /// The query times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The fraction of `ty` at time index `ti`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::IndexOutOfBounds`] for a bad index.
+    pub fn fraction(&self, ti: usize, ty: CellType) -> Result<f64> {
+        let row = self
+            .fractions
+            .get(ti)
+            .ok_or(PopsimError::IndexOutOfBounds {
+                index: ti,
+                len: self.fractions.len(),
+            })?;
+        let idx = CellType::ALL
+            .iter()
+            .position(|t| *t == ty)
+            .expect("ALL covers every variant");
+        Ok(row[idx])
+    }
+
+    /// The full time series for one type.
+    pub fn series(&self, ty: CellType) -> Vec<f64> {
+        let idx = CellType::ALL
+            .iter()
+            .position(|t| *t == ty)
+            .expect("ALL covers every variant");
+        self.fractions.iter().map(|row| row[idx]).collect()
+    }
+}
+
+/// Computes cell-type fractions over time for a simulated population.
+///
+/// # Errors
+///
+/// * [`PopsimError::EmptyConfiguration`] for an empty time list.
+/// * Propagates snapshot and classification errors.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_popsim::{
+///     celltype, CellCycleParams, CellType, CellTypeThresholds, InitialCondition, Population,
+/// };
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+/// let params = CellCycleParams::caulobacter()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let pop = Population::synchronized(500, &params, InitialCondition::UniformSwarmer, &mut rng)?
+///     .simulate_until(150.0)?;
+/// let f = celltype::type_fractions(&pop, &[0.0, 150.0], &CellTypeThresholds::paper_mid())?;
+/// // Everything starts as a swarmer.
+/// assert!((f.fraction(0, CellType::Swarmer)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn type_fractions(
+    population: &Population,
+    times: &[f64],
+    thresholds: &CellTypeThresholds,
+) -> Result<CellTypeFractions> {
+    if times.is_empty() {
+        return Err(PopsimError::EmptyConfiguration("times"));
+    }
+    let mut fractions = Vec::with_capacity(times.len());
+    for &t in times {
+        let snapshot = population.snapshot_at(t)?;
+        let mut counts = [0usize; 4];
+        for (phi, theta) in &snapshot {
+            let ty = thresholds.classify(*phi, theta.phi_sst)?;
+            let idx = CellType::ALL
+                .iter()
+                .position(|x| *x == ty)
+                .expect("ALL covers every variant");
+            counts[idx] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        let row = if total == 0 {
+            [0.0; 4]
+        } else {
+            [
+                counts[0] as f64 / total as f64,
+                counts[1] as f64 / total as f64,
+                counts[2] as f64 / total as f64,
+                counts[3] as f64 / total as f64,
+            ]
+        };
+        fractions.push(row);
+    }
+    Ok(CellTypeFractions {
+        times: times.to_vec(),
+        fractions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellCycleParams, InitialCondition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classification_order() {
+        let th = CellTypeThresholds::paper_mid();
+        assert_eq!(th.classify(0.05, 0.15).unwrap(), CellType::Swarmer);
+        assert_eq!(th.classify(0.3, 0.15).unwrap(), CellType::StalkedEarly);
+        assert_eq!(th.classify(0.7, 0.15).unwrap(), CellType::EarlyPredivisional);
+        assert_eq!(th.classify(0.95, 0.15).unwrap(), CellType::LatePredivisional);
+    }
+
+    #[test]
+    fn per_cell_transition_phase_respected() {
+        let th = CellTypeThresholds::paper_mid();
+        // Same phase, different phi_sst → different class.
+        assert_eq!(th.classify(0.2, 0.25).unwrap(), CellType::Swarmer);
+        assert_eq!(th.classify(0.2, 0.15).unwrap(), CellType::StalkedEarly);
+    }
+
+    #[test]
+    fn paper_ranges() {
+        let lo = CellTypeThresholds::paper_low();
+        let mid = CellTypeThresholds::paper_mid();
+        let hi = CellTypeThresholds::paper_high();
+        assert_eq!(lo.ste_to_stepd(), 0.6);
+        assert_eq!(hi.ste_to_stepd(), 0.7);
+        assert!((mid.ste_to_stepd() - 0.65).abs() < 1e-12);
+        assert_eq!(lo.stepd_to_stlpd(), 0.85);
+        assert_eq!(hi.stepd_to_stlpd(), 0.9);
+        assert!((mid.stepd_to_stlpd() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let params = CellCycleParams::caulobacter().unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pop =
+            Population::synchronized(2000, &params, InitialCondition::UniformSwarmer, &mut rng)
+                .unwrap()
+                .simulate_until(150.0)
+                .unwrap();
+        let times: Vec<f64> = (0..=6).map(|i| i as f64 * 25.0).collect();
+        let f = type_fractions(&pop, &times, &CellTypeThresholds::paper_mid()).unwrap();
+        for ti in 0..times.len() {
+            let total: f64 = CellType::ALL
+                .iter()
+                .map(|&ty| f.fraction(ti, ty).unwrap())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn synchronized_culture_wave() {
+        // SW fraction starts at 1, falls as the cohort differentiates; the
+        // predivisional classes peak later (the Fig. 4 wave).
+        let params = CellCycleParams::caulobacter().unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let pop =
+            Population::synchronized(5000, &params, InitialCondition::UniformSwarmer, &mut rng)
+                .unwrap()
+                .simulate_until(150.0)
+                .unwrap();
+        let times: Vec<f64> = (0..=15).map(|i| i as f64 * 10.0).collect();
+        let f = type_fractions(&pop, &times, &CellTypeThresholds::paper_mid()).unwrap();
+        let sw = f.series(CellType::Swarmer);
+        assert!((sw[0] - 1.0).abs() < 1e-12);
+        assert!(sw[8] < 0.4, "SW at 80 min: {}", sw[8]);
+        let stlpd = f.series(CellType::LatePredivisional);
+        assert_eq!(stlpd[0], 0.0);
+        let peak = stlpd.iter().cloned().fold(0.0, f64::max);
+        assert!(peak > 0.3, "STLPD wave peak {peak}");
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(CellType::Swarmer.to_string(), "SW");
+        assert_eq!(CellType::StalkedEarly.to_string(), "STE");
+        assert_eq!(CellType::EarlyPredivisional.to_string(), "STEPD");
+        assert_eq!(CellType::LatePredivisional.to_string(), "STLPD");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CellTypeThresholds::new(0.0, 0.8).is_err());
+        assert!(CellTypeThresholds::new(0.7, 0.6).is_err());
+        assert!(CellTypeThresholds::new(0.6, 1.0).is_err());
+        let th = CellTypeThresholds::paper_mid();
+        assert!(th.classify(1.5, 0.15).is_err());
+        let params = CellCycleParams::caulobacter().unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let pop =
+            Population::synchronized(10, &params, InitialCondition::UniformSwarmer, &mut rng)
+                .unwrap();
+        assert!(type_fractions(&pop, &[], &th).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the population simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by population-model construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PopsimError {
+    /// A model parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+    /// A phase outside `[0, 1]` was supplied.
+    InvalidPhase(f64),
+    /// The requested time precedes the simulation start or exceeds the
+    /// simulated horizon.
+    TimeOutOfRange {
+        /// Queried time.
+        t: f64,
+        /// Simulated horizon.
+        horizon: f64,
+    },
+    /// Zero cells or bins requested.
+    EmptyConfiguration(&'static str),
+    /// An underlying statistical routine failed.
+    Stats(cellsync_stats::StatsError),
+    /// An index was out of bounds for the kernel grids.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PopsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopsimError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            PopsimError::InvalidPhase(p) => write!(f, "phase must lie in [0, 1], got {p}"),
+            PopsimError::TimeOutOfRange { t, horizon } => {
+                write!(f, "time {t} outside simulated range [0, {horizon}]")
+            }
+            PopsimError::EmptyConfiguration(what) => {
+                write!(f, "configuration must be non-empty: {what}")
+            }
+            PopsimError::Stats(e) => write!(f, "statistics error: {e}"),
+            PopsimError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for PopsimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PopsimError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cellsync_stats::StatsError> for PopsimError {
+    fn from(e: cellsync_stats::StatsError) -> Self {
+        PopsimError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            PopsimError::InvalidParameter { name: "mu", value: -1.0 },
+            PopsimError::InvalidPhase(2.0),
+            PopsimError::TimeOutOfRange { t: 5.0, horizon: 1.0 },
+            PopsimError::EmptyConfiguration("cells"),
+            PopsimError::Stats(cellsync_stats::StatsError::EmptySample),
+            PopsimError::IndexOutOfBounds { index: 9, len: 3 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn stats_source_preserved() {
+        let e = PopsimError::from(cellsync_stats::StatsError::EmptySample);
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,598 @@
+//! Monte-Carlo estimation of the fractional volume density `Q(φ, t)`.
+//!
+//! Paper §2.2: `Q(φ, t)` is "the fraction of the total population volume at
+//! time `t` that exists in (a small interval around) phase φ", and "the
+//! deconvolution method relies on simulation methods to evaluate Q̃(φ,t) and
+//! Q(φ,t)". The estimator bins every live cell's volume by phase and
+//! normalizes each time slice to unit integral.
+
+use cellsync_linalg::Matrix;
+
+use crate::{PopsimError, Population, Result, VolumeModel};
+
+/// A sampled kernel: phase-bin centers × measurement times.
+///
+/// Row `m` holds `Q(φ, t_m)` on the phase-bin centers; every row integrates
+/// to 1 by construction (midpoint rule on the uniform bin grid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseKernel {
+    phi_centers: Vec<f64>,
+    times: Vec<f64>,
+    /// `times.len() × phi_centers.len()`; normalized density.
+    q: Matrix,
+    /// Unnormalized expected volume density Q̃ (same shape).
+    q_tilde: Matrix,
+    /// Total population volume at each time (units of V₀).
+    total_volume: Vec<f64>,
+    /// Live-cell count at each time.
+    counts: Vec<usize>,
+}
+
+impl PhaseKernel {
+    /// Phase-bin centers (uniform on `[0, 1]`).
+    pub fn phi_centers(&self) -> &[f64] {
+        &self.phi_centers
+    }
+
+    /// Bin width of the uniform phase grid.
+    pub fn bin_width(&self) -> f64 {
+        1.0 / self.phi_centers.len() as f64
+    }
+
+    /// The measurement times the kernel was evaluated at.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The normalized kernel matrix (`times × bins`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The unnormalized expected-volume kernel Q̃ (`times × bins`).
+    pub fn q_tilde(&self) -> &Matrix {
+        &self.q_tilde
+    }
+
+    /// Normalized kernel row for time index `ti`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::IndexOutOfBounds`] for a bad index.
+    pub fn row(&self, ti: usize) -> Result<&[f64]> {
+        if ti >= self.times.len() {
+            return Err(PopsimError::IndexOutOfBounds {
+                index: ti,
+                len: self.times.len(),
+            });
+        }
+        Ok(self.q.row(ti))
+    }
+
+    /// Midpoint-rule integral `∫Q(φ, t_ti)dφ` (≈ 1 by construction; exposed
+    /// for validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::IndexOutOfBounds`] for a bad index.
+    pub fn integral(&self, ti: usize) -> Result<f64> {
+        let row = self.row(ti)?;
+        Ok(row.iter().sum::<f64>() * self.bin_width())
+    }
+
+    /// Applies the forward transform of paper eq. 3 at time index `ti`:
+    /// `G(t) = ∫Q(φ,t)·f(φ)dφ` by the midpoint rule over the bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::IndexOutOfBounds`] for a bad index.
+    pub fn convolve(&self, ti: usize, f: impl Fn(f64) -> f64) -> Result<f64> {
+        let row = self.row(ti)?;
+        let dphi = self.bin_width();
+        Ok(self
+            .phi_centers
+            .iter()
+            .zip(row)
+            .map(|(&phi, &q)| q * f(phi))
+            .sum::<f64>()
+            * dphi)
+    }
+
+    /// Total population volume (in `V₀` units) at time index `ti`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::IndexOutOfBounds`] for a bad index.
+    pub fn total_volume(&self, ti: usize) -> Result<f64> {
+        self.total_volume
+            .get(ti)
+            .copied()
+            .ok_or(PopsimError::IndexOutOfBounds {
+                index: ti,
+                len: self.total_volume.len(),
+            })
+    }
+
+    /// Live-cell count at time index `ti`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::IndexOutOfBounds`] for a bad index.
+    pub fn count(&self, ti: usize) -> Result<usize> {
+        self.counts
+            .get(ti)
+            .copied()
+            .ok_or(PopsimError::IndexOutOfBounds {
+                index: ti,
+                len: self.counts.len(),
+            })
+    }
+
+    /// Mean phase `∫φ·Q(φ,t)dφ` at time index `ti` — tracks the bulk
+    /// progression of the synchronized cohort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::IndexOutOfBounds`] for a bad index.
+    pub fn mean_phase(&self, ti: usize) -> Result<f64> {
+        self.convolve(ti, |phi| phi)
+    }
+
+    /// Resamples the kernel at new measurement times by linear
+    /// interpolation of each phase bin's density in `t`, renormalizing
+    /// every interpolated row to unit integral.
+    ///
+    /// Lets one finely-sampled kernel serve measurement protocols whose
+    /// time points differ from the simulation grid (e.g. a microarray
+    /// series with irregular sampling). Interpolation error is second
+    /// order in the source-grid spacing.
+    ///
+    /// # Errors
+    ///
+    /// * [`PopsimError::EmptyConfiguration`] for an empty time list.
+    /// * [`PopsimError::TimeOutOfRange`] when a requested time lies
+    ///   outside the kernel's sampled span.
+    pub fn interpolate_to_times(&self, new_times: &[f64]) -> Result<PhaseKernel> {
+        if new_times.is_empty() {
+            return Err(PopsimError::EmptyConfiguration("measurement times"));
+        }
+        let t_lo = self.times[0];
+        let t_hi = self.times[self.times.len() - 1];
+        for &t in new_times {
+            if !t.is_finite() || t < t_lo || t > t_hi {
+                return Err(PopsimError::TimeOutOfRange { t, horizon: t_hi });
+            }
+        }
+        let bins = self.phi_centers.len();
+        let n_new = new_times.len();
+        let mut q = Matrix::zeros(n_new, bins);
+        let mut q_tilde = Matrix::zeros(n_new, bins);
+        let mut volumes = vec![0.0; n_new];
+        let mut counts = vec![0usize; n_new];
+        let dphi = self.bin_width();
+        for (row, &t) in new_times.iter().enumerate() {
+            // Bracketing source rows.
+            let hi_idx = match self
+                .times
+                .binary_search_by(|v| v.partial_cmp(&t).expect("finite times"))
+            {
+                Ok(i) => i,
+                Err(i) => i.min(self.times.len() - 1),
+            };
+            let lo_idx = if hi_idx == 0 { 0 } else { hi_idx - 1 };
+            let w = if hi_idx == lo_idx {
+                0.0
+            } else {
+                (t - self.times[lo_idx]) / (self.times[hi_idx] - self.times[lo_idx])
+            };
+            let mut total = 0.0;
+            for b in 0..bins {
+                let qt = (1.0 - w) * self.q_tilde[(lo_idx, b)] + w * self.q_tilde[(hi_idx, b)];
+                q_tilde[(row, b)] = qt;
+                total += qt;
+            }
+            let total = total * dphi;
+            for b in 0..bins {
+                q[(row, b)] = if total > 0.0 {
+                    q_tilde[(row, b)] / total
+                } else {
+                    0.0
+                };
+            }
+            volumes[row] =
+                (1.0 - w) * self.total_volume[lo_idx] + w * self.total_volume[hi_idx];
+            counts[row] = (((1.0 - w) * self.counts[lo_idx] as f64
+                + w * self.counts[hi_idx] as f64)
+                .round()) as usize;
+        }
+        Ok(PhaseKernel {
+            phi_centers: self.phi_centers.clone(),
+            times: new_times.to_vec(),
+            q,
+            q_tilde,
+            total_volume: volumes,
+            counts,
+        })
+    }
+}
+
+/// Estimates [`PhaseKernel`]s from simulated populations.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_popsim::{CellCycleParams, InitialCondition, KernelEstimator, Population};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+/// let params = CellCycleParams::caulobacter()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pop = Population::synchronized(1000, &params, InitialCondition::UniformSwarmer, &mut rng)?
+///     .simulate_until(100.0)?;
+/// let kernel = KernelEstimator::new(50)?.estimate(&pop, &[0.0, 50.0, 100.0])?;
+/// // At t = 0 the whole cohort is swarmer-staged: phase support below ~0.5.
+/// assert!(kernel.mean_phase(0)? < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelEstimator {
+    bins: usize,
+    volume_model: VolumeModel,
+    threads: usize,
+}
+
+impl KernelEstimator {
+    /// Creates an estimator with `bins` uniform phase bins and the default
+    /// (smooth cubic) volume model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::EmptyConfiguration`] for `bins == 0`.
+    pub fn new(bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(PopsimError::EmptyConfiguration("phase bins"));
+        }
+        Ok(KernelEstimator {
+            bins,
+            volume_model: VolumeModel::default(),
+            threads: 1,
+        })
+    }
+
+    /// Selects the volume model used to weight cells.
+    #[must_use]
+    pub fn with_volume_model(mut self, model: VolumeModel) -> Self {
+        self.volume_model = model;
+        self
+    }
+
+    /// Enables multi-threaded estimation over time points (`threads ≥ 1`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of phase bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// The volume model in use.
+    pub fn volume_model(&self) -> VolumeModel {
+        self.volume_model
+    }
+
+    /// Estimates the kernel at each requested time.
+    ///
+    /// # Errors
+    ///
+    /// * [`PopsimError::EmptyConfiguration`] for an empty time list.
+    /// * [`PopsimError::TimeOutOfRange`] when a time exceeds the simulated
+    ///   horizon.
+    /// * Propagates volume-model errors.
+    pub fn estimate(&self, population: &Population, times: &[f64]) -> Result<PhaseKernel> {
+        if times.is_empty() {
+            return Err(PopsimError::EmptyConfiguration("measurement times"));
+        }
+        let n_times = times.len();
+        let mut q_tilde_rows: Vec<Vec<f64>> = vec![Vec::new(); n_times];
+        let mut volumes = vec![0.0; n_times];
+        let mut counts = vec![0usize; n_times];
+
+        if self.threads <= 1 || n_times == 1 {
+            for (i, &t) in times.iter().enumerate() {
+                let (row, vol, count) = self.estimate_one(population, t)?;
+                q_tilde_rows[i] = row;
+                volumes[i] = vol;
+                counts[i] = count;
+            }
+        } else {
+            // Partition time indices across threads; each thread works on an
+            // immutable population reference.
+            let chunk = n_times.div_ceil(self.threads);
+            let results: Vec<Result<Vec<(usize, (Vec<f64>, f64, usize))>>> =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for block in 0..self.threads {
+                        let lo = block * chunk;
+                        if lo >= n_times {
+                            break;
+                        }
+                        let hi = ((block + 1) * chunk).min(n_times);
+                        let est = *self;
+                        let handle = scope.spawn(move || {
+                            let mut out = Vec::with_capacity(hi - lo);
+                            for i in lo..hi {
+                                out.push((i, est.estimate_one(population, times[i])?));
+                            }
+                            Ok(out)
+                        });
+                        handles.push(handle);
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("kernel estimation thread panicked"))
+                        .collect()
+                });
+            for result in results {
+                for (i, (row, vol, count)) in result? {
+                    q_tilde_rows[i] = row;
+                    volumes[i] = vol;
+                    counts[i] = count;
+                }
+            }
+        }
+
+        let dphi = 1.0 / self.bins as f64;
+        let phi_centers: Vec<f64> = (0..self.bins).map(|b| (b as f64 + 0.5) * dphi).collect();
+        let mut q = Matrix::zeros(n_times, self.bins);
+        let mut q_tilde = Matrix::zeros(n_times, self.bins);
+        for i in 0..n_times {
+            let total: f64 = q_tilde_rows[i].iter().sum::<f64>() * dphi;
+            for b in 0..self.bins {
+                q_tilde[(i, b)] = q_tilde_rows[i][b];
+                q[(i, b)] = if total > 0.0 {
+                    q_tilde_rows[i][b] / total
+                } else {
+                    0.0
+                };
+            }
+        }
+        Ok(PhaseKernel {
+            phi_centers,
+            times: times.to_vec(),
+            q,
+            q_tilde,
+            total_volume: volumes,
+            counts,
+        })
+    }
+
+    /// Histogram of volume by phase for one time point. Returns the raw
+    /// per-bin volume density (volume per unit phase per cell), the total
+    /// volume, and the live-cell count.
+    fn estimate_one(&self, population: &Population, t: f64) -> Result<(Vec<f64>, f64, usize)> {
+        let snapshot = population.snapshot_at(t)?;
+        let dphi = 1.0 / self.bins as f64;
+        let mut hist = vec![0.0; self.bins];
+        let mut total = 0.0;
+        for (phi, theta) in &snapshot {
+            let v = self.volume_model.volume(*phi, theta.phi_sst)?;
+            let b = ((phi / dphi) as usize).min(self.bins - 1);
+            hist[b] += v;
+            total += v;
+        }
+        // Convert bin mass to density in φ.
+        for h in &mut hist {
+            *h /= dphi;
+        }
+        Ok((hist, total, snapshot.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellCycleParams, InitialCondition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(n: usize, horizon: f64, seed: u64) -> Population {
+        let params = CellCycleParams::caulobacter().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Population::synchronized(n, &params, InitialCondition::UniformSwarmer, &mut rng)
+            .unwrap()
+            .simulate_until(horizon)
+            .unwrap()
+    }
+
+    #[test]
+    fn kernel_rows_are_densities() {
+        let pop = population(3000, 180.0, 1);
+        let times: Vec<f64> = (0..10).map(|i| i as f64 * 20.0).collect();
+        let k = KernelEstimator::new(80).unwrap().estimate(&pop, &times).unwrap();
+        for ti in 0..times.len() {
+            assert!((k.integral(ti).unwrap() - 1.0).abs() < 1e-9, "t index {ti}");
+            assert!(k.row(ti).unwrap().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn initial_support_is_swarmer_only() {
+        let pop = population(5000, 10.0, 2);
+        let k = KernelEstimator::new(100).unwrap().estimate(&pop, &[0.0]).unwrap();
+        let row = k.row(0).unwrap();
+        // All mass below φ = 0.5 (truncation bound of φ_sst).
+        for (b, &q) in row.iter().enumerate() {
+            let phi = k.phi_centers()[b];
+            if phi > 0.5 {
+                assert_eq!(q, 0.0, "unexpected mass at phi {phi}");
+            }
+        }
+        assert!(k.mean_phase(0).unwrap() < 0.15);
+    }
+
+    #[test]
+    fn cohort_progresses_through_phase() {
+        let pop = population(5000, 140.0, 3);
+        let k = KernelEstimator::new(60)
+            .unwrap()
+            .estimate(&pop, &[0.0, 40.0, 80.0, 120.0])
+            .unwrap();
+        let mut prev = 0.0;
+        for ti in 0..4 {
+            let m = k.mean_phase(ti).unwrap();
+            assert!(m > prev - 0.02, "mean phase should advance: {m} after {prev}");
+            prev = m;
+        }
+        // After ~120 min (~0.8 cycles) the bulk should be in the stalked stage.
+        assert!(prev > 0.5, "mean phase {prev}");
+    }
+
+    #[test]
+    fn kernel_spreads_over_time() {
+        let pop = population(5000, 300.0, 4);
+        let k = KernelEstimator::new(60)
+            .unwrap()
+            .estimate(&pop, &[0.0, 300.0])
+            .unwrap();
+        let spread = |row: &[f64], centers: &[f64]| {
+            let dphi = 1.0 / row.len() as f64;
+            let mean: f64 = row
+                .iter()
+                .zip(centers)
+                .map(|(&q, &phi)| q * phi)
+                .sum::<f64>()
+                * dphi;
+            (row.iter()
+                .zip(centers)
+                .map(|(&q, &phi)| q * (phi - mean).powi(2))
+                .sum::<f64>()
+                * dphi)
+                .sqrt()
+        };
+        let s0 = spread(k.row(0).unwrap(), k.phi_centers());
+        let s1 = spread(k.row(1).unwrap(), k.phi_centers());
+        assert!(s1 > s0, "asynchrony grows: {s0} → {s1}");
+    }
+
+    #[test]
+    fn convolution_of_constant_is_constant() {
+        let pop = population(2000, 100.0, 5);
+        let k = KernelEstimator::new(50).unwrap().estimate(&pop, &[50.0]).unwrap();
+        let g = k.convolve(0, |_| 3.5).unwrap();
+        assert!((g - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_models_give_different_kernels() {
+        let pop = population(3000, 60.0, 6);
+        let smooth = KernelEstimator::new(40)
+            .unwrap()
+            .estimate(&pop, &[30.0])
+            .unwrap();
+        let linear = KernelEstimator::new(40)
+            .unwrap()
+            .with_volume_model(VolumeModel::Linear)
+            .estimate(&pop, &[30.0])
+            .unwrap();
+        let diff: f64 = smooth
+            .row(0)
+            .unwrap()
+            .iter()
+            .zip(linear.row(0).unwrap())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "models should differ in the swarmer stage");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let pop = population(1500, 150.0, 7);
+        let times: Vec<f64> = (0..8).map(|i| i as f64 * 20.0).collect();
+        let serial = KernelEstimator::new(40).unwrap().estimate(&pop, &times).unwrap();
+        let parallel = KernelEstimator::new(40)
+            .unwrap()
+            .with_threads(4)
+            .estimate(&pop, &times)
+            .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn total_volume_grows() {
+        let pop = population(2000, 300.0, 8);
+        let k = KernelEstimator::new(30)
+            .unwrap()
+            .estimate(&pop, &[0.0, 150.0, 300.0])
+            .unwrap();
+        let v0 = k.total_volume(0).unwrap();
+        let v1 = k.total_volume(1).unwrap();
+        let v2 = k.total_volume(2).unwrap();
+        assert!(v1 > v0 && v2 > v1);
+        assert!(k.count(2).unwrap() > k.count(0).unwrap());
+    }
+
+    #[test]
+    fn interpolation_reproduces_grid_times() {
+        let pop = population(2000, 120.0, 10);
+        let k = KernelEstimator::new(40)
+            .unwrap()
+            .estimate(&pop, &[0.0, 60.0, 120.0])
+            .unwrap();
+        let ki = k.interpolate_to_times(&[0.0, 60.0, 120.0]).unwrap();
+        assert_eq!(k.q(), ki.q());
+        assert_eq!(k.times(), ki.times());
+    }
+
+    #[test]
+    fn interpolation_between_times_is_normalized_and_bracketed() {
+        // Fine source grid (Δt = 10 min): the cohort density moves little
+        // between samples, so linear time-interpolation is accurate.
+        let pop = population(3000, 120.0, 11);
+        let source_times: Vec<f64> = (0..=12).map(|i| 10.0 * i as f64).collect();
+        let k = KernelEstimator::new(40)
+            .unwrap()
+            .estimate(&pop, &source_times)
+            .unwrap();
+        let ki = k.interpolate_to_times(&[15.0, 55.0, 95.0]).unwrap();
+        for ti in 0..3 {
+            assert!((ki.integral(ti).unwrap() - 1.0).abs() < 1e-9);
+            assert!(ki.row(ti).unwrap().iter().all(|&q| q >= 0.0));
+        }
+        // Mean phase at an interpolated time sits between its brackets and
+        // matches a direct estimate closely.
+        let m15 = ki.mean_phase(0).unwrap();
+        assert!(m15 > k.mean_phase(1).unwrap() && m15 < k.mean_phase(2).unwrap());
+        let direct = KernelEstimator::new(40).unwrap().estimate(&pop, &[55.0]).unwrap();
+        let dm = (ki.mean_phase(1).unwrap() - direct.mean_phase(0).unwrap()).abs();
+        assert!(dm < 0.01, "mean-phase gap {dm}");
+    }
+
+    #[test]
+    fn interpolation_rejects_out_of_span() {
+        let pop = population(500, 100.0, 12);
+        let k = KernelEstimator::new(20)
+            .unwrap()
+            .estimate(&pop, &[0.0, 100.0])
+            .unwrap();
+        assert!(k.interpolate_to_times(&[]).is_err());
+        assert!(k.interpolate_to_times(&[-1.0]).is_err());
+        assert!(k.interpolate_to_times(&[101.0]).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KernelEstimator::new(0).is_err());
+        let pop = population(100, 50.0, 9);
+        let est = KernelEstimator::new(10).unwrap();
+        assert!(est.estimate(&pop, &[]).is_err());
+        assert!(est.estimate(&pop, &[100.0]).is_err());
+        let k = est.estimate(&pop, &[0.0]).unwrap();
+        assert!(k.row(5).is_err());
+        assert!(k.total_volume(5).is_err());
+        assert!(k.count(5).is_err());
+    }
+}

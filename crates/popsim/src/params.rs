@@ -1,0 +1,308 @@
+//! Population parameter distributions `θₖ = {φ_sst, T}`.
+
+use cellsync_stats::dist::{ContinuousDistribution, Normal, TruncatedNormal};
+use rand::Rng;
+
+use crate::{PopsimError, Result};
+
+/// One cell's cycle parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Theta {
+    /// Phase of the swarmer-to-stalked transition, in `(0, 1)`.
+    pub phi_sst: f64,
+    /// Total cell-cycle duration in minutes.
+    pub cycle_time: f64,
+}
+
+/// Population-level distributions of the per-cell parameters.
+///
+/// Defaults follow the paper: `φ_sst ~ N(0.15, (0.13·0.15)²)` — the mean
+/// updated from 0.25 in the 2009 work to 0.15 with new experimental
+/// evidence — truncated to `(0.02, 0.5]`, and cycle times
+/// `T ~ N(150, (0.12·150)²)` minutes truncated to `[60, 300]`.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_popsim::CellCycleParams;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+/// let params = CellCycleParams::caulobacter()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let theta = params.sample_theta(&mut rng);
+/// assert!(theta.phi_sst > 0.0 && theta.phi_sst < 1.0);
+/// assert!(theta.cycle_time > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellCycleParams {
+    mu_sst: f64,
+    cv_sst: f64,
+    mean_cycle: f64,
+    cv_cycle: f64,
+    sst_dist: TruncatedNormal,
+    cycle_dist: TruncatedNormal,
+}
+
+impl CellCycleParams {
+    /// Mean SW→ST transition phase from the paper (updated value).
+    pub const MU_SST_UPDATED: f64 = 0.15;
+    /// Mean SW→ST transition phase used in the earlier 2009 work,
+    /// retained for the ablation experiments.
+    pub const MU_SST_LEGACY: f64 = 0.25;
+    /// CV of the transition phase (paper §2.1).
+    pub const CV_SST: f64 = 0.13;
+    /// Mean Caulobacter cycle time in minutes (paper §4.1).
+    pub const MEAN_CYCLE_MIN: f64 = 150.0;
+    /// Default CV of the cycle time.
+    pub const CV_CYCLE: f64 = 0.12;
+
+    /// Builds a parameter set with explicit values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::InvalidParameter`] when `mu_sst ∉ (0, 0.5]`,
+    /// CVs are non-positive, or the cycle-time mean is non-positive.
+    pub fn new(mu_sst: f64, cv_sst: f64, mean_cycle: f64, cv_cycle: f64) -> Result<Self> {
+        if !(mu_sst > 0.0 && mu_sst <= 0.5) {
+            return Err(PopsimError::InvalidParameter {
+                name: "mu_sst",
+                value: mu_sst,
+            });
+        }
+        if !(cv_sst > 0.0) || !cv_sst.is_finite() {
+            return Err(PopsimError::InvalidParameter {
+                name: "cv_sst",
+                value: cv_sst,
+            });
+        }
+        if !(mean_cycle > 0.0) || !mean_cycle.is_finite() {
+            return Err(PopsimError::InvalidParameter {
+                name: "mean_cycle",
+                value: mean_cycle,
+            });
+        }
+        if !(cv_cycle > 0.0) || !cv_cycle.is_finite() {
+            return Err(PopsimError::InvalidParameter {
+                name: "cv_cycle",
+                value: cv_cycle,
+            });
+        }
+        let sst_base = Normal::from_mean_cv(mu_sst, cv_sst)?;
+        // Keep transitions strictly inside the cycle; 0.02 avoids pathological
+        // near-zero swarmer stages, 0.5 is far beyond 6σ of the default.
+        let sst_dist = TruncatedNormal::new(sst_base, 0.02, 0.5)?;
+        let cycle_base = Normal::from_mean_cv(mean_cycle, cv_cycle)?;
+        let cycle_dist =
+            TruncatedNormal::new(cycle_base, 0.4 * mean_cycle, 2.0 * mean_cycle)?;
+        Ok(CellCycleParams {
+            mu_sst,
+            cv_sst,
+            mean_cycle,
+            cv_cycle,
+            sst_dist,
+            cycle_dist,
+        })
+    }
+
+    /// The paper's Caulobacter defaults (`μ_sst = 0.15`, CV 0.13;
+    /// `T̄ = 150 min`, CV 0.12).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for constructor uniformity.
+    pub fn caulobacter() -> Result<Self> {
+        CellCycleParams::new(
+            Self::MU_SST_UPDATED,
+            Self::CV_SST,
+            Self::MEAN_CYCLE_MIN,
+            Self::CV_CYCLE,
+        )
+    }
+
+    /// The 2009 legacy parameterization (`μ_sst = 0.25`), for ablations.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for constructor uniformity.
+    pub fn caulobacter_legacy() -> Result<Self> {
+        CellCycleParams::new(
+            Self::MU_SST_LEGACY,
+            Self::CV_SST,
+            Self::MEAN_CYCLE_MIN,
+            Self::CV_CYCLE,
+        )
+    }
+
+    /// Returns a copy with a different mean transition phase.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CellCycleParams::new`].
+    pub fn with_mu_sst(&self, mu_sst: f64) -> Result<Self> {
+        CellCycleParams::new(mu_sst, self.cv_sst, self.mean_cycle, self.cv_cycle)
+    }
+
+    /// Returns a copy with a different mean cycle time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CellCycleParams::new`].
+    pub fn with_mean_cycle(&self, mean_cycle: f64) -> Result<Self> {
+        CellCycleParams::new(self.mu_sst, self.cv_sst, mean_cycle, self.cv_cycle)
+    }
+
+    /// Mean SW→ST transition phase.
+    pub fn mu_sst(&self) -> f64 {
+        self.mu_sst
+    }
+
+    /// CV of the transition phase.
+    pub fn cv_sst(&self) -> f64 {
+        self.cv_sst
+    }
+
+    /// Mean cycle time (minutes).
+    pub fn mean_cycle(&self) -> f64 {
+        self.mean_cycle
+    }
+
+    /// CV of the cycle time.
+    pub fn cv_cycle(&self) -> f64 {
+        self.cv_cycle
+    }
+
+    /// Standard deviation of the (untruncated) transition-phase normal.
+    pub fn sigma_sst(&self) -> f64 {
+        self.mu_sst * self.cv_sst
+    }
+
+    /// Density `p(φ)` of the transition phase — the Gaussian weight in the
+    /// conservation and rate-continuity constraint functionals (paper
+    /// eqs. 14–19 use the untruncated normal density).
+    pub fn sst_density(&self, phi: f64) -> f64 {
+        let sigma = self.sigma_sst();
+        let z = (phi - self.mu_sst) / sigma;
+        (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Draws one cell's parameters.
+    pub fn sample_theta<R: Rng + ?Sized>(&self, rng: &mut R) -> Theta {
+        Theta {
+            phi_sst: self.sst_dist.sample(rng),
+            cycle_time: self.cycle_dist.sample(rng),
+        }
+    }
+
+    /// Draws an initial swarmer phase `φ₀ ~ U(0, φ_sst)` given the cell's
+    /// transition phase (paper §2.1: every cell in the inoculum satisfies
+    /// `φₖ(0) ≤ φ_sst,k`).
+    pub fn sample_initial_swarmer_phase<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        phi_sst: f64,
+    ) -> f64 {
+        rng.gen_range(0.0..phi_sst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = CellCycleParams::caulobacter().unwrap();
+        assert_eq!(p.mu_sst(), 0.15);
+        assert_eq!(p.cv_sst(), 0.13);
+        assert_eq!(p.mean_cycle(), 150.0);
+        assert!((p.sigma_sst() - 0.0195).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_value_available() {
+        let p = CellCycleParams::caulobacter_legacy().unwrap();
+        assert_eq!(p.mu_sst(), 0.25);
+    }
+
+    #[test]
+    fn sampled_thetas_in_range() {
+        let p = CellCycleParams::caulobacter().unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..5000 {
+            let th = p.sample_theta(&mut rng);
+            assert!(th.phi_sst > 0.0 && th.phi_sst <= 0.5);
+            assert!(th.cycle_time >= 60.0 && th.cycle_time <= 300.0);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let p = CellCycleParams::caulobacter().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum_sst = 0.0;
+        let mut sum_t = 0.0;
+        for _ in 0..n {
+            let th = p.sample_theta(&mut rng);
+            sum_sst += th.phi_sst;
+            sum_t += th.cycle_time;
+        }
+        assert!((sum_sst / n as f64 - 0.15).abs() < 1e-3);
+        assert!((sum_t / n as f64 - 150.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn initial_swarmer_phase_below_transition() {
+        let p = CellCycleParams::caulobacter().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let th = p.sample_theta(&mut rng);
+            let phi0 = p.sample_initial_swarmer_phase(&mut rng, th.phi_sst);
+            assert!(phi0 >= 0.0 && phi0 < th.phi_sst);
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let p = CellCycleParams::caulobacter().unwrap();
+        let n = 20_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let phi = (i as f64 + 0.5) / n as f64;
+            acc += p.sst_density(phi);
+        }
+        acc /= n as f64;
+        assert!((acc - 1.0).abs() < 1e-6, "mass {acc}");
+    }
+
+    #[test]
+    fn density_peaks_at_mean() {
+        let p = CellCycleParams::caulobacter().unwrap();
+        assert!(p.sst_density(0.15) > p.sst_density(0.10));
+        assert!(p.sst_density(0.15) > p.sst_density(0.20));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(CellCycleParams::new(0.0, 0.13, 150.0, 0.12).is_err());
+        assert!(CellCycleParams::new(0.6, 0.13, 150.0, 0.12).is_err());
+        assert!(CellCycleParams::new(0.15, 0.0, 150.0, 0.12).is_err());
+        assert!(CellCycleParams::new(0.15, 0.13, -1.0, 0.12).is_err());
+        assert!(CellCycleParams::new(0.15, 0.13, 150.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let p = CellCycleParams::caulobacter().unwrap();
+        let q = p.with_mu_sst(0.25).unwrap();
+        assert_eq!(q.mu_sst(), 0.25);
+        assert_eq!(q.mean_cycle(), 150.0);
+        let r = p.with_mean_cycle(120.0).unwrap();
+        assert_eq!(r.mean_cycle(), 120.0);
+    }
+}

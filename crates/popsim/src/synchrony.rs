@@ -1,0 +1,180 @@
+//! Synchrony metrics for simulated populations.
+//!
+//! The paper's premise is that batch-culture synchrony decays: cells enter
+//! the experiment aligned (`φₖ(0) ≤ φ_sst,k`) but individual cycle-time
+//! variability spreads them around the cycle, which is what makes the raw
+//! population average uninformative at late times. This module quantifies
+//! that decay with the standard circular statistics of phase oscillators:
+//! the Kuramoto-style order parameter (synchrony index) and circular
+//! variance.
+
+use crate::{PopsimError, Population, Result};
+
+/// Circular synchrony statistics of a population snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynchronyIndex {
+    /// Kuramoto order parameter `R = |⟨e^{2πiφ}⟩| ∈ [0, 1]`:
+    /// 1 = perfectly synchronized, 0 = uniformly spread.
+    pub order_parameter: f64,
+    /// Circular mean phase `∈ [0, 1)`.
+    pub mean_phase: f64,
+    /// Circular variance `1 − R`.
+    pub circular_variance: f64,
+    /// Number of cells in the snapshot.
+    pub cells: usize,
+}
+
+/// Computes the synchrony index of the phases alive at time `t`.
+///
+/// # Errors
+///
+/// * Propagates snapshot errors ([`PopsimError::TimeOutOfRange`]).
+/// * Returns [`PopsimError::EmptyConfiguration`] when no cells are alive.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_popsim::{synchrony, CellCycleParams, InitialCondition, Population};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+/// let params = CellCycleParams::caulobacter()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pop = Population::synchronized(1000, &params, InitialCondition::UniformSwarmer, &mut rng)?
+///     .simulate_until(300.0)?;
+/// let early = synchrony::index_at(&pop, 0.0)?;
+/// let late = synchrony::index_at(&pop, 300.0)?;
+/// assert!(early.order_parameter > late.order_parameter);
+/// # Ok(())
+/// # }
+/// ```
+pub fn index_at(population: &Population, t: f64) -> Result<SynchronyIndex> {
+    let snapshot = population.snapshot_at(t)?;
+    if snapshot.is_empty() {
+        return Err(PopsimError::EmptyConfiguration("no live cells at time"));
+    }
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (phi, _) in &snapshot {
+        re += (two_pi * phi).cos();
+        im += (two_pi * phi).sin();
+    }
+    let n = snapshot.len() as f64;
+    re /= n;
+    im /= n;
+    let r = (re * re + im * im).sqrt();
+    let mean_angle = im.atan2(re);
+    let mean_phase = (mean_angle / two_pi).rem_euclid(1.0);
+    Ok(SynchronyIndex {
+        order_parameter: r,
+        mean_phase,
+        circular_variance: 1.0 - r,
+        cells: snapshot.len(),
+    })
+}
+
+/// Synchrony decay curve: the order parameter sampled at each time.
+///
+/// # Errors
+///
+/// Same as [`index_at`]; additionally
+/// [`PopsimError::EmptyConfiguration`] for an empty time list.
+pub fn decay_curve(population: &Population, times: &[f64]) -> Result<Vec<SynchronyIndex>> {
+    if times.is_empty() {
+        return Err(PopsimError::EmptyConfiguration("times"));
+    }
+    times.iter().map(|&t| index_at(population, t)).collect()
+}
+
+/// The half-synchrony time: first sampled time at which the order
+/// parameter falls below `threshold`, or `None` if it never does.
+///
+/// # Errors
+///
+/// Same as [`decay_curve`].
+pub fn time_below(
+    population: &Population,
+    times: &[f64],
+    threshold: f64,
+) -> Result<Option<f64>> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(PopsimError::InvalidParameter {
+            name: "threshold",
+            value: threshold,
+        });
+    }
+    let curve = decay_curve(population, times)?;
+    Ok(times
+        .iter()
+        .zip(&curve)
+        .find(|(_, s)| s.order_parameter < threshold)
+        .map(|(&t, _)| t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellCycleParams, InitialCondition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(init: InitialCondition, horizon: f64, seed: u64) -> Population {
+        let params = CellCycleParams::caulobacter().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Population::synchronized(3000, &params, init, &mut rng)
+            .unwrap()
+            .simulate_until(horizon)
+            .unwrap()
+    }
+
+    #[test]
+    fn synchronized_start_has_high_order() {
+        let pop = build(InitialCondition::UniformSwarmer, 0.0, 1);
+        let s = index_at(&pop, 0.0).unwrap();
+        assert!(s.order_parameter > 0.9, "R = {}", s.order_parameter);
+        // Mean phase in the swarmer window.
+        assert!(s.mean_phase < 0.15 || s.mean_phase > 0.9);
+        assert_eq!(s.cells, 3000);
+    }
+
+    #[test]
+    fn asynchronous_control_has_low_order() {
+        let pop = build(InitialCondition::UniformPhase, 0.0, 2);
+        let s = index_at(&pop, 0.0).unwrap();
+        assert!(s.order_parameter < 0.1, "R = {}", s.order_parameter);
+        assert!(s.circular_variance > 0.9);
+    }
+
+    #[test]
+    fn synchrony_decays_monotonically_on_cycle_marks() {
+        // Compare at integer multiples of the mean cycle to avoid the
+        // within-cycle oscillation of R.
+        let pop = build(InitialCondition::UniformSwarmer, 450.0, 3);
+        let r0 = index_at(&pop, 0.0).unwrap().order_parameter;
+        let r1 = index_at(&pop, 150.0).unwrap().order_parameter;
+        let r2 = index_at(&pop, 300.0).unwrap().order_parameter;
+        let r3 = index_at(&pop, 450.0).unwrap().order_parameter;
+        assert!(r0 > r1 && r1 > r2 && r2 > r3, "{r0} {r1} {r2} {r3}");
+    }
+
+    #[test]
+    fn all_at_zero_is_perfectly_ordered() {
+        let pop = build(InitialCondition::AllAtZero, 0.0, 4);
+        let s = index_at(&pop, 0.0).unwrap();
+        assert!((s.order_parameter - 1.0).abs() < 1e-12);
+        assert!(s.mean_phase.abs() < 1e-9 || (s.mean_phase - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_curve_and_threshold() {
+        let pop = build(InitialCondition::UniformSwarmer, 600.0, 5);
+        let times: Vec<f64> = (0..=4).map(|i| i as f64 * 150.0).collect();
+        let curve = decay_curve(&pop, &times).unwrap();
+        assert_eq!(curve.len(), 5);
+        let crossing = time_below(&pop, &times, 0.5).unwrap();
+        assert!(crossing.is_some(), "synchrony should fall below 0.5 by 600 min");
+        assert!(time_below(&pop, &times, -0.1).is_err());
+        assert!(decay_curve(&pop, &[]).is_err());
+    }
+}

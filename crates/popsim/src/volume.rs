@@ -1,0 +1,263 @@
+//! Cell-volume models `v(φ)` in units of the predivisional volume `V₀`.
+//!
+//! Division partitions Caulobacter volume 40 % to the swarmer daughter and
+//! 60 % to the stalked daughter (Thanbichler & Shapiro 2006), pinning
+//! `v(0) = 0.4`, `v(φ_sst) = 0.6`, `v(1) = 1` (paper eqs. 6–8). The smooth
+//! model additionally matches the volume growth *rate* across division,
+//! `v'(0) = v'(φ_sst) = v'(1)` (eqs. 9–10), via the piecewise cubic of
+//! eq. 11.
+
+use crate::{PopsimError, Result};
+
+/// Volume fraction handed to the swarmer daughter at division.
+pub const SWARMER_FRACTION: f64 = 0.4;
+/// Volume fraction handed to the stalked daughter at division.
+pub const STALKED_FRACTION: f64 = 0.6;
+
+/// A model of single-cell volume as a function of cycle phase.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_popsim::VolumeModel;
+///
+/// # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+/// let m = VolumeModel::SmoothCubic;
+/// // The three division conditions of paper eqs. 6–8:
+/// assert!((m.volume(0.0, 0.15)? - 0.4).abs() < 1e-12);
+/// assert!((m.volume(0.15, 0.15)? - 0.6).abs() < 1e-12);
+/// assert!((m.volume(1.0, 0.15)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum VolumeModel {
+    /// Piecewise-linear volume through `(0, 0.4)`, `(φ_sst, 0.6)`, `(1, 1)`
+    /// — the model of the 2009 work ([11] in the paper), which satisfies
+    /// the value conditions (6)–(8) but not the rate conditions (9)–(10).
+    Linear,
+    /// The smooth piecewise-cubic model of paper eq. 11: cubic on
+    /// `[0, φ_sst)`, linear on `[φ_sst, 1)`, satisfying all five
+    /// conditions (6)–(10).
+    #[default]
+    SmoothCubic,
+}
+
+impl VolumeModel {
+    fn check_args(phi: f64, phi_sst: f64) -> Result<()> {
+        if !(0.0..=1.0).contains(&phi) || !phi.is_finite() {
+            return Err(PopsimError::InvalidPhase(phi));
+        }
+        if !(phi_sst > 0.0 && phi_sst < 1.0) {
+            return Err(PopsimError::InvalidParameter {
+                name: "phi_sst",
+                value: phi_sst,
+            });
+        }
+        Ok(())
+    }
+
+    /// Volume at phase `phi` for a cell with transition phase `phi_sst`,
+    /// in units of `V₀`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PopsimError::InvalidPhase`] for `phi ∉ [0, 1]`.
+    /// * [`PopsimError::InvalidParameter`] for `phi_sst ∉ (0, 1)`.
+    pub fn volume(&self, phi: f64, phi_sst: f64) -> Result<f64> {
+        Self::check_args(phi, phi_sst)?;
+        let p = phi_sst;
+        Ok(match self {
+            VolumeModel::Linear => {
+                if phi < p {
+                    // (0, 0.4) → (p, 0.6)
+                    SWARMER_FRACTION + (STALKED_FRACTION - SWARMER_FRACTION) * phi / p
+                } else {
+                    // (p, 0.6) → (1, 1.0)
+                    STALKED_FRACTION + (1.0 - STALKED_FRACTION) * (phi - p) / (1.0 - p)
+                }
+            }
+            VolumeModel::SmoothCubic => {
+                if phi < p {
+                    // Paper eq. 11, first piece (coefficients verbatim).
+                    let c1 = 0.4 / (1.0 - p);
+                    let c2 = (0.6 - 1.8 * p) / ((1.0 - p) * p * p);
+                    let c3 = (1.2 * p - 0.4) / ((1.0 - p) * p * p * p);
+                    0.4 + c1 * phi + c2 * phi * phi + c3 * phi * phi * phi
+                } else {
+                    // Second piece: linear with slope 0.4/(1−p).
+                    1.0 - 0.4 / (1.0 - p) + 0.4 / (1.0 - p) * phi
+                }
+            }
+        })
+    }
+
+    /// Rate of volume change `dv/dφ` at phase `phi`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VolumeModel::volume`].
+    pub fn volume_rate(&self, phi: f64, phi_sst: f64) -> Result<f64> {
+        Self::check_args(phi, phi_sst)?;
+        let p = phi_sst;
+        Ok(match self {
+            VolumeModel::Linear => {
+                if phi < p {
+                    (STALKED_FRACTION - SWARMER_FRACTION) / p
+                } else {
+                    (1.0 - STALKED_FRACTION) / (1.0 - p)
+                }
+            }
+            VolumeModel::SmoothCubic => {
+                if phi < p {
+                    let c1 = 0.4 / (1.0 - p);
+                    let c2 = (0.6 - 1.8 * p) / ((1.0 - p) * p * p);
+                    let c3 = (1.2 * p - 0.4) / ((1.0 - p) * p * p * p);
+                    c1 + 2.0 * c2 * phi + 3.0 * c3 * phi * phi
+                } else {
+                    0.4 / (1.0 - p)
+                }
+            }
+        })
+    }
+
+    /// The growth-rate constant `β(φ_sst) = v'(1)/V₀ = 0.4/(1 − φ_sst)`
+    /// used by the rate-continuity constraint (paper eq. 12).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::InvalidParameter`] for `phi_sst ∉ (0, 1)`.
+    pub fn beta(phi_sst: f64) -> Result<f64> {
+        if !(phi_sst > 0.0 && phi_sst < 1.0) {
+            return Err(PopsimError::InvalidParameter {
+                name: "phi_sst",
+                value: phi_sst,
+            });
+        }
+        Ok(0.4 / (1.0 - phi_sst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PHI_SSTS: [f64; 4] = [0.10, 0.15, 0.25, 0.40];
+
+    #[test]
+    fn value_conditions_6_to_8_both_models() {
+        for model in [VolumeModel::Linear, VolumeModel::SmoothCubic] {
+            for &p in &PHI_SSTS {
+                assert!((model.volume(0.0, p).unwrap() - 0.4).abs() < 1e-12, "{model:?} p={p}");
+                assert!((model.volume(p, p).unwrap() - 0.6).abs() < 1e-9, "{model:?} p={p}");
+                assert!((model.volume(1.0, p).unwrap() - 1.0).abs() < 1e-12, "{model:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_conditions_9_and_10_smooth_model() {
+        let m = VolumeModel::SmoothCubic;
+        for &p in &PHI_SSTS {
+            let v_end = m.volume_rate(1.0, p).unwrap();
+            let v_start = m.volume_rate(0.0, p).unwrap();
+            // v'(φ_sst) from the left (cubic piece) must match the linear slope.
+            let v_sst_left = m.volume_rate(p - 1e-12, p).unwrap();
+            assert!((v_start - v_end).abs() < 1e-9, "p={p}");
+            assert!((v_sst_left - v_end).abs() < 1e-6, "p={p}");
+            assert!((v_end - 0.4 / (1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_model_violates_rate_conditions() {
+        // The legacy model is *supposed* to break eqs. 9–10 (that is the
+        // paper's motivation for eq. 11).
+        let m = VolumeModel::Linear;
+        let p = 0.15;
+        let slope_sw = m.volume_rate(0.05, p).unwrap();
+        let slope_st = m.volume_rate(0.5, p).unwrap();
+        assert!((slope_sw - slope_st).abs() > 0.1);
+    }
+
+    #[test]
+    fn volume_is_monotone_nondecreasing() {
+        for model in [VolumeModel::Linear, VolumeModel::SmoothCubic] {
+            for &p in &PHI_SSTS {
+                let mut prev = model.volume(0.0, p).unwrap();
+                for i in 1..=200 {
+                    let phi = i as f64 / 200.0;
+                    let v = model.volume(phi, p).unwrap();
+                    assert!(
+                        v >= prev - 1e-9,
+                        "{model:?} p={p} phi={phi}: {v} < {prev}"
+                    );
+                    prev = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn division_conserves_volume() {
+        // v_SW(0) + v_ST(φ_sst) = 0.4 + 0.6 = v(1): total volume is conserved
+        // across division for any pair of daughter transition phases.
+        for model in [VolumeModel::Linear, VolumeModel::SmoothCubic] {
+            let sw = model.volume(0.0, 0.17).unwrap();
+            let st = model.volume(0.12, 0.12).unwrap();
+            assert!((sw + st - 1.0).abs() < 1e-9, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn rate_matches_finite_difference() {
+        let m = VolumeModel::SmoothCubic;
+        let p = 0.15;
+        let h = 1e-7;
+        for &phi in &[0.03, 0.08, 0.13, 0.3, 0.7, 0.95] {
+            let fd = (m.volume(phi + h, p).unwrap() - m.volume(phi - h, p).unwrap()) / (2.0 * h);
+            let an = m.volume_rate(phi, p).unwrap();
+            assert!((fd - an).abs() < 1e-5, "phi={phi}: fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn smooth_and_linear_agree_at_knots_only() {
+        let p = 0.15;
+        let lin = VolumeModel::Linear;
+        let smo = VolumeModel::SmoothCubic;
+        // Models agree at the pinned points...
+        for &phi in &[0.0, p, 1.0] {
+            assert!(
+                (lin.volume(phi, p).unwrap() - smo.volume(phi, p).unwrap()).abs() < 1e-9
+            );
+        }
+        // ...and the smooth ST piece is also linear, so they agree there too;
+        // they must differ inside the swarmer stage.
+        let mid = 0.07;
+        assert!((lin.volume(mid, p).unwrap() - smo.volume(mid, p).unwrap()).abs() > 1e-4);
+    }
+
+    #[test]
+    fn beta_formula() {
+        assert!((VolumeModel::beta(0.15).unwrap() - 0.4 / 0.85).abs() < 1e-15);
+        assert!(VolumeModel::beta(0.0).is_err());
+        assert!(VolumeModel::beta(1.0).is_err());
+    }
+
+    #[test]
+    fn argument_validation() {
+        let m = VolumeModel::SmoothCubic;
+        assert!(m.volume(-0.1, 0.15).is_err());
+        assert!(m.volume(1.1, 0.15).is_err());
+        assert!(m.volume(0.5, 0.0).is_err());
+        assert!(m.volume(0.5, 1.0).is_err());
+        assert!(m.volume_rate(f64::NAN, 0.15).is_err());
+    }
+
+    #[test]
+    fn default_is_smooth() {
+        assert_eq!(VolumeModel::default(), VolumeModel::SmoothCubic);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the population-model invariants.
+
+use cellsync_popsim::{
+    CellCycleParams, CellTypeThresholds, InitialCondition, KernelEstimator, Population,
+    VolumeModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn volume_models_satisfy_value_conditions(phi_sst in 0.05..0.45f64) {
+        for model in [VolumeModel::Linear, VolumeModel::SmoothCubic] {
+            let v0 = model.volume(0.0, phi_sst).expect("valid phase");
+            let vs = model.volume(phi_sst, phi_sst).expect("valid phase");
+            let v1 = model.volume(1.0, phi_sst).expect("valid phase");
+            prop_assert!((v0 - 0.4).abs() < 1e-9);
+            prop_assert!((vs - 0.6).abs() < 1e-6);
+            prop_assert!((v1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smooth_volume_satisfies_rate_conditions(phi_sst in 0.05..0.45f64) {
+        let m = VolumeModel::SmoothCubic;
+        let r0 = m.volume_rate(0.0, phi_sst).expect("valid phase");
+        let r1 = m.volume_rate(1.0, phi_sst).expect("valid phase");
+        let rs = m.volume_rate(phi_sst - 1e-9, phi_sst).expect("valid phase");
+        prop_assert!((r0 - r1).abs() < 1e-8, "v'(0) = {r0} vs v'(1) = {r1}");
+        prop_assert!((rs - r1).abs() < 1e-5, "v'(sst) = {rs} vs v'(1) = {r1}");
+    }
+
+    #[test]
+    fn volume_monotone_for_any_transition(phi_sst in 0.05..0.45f64, steps in 10usize..60) {
+        for model in [VolumeModel::Linear, VolumeModel::SmoothCubic] {
+            let mut prev = model.volume(0.0, phi_sst).expect("valid phase");
+            for i in 1..=steps {
+                let phi = i as f64 / steps as f64;
+                let v = model.volume(phi, phi_sst).expect("valid phase");
+                prop_assert!(v >= prev - 1e-9, "{model:?} not monotone at {phi}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_rows_normalized_for_any_protocol(
+        seed in 0u64..1000,
+        bins in 8usize..64,
+        horizon in 30.0..200.0f64,
+    ) {
+        let params = CellCycleParams::caulobacter().expect("defaults valid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = Population::synchronized(
+            300, &params, InitialCondition::UniformSwarmer, &mut rng,
+        )
+        .expect("non-empty")
+        .simulate_until(horizon)
+        .expect("finite horizon");
+        let times = [0.0, horizon / 2.0, horizon];
+        let kernel = KernelEstimator::new(bins)
+            .expect("bins > 0")
+            .estimate(&pop, &times)
+            .expect("valid times");
+        for ti in 0..times.len() {
+            let integral = kernel.integral(ti).expect("index in range");
+            prop_assert!((integral - 1.0).abs() < 1e-9, "integral {integral}");
+            prop_assert!(kernel.row(ti).expect("index").iter().all(|&q| q >= 0.0));
+        }
+    }
+
+    #[test]
+    fn snapshot_phases_always_valid(seed in 0u64..1000, t_frac in 0.0..1.0f64) {
+        let params = CellCycleParams::caulobacter().expect("defaults valid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = 250.0;
+        let pop = Population::synchronized(
+            200, &params, InitialCondition::UniformSwarmer, &mut rng,
+        )
+        .expect("non-empty")
+        .simulate_until(horizon)
+        .expect("finite");
+        let snapshot = pop.snapshot_at(t_frac * horizon).expect("time in range");
+        prop_assert!(!snapshot.is_empty());
+        for (phi, theta) in snapshot {
+            prop_assert!((0.0..1.0).contains(&phi), "phase {phi}");
+            prop_assert!(theta.phi_sst > 0.0 && theta.phi_sst <= 0.5);
+            prop_assert!(theta.cycle_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn classification_is_total_and_ordered(
+        phi in 0.0..=1.0f64,
+        phi_sst in 0.05..0.45f64,
+    ) {
+        let th = CellTypeThresholds::paper_mid();
+        // classify never fails on valid phases, and later phases never map
+        // to earlier types.
+        let ty = th.classify(phi, phi_sst).expect("valid phase");
+        let later = th.classify(1.0, phi_sst).expect("valid phase");
+        let order = |t| cellsync_popsim::CellType::ALL.iter().position(|x| *x == t);
+        prop_assert!(order(ty) <= order(later));
+    }
+
+    #[test]
+    fn type_fractions_partition(seed in 0u64..500, t in 0.0..150.0f64) {
+        let params = CellCycleParams::caulobacter().expect("defaults valid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = Population::synchronized(
+            300, &params, InitialCondition::UniformSwarmer, &mut rng,
+        )
+        .expect("non-empty")
+        .simulate_until(150.0)
+        .expect("finite");
+        let f = cellsync_popsim::celltype::type_fractions(
+            &pop,
+            &[t],
+            &CellTypeThresholds::paper_mid(),
+        )
+        .expect("valid time");
+        let total: f64 = cellsync_popsim::CellType::ALL
+            .iter()
+            .map(|&ty| f.fraction(0, ty).expect("index"))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+}

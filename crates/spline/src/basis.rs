@@ -1,0 +1,405 @@
+//! The cardinal natural-spline basis and its exact roughness penalty.
+
+use cellsync_linalg::Matrix;
+
+use crate::{CubicSpline, Result, SplineError};
+
+/// The cardinal basis `{ψᵢ}` of natural cubic splines on a knot grid:
+/// `ψᵢ` is the natural cubic spline with `ψᵢ(t_j) = δᵢⱼ`.
+///
+/// Any natural cubic spline on the grid is `f_α(φ) = Σ αᵢψᵢ(φ)` with
+/// `αᵢ = f(tᵢ)` — coefficients *are* knot values, which makes the
+/// positivity constraint of the deconvolution QP (`f ≥ 0` on a dense grid)
+/// and the reporting of reconstructed profiles particularly transparent.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_spline::NaturalSplineBasis;
+///
+/// # fn main() -> Result<(), cellsync_spline::SplineError> {
+/// let basis = NaturalSplineBasis::uniform(6, 0.0, 1.0)?;
+/// // Kronecker property at the knots:
+/// assert!((basis.eval(2, basis.knots()[2]) - 1.0).abs() < 1e-12);
+/// assert!(basis.eval(2, basis.knots()[3]).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaturalSplineBasis {
+    knots: Vec<f64>,
+    /// One cardinal spline per knot.
+    cardinals: Vec<CubicSpline>,
+}
+
+impl NaturalSplineBasis {
+    /// Builds the cardinal basis on the given knots.
+    ///
+    /// # Errors
+    ///
+    /// * [`SplineError::TooFewKnots`] for fewer than 4 knots (the
+    ///   deconvolution problem needs genuine curvature).
+    /// * [`SplineError::InvalidKnots`] for unsorted/non-finite knots.
+    pub fn new(knots: Vec<f64>) -> Result<Self> {
+        if knots.len() < 4 {
+            return Err(SplineError::TooFewKnots {
+                got: knots.len(),
+                need: 4,
+            });
+        }
+        if knots.iter().any(|x| !x.is_finite()) || knots.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(SplineError::InvalidKnots);
+        }
+        let n = knots.len();
+        let mut cardinals = Vec::with_capacity(n);
+        let mut delta = vec![0.0; n];
+        for i in 0..n {
+            delta[i] = 1.0;
+            cardinals.push(CubicSpline::interpolate(&knots, &delta)?);
+            delta[i] = 0.0;
+        }
+        Ok(NaturalSplineBasis { knots, cardinals })
+    }
+
+    /// Builds the basis on `n` uniformly spaced knots over `[a, b]`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NaturalSplineBasis::new`], plus
+    /// [`SplineError::InvalidArgument`] for a degenerate interval.
+    pub fn uniform(n: usize, a: f64, b: f64) -> Result<Self> {
+        if !a.is_finite() || !b.is_finite() || a >= b {
+            return Err(SplineError::InvalidArgument(
+                "interval must be finite and non-degenerate",
+            ));
+        }
+        if n < 4 {
+            return Err(SplineError::TooFewKnots { got: n, need: 4 });
+        }
+        let knots: Vec<f64> = (0..n)
+            .map(|i| {
+                if i == n - 1 {
+                    b
+                } else {
+                    a + (b - a) * i as f64 / (n - 1) as f64
+                }
+            })
+            .collect();
+        NaturalSplineBasis::new(knots)
+    }
+
+    /// Number of basis functions (== number of knots).
+    pub fn len(&self) -> usize {
+        self.knots.len()
+    }
+
+    /// Whether the basis is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.knots.is_empty()
+    }
+
+    /// The knot grid.
+    pub fn knots(&self) -> &[f64] {
+        &self.knots
+    }
+
+    /// Domain `(first_knot, last_knot)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.knots[0], self.knots[self.knots.len() - 1])
+    }
+
+    /// Value of basis function `i` at `phi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn eval(&self, i: usize, phi: f64) -> f64 {
+        self.cardinals[i].eval(phi)
+    }
+
+    /// First derivative of basis function `i` at `phi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn deriv(&self, i: usize, phi: f64) -> f64 {
+        self.cardinals[i].deriv(phi)
+    }
+
+    /// Second derivative of basis function `i` at `phi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn deriv2(&self, i: usize, phi: f64) -> f64 {
+        self.cardinals[i].deriv2(phi)
+    }
+
+    /// All basis values at `phi` (a design-matrix row).
+    pub fn eval_all(&self, phi: f64) -> Vec<f64> {
+        self.cardinals.iter().map(|c| c.eval(phi)).collect()
+    }
+
+    /// All basis first derivatives at `phi`.
+    pub fn deriv_all(&self, phi: f64) -> Vec<f64> {
+        self.cardinals.iter().map(|c| c.deriv(phi)).collect()
+    }
+
+    /// Collocation matrix `B[g, i] = ψᵢ(points[g])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplineError::InvalidArgument`] for empty or non-finite
+    /// points.
+    pub fn collocation_matrix(&self, points: &[f64]) -> Result<Matrix> {
+        if points.is_empty() {
+            return Err(SplineError::InvalidArgument("points must be non-empty"));
+        }
+        if points.iter().any(|p| !p.is_finite()) {
+            return Err(SplineError::InvalidArgument("points must be finite"));
+        }
+        Ok(Matrix::from_fn(points.len(), self.len(), |g, i| {
+            self.eval(i, points[g])
+        }))
+    }
+
+    /// Evaluates the spline `Σ coeffs[i]·ψᵢ` at `phi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplineError::CoefficientMismatch`] for wrong-length
+    /// coefficients.
+    pub fn eval_combination(&self, coeffs: &[f64], phi: f64) -> Result<f64> {
+        if coeffs.len() != self.len() {
+            return Err(SplineError::CoefficientMismatch {
+                basis: self.len(),
+                coefficients: coeffs.len(),
+            });
+        }
+        Ok(coeffs
+            .iter()
+            .zip(&self.cardinals)
+            .map(|(a, c)| a * c.eval(phi))
+            .sum())
+    }
+
+    /// Evaluates the derivative of the combination at `phi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplineError::CoefficientMismatch`] for wrong-length
+    /// coefficients.
+    pub fn deriv_combination(&self, coeffs: &[f64], phi: f64) -> Result<f64> {
+        if coeffs.len() != self.len() {
+            return Err(SplineError::CoefficientMismatch {
+                basis: self.len(),
+                coefficients: coeffs.len(),
+            });
+        }
+        Ok(coeffs
+            .iter()
+            .zip(&self.cardinals)
+            .map(|(a, c)| a * c.deriv(phi))
+            .sum())
+    }
+
+    /// The exact roughness Gram matrix `Ωᵢⱼ = ∫ψᵢ''(φ)ψⱼ''(φ)dφ` over the
+    /// knot range.
+    ///
+    /// Cubic-spline second derivatives are piecewise **linear** in φ, so on
+    /// each knot interval `[t_k, t_{k+1}]` of width `h`:
+    ///
+    /// ```text
+    /// ∫ ψᵢ''ψⱼ'' = h·[ Mᵢₖ·Mⱼₖ/3 + (Mᵢₖ·Mⱼₖ₊₁ + Mᵢₖ₊₁·Mⱼₖ)/6 + Mᵢₖ₊₁·Mⱼₖ₊₁/3 ]
+    /// ```
+    ///
+    /// with `M` the knot moments — a closed form with no quadrature error.
+    /// The result is symmetric positive semidefinite with nullity exactly 2
+    /// (constants and linears have zero curvature).
+    pub fn penalty_matrix(&self) -> Matrix {
+        let n = self.len();
+        let mut omega = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mi = self.cardinals[i].moments();
+            for j in i..n {
+                let mj = self.cardinals[j].moments();
+                let mut acc = 0.0;
+                for k in 0..n - 1 {
+                    let h = self.knots[k + 1] - self.knots[k];
+                    acc += h
+                        * (mi[k] * mj[k] / 3.0
+                            + (mi[k] * mj[k + 1] + mi[k + 1] * mj[k]) / 6.0
+                            + mi[k + 1] * mj[k + 1] / 3.0);
+                }
+                omega[(i, j)] = acc;
+                omega[(j, i)] = acc;
+            }
+        }
+        omega
+    }
+
+    /// Exact integrals `∫ψᵢ(φ)dφ` over the knot range, one per basis
+    /// function (the row used to constrain the mean level of a profile).
+    pub fn integrals(&self) -> Vec<f64> {
+        self.cardinals.iter().map(|c| c.integral()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellsync_linalg::Vector;
+
+    fn basis() -> NaturalSplineBasis {
+        NaturalSplineBasis::uniform(8, 0.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn kronecker_property() {
+        let b = basis();
+        for i in 0..b.len() {
+            for (j, &t) in b.knots().iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((b.eval(i, t) - expect).abs() < 1e-10, "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity() {
+        // Constants are natural splines, and interpolation is exact on them,
+        // so Σψᵢ ≡ 1 everywhere in the domain.
+        let b = basis();
+        for k in 0..=50 {
+            let phi = k as f64 / 50.0;
+            let s: f64 = b.eval_all(phi).iter().sum();
+            assert!((s - 1.0).abs() < 1e-10, "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn reproduces_linear_functions() {
+        // Σ tᵢψᵢ(φ) = φ because linears are natural splines.
+        let b = basis();
+        let coeffs: Vec<f64> = b.knots().to_vec();
+        for k in 0..=20 {
+            let phi = k as f64 / 20.0;
+            assert!((b.eval_combination(&coeffs, phi).unwrap() - phi).abs() < 1e-10);
+            assert!((b.deriv_combination(&coeffs, phi).unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coefficients_are_knot_values() {
+        let b = basis();
+        let coeffs: Vec<f64> = (0..b.len()).map(|i| (i as f64).sin() + 2.0).collect();
+        for (i, &t) in b.knots().iter().enumerate() {
+            assert!((b.eval_combination(&coeffs, t).unwrap() - coeffs[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn penalty_matrix_symmetric_psd_with_nullity_two() {
+        let b = basis();
+        let omega = b.penalty_matrix();
+        assert!(omega.asymmetry().unwrap() < 1e-12);
+        let eig = omega.symmetric_eigen().unwrap();
+        let evs = eig.eigenvalues();
+        // No negative eigenvalues (tolerance for roundoff).
+        assert!(evs[0] > -1e-10, "min eigenvalue {}", evs[0]);
+        // Exactly two (near-)zero eigenvalues: constants and linears.
+        let near_zero = evs.iter().filter(|&&v| v.abs() < 1e-8).count();
+        assert_eq!(near_zero, 2, "eigenvalues {evs}");
+    }
+
+    #[test]
+    fn penalty_annihilates_constants_and_linears() {
+        let b = basis();
+        let omega = b.penalty_matrix();
+        let ones = Vector::filled(b.len(), 1.0);
+        assert!(omega.matvec(&ones).unwrap().norm2() < 1e-10);
+        let lin = Vector::from_slice(b.knots());
+        assert!(omega.matvec(&lin).unwrap().norm2() < 1e-10);
+    }
+
+    #[test]
+    fn penalty_matches_quadrature() {
+        // Cross-check one entry against brute-force numerical integration.
+        let b = basis();
+        let omega = b.penalty_matrix();
+        let (i, j) = (2, 4);
+        let n = 200_000;
+        let mut acc = 0.0;
+        for k in 0..n {
+            let phi = (k as f64 + 0.5) / n as f64;
+            acc += b.deriv2(i, phi) * b.deriv2(j, phi);
+        }
+        acc /= n as f64;
+        assert!((omega[(i, j)] - acc).abs() < 1e-6, "{} vs {acc}", omega[(i, j)]);
+    }
+
+    #[test]
+    fn quadratic_penalty_value() {
+        // For f with known curvature: fit knot values of f(φ) = φ² and
+        // compare αᵀΩα to ∫(f'')² where f is the *natural spline interpolant*
+        // (not exactly 4 = ∫(2)² because natural BCs flatten the ends).
+        let b = basis();
+        let omega = b.penalty_matrix();
+        let alpha = Vector::from_slice(
+            &b.knots().iter().map(|t| t * t).collect::<Vec<f64>>(),
+        );
+        let quad = alpha.dot(&omega.matvec(&alpha).unwrap()).unwrap();
+        // Brute-force ∫ s''² for the same spline.
+        let n = 100_000;
+        let mut acc = 0.0;
+        for k in 0..n {
+            let phi = (k as f64 + 0.5) / n as f64;
+            let s2: f64 = (0..b.len()).map(|i| alpha[i] * b.deriv2(i, phi)).sum();
+            acc += s2 * s2;
+        }
+        acc /= n as f64;
+        assert!((quad - acc).abs() / acc < 1e-4, "{quad} vs {acc}");
+    }
+
+    #[test]
+    fn collocation_matrix_shape_and_rows() {
+        let b = basis();
+        let pts = [0.1, 0.5, 0.9];
+        let m = b.collocation_matrix(&pts).unwrap();
+        assert_eq!(m.shape(), (3, b.len()));
+        for (g, &p) in pts.iter().enumerate() {
+            let row = b.eval_all(p);
+            for i in 0..b.len() {
+                assert_eq!(m[(g, i)], row[i]);
+            }
+        }
+        assert!(b.collocation_matrix(&[]).is_err());
+        assert!(b.collocation_matrix(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn integrals_sum_to_domain_length() {
+        // Σᵢ∫ψᵢ = ∫Σψᵢ = ∫1 = |domain|.
+        let b = basis();
+        let total: f64 = b.integrals().iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(NaturalSplineBasis::uniform(3, 0.0, 1.0).is_err());
+        assert!(NaturalSplineBasis::uniform(5, 1.0, 0.0).is_err());
+        assert!(NaturalSplineBasis::new(vec![0.0, 0.0, 0.5, 1.0]).is_err());
+        let b = basis();
+        assert!(b.eval_combination(&[1.0], 0.5).is_err());
+        assert!(b.deriv_combination(&[1.0], 0.5).is_err());
+    }
+
+    #[test]
+    fn uniform_knots_hit_endpoints() {
+        let b = NaturalSplineBasis::uniform(11, 0.0, 1.0).unwrap();
+        assert_eq!(b.knots()[0], 0.0);
+        assert_eq!(b.knots()[10], 1.0);
+        assert_eq!(b.domain(), (0.0, 1.0));
+    }
+}

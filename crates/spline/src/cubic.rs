@@ -1,0 +1,298 @@
+//! Natural cubic spline interpolation with analytic derivatives.
+
+use cellsync_linalg::{Tridiagonal, Vector};
+
+use crate::{Result, SplineError};
+
+/// A natural cubic spline interpolating `(knot, value)` pairs.
+///
+/// "Natural" means the second derivative vanishes at both end knots, which
+/// is the boundary condition minimizing `∫f''²` among all interpolants —
+/// exactly the roughness functional of the deconvolution cost (paper
+/// eq. 5). Outside the knot range the spline continues linearly (consistent
+/// with the vanishing end curvature).
+///
+/// # Example
+///
+/// ```
+/// use cellsync_spline::CubicSpline;
+///
+/// # fn main() -> Result<(), cellsync_spline::SplineError> {
+/// let s = CubicSpline::interpolate(
+///     &[0.0, 0.5, 1.0],
+///     &[0.0, 1.0, 0.0],
+/// )?;
+/// assert!((s.eval(0.5) - 1.0).abs() < 1e-12);
+/// assert!(s.deriv2(0.0).abs() < 1e-12); // natural boundary
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubicSpline {
+    knots: Vec<f64>,
+    values: Vec<f64>,
+    /// Second derivatives ("moments") at the knots; natural BC forces
+    /// `moments[0] == moments[n-1] == 0`.
+    moments: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Constructs the natural cubic interpolant of `values` at `knots`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SplineError::TooFewKnots`] for fewer than 3 knots.
+    /// * [`SplineError::InvalidKnots`] for unsorted or non-finite knots.
+    /// * [`SplineError::LengthMismatch`] when lengths differ.
+    /// * [`SplineError::InvalidArgument`] for non-finite values.
+    pub fn interpolate(knots: &[f64], values: &[f64]) -> Result<Self> {
+        let n = knots.len();
+        if n < 3 {
+            return Err(SplineError::TooFewKnots { got: n, need: 3 });
+        }
+        if knots.len() != values.len() {
+            return Err(SplineError::LengthMismatch {
+                knots: knots.len(),
+                values: values.len(),
+            });
+        }
+        if knots.iter().any(|x| !x.is_finite()) || knots.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(SplineError::InvalidKnots);
+        }
+        if values.iter().any(|x| !x.is_finite()) {
+            return Err(SplineError::InvalidArgument("values must be finite"));
+        }
+
+        // Interior moment equations:
+        // (h_{i-1}/6)·m_{i-1} + ((h_{i-1}+h_i)/3)·m_i + (h_i/6)·m_{i+1}
+        //   = (y_{i+1}-y_i)/h_i − (y_i−y_{i-1})/h_{i-1}
+        let m_interior = n - 2;
+        let mut moments = vec![0.0; n];
+        if m_interior > 0 {
+            let h: Vec<f64> = knots.windows(2).map(|w| w[1] - w[0]).collect();
+            let mut lower = Vec::with_capacity(m_interior.saturating_sub(1));
+            let mut diag = Vec::with_capacity(m_interior);
+            let mut upper = Vec::with_capacity(m_interior.saturating_sub(1));
+            let mut rhs = Vec::with_capacity(m_interior);
+            for i in 1..=m_interior {
+                diag.push((h[i - 1] + h[i]) / 3.0);
+                if i > 1 {
+                    lower.push(h[i - 1] / 6.0);
+                }
+                if i < m_interior {
+                    upper.push(h[i] / 6.0);
+                }
+                rhs.push(
+                    (values[i + 1] - values[i]) / h[i] - (values[i] - values[i - 1]) / h[i - 1],
+                );
+            }
+            let tri = Tridiagonal::new(lower, diag, upper)
+                .map_err(|e| SplineError::SolveFailed(e.to_string()))?;
+            let solution = tri
+                .solve(&Vector::from_slice(&rhs))
+                .map_err(|e| SplineError::SolveFailed(e.to_string()))?;
+            for i in 0..m_interior {
+                moments[i + 1] = solution[i];
+            }
+        }
+        Ok(CubicSpline {
+            knots: knots.to_vec(),
+            values: values.to_vec(),
+            moments,
+        })
+    }
+
+    /// The knot abscissae.
+    pub fn knots(&self) -> &[f64] {
+        &self.knots
+    }
+
+    /// The interpolated values at the knots.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The second derivatives at the knots (zero at both ends).
+    pub fn moments(&self) -> &[f64] {
+        &self.moments
+    }
+
+    /// Index of the knot interval containing `x` (clamped to the boundary
+    /// intervals for out-of-range queries).
+    fn segment(&self, x: f64) -> usize {
+        let n = self.knots.len();
+        if x <= self.knots[0] {
+            return 0;
+        }
+        if x >= self.knots[n - 1] {
+            return n - 2;
+        }
+        match self
+            .knots
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite knots"))
+        {
+            Ok(i) => i.min(n - 2),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Spline value at `x` (linear extension outside the knot range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.knots.len();
+        // Linear extrapolation keeps f'' = 0 beyond the boundary knots.
+        if x < self.knots[0] {
+            return self.values[0] + self.deriv(self.knots[0]) * (x - self.knots[0]);
+        }
+        if x > self.knots[n - 1] {
+            return self.values[n - 1] + self.deriv(self.knots[n - 1]) * (x - self.knots[n - 1]);
+        }
+        let i = self.segment(x);
+        let h = self.knots[i + 1] - self.knots[i];
+        let a = (self.knots[i + 1] - x) / h;
+        let b = 1.0 - a;
+        a * self.values[i]
+            + b * self.values[i + 1]
+            + ((a * a * a - a) * self.moments[i] + (b * b * b - b) * self.moments[i + 1]) * h * h
+                / 6.0
+    }
+
+    /// First derivative at `x`.
+    pub fn deriv(&self, x: f64) -> f64 {
+        let n = self.knots.len();
+        let xq = x.clamp(self.knots[0], self.knots[n - 1]);
+        let i = self.segment(xq);
+        let h = self.knots[i + 1] - self.knots[i];
+        let a = (self.knots[i + 1] - xq) / h;
+        let b = 1.0 - a;
+        (self.values[i + 1] - self.values[i]) / h
+            - (3.0 * a * a - 1.0) * h / 6.0 * self.moments[i]
+            + (3.0 * b * b - 1.0) * h / 6.0 * self.moments[i + 1]
+    }
+
+    /// Second derivative at `x` (zero outside the knot range).
+    pub fn deriv2(&self, x: f64) -> f64 {
+        let n = self.knots.len();
+        if x < self.knots[0] || x > self.knots[n - 1] {
+            return 0.0;
+        }
+        let i = self.segment(x);
+        let h = self.knots[i + 1] - self.knots[i];
+        let a = (self.knots[i + 1] - x) / h;
+        let b = 1.0 - a;
+        a * self.moments[i] + b * self.moments[i + 1]
+    }
+
+    /// Exact integral `∫ s(x) dx` over the full knot range.
+    ///
+    /// Uses the per-segment closed form for cubic polynomials.
+    pub fn integral(&self) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.knots.len() - 1 {
+            let h = self.knots[i + 1] - self.knots[i];
+            // ∫ segment = h(y_i + y_{i+1})/2 − h³(m_i + m_{i+1})/24
+            total += 0.5 * h * (self.values[i] + self.values[i + 1])
+                - h * h * h * (self.moments[i] + self.moments[i + 1]) / 24.0;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_knot_values() {
+        let xs = [0.0, 0.3, 0.7, 1.0];
+        let ys = [1.0, -0.5, 2.0, 0.25];
+        let s = CubicSpline::interpolate(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((s.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reproduces_linear_functions_exactly() {
+        let xs = [0.0, 0.2, 0.5, 0.9, 1.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let s = CubicSpline::interpolate(&xs, &ys).unwrap();
+        for &x in &[0.05, 0.33, 0.77, 0.95] {
+            assert!((s.eval(x) - (3.0 * x - 1.0)).abs() < 1e-12);
+            assert!((s.deriv(x) - 3.0).abs() < 1e-12);
+            assert!(s.deriv2(x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn natural_boundary_conditions() {
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let ys = [0.0, 1.0, 0.0, -1.0, 0.0];
+        let s = CubicSpline::interpolate(&xs, &ys).unwrap();
+        assert_eq!(s.moments()[0], 0.0);
+        assert_eq!(*s.moments().last().unwrap(), 0.0);
+        assert!(s.deriv2(0.0).abs() < 1e-12);
+        assert!(s.deriv2(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let xs: Vec<f64> = (0..9).map(|i| i as f64 / 8.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x).sin()).collect();
+        let s = CubicSpline::interpolate(&xs, &ys).unwrap();
+        let h = 1e-6;
+        for &x in &[0.2, 0.45, 0.8] {
+            let fd1 = (s.eval(x + h) - s.eval(x - h)) / (2.0 * h);
+            assert!((s.deriv(x) - fd1).abs() < 1e-6, "x={x}");
+            let fd2 = (s.eval(x + h) - 2.0 * s.eval(x) + s.eval(x - h)) / (h * h);
+            assert!((s.deriv2(x) - fd2).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn continuity_at_knots() {
+        let xs = [0.0, 0.3, 0.6, 1.0];
+        let ys = [0.0, 2.0, -1.0, 1.0];
+        let s = CubicSpline::interpolate(&xs, &ys).unwrap();
+        let eps = 1e-9;
+        for &k in &xs[1..3] {
+            assert!((s.eval(k - eps) - s.eval(k + eps)).abs() < 1e-7);
+            assert!((s.deriv(k - eps) - s.deriv(k + eps)).abs() < 1e-5);
+            assert!((s.deriv2(k - eps) - s.deriv2(k + eps)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn linear_extrapolation() {
+        let xs = [0.0, 0.5, 1.0];
+        let ys = [0.0, 1.0, 0.0];
+        let s = CubicSpline::interpolate(&xs, &ys).unwrap();
+        let slope_end = s.deriv(1.0);
+        assert!((s.eval(1.2) - (0.0 + 0.2 * slope_end)).abs() < 1e-12);
+        assert_eq!(s.deriv2(1.5), 0.0);
+        assert_eq!(s.deriv2(-0.5), 0.0);
+    }
+
+    #[test]
+    fn integral_matches_quadrature() {
+        let xs: Vec<f64> = (0..7).map(|i| i as f64 / 6.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let s = CubicSpline::interpolate(&xs, &ys).unwrap();
+        // Riemann sum cross-check.
+        let n = 200_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = (i as f64 + 0.5) / n as f64;
+            acc += s.eval(x);
+        }
+        acc /= n as f64;
+        assert!((s.integral() - acc).abs() < 1e-8);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CubicSpline::interpolate(&[0.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(CubicSpline::interpolate(&[0.0, 0.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+        assert!(CubicSpline::interpolate(&[0.0, 0.5, 1.0], &[1.0, 2.0]).is_err());
+        assert!(CubicSpline::interpolate(&[0.0, 0.5, 1.0], &[1.0, f64::NAN, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Natural cubic spline substrate for the `cellsync` workspace.
+//!
+//! The deconvolution method models the synchronous single-cell expression
+//! profile as a natural cubic spline (Eisenberg et al. 2011, eq. 4):
+//!
+//! ```text
+//! f_α(φ) = Σᵢ αᵢ·ψᵢ(φ)
+//! ```
+//!
+//! with `{ψᵢ}` piecewise-cubic basis functions, and penalizes roughness with
+//! `λ∫f''(φ)²dφ` (eq. 5). This crate provides:
+//!
+//! * [`CubicSpline`] — a natural cubic interpolant with analytic first and
+//!   second derivatives (tridiagonal moment solve).
+//! * [`NaturalSplineBasis`] — the *cardinal* natural-spline basis on a knot
+//!   grid (`ψᵢ(t_j) = δᵢⱼ`), basis/derivative evaluation, collocation
+//!   matrices, and the **exact** roughness Gram matrix
+//!   `Ω᷒ᵢⱼ = ∫ψᵢ''ψⱼ''dφ` (second derivatives of cubic splines are piecewise
+//!   linear, so the integral has a closed form — no quadrature error).
+//!
+//! # Example
+//!
+//! ```
+//! use cellsync_spline::NaturalSplineBasis;
+//!
+//! # fn main() -> Result<(), cellsync_spline::SplineError> {
+//! let basis = NaturalSplineBasis::uniform(8, 0.0, 1.0)?;
+//! // Cardinal property: the basis reproduces constants exactly.
+//! let ones = vec![1.0; basis.len()];
+//! let val = basis.eval_combination(&ones, 0.37)?;
+//! assert!((val - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod basis;
+mod cubic;
+mod error;
+
+pub use basis::NaturalSplineBasis;
+pub use cubic::CubicSpline;
+pub use error::SplineError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, SplineError>;

@@ -1,0 +1,210 @@
+//! Descriptive statistics over slices of `f64`.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for empty input.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_stats::describe::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0])?, 2.0);
+/// # Ok::<(), cellsync_stats::StatsError>(())
+/// ```
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for empty input.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divides by `n − 1`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for samples with fewer than two
+/// elements.
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(StatsError::EmptySample);
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for empty input.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Coefficient of variation `σ/|μ|`.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptySample`] for empty input.
+/// * [`StatsError::InvalidParameter`] when the mean is zero.
+pub fn coefficient_of_variation(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    if m == 0.0 {
+        return Err(StatsError::InvalidParameter { name: "mean", value: 0.0 });
+    }
+    Ok(std_dev(xs)? / m.abs())
+}
+
+/// Empirical quantile by linear interpolation of order statistics
+/// (type-7 / NumPy default).
+///
+/// # Errors
+///
+/// * [`StatsError::EmptySample`] for empty input.
+/// * [`StatsError::InvalidProbability`] for `p` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+/// Median (50 % quantile).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for empty input.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Five-number summary plus mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+/// Computes a [`Summary`] in one pass over sorted data.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for empty input.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_stats::describe::summarize;
+/// let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0])?;
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.n, 5);
+/// # Ok::<(), cellsync_stats::StatsError>(())
+/// ```
+pub fn summarize(xs: &[f64]) -> Result<Summary> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    Ok(Summary {
+        n: xs.len(),
+        min: quantile(xs, 0.0)?,
+        q1: quantile(xs, 0.25)?,
+        median: quantile(xs, 0.5)?,
+        q3: quantile(xs, 0.75)?,
+        max: quantile(xs, 1.0)?,
+        mean: mean(xs)?,
+        std_dev: std_dev(xs)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert_eq!(variance(&xs).unwrap(), 4.0);
+        assert_eq!(std_dev(&xs).unwrap(), 2.0);
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(coefficient_of_variation(&xs).unwrap(), 0.4);
+        assert!(coefficient_of_variation(&[-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let xs = [3.0, 1.0, 2.0, 5.0, 4.0];
+        let s = summarize(&xs).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[]).is_err());
+        assert!(sample_variance(&[1.0]).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(summarize(&[]).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for statistical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by distribution constructors and statistical utilities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A distribution parameter was out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// An empty sample was supplied where data is required.
+    EmptySample,
+    /// Two paired samples differ in length.
+    LengthMismatch {
+        /// Length of the first sample.
+        left: usize,
+        /// Length of the second sample.
+        right: usize,
+    },
+    /// A probability outside `[0, 1]` was supplied.
+    InvalidProbability(f64),
+    /// Fold configuration is impossible (e.g. more folds than samples).
+    InvalidFolds {
+        /// Requested number of folds.
+        folds: usize,
+        /// Number of available samples.
+        samples: usize,
+    },
+    /// Rejection sampling exhausted its attempt budget.
+    SamplingFailed {
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            StatsError::EmptySample => write!(f, "sample must be non-empty"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired samples differ in length: {left} vs {right}")
+            }
+            StatsError::InvalidProbability(p) => {
+                write!(f, "probability must lie in [0, 1], got {p}")
+            }
+            StatsError::InvalidFolds { folds, samples } => {
+                write!(f, "cannot split {samples} samples into {folds} folds")
+            }
+            StatsError::SamplingFailed { attempts } => {
+                write!(f, "rejection sampling failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            StatsError::InvalidParameter { name: "sigma", value: -1.0 },
+            StatsError::EmptySample,
+            StatsError::LengthMismatch { left: 1, right: 2 },
+            StatsError::InvalidProbability(1.5),
+            StatsError::InvalidFolds { folds: 5, samples: 2 },
+            StatsError::SamplingFailed { attempts: 100 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Measurement-noise models for population expression series.
+//!
+//! The Fig. 3 validation of the paper adds "Gaussian error with standard
+//! deviations equal to 10 % of the data magnitude" to the population data.
+//! [`NoiseModel::RelativeGaussian`] reproduces exactly that; the other
+//! variants support the wider noise sweeps reported in EXPERIMENTS.md.
+
+use rand::Rng;
+
+use crate::dist::{ContinuousDistribution, Normal};
+use crate::{Result, StatsError};
+
+/// A measurement-noise model applied point-wise to a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum NoiseModel {
+    /// No noise; the series is returned unchanged.
+    #[default]
+    None,
+    /// Additive Gaussian noise with fixed standard deviation `sigma`.
+    AdditiveGaussian {
+        /// Standard deviation in data units.
+        sigma: f64,
+    },
+    /// Gaussian noise whose per-point standard deviation is
+    /// `fraction · |value|` — the paper's "10 % of the data magnitude"
+    /// model corresponds to `fraction = 0.10`.
+    RelativeGaussian {
+        /// Fraction of each point's magnitude used as its σ.
+        fraction: f64,
+    },
+    /// Multiplicative log-normal-style noise: each point is scaled by
+    /// `exp(ε)`, `ε ~ N(0, sigma²)`, preserving positivity.
+    Multiplicative {
+        /// Standard deviation of the log-scale perturbation.
+        sigma: f64,
+    },
+}
+
+impl NoiseModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for negative or non-finite
+    /// noise magnitudes.
+    pub fn validate(&self) -> Result<()> {
+        let check = |name: &'static str, v: f64| {
+            if v < 0.0 || !v.is_finite() {
+                Err(StatsError::InvalidParameter { name, value: v })
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            NoiseModel::None => Ok(()),
+            NoiseModel::AdditiveGaussian { sigma } => check("sigma", sigma),
+            NoiseModel::RelativeGaussian { fraction } => check("fraction", fraction),
+            NoiseModel::Multiplicative { sigma } => check("sigma", sigma),
+        }
+    }
+
+    /// Applies the noise model to a series, returning the noisy copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NoiseModel::validate`] errors.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cellsync_stats::noise::NoiseModel;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), cellsync_stats::StatsError> {
+    /// let clean = vec![10.0, 20.0, 30.0];
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let noisy = NoiseModel::RelativeGaussian { fraction: 0.10 }
+    ///     .apply(&clean, &mut rng)?;
+    /// assert_eq!(noisy.len(), clean.len());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn apply<R: Rng + ?Sized>(&self, series: &[f64], rng: &mut R) -> Result<Vec<f64>> {
+        self.validate()?;
+        let unit = Normal::new(0.0, 1.0).expect("unit normal is valid");
+        Ok(series
+            .iter()
+            .map(|&x| match *self {
+                NoiseModel::None => x,
+                NoiseModel::AdditiveGaussian { sigma } => {
+                    if sigma == 0.0 {
+                        x
+                    } else {
+                        x + sigma * unit.sample(rng)
+                    }
+                }
+                NoiseModel::RelativeGaussian { fraction } => {
+                    if fraction == 0.0 {
+                        x
+                    } else {
+                        x + fraction * x.abs() * unit.sample(rng)
+                    }
+                }
+                NoiseModel::Multiplicative { sigma } => {
+                    if sigma == 0.0 {
+                        x
+                    } else {
+                        x * (sigma * unit.sample(rng)).exp()
+                    }
+                }
+            })
+            .collect())
+    }
+
+    /// Per-point standard deviations implied by the model — the `σ_m`
+    /// weights in the weighted least-squares cost of paper eq. 5.
+    ///
+    /// A small floor (`1e-9 + 10⁻³·max|x|`) keeps weights finite where the
+    /// signal crosses zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NoiseModel::validate`] errors.
+    pub fn sigmas(&self, series: &[f64]) -> Result<Vec<f64>> {
+        self.validate()?;
+        let scale = series.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        let floor = 1e-9 + 1e-3 * scale;
+        Ok(series
+            .iter()
+            .map(|&x| match *self {
+                NoiseModel::None => 1.0,
+                NoiseModel::AdditiveGaussian { sigma } => sigma.max(floor),
+                NoiseModel::RelativeGaussian { fraction } => (fraction * x.abs()).max(floor),
+                NoiseModel::Multiplicative { sigma } => (sigma * x.abs()).max(floor),
+            })
+            .collect())
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let xs = vec![1.0, -2.0, 3.0];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(NoiseModel::None.apply(&xs, &mut rng).unwrap(), xs);
+        assert_eq!(NoiseModel::None.sigmas(&xs).unwrap(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn additive_noise_statistics() {
+        let xs = vec![5.0; 50_000];
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = NoiseModel::AdditiveGaussian { sigma: 0.5 }
+            .apply(&xs, &mut rng)
+            .unwrap();
+        let mean = noisy.iter().sum::<f64>() / noisy.len() as f64;
+        let sd = (noisy.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / noisy.len() as f64)
+            .sqrt();
+        assert!((mean - 5.0).abs() < 0.02);
+        assert!((sd - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn relative_noise_scales_with_magnitude() {
+        let xs = vec![100.0; 20_000];
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = NoiseModel::RelativeGaussian { fraction: 0.10 }
+            .apply(&xs, &mut rng)
+            .unwrap();
+        let mean = noisy.iter().sum::<f64>() / noisy.len() as f64;
+        let sd = (noisy.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / noisy.len() as f64)
+            .sqrt();
+        assert!((sd - 10.0).abs() < 0.5, "sd {sd}");
+    }
+
+    #[test]
+    fn multiplicative_preserves_sign() {
+        let xs = vec![3.0; 1000];
+        let mut rng = StdRng::seed_from_u64(4);
+        let noisy = NoiseModel::Multiplicative { sigma: 0.5 }
+            .apply(&xs, &mut rng)
+            .unwrap();
+        assert!(noisy.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn zero_magnitude_is_identity() {
+        let xs = vec![1.0, 2.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            NoiseModel::AdditiveGaussian { sigma: 0.0 }
+                .apply(&xs, &mut rng)
+                .unwrap(),
+            xs
+        );
+    }
+
+    #[test]
+    fn sigmas_floor_protects_zeros() {
+        let xs = vec![0.0, 10.0];
+        let s = NoiseModel::RelativeGaussian { fraction: 0.1 }
+            .sigmas(&xs)
+            .unwrap();
+        assert!(s[0] > 0.0);
+        assert!((s[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(NoiseModel::AdditiveGaussian { sigma: -1.0 }
+            .apply(&[1.0], &mut rng)
+            .is_err());
+        assert!(NoiseModel::RelativeGaussian {
+            fraction: f64::NAN
+        }
+        .sigmas(&[1.0])
+        .is_err());
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let m = NoiseModel::RelativeGaussian { fraction: 0.2 };
+        let a = m.apply(&xs, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = m.apply(&xs, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

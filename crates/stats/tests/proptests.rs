@@ -1,0 +1,129 @@
+//! Property-based tests of the statistics substrate.
+
+use cellsync_stats::describe::{mean, quantile, std_dev, summarize};
+use cellsync_stats::dist::{
+    standard_normal_cdf, standard_normal_quantile, ContinuousDistribution, Normal,
+    TruncatedNormal, Uniform,
+};
+use cellsync_stats::metrics::{mae, pearson, r_squared, rmse};
+use cellsync_stats::noise::NoiseModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normal_cdf_monotone(a in -4.0..4.0f64, b in -4.0..4.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(standard_normal_cdf(lo) <= standard_normal_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(p in 0.001..0.999f64) {
+        let x = standard_normal_quantile(p).expect("p in (0,1)");
+        prop_assert!((standard_normal_cdf(x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_symmetry(mu in -5.0..5.0f64, sigma in 0.1..3.0f64, d in 0.0..3.0f64) {
+        let n = Normal::new(mu, sigma).expect("sigma > 0");
+        prop_assert!((n.pdf(mu + d) - n.pdf(mu - d)).abs() < 1e-12);
+        prop_assert!((n.cdf(mu + d) + n.cdf(mu - d) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncated_normal_tightens_variance(
+        mu in -1.0..1.0f64,
+        sigma in 0.2..2.0f64,
+        half_width in 0.5..3.0f64,
+    ) {
+        let base = Normal::new(mu, sigma).expect("sigma > 0");
+        let t = TruncatedNormal::new(base, mu - half_width * sigma, mu + half_width * sigma)
+            .expect("positive mass");
+        prop_assert!(t.variance() <= base.variance() + 1e-12);
+        // Symmetric truncation preserves the mean.
+        prop_assert!((t.mean() - mu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_moments(lo in -3.0..0.0f64, width in 0.5..5.0f64) {
+        let u = Uniform::new(lo, lo + width).expect("lo < hi");
+        prop_assert!((u.mean() - (lo + width / 2.0)).abs() < 1e-12);
+        prop_assert!((u.variance() - width * width / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_affine(xs in prop::collection::vec(-10.0..10.0f64, 2..30), a in -2.0..2.0f64) {
+        let m = mean(&xs).expect("non-empty");
+        let shifted: Vec<f64> = xs.iter().map(|x| x + a).collect();
+        prop_assert!((mean(&shifted).expect("non-empty") - (m + a)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn std_dev_translation_invariant(
+        xs in prop::collection::vec(-10.0..10.0f64, 2..30),
+        a in -5.0..5.0f64,
+    ) {
+        let s = std_dev(&xs).expect("non-empty");
+        let shifted: Vec<f64> = xs.iter().map(|x| x + a).collect();
+        prop_assert!((std_dev(&shifted).expect("non-empty") - s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_ordered(xs in prop::collection::vec(-10.0..10.0f64, 3..30)) {
+        let q25 = quantile(&xs, 0.25).expect("non-empty");
+        let q50 = quantile(&xs, 0.50).expect("non-empty");
+        let q75 = quantile(&xs, 0.75).expect("non-empty");
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        let s = summarize(&xs).expect("non-empty");
+        prop_assert!(s.min <= s.q1 && s.q3 <= s.max);
+    }
+
+    #[test]
+    fn rmse_dominates_mae(
+        a in prop::collection::vec(-5.0..5.0f64, 2..20),
+        shift in 0.1..2.0f64,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let r = rmse(&a, &b).expect("paired");
+        let m = mae(&a, &b).expect("paired");
+        prop_assert!(r >= m - 1e-12, "rmse {r} < mae {m}");
+    }
+
+    #[test]
+    fn pearson_bounded_and_scale_invariant(
+        xs in prop::collection::vec(-5.0..5.0f64, 3..20),
+        scale in 0.1..3.0f64,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| scale * x + 1.0).collect();
+        // Constant inputs are rejected; otherwise r = 1 for affine maps.
+        if let Ok(r) = pearson(&xs, &ys) {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn r_squared_of_truth_is_one(xs in prop::collection::vec(-5.0..5.0f64, 3..20)) {
+        if let Ok(r2) = r_squared(&xs, &xs) {
+            prop_assert!((r2 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_none_identity_any_series(xs in prop::collection::vec(-10.0..10.0f64, 1..30)) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = NoiseModel::None.apply(&xs, &mut rng).expect("valid model");
+        prop_assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn relative_noise_zero_at_zero_signal(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = NoiseModel::RelativeGaussian { fraction: 0.5 }
+            .apply(&[0.0, 0.0, 0.0], &mut rng)
+            .expect("valid model");
+        prop_assert_eq!(out, vec![0.0, 0.0, 0.0]);
+    }
+}

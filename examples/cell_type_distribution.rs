@@ -1,0 +1,71 @@
+//! The paper's §4.2 validation (Fig. 4): the simulated distribution of
+//! Caulobacter cell types in a synchronized batch culture.
+//!
+//! Cells are classified by cycle phase into swarmer (SW), early stalked
+//! (STE), early predivisional (STEPD) and late predivisional (STLPD). The
+//! SW→STE boundary is each cell's own transition phase
+//! `φ_sst ~ N(0.15, CV 0.13)`; the later boundaries use the paper's
+//! experimental ranges 0.6–0.7 and 0.85–0.9 (low / mid / high shown as a
+//! band, as in the shaded regions of Fig. 4).
+//!
+//! Run with: `cargo run --release --example cell_type_distribution`
+
+use cellsync_popsim::{
+    celltype, CellCycleParams, CellType, CellTypeThresholds, InitialCondition, Population,
+};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = CellCycleParams::caulobacter()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    println!("simulating 20000 synchronized swarmer cells to 150 minutes ...");
+    let pop =
+        Population::synchronized(20_000, &params, InitialCondition::UniformSwarmer, &mut rng)?
+            .simulate_until(150.0)?;
+
+    // The Fig. 4 window: 75 to 150 minutes.
+    let times: Vec<f64> = (0..=15).map(|i| 75.0 + 5.0 * i as f64).collect();
+    let lo = celltype::type_fractions(&pop, &times, &CellTypeThresholds::paper_low())?;
+    let mid = celltype::type_fractions(&pop, &times, &CellTypeThresholds::paper_mid())?;
+    let hi = celltype::type_fractions(&pop, &times, &CellTypeThresholds::paper_high())?;
+
+    println!("\nfraction of cells (midpoint thresholds, [low, high] band):");
+    println!("{:>5}  {:>20}  {:>20}  {:>20}  {:>20}", "min", "SW", "STE", "STEPD", "STLPD");
+    for (ti, &t) in times.iter().enumerate() {
+        let cell = |ty: CellType| -> Result<String, Box<dyn std::error::Error>> {
+            let m = mid.fraction(ti, ty)?;
+            let a = lo.fraction(ti, ty)?;
+            let b = hi.fraction(ti, ty)?;
+            let (lo_v, hi_v) = (a.min(b), a.max(b));
+            Ok(format!("{m:.2} [{lo_v:.2},{hi_v:.2}]"))
+        };
+        println!(
+            "{t:>5.0}  {:>20}  {:>20}  {:>20}  {:>20}",
+            cell(CellType::Swarmer)?,
+            cell(CellType::StalkedEarly)?,
+            cell(CellType::EarlyPredivisional)?,
+            cell(CellType::LatePredivisional)?
+        );
+    }
+
+    // The differentiation wave the experiment of Judd et al. shows.
+    let ste = mid.series(CellType::StalkedEarly);
+    let stepd = mid.series(CellType::EarlyPredivisional);
+    let stlpd = mid.series(CellType::LatePredivisional);
+    let peak_at = |s: &[f64]| {
+        let (i, v) = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        (times[i], *v)
+    };
+    println!("\nwave ordering (each class peaks later than its predecessor):");
+    let (t_ste, v_ste) = peak_at(&ste);
+    let (t_stepd, v_stepd) = peak_at(&stepd);
+    let (t_stlpd, v_stlpd) = peak_at(&stlpd);
+    println!("  STE   peaks at {t_ste:>5.0} min (fraction {v_ste:.2})");
+    println!("  STEPD peaks at {t_stepd:>5.0} min (fraction {v_stepd:.2})");
+    println!("  STLPD peaks at {t_stlpd:>5.0} min (fraction {v_stlpd:.2})");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Genome-wide batch deconvolution.
+//!
+//! The original application of the method (Siegal-Gaskins et al. 2009)
+//! deconvolved a *set* of cell-cycle-regulated Caulobacter genes from one
+//! microarray time course. All genes share the same population asynchrony
+//! — one kernel, one design matrix, one constraint set — so the
+//! [`Deconvolver`] precomputes those once and `fit_many` reuses them per
+//! gene.
+//!
+//! This example builds eight synthetic "genes" peaking at different cycle
+//! phases (a wave, as in the real cell-cycle transcriptional program),
+//! measures them through the same simulated experiment, and recovers each
+//! gene's peak phase from the batch fit.
+//!
+//! Run with: `cargo run --release --example genome_wide`
+
+use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, PhaseProfile};
+use cellsync_popsim::{CellCycleParams, InitialCondition, KernelEstimator, Population};
+use cellsync_stats::noise::NoiseModel;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Eight genes with peaks marching through the cycle.
+    let peak_phases: Vec<f64> = (0..8).map(|g| 0.1 + 0.8 * g as f64 / 7.0).collect();
+    let truths: Vec<PhaseProfile> = peak_phases
+        .iter()
+        .map(|&peak| {
+            PhaseProfile::from_fn(300, move |phi| {
+                // A von-Mises-like bump on the cycle.
+                let d = (phi - peak).abs().min(1.0 - (phi - peak).abs());
+                5.0 * (-(d * d) / 0.02).exp() + 0.5
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    // One shared experiment protocol.
+    let params = CellCycleParams::caulobacter()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let pop =
+        Population::synchronized(10_000, &params, InitialCondition::UniformSwarmer, &mut rng)?
+            .simulate_until(150.0)?;
+    let times: Vec<f64> = (0..16).map(|i| i as f64 * 10.0).collect();
+    let kernel = KernelEstimator::new(100)?.estimate(&pop, &times)?;
+    let forward = ForwardModel::new(kernel.clone());
+
+    // Measure every gene with 8 % noise.
+    let noise = NoiseModel::RelativeGaussian { fraction: 0.08 };
+    let mut measured: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+    for truth in &truths {
+        let clean = forward.predict(truth)?;
+        let noisy = noise.apply(&clean, &mut rng)?;
+        let sigmas = noise.sigmas(&clean)?;
+        measured.push((noisy, sigmas));
+    }
+
+    // One engine, many genes.
+    let config = DeconvolutionConfig::builder()
+        .basis_size(20)
+        .positivity(true)
+        .build()?;
+    let engine = Deconvolver::new(kernel, config)?;
+    let series: Vec<(&[f64], Option<&[f64]>)> = measured
+        .iter()
+        .map(|(g, s)| (g.as_slice(), Some(s.as_slice())))
+        .collect();
+    let results = engine.fit_many(&series)?;
+
+    println!("gene   true peak   recovered peak   NRMSE   lambda");
+    let mut worst_gap: f64 = 0.0;
+    for (g, result) in results.iter().enumerate() {
+        let recovered = result.profile(300)?;
+        let feat = recovered.features()?;
+        let gap = (feat.peak_phase - peak_phases[g]).abs();
+        worst_gap = worst_gap.max(gap);
+        println!(
+            "{g:>4}   {:>9.2}   {:>14.2}   {:>5.3}   {:.1e}",
+            peak_phases[g],
+            feat.peak_phase,
+            truths[g].nrmse(&recovered)?,
+            result.lambda()
+        );
+    }
+    println!("\nworst peak-phase error across the 8-gene panel: {worst_gap:.3}");
+    Ok(())
+}

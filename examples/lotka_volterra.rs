@@ -1,0 +1,92 @@
+//! The paper's §4.1 validation (Figs. 2 and 3): a Lotka–Volterra
+//! "biological oscillator" with a 150-minute period plays the role of the
+//! true cell-cycle-regulated expression. The population average blurs the
+//! oscillation; deconvolution recovers it — even with Gaussian noise at
+//! 10 % of the data magnitude.
+//!
+//! Run with: `cargo run --release --example lotka_volterra`
+
+use cellsync::synthetic::{lotka_volterra_truth, SyntheticExperiment};
+use cellsync::{DeconvolutionConfig, Deconvolver, LambdaSelection};
+use cellsync_ode::models::LotkaVolterra;
+use cellsync_popsim::{CellCycleParams, InitialCondition, KernelEstimator, Population};
+use cellsync_stats::noise::NoiseModel;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The LV system of paper eqs. 20–21, time-rescaled so the orbit
+    // through (2.4, 5.0) has exactly a 150-minute period.
+    let shape = LotkaVolterra::new(1.0, 0.2, 1.0, 1.0)?;
+    let (x1_truth, x2_truth, lv) = lotka_volterra_truth(&shape, [2.4, 5.0], 150.0, 400)?;
+    let (a, b, c, d) = lv.params();
+    println!("150-min LV parameters: a={a:.5} b={b:.5} c={c:.5} d={d:.5}");
+    println!(
+        "single-cell amplitudes: x1 in [{:.2}, {:.2}], x2 in [{:.2}, {:.2}]",
+        x1_truth.min(),
+        x1_truth.max(),
+        x2_truth.min(),
+        x2_truth.max()
+    );
+
+    // Asynchrony kernel for 19 measurements over three hours.
+    let params = CellCycleParams::caulobacter()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let pop =
+        Population::synchronized(10_000, &params, InitialCondition::UniformSwarmer, &mut rng)?
+            .simulate_until(180.0)?;
+    let times: Vec<f64> = (0..19).map(|i| i as f64 * 10.0).collect();
+    let kernel = KernelEstimator::new(100)?.estimate(&pop, &times)?;
+
+    let config = DeconvolutionConfig::builder()
+        .basis_size(24)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 19,
+        })
+        .build()?;
+
+    for (name, truth, noise) in [
+        ("x1, noiseless (Fig. 2)", &x1_truth, NoiseModel::None),
+        (
+            "x1, 10% noise (Fig. 3)",
+            &x1_truth,
+            NoiseModel::RelativeGaussian { fraction: 0.10 },
+        ),
+        ("x2, noiseless (Fig. 2)", &x2_truth, NoiseModel::None),
+        (
+            "x2, 10% noise (Fig. 3)",
+            &x2_truth,
+            NoiseModel::RelativeGaussian { fraction: 0.10 },
+        ),
+    ] {
+        let experiment = SyntheticExperiment::generate(kernel.clone(), truth, noise, &mut rng)?;
+        let deconvolver = Deconvolver::new(kernel.clone(), config.clone())?;
+        let result = deconvolver.fit(experiment.noisy(), Some(experiment.sigmas()))?;
+        let recovered = result.profile(400)?;
+        println!(
+            "\n{name}: lambda={:.2e}  NRMSE={:.3}  corr={:.3}",
+            result.lambda(),
+            truth.nrmse(&recovered)?,
+            truth.correlation(&recovered)?
+        );
+        println!("   min    truth  population  deconvolved");
+        for i in (0..=15).step_by(3) {
+            let phi = i as f64 / 15.0;
+            let minutes = phi * 150.0;
+            // Population value at the nearest measurement time.
+            let m = times
+                .iter()
+                .position(|&t| (t - minutes).abs() < 5.0)
+                .unwrap_or(0);
+            println!(
+                "   {minutes:>5.0}  {:>6.2}  {:>10.2}  {:>11.2}",
+                truth.eval(phi),
+                experiment.noisy()[m],
+                recovered.eval(phi)
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! The paper's §5 application: estimating single-cell ODE parameters.
+//!
+//! Gene-regulation models describe *single cells* but are usually fitted
+//! to *population* data. This example quantifies the paper's closing
+//! claim — that fitting to deconvolved profiles "yield[s] more accurate
+//! single cell parameters than fitting to population data alone" — on the
+//! Lotka–Volterra oscillator with known true rates.
+//!
+//! Run with: `cargo run --release --example parameter_estimation`
+
+use cellsync::paramfit::{fit_lotka_volterra, LvFitConfig};
+use cellsync::synthetic::{lotka_volterra_truth, SyntheticExperiment};
+use cellsync::{DeconvolutionConfig, Deconvolver, LambdaSelection, PhaseProfile};
+use cellsync_ode::models::LotkaVolterra;
+use cellsync_popsim::{CellCycleParams, InitialCondition, KernelEstimator, Population};
+use cellsync_stats::noise::NoiseModel;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "true cell": a 150-min LV oscillator.
+    let shape = LotkaVolterra::new(1.0, 0.2, 1.0, 1.0)?;
+    let (x1, x2, lv_true) = lotka_volterra_truth(&shape, [2.4, 5.0], 150.0, 400)?;
+    let (ta, tb, tc, td) = lv_true.params();
+    println!("true parameters:      a={ta:.5}  b={tb:.5}  c={tc:.5}  d={td:.5}");
+
+    // Measured population data (5 % noise).
+    let params = CellCycleParams::caulobacter()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let pop =
+        Population::synchronized(10_000, &params, InitialCondition::UniformSwarmer, &mut rng)?
+            .simulate_until(180.0)?;
+    let times: Vec<f64> = (0..19).map(|i| i as f64 * 10.0).collect();
+    let kernel = KernelEstimator::new(100)?.estimate(&pop, &times)?;
+    let noise = NoiseModel::RelativeGaussian { fraction: 0.05 };
+    let e1 = SyntheticExperiment::generate(kernel.clone(), &x1, noise, &mut rng)?;
+    let e2 = SyntheticExperiment::generate(kernel.clone(), &x2, noise, &mut rng)?;
+
+    // Deconvolve both species.
+    let config = DeconvolutionConfig::builder()
+        .basis_size(24)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 19,
+        })
+        .build()?;
+    let d1 = Deconvolver::new(kernel.clone(), config.clone())?
+        .fit(e1.noisy(), Some(e1.sigmas()))?
+        .profile(400)?;
+    let d2 = Deconvolver::new(kernel, config)?
+        .fit(e2.noisy(), Some(e2.sigmas()))?
+        .profile(400)?;
+
+    // Baseline: the raw population series naively treated as single-cell
+    // data over the first cycle (t/150 → phase).
+    let first_cycle: Vec<usize> = (0..times.len()).filter(|&m| times[m] <= 150.0).collect();
+    let p1 = PhaseProfile::from_samples(first_cycle.iter().map(|&m| e1.noisy()[m]).collect())?;
+    let p2 = PhaseProfile::from_samples(first_cycle.iter().map(|&m| e2.noisy()[m]).collect())?;
+
+    let guess = (ta * 1.3, tb * 1.3, tc * 0.75, td * 0.75);
+    let fit_config = LvFitConfig::for_period(150.0, [x1.eval(0.0), x2.eval(0.0)], guess);
+
+    let fit_deconv = fit_lotka_volterra(&d1, &d2, &fit_config)?;
+    let fit_pop = fit_lotka_volterra(&p1, &p2, &fit_config)?;
+
+    let (da, db, dc, dd) = fit_deconv.params;
+    let (pa, pb, pc, pd) = fit_pop.params;
+    println!("fit to deconvolved:   a={da:.5}  b={db:.5}  c={dc:.5}  d={dd:.5}");
+    println!("fit to population:    a={pa:.5}  b={pb:.5}  c={pc:.5}  d={pd:.5}");
+    println!(
+        "\nmean relative error:  deconvolved {:.1}%  vs  population {:.1}%",
+        100.0 * fit_deconv.mean_relative_error(&lv_true)?,
+        100.0 * fit_pop.mean_relative_error(&lv_true)?
+    );
+    println!(
+        "objective evaluations: deconvolved {}  population {}",
+        fit_deconv.evaluations, fit_pop.evaluations
+    );
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Workspace umbrella crate: re-exports the `cellsync` stack for the
+//! repository-level examples (`examples/`) and integration tests
+//! (`tests/`).
+//!
+//! Library users should depend on the individual crates
+//! ([`cellsync`], [`cellsync_popsim`], ...) directly; this crate exists so
+//! the runnable examples live at the repository root as the README
+//! describes.
+
+pub use cellsync;
+pub use cellsync_linalg;
+pub use cellsync_numerics;
+pub use cellsync_ode;
+pub use cellsync_opt;
+pub use cellsync_popsim;
+pub use cellsync_spline;
+pub use cellsync_stats;

@@ -1,0 +1,151 @@
+//! Integration tests of the population-asynchrony substrate against the
+//! paper's §2.1–§2.2 model statements.
+
+use cellsync_popsim::{
+    celltype, CellCycleParams, CellType, CellTypeThresholds, InitialCondition, KernelEstimator,
+    Population, VolumeModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(n: usize, horizon: f64, seed: u64) -> Population {
+    let params = CellCycleParams::caulobacter().unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Population::synchronized(n, &params, InitialCondition::UniformSwarmer, &mut rng)
+        .unwrap()
+        .simulate_until(horizon)
+        .unwrap()
+}
+
+#[test]
+fn volume_is_conserved_across_division_events() {
+    // Immediately after a division, the two daughters' volumes sum to the
+    // mother's predivisional volume (0.4·V0 + 0.6·V0 = V0) regardless of
+    // their individual transition phases.
+    let pop = build(500, 200.0, 1);
+    let vm = VolumeModel::SmoothCubic;
+    let daughters: Vec<_> = pop
+        .cells()
+        .iter()
+        .filter(|c| c.birth_time() > 0.0)
+        .collect();
+    assert!(!daughters.is_empty());
+    // Group daughters by birth time: each division creates exactly two.
+    for pair in daughters.chunks(2) {
+        if pair.len() < 2 {
+            continue;
+        }
+        assert_eq!(pair[0].birth_time(), pair[1].birth_time());
+        let v0 = vm
+            .volume(pair[0].initial_phase(), pair[0].theta().phi_sst)
+            .unwrap();
+        let v1 = vm
+            .volume(pair[1].initial_phase(), pair[1].theta().phi_sst)
+            .unwrap();
+        assert!(
+            (v0 + v1 - 1.0).abs() < 1e-9,
+            "daughter volumes {v0} + {v1} != V0"
+        );
+    }
+}
+
+#[test]
+fn mean_phase_velocity_matches_cycle_time() {
+    // Phase advances at rate 1/T per cell: over the first 60 minutes (no
+    // divisions yet for most cells), the mean phase advance must be close
+    // to 60/150.
+    let pop = build(4000, 60.0, 2);
+    let s0 = pop.snapshot_at(0.0).unwrap();
+    let s1 = pop.snapshot_at(60.0).unwrap();
+    let m0: f64 = s0.iter().map(|(p, _)| p).sum::<f64>() / s0.len() as f64;
+    let m1: f64 = s1.iter().map(|(p, _)| p).sum::<f64>() / s1.len() as f64;
+    let advance = m1 - m0;
+    assert!(
+        (advance - 60.0 / 150.0).abs() < 0.02,
+        "advance {advance} vs expected 0.4"
+    );
+}
+
+#[test]
+fn growth_rate_consistent_with_euler_lotka() {
+    // Divisions produce a swarmer daughter (full cycle T ahead) and a
+    // stalked daughter starting at its own φ_sst (only (1−φ_sst)·T ahead),
+    // so the Malthusian rate r solves the Euler–Lotka equation
+    // e^{−rT} + e^{−r(1−μ_sst)T} = 1 → r ≈ 0.0050/min for T = 150,
+    // μ_sst = 0.15. Expected growth over 225 min ≈ e^{1.13} ≈ 3.1
+    // (the synchronized cohort makes individual windows swing around it).
+    let pop = build(3000, 450.0, 3);
+    let n0 = pop.count_alive_at(0.0).unwrap() as f64;
+    let n2 = pop.count_alive_at(450.0).unwrap() as f64;
+    let measured_r = (n2 / n0).ln() / 450.0;
+    assert!(
+        (measured_r - 0.0050).abs() < 0.0010,
+        "malthusian rate {measured_r} vs Euler-Lotka 0.0050"
+    );
+}
+
+#[test]
+fn kernel_mean_phase_tracks_cohort() {
+    // The volume-density kernel's mean phase must advance like the cohort
+    // over the first cycle (paper Fig. 1 semantics).
+    let pop = build(5000, 120.0, 4);
+    let kernel = KernelEstimator::new(80)
+        .unwrap()
+        .estimate(&pop, &[0.0, 40.0, 80.0, 120.0])
+        .unwrap();
+    let m0 = kernel.mean_phase(0).unwrap();
+    let m1 = kernel.mean_phase(1).unwrap();
+    let m2 = kernel.mean_phase(2).unwrap();
+    assert!(m0 < 0.15);
+    assert!((m1 - m0 - 40.0 / 150.0).abs() < 0.06, "advance {}", m1 - m0);
+    assert!((m2 - m1 - 40.0 / 150.0).abs() < 0.06);
+}
+
+#[test]
+fn celltype_wave_ordering() {
+    // STE → STEPD → STLPD fractions peak in cycle order in a synchronized
+    // culture (the Fig. 4 wave).
+    let pop = build(8000, 150.0, 5);
+    let times: Vec<f64> = (0..=30).map(|i| 5.0 * i as f64).collect();
+    let f = celltype::type_fractions(&pop, &times, &CellTypeThresholds::paper_mid()).unwrap();
+    let peak_time = |ty: CellType| {
+        let series = f.series(ty);
+        let (i, _) = series
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        times[i]
+    };
+    let t_ste = peak_time(CellType::StalkedEarly);
+    let t_stepd = peak_time(CellType::EarlyPredivisional);
+    let t_stlpd = peak_time(CellType::LatePredivisional);
+    assert!(
+        t_ste < t_stepd && t_stepd < t_stlpd,
+        "wave order {t_ste} {t_stepd} {t_stlpd}"
+    );
+}
+
+#[test]
+fn asynchronous_control_kernel_is_stationary() {
+    // With a fully asynchronous inoculum the phase distribution is
+    // (approximately) stationary: the kernel barely changes over time,
+    // so the population signal carries no cycle information — the
+    // motivation for synchronization in the first place.
+    let params = CellCycleParams::caulobacter().unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let pop = Population::synchronized(20_000, &params, InitialCondition::UniformPhase, &mut rng)
+        .unwrap()
+        .simulate_until(150.0)
+        .unwrap();
+    let kernel = KernelEstimator::new(40)
+        .unwrap()
+        .estimate(&pop, &[0.0, 75.0, 150.0])
+        .unwrap();
+    let m0 = kernel.mean_phase(0).unwrap();
+    let m2 = kernel.mean_phase(2).unwrap();
+    assert!(
+        (m0 - m2).abs() < 0.05,
+        "asynchronous mean phase should be stable: {m0} vs {m2}"
+    );
+}

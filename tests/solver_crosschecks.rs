@@ -1,0 +1,176 @@
+//! Cross-checks between independent solver implementations on real
+//! deconvolution problems: the active-set QP against NNLS and projected
+//! gradient, and the design-matrix path against direct convolution.
+
+use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, PhaseProfile};
+use cellsync_linalg::{Matrix, Vector};
+use cellsync_opt::{Nnls, ProjectedGradient, QuadraticProgram};
+use cellsync_popsim::{
+    CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
+};
+use cellsync_spline::NaturalSplineBasis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn kernel(seed: u64) -> PhaseKernel {
+    let params = CellCycleParams::caulobacter().unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop =
+        Population::synchronized(3000, &params, InitialCondition::UniformSwarmer, &mut rng)
+            .unwrap()
+            .simulate_until(150.0)
+            .unwrap();
+    let times: Vec<f64> = (0..14).map(|i| 150.0 * i as f64 / 13.0).collect();
+    KernelEstimator::new(50).unwrap().estimate(&pop, &times).unwrap()
+}
+
+/// Assembles the positivity-only deconvolution QP pieces for cross-checks.
+fn deconv_qp_pieces(
+    k: &PhaseKernel,
+    g: &[f64],
+    lambda: f64,
+) -> (Matrix, Vector, NaturalSplineBasis) {
+    let basis = NaturalSplineBasis::uniform(12, 0.0, 1.0).unwrap();
+    let a = ForwardModel::new(k.clone()).design_matrix(&basis).unwrap();
+    let omega = basis.penalty_matrix();
+    let mut h = a.gram();
+    for i in 0..basis.len() {
+        for j in 0..basis.len() {
+            h[(i, j)] += lambda * omega[(i, j)];
+        }
+        h[(i, i)] += 1e-9;
+    }
+    let mut h = h.scaled(2.0);
+    h.symmetrize().unwrap();
+    let c = -&a.tr_matvec(&Vector::from_slice(g)).unwrap().scaled(2.0);
+    (h, c, basis)
+}
+
+#[test]
+fn qp_and_projected_gradient_agree_on_deconvolution() {
+    let k = kernel(1);
+    let truth = PhaseProfile::from_fn(200, |phi| {
+        1.5 + (2.0 * std::f64::consts::PI * phi).cos()
+    })
+    .unwrap();
+    let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+    let (h, c, basis) = deconv_qp_pieces(&k, &g, 1e-4);
+
+    // Coefficient positivity (α ≥ 0) is a box constraint both solvers
+    // support. (The production deconvolver constrains f on a grid, which
+    // for the cardinal basis contains α ≥ 0 at the knots.)
+    let qp = QuadraticProgram::new(h.clone(), c.clone())
+        .unwrap()
+        .with_inequalities(Matrix::identity(basis.len()), Vector::zeros(basis.len()))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .x;
+    let pg = ProjectedGradient::new(500_000, 1e-12)
+        .solve(&h, &c, &Vector::zeros(basis.len()))
+        .unwrap();
+    assert!(
+        (&qp - &pg).norm2() < 1e-5 * (1.0 + qp.norm2()),
+        "qp {qp} vs pg {pg}"
+    );
+}
+
+#[test]
+fn qp_matches_nnls_on_unregularized_problem() {
+    // With λ = 0 and ridge → 0 the positivity-only problem is exactly
+    // NNLS on the design matrix.
+    let k = kernel(2);
+    let truth = PhaseProfile::from_fn(200, |phi| (1.0 - phi) * 2.0 + 0.5).unwrap();
+    let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+    let basis = NaturalSplineBasis::uniform(10, 0.0, 1.0).unwrap();
+    let a = ForwardModel::new(k).design_matrix(&basis).unwrap();
+    let y = Vector::from_slice(&g);
+
+    let x_nnls = Nnls::new().solve(&a, &y).unwrap();
+
+    let mut h = a.gram().scaled(2.0);
+    for i in 0..basis.len() {
+        h[(i, i)] += 1e-12;
+    }
+    h.symmetrize().unwrap();
+    let c = -&a.tr_matvec(&y).unwrap().scaled(2.0);
+    let x_qp = QuadraticProgram::new(h, c)
+        .unwrap()
+        .with_inequalities(Matrix::identity(basis.len()), Vector::zeros(basis.len()))
+        .unwrap()
+        .solve()
+        .unwrap()
+        .x;
+    assert!(
+        (&x_nnls - &x_qp).norm2() < 1e-5 * (1.0 + x_qp.norm2()),
+        "nnls {x_nnls} vs qp {x_qp}"
+    );
+}
+
+#[test]
+fn design_matrix_path_equals_direct_convolution() {
+    // Deconvolver's predicted() (design-matrix product) must match the
+    // kernel's direct convolution of the fitted profile.
+    let k = kernel(3);
+    let truth = PhaseProfile::from_fn(150, |phi| 2.0 + phi).unwrap();
+    let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+    let config = DeconvolutionConfig::builder()
+        .basis_size(10)
+        .lambda(1e-5)
+        .build()
+        .unwrap();
+    let deconv = Deconvolver::new(k.clone(), config).unwrap();
+    let result = deconv.fit(&g, None).unwrap();
+    let direct = ForwardModel::new(k)
+        .predict_fn(|phi| {
+            deconv
+                .basis()
+                .eval_combination(result.alpha(), phi)
+                .expect("lengths match")
+        })
+        .unwrap();
+    for (p, d) in result.predicted().iter().zip(&direct) {
+        assert!((p - d).abs() < 1e-9, "{p} vs {d}");
+    }
+}
+
+#[test]
+fn weighted_and_unweighted_fits_agree_for_uniform_sigmas() {
+    // Constant sigmas rescale the cost uniformly; with fixed λ the
+    // minimizer changes only through the λ·Ω balance — verify the
+    // documented equivalence: sigmas = c with λ' = λ/c² reproduces the
+    // unweighted fit.
+    let k = kernel(4);
+    let truth = PhaseProfile::from_fn(150, |phi| 1.0 + (3.0 * phi).sin().abs()).unwrap();
+    let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+    let sigma = 2.0;
+    let lambda = 1e-4;
+
+    let unweighted = Deconvolver::new(
+        k.clone(),
+        DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda(lambda)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+    .fit(&g, None)
+    .unwrap();
+
+    let weighted = Deconvolver::new(
+        k,
+        DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda(lambda / (sigma * sigma))
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+    .fit(&g, Some(&vec![sigma; g.len()]))
+    .unwrap();
+
+    for (a, b) in unweighted.alpha().iter().zip(weighted.alpha()) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}
