@@ -22,18 +22,20 @@ fn setup() -> (cellsync_popsim::PhaseKernel, Vec<f64>) {
         .expect("bins")
         .estimate(&pop, &times)
         .expect("times");
-    let truth = PhaseProfile::from_fn(300, |phi| {
-        2.0 + (2.0 * std::f64::consts::PI * phi).sin()
-    })
-    .expect("valid profile");
-    let g = ForwardModel::new(kernel.clone()).predict(&truth).expect("predict");
+    let truth = PhaseProfile::from_fn(300, |phi| 2.0 + (2.0 * std::f64::consts::PI * phi).sin())
+        .expect("valid profile");
+    let g = ForwardModel::new(kernel.clone())
+        .predict(&truth)
+        .expect("predict");
     (kernel, g)
 }
 
 fn bench_fit(c: &mut Criterion) {
     let (kernel, g) = setup();
     let mut group = c.benchmark_group("deconvolution_fit");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
 
     for &basis in &[12usize, 24, 36] {
         group.bench_with_input(

@@ -23,7 +23,9 @@ fn population(cells: usize, seed: u64) -> Population {
 
 fn bench_population_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("population_simulation");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
     for &cells in &[1_000usize, 5_000, 20_000] {
         group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, &n| {
             b.iter(|| black_box(population(n, 42)));
@@ -36,7 +38,9 @@ fn bench_kernel_estimation(c: &mut Criterion) {
     let pop = population(10_000, 7);
     let times: Vec<f64> = (0..19).map(|i| i as f64 * 10.0).collect();
     let mut group = c.benchmark_group("kernel_estimation");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
     for &threads in &[1usize, 4] {
         group.bench_with_input(
             BenchmarkId::new("threads", threads),
@@ -58,5 +62,9 @@ fn bench_kernel_estimation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_population_simulation, bench_kernel_estimation);
+criterion_group!(
+    benches,
+    bench_population_simulation,
+    bench_kernel_estimation
+);
 criterion_main!(benches);

@@ -24,14 +24,7 @@ fn bench_factorizations(c: &mut Criterion) {
         let m = spd(n);
         let b = Vector::from_fn(n, |i| (i as f64).cos());
         group.bench_with_input(BenchmarkId::new("cholesky_solve", n), &n, |bench, _| {
-            bench.iter(|| {
-                black_box(
-                    m.cholesky()
-                        .expect("spd")
-                        .solve(&b)
-                        .expect("matching dims"),
-                )
-            });
+            bench.iter(|| black_box(m.cholesky().expect("spd").solve(&b).expect("matching dims")));
         });
         group.bench_with_input(BenchmarkId::new("lu_solve", n), &n, |bench, _| {
             bench.iter(|| black_box(m.lu().expect("nonsingular").solve(&b).expect("dims")));
@@ -46,7 +39,9 @@ fn bench_factorizations(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("eigen");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     for &n in &[24usize, 48] {
         let m = spd(n);
         group.bench_with_input(BenchmarkId::new("jacobi", n), &n, |bench, _| {

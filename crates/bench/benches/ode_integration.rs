@@ -11,8 +11,7 @@ use std::hint::black_box;
 
 fn bench_integrators(c: &mut Criterion) {
     let shape = LotkaVolterra::new(1.0, 0.2, 1.0, 1.0).expect("positive rates");
-    let (lv, _) =
-        rescale_lotka_volterra(&shape, [2.4, 5.0], 150.0).expect("rescaling succeeds");
+    let (lv, _) = rescale_lotka_volterra(&shape, [2.4, 5.0], 150.0).expect("rescaling succeeds");
     let y0 = [2.4, 5.0];
 
     let mut group = c.benchmark_group("lv_150min_one_period");
@@ -36,12 +35,12 @@ fn bench_integrators(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("period_measurement");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
     group.bench_function("measure_lv_period", |b| {
         b.iter(|| {
-            black_box(
-                cellsync_ode::period::measure_lv_period(&lv, y0, 4).expect("period found"),
-            )
+            black_box(cellsync_ode::period::measure_lv_period(&lv, y0, 4).expect("period found"))
         });
     });
     group.finish();

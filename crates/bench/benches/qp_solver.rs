@@ -39,7 +39,9 @@ fn qp_pieces(a: &Matrix, b: &Vector, lambda: f64) -> (Matrix, Vector) {
 
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("qp_backends");
-    group.measurement_time(Duration::from_secs(4)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(20);
     for &n in &[12usize, 24, 48] {
         let (a, b) = instance(n, 19);
         // Moderate ridge keeps the instance condition number ~10³ so the

@@ -3,8 +3,11 @@
 
 use cellsync_bench::experiments;
 
+/// A named experiment entry point taking the RNG seed.
+type Job = (&'static str, fn(u64) -> experiments::ExpResult);
+
 fn main() {
-    let jobs: Vec<(&str, fn(u64) -> experiments::ExpResult)> = vec![
+    let jobs: Vec<Job> = vec![
         ("fig2", experiments::run_fig2),
         ("fig3", experiments::run_fig3),
         ("fig4", experiments::run_fig4),

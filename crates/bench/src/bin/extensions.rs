@@ -13,9 +13,7 @@
 //! Writes CSVs to target/figures/ and prints a report.
 
 use cellsync::synthetic::SyntheticExperiment;
-use cellsync::{
-    DeconvolutionConfig, Deconvolver, LambdaSelection, PhaseProfile,
-};
+use cellsync::{DeconvolutionConfig, Deconvolver, LambdaSelection, PhaseProfile};
 use cellsync_bench::{report, standard_kernel, write_csv, CYCLE_MINUTES};
 use cellsync_ode::models::Goodwin;
 use cellsync_ode::period::estimate_period;
@@ -39,9 +37,8 @@ fn goodwin_deconvolution(seed: u64) -> Result<Vec<String>, Box<dyn std::error::E
     let truth_raw = PhaseProfile::from_trajectory(&traj, 0, 0.0, period, 400)?;
     // Rescale amplitudes into microarray-like units.
     let scale = 8.0 / truth_raw.max();
-    let truth = PhaseProfile::from_samples(
-        truth_raw.values().iter().map(|v| v * scale + 0.5).collect(),
-    )?;
+    let truth =
+        PhaseProfile::from_samples(truth_raw.values().iter().map(|v| v * scale + 0.5).collect())?;
 
     let kernel = standard_kernel(180.0, 19, seed)?;
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(41));
@@ -101,14 +98,10 @@ fn synchrony_decay(seed: u64) -> Result<Vec<String>, Box<dyn std::error::Error>>
     write_csv(
         "ext_synchrony_decay.csv",
         "minutes,order_parameter,circular_variance,cells",
-        times.iter().zip(&curve).map(|(&t, s)| {
-            vec![
-                t,
-                s.order_parameter,
-                s.circular_variance,
-                s.cells as f64,
-            ]
-        }),
+        times
+            .iter()
+            .zip(&curve)
+            .map(|(&t, s)| vec![t, s.order_parameter, s.circular_variance, s.cells as f64]),
     )?;
     let half = synchrony::time_below(&pop, &times, 0.5)?;
     let r0 = curve[0].order_parameter;
@@ -129,7 +122,8 @@ fn synchrony_decay(seed: u64) -> Result<Vec<String>, Box<dyn std::error::Error>>
 
 fn lambda_selection_comparison(seed: u64) -> Result<Vec<String>, Box<dyn std::error::Error>> {
     let truth = PhaseProfile::from_fn(300, |phi| {
-        2.0 + (2.0 * std::f64::consts::PI * phi).sin() + 0.6 * (4.0 * std::f64::consts::PI * phi).cos()
+        2.0 + (2.0 * std::f64::consts::PI * phi).sin()
+            + 0.6 * (4.0 * std::f64::consts::PI * phi).cos()
     })?;
     let kernel = standard_kernel(180.0, 19, seed)?;
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5));
@@ -165,9 +159,7 @@ fn lambda_selection_comparison(seed: u64) -> Result<Vec<String>, Box<dyn std::er
         report(
             "both selectors give comparable recovery",
             "'selected via cross validation'",
-            &format!(
-                "GCV λ={l_gcv:.1e} NRMSE {e_gcv:.3}; k-fold λ={l_kf:.1e} NRMSE {e_kf:.3}"
-            ),
+            &format!("GCV λ={l_gcv:.1e} NRMSE {e_gcv:.3}; k-fold λ={l_kf:.1e} NRMSE {e_kf:.3}"),
             (e_gcv - e_kf).abs() < 0.1,
         ),
     ])

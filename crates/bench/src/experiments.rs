@@ -64,13 +64,7 @@ pub fn run_fig2(seed: u64) -> ExpResult {
     let rows = (0..=180).map(|minute| {
         let t = minute as f64;
         let phi = (t / CYCLE_MINUTES).fract();
-        vec![
-            t,
-            x1.eval(phi),
-            d1.eval(phi),
-            x2.eval(phi),
-            d2.eval(phi),
-        ]
+        vec![t, x1.eval(phi), d1.eval(phi), x2.eval(phi), d2.eval(phi)]
     });
     write_csv(
         "fig2_profiles.csv",
@@ -83,8 +77,12 @@ pub fn run_fig2(seed: u64) -> ExpResult {
         .iter()
         .enumerate()
         .map(|(m, &t)| vec![t, g1[m], g2[m]]);
-    write_csv("fig2_population.csv", "minutes,x1_population,x2_population", pop_rows)
-        .map_err(|_| DeconvError::InvalidConfig("failed to write fig2_population.csv"))?;
+    write_csv(
+        "fig2_population.csv",
+        "minutes,x1_population,x2_population",
+        pop_rows,
+    )
+    .map_err(|_| DeconvError::InvalidConfig("failed to write fig2_population.csv"))?;
 
     // Paper-vs-measured: the deconvolution "generally performs well at
     // recovering the major features of the synchronous cell behavior".
@@ -100,7 +98,9 @@ pub fn run_fig2(seed: u64) -> ExpResult {
     };
     let damping1 = pop_range_late(&g1) / (x1.max() - x1.min());
     Ok(vec![
-        format!("Figure 2 (noiseless LV deconvolution), lambda x1 = {lambda1:.2e}, x2 = {lambda2:.2e}"),
+        format!(
+            "Figure 2 (noiseless LV deconvolution), lambda x1 = {lambda1:.2e}, x2 = {lambda2:.2e}"
+        ),
         report(
             "x1 recovery (NRMSE / correlation)",
             "visual overlay of truth",
@@ -149,7 +149,13 @@ pub fn run_fig3(seed: u64) -> ExpResult {
     )
     .map_err(|_| DeconvError::InvalidConfig("failed to write fig3_profiles.csv"))?;
     let pop_rows = kernel.times().iter().enumerate().map(|(m, &t)| {
-        vec![t, e1.clean()[m], e1.noisy()[m], e2.clean()[m], e2.noisy()[m]]
+        vec![
+            t,
+            e1.clean()[m],
+            e1.noisy()[m],
+            e2.clean()[m],
+            e2.noisy()[m],
+        ]
     });
     write_csv(
         "fig3_population.csv",
@@ -180,8 +186,12 @@ pub fn run_fig3(seed: u64) -> ExpResult {
         sweep_rows.push(vec![fraction, mean]);
         summary.push((fraction, mean));
     }
-    write_csv("fig3_noise_sweep.csv", "noise_fraction,mean_nrmse_x1", sweep_rows)
-        .map_err(|_| DeconvError::InvalidConfig("failed to write fig3_noise_sweep.csv"))?;
+    write_csv(
+        "fig3_noise_sweep.csv",
+        "noise_fraction,mean_nrmse_x1",
+        sweep_rows,
+    )
+    .map_err(|_| DeconvError::InvalidConfig("failed to write fig3_noise_sweep.csv"))?;
 
     let nrmse10_1 = x1.nrmse(&d1)?;
     let nrmse10_2 = x2.nrmse(&d2)?;
@@ -364,16 +374,24 @@ pub fn run_fig5(seed: u64) -> ExpResult {
             points: 19,
         })
         .build()?;
-    let (deconv, lambda) =
-        deconvolve_series(&kernel, experiment.noisy(), Some(experiment.sigmas()), &config)?;
+    let (deconv, lambda) = deconvolve_series(
+        &kernel,
+        experiment.noisy(),
+        Some(experiment.sigmas()),
+        &config,
+    )?;
 
     let pop_rows = kernel
         .times()
         .iter()
         .enumerate()
         .map(|(m, &t)| vec![t, experiment.clean()[m], experiment.noisy()[m]]);
-    write_csv("fig5_population.csv", "minutes,ftsz_clean,ftsz_noisy", pop_rows)
-        .map_err(|_| DeconvError::InvalidConfig("failed to write fig5_population.csv"))?;
+    write_csv(
+        "fig5_population.csv",
+        "minutes,ftsz_clean,ftsz_noisy",
+        pop_rows,
+    )
+    .map_err(|_| DeconvError::InvalidConfig("failed to write fig5_population.csv"))?;
     let prof_rows = (0..=300).map(|i| {
         let phi = i as f64 / 300.0;
         vec![phi * CYCLE_MINUTES, truth.eval(phi), deconv.eval(phi)]
@@ -396,7 +414,10 @@ pub fn run_fig5(seed: u64) -> ExpResult {
         report(
             "transcription delay resolved (onset phase)",
             &format!("delay to ~SW-ST transition ({:.2})", t_feat.onset_phase),
-            &format!("deconvolved {:.2}, population {:.2}", d_feat.onset_phase, p_feat.onset_phase),
+            &format!(
+                "deconvolved {:.2}, population {:.2}",
+                d_feat.onset_phase, p_feat.onset_phase
+            ),
             (d_feat.onset_phase - t_feat.onset_phase).abs() < 0.08,
         ),
         report(
@@ -446,9 +467,8 @@ pub fn run_paramfit(seed: u64) -> ExpResult {
     let first_cycle: Vec<usize> = (0..times.len())
         .filter(|&m| times[m] <= CYCLE_MINUTES)
         .collect();
-    let as_profile = |g: &[f64]| {
-        PhaseProfile::from_samples(first_cycle.iter().map(|&m| g[m]).collect())
-    };
+    let as_profile =
+        |g: &[f64]| PhaseProfile::from_samples(first_cycle.iter().map(|&m| g[m]).collect());
     let p1 = as_profile(e1.noisy())?;
     let p2 = as_profile(e2.noisy())?;
 
@@ -472,9 +492,7 @@ pub fn run_paramfit(seed: u64) -> ExpResult {
                 let (a, b, c, d) = pop_fit.params;
                 vec![1.0, pop_err, a, b, c, d]
             },
-            {
-                vec![2.0, 0.0, ta, tb, tc, td]
-            },
+            { vec![2.0, 0.0, ta, tb, tc, td] },
         ],
     )
     .map_err(|_| DeconvError::InvalidConfig("failed to write paramfit_comparison.csv"))?;

@@ -7,6 +7,8 @@
 //! protocol pieces the binaries share: the standard experiment kernel, the
 //! CSV writer, and the Fig. 2/3 Lotka–Volterra setup.
 
+#![deny(missing_docs)]
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -353,7 +353,10 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(DeconvolutionConfig::builder().basis_size(3).build().is_err());
+        assert!(DeconvolutionConfig::builder()
+            .basis_size(3)
+            .build()
+            .is_err());
         assert!(DeconvolutionConfig::builder()
             .positivity_grid(1)
             .build()

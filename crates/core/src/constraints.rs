@@ -35,10 +35,7 @@ const GL_POINTS: usize = 16;
 /// extra panels resolve the Gaussian density).
 const PANELS_PER_INTERVAL: usize = 4;
 
-fn integrate_over_basis<F: Fn(f64) -> f64>(
-    basis: &NaturalSplineBasis,
-    f: F,
-) -> Result<f64> {
+fn integrate_over_basis<F: Fn(f64) -> f64>(basis: &NaturalSplineBasis, f: F) -> Result<f64> {
     let rule = GaussLegendre::new(GL_POINTS)?;
     let knots = basis.knots();
     let mut total = 0.0;
@@ -133,7 +130,9 @@ pub fn rate_continuity_row(
         let int_p_dpsi =
             integrate_over_basis(basis, |phi| params.sst_density(phi) * basis.deriv(i, phi))?;
         row.push(
-            b0 * basis.eval(i, 1.0) - b0 * basis.eval(i, 0.0) - int_beta_p_psi
+            b0 * basis.eval(i, 1.0)
+                - b0 * basis.eval(i, 0.0)
+                - int_beta_p_psi
                 - 0.4 * basis.deriv(i, 0.0)
                 - 0.6 * int_p_dpsi
                 + basis.deriv(i, 1.0),
@@ -149,10 +148,7 @@ pub fn rate_continuity_row(
 /// # Errors
 ///
 /// Propagates quadrature errors (none in practice).
-pub fn conservation_residual<F: Fn(f64) -> f64>(
-    f: F,
-    params: &CellCycleParams,
-) -> Result<f64> {
+pub fn conservation_residual<F: Fn(f64) -> f64>(f: F, params: &CellCycleParams) -> Result<f64> {
     let rule = GaussLegendre::new(GL_POINTS)?;
     let integral = rule.integrate_panels(|phi| params.sst_density(phi) * f(phi), 0.0, 1.0, 64)?;
     Ok(f(1.0) - 0.4 * f(0.0) - 0.6 * integral)
@@ -165,11 +161,7 @@ pub fn conservation_residual<F: Fn(f64) -> f64>(
 /// # Errors
 ///
 /// Propagates quadrature errors (none in practice).
-pub fn rate_continuity_residual<F, D>(
-    f: F,
-    df: D,
-    params: &CellCycleParams,
-) -> Result<f64>
+pub fn rate_continuity_residual<F, D>(f: F, df: D, params: &CellCycleParams) -> Result<f64>
 where
     F: Fn(f64) -> f64,
     D: Fn(f64) -> f64,
@@ -283,11 +275,7 @@ mod tests {
         let legacy = CellCycleParams::caulobacter_legacy().unwrap();
         let r_new = rna_conservation_row(&basis, &updated).unwrap();
         let r_old = rna_conservation_row(&basis, &legacy).unwrap();
-        let diff: f64 = r_new
-            .iter()
-            .zip(&r_old)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 = r_new.iter().zip(&r_old).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-3, "μ_sst update must move the constraint");
     }
 }

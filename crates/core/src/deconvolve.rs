@@ -175,9 +175,7 @@ impl Deconvolver {
         };
 
         // Weighted design and data: B = W·A, y = W·g.
-        let b = Matrix::from_fn(m, self.basis.len(), |r, c| {
-            weights[r] * self.design[(r, c)]
-        });
+        let b = Matrix::from_fn(m, self.basis.len(), |r, c| weights[r] * self.design[(r, c)]);
         let y = Vector::from_fn(m, |i| weights[i] * g[i]);
 
         let (lambda, scores) = match self.config.lambda().clone() {
@@ -194,15 +192,13 @@ impl Deconvolver {
                 // minimum sits in the interior. Standard mitigation: take
                 // the LARGEST λ whose score is within 5 % of the minimum
                 // (prefer the most parsimonious fit among near-ties).
-                let s_min = scores
-                    .iter()
-                    .map(|&(_, s)| s)
-                    .fold(f64::INFINITY, f64::min);
+                let s_min = scores.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
                 let threshold = s_min + 0.05 * s_min.abs() + f64::MIN_POSITIVE;
                 let (best_idx, best) = scores
                     .iter()
                     .cloned()
-                    .enumerate().rfind(|(_, (_, s))| *s <= threshold)
+                    .enumerate()
+                    .rfind(|(_, (_, s))| *s <= threshold)
                     .expect("the minimizer itself passes the threshold");
                 // Golden-section refinement in log₁₀λ between the grid
                 // neighbours of the coarse minimizer (interior minima
@@ -248,10 +244,7 @@ impl Deconvolver {
         };
 
         let alpha = self.solve_constrained(&b, &y, lambda)?;
-        let predicted = self
-            .design
-            .matvec(&alpha)?
-            .into_vec();
+        let predicted = self.design.matvec(&alpha)?.into_vec();
         let weighted_sse: f64 = predicted
             .iter()
             .zip(g)
@@ -564,7 +557,10 @@ mod tests {
         let times: Vec<f64> = (0..n_times)
             .map(|i| 150.0 * i as f64 / (n_times - 1) as f64)
             .collect();
-        KernelEstimator::new(64).unwrap().estimate(&pop, &times).unwrap()
+        KernelEstimator::new(64)
+            .unwrap()
+            .estimate(&pop, &times)
+            .unwrap()
     }
 
     fn smooth_truth() -> PhaseProfile {
@@ -668,11 +664,9 @@ mod tests {
     #[test]
     fn equality_constraints_enforced() {
         let k = kernel(5, 16);
-        let truth = PhaseProfile::from_fn(
-            200,
-            |phi| 3.0 + 2.0 * (std::f64::consts::PI * phi).sin(),
-        )
-        .unwrap();
+        let truth =
+            PhaseProfile::from_fn(200, |phi| 3.0 + 2.0 * (std::f64::consts::PI * phi).sin())
+                .unwrap();
         let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
         let config = DeconvolutionConfig::builder()
             .basis_size(14)

@@ -47,11 +47,21 @@ pub enum DeconvError {
 impl fmt::Display for DeconvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeconvError::LengthMismatch { what, expected, got } => {
-                write!(f, "length mismatch in {what}: expected {expected}, got {got}")
+            DeconvError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "length mismatch in {what}: expected {expected}, got {got}"
+                )
             }
             DeconvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            DeconvError::TooFewMeasurements { measurements, basis } => write!(
+            DeconvError::TooFewMeasurements {
+                measurements,
+                basis,
+            } => write!(
                 f,
                 "too few measurements ({measurements}) to constrain {basis} spline coefficients \
                  (need regularization to remain well-posed; reduce basis_size or add data)"
@@ -108,9 +118,16 @@ mod tests {
     #[test]
     fn display_nonempty_and_sources_chain() {
         let errs: Vec<DeconvError> = vec![
-            DeconvError::LengthMismatch { what: "sigmas", expected: 3, got: 2 },
+            DeconvError::LengthMismatch {
+                what: "sigmas",
+                expected: 3,
+                got: 2,
+            },
             DeconvError::InvalidConfig("basis too small"),
-            DeconvError::TooFewMeasurements { measurements: 2, basis: 24 },
+            DeconvError::TooFewMeasurements {
+                measurements: 2,
+                basis: 24,
+            },
             DeconvError::InvalidPhase(1.5),
             cellsync_linalg::LinalgError::Singular.into(),
             cellsync_numerics::NumericsError::InvalidArgument("x").into(),

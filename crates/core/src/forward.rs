@@ -132,7 +132,10 @@ mod tests {
                 .simulate_until(150.0)
                 .unwrap();
         let times: Vec<f64> = (0..=10).map(|i| i as f64 * 15.0).collect();
-        let kernel = KernelEstimator::new(64).unwrap().estimate(&pop, &times).unwrap();
+        let kernel = KernelEstimator::new(64)
+            .unwrap()
+            .estimate(&pop, &times)
+            .unwrap();
         ForwardModel::new(kernel)
     }
 
@@ -150,10 +153,7 @@ mod tests {
         let fm = forward(2);
         let p1 = PhaseProfile::from_fn(100, |phi| phi).unwrap();
         let p2 = PhaseProfile::from_fn(100, |phi| (3.0 * phi).sin() + 1.0).unwrap();
-        let sum = PhaseProfile::from_fn(100, |phi| {
-            phi + (3.0 * phi).sin() + 1.0
-        })
-        .unwrap();
+        let sum = PhaseProfile::from_fn(100, |phi| phi + (3.0 * phi).sin() + 1.0).unwrap();
         let g1 = fm.predict(&p1).unwrap();
         let g2 = fm.predict(&p2).unwrap();
         let gs = fm.predict(&sum).unwrap();
@@ -200,10 +200,8 @@ mod tests {
         // The population trace of an oscillating profile has smaller range
         // than the profile itself at late times (asynchrony damps it).
         let fm = forward(5);
-        let osc = PhaseProfile::from_fn(200, |phi| {
-            1.0 + (2.0 * std::f64::consts::PI * phi).sin()
-        })
-        .unwrap();
+        let osc = PhaseProfile::from_fn(200, |phi| 1.0 + (2.0 * std::f64::consts::PI * phi).sin())
+            .unwrap();
         let g = fm.predict(&osc).unwrap();
         let late = &g[g.len() - 3..];
         let range = late.iter().cloned().fold(f64::NEG_INFINITY, f64::max)

@@ -82,8 +82,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-pub mod constraints;
 mod config;
+pub mod constraints;
 mod deconvolve;
 mod error;
 mod forward;

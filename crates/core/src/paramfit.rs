@@ -2,7 +2,7 @@
 //!
 //! The paper's closing claim: gene-regulation models are "typically built
 //! to model single cell behavior but fitted to population data", and
-//! fitting them to *deconvolved* data instead "yield[s] more accurate
+//! fitting them to *deconvolved* data instead "yield\[s\] more accurate
 //! single cell parameters than fitting to population data alone". This
 //! module implements that experiment for the Lotka–Volterra oscillator:
 //! rate constants `(a, b, c, d)` are recovered by Nelder–Mead minimization
@@ -102,7 +102,10 @@ pub fn fit_lotka_volterra(
         return Err(DeconvError::InvalidConfig("initial state must be positive"));
     }
     let (ga, gb, gc, gd) = config.initial_guess;
-    if [ga, gb, gc, gd].iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+    if [ga, gb, gc, gd]
+        .iter()
+        .any(|&v| !(v > 0.0) || !v.is_finite())
+    {
         return Err(DeconvError::InvalidConfig("initial guess must be positive"));
     }
     if config.samples < 8 {
@@ -128,8 +131,8 @@ pub fn fit_lotka_volterra(
             return f64::INFINITY;
         };
         // RK4 with ~600 steps per period is ample at these rates.
-        let Ok(traj) = Rk4::new(period / 600.0)
-            .and_then(|rk| rk.integrate(&lv, &y0, 0.0, period * 1.001))
+        let Ok(traj) =
+            Rk4::new(period / 600.0).and_then(|rk| rk.integrate(&lv, &y0, 0.0, period * 1.001))
         else {
             return f64::INFINITY;
         };
@@ -183,11 +186,8 @@ mod tests {
         let (lv, x1, x2) = truth();
         let (a, b, c, d) = lv.params();
         // Start 40 % off.
-        let config = LvFitConfig::for_period(
-            150.0,
-            [2.0, 1.0],
-            (a * 1.4, b * 1.4, c * 0.7, d * 0.7),
-        );
+        let config =
+            LvFitConfig::for_period(150.0, [2.0, 1.0], (a * 1.4, b * 1.4, c * 0.7, d * 0.7));
         let fit = fit_lotka_volterra(&x1, &x2, &config).unwrap();
         let err = fit.mean_relative_error(&lv).unwrap();
         assert!(err < 0.02, "mean relative error {err}");
@@ -201,20 +201,14 @@ mod tests {
         let (lv, x1, x2) = truth();
         let damp = |p: &PhaseProfile| {
             let mean = p.values().iter().sum::<f64>() / p.len() as f64;
-            PhaseProfile::from_samples(
-                p.values().iter().map(|v| mean + 0.4 * (v - mean)).collect(),
-            )
-            .unwrap()
+            PhaseProfile::from_samples(p.values().iter().map(|v| mean + 0.4 * (v - mean)).collect())
+                .unwrap()
         };
         let (a, b, c, d) = lv.params();
-        let config = LvFitConfig::for_period(
-            150.0,
-            [2.0, 1.0],
-            (a * 1.2, b * 1.2, c * 0.8, d * 0.8),
-        );
+        let config =
+            LvFitConfig::for_period(150.0, [2.0, 1.0], (a * 1.2, b * 1.2, c * 0.8, d * 0.8));
         let clean_fit = fit_lotka_volterra(&x1, &x2, &config).unwrap();
-        let damped_fit =
-            fit_lotka_volterra(&damp(&x1), &damp(&x2), &config).unwrap();
+        let damped_fit = fit_lotka_volterra(&damp(&x1), &damp(&x2), &config).unwrap();
         let clean_err = clean_fit.mean_relative_error(&lv).unwrap();
         let damped_err = damped_fit.mean_relative_error(&lv).unwrap();
         assert!(

@@ -77,9 +77,7 @@ impl PhaseProfile {
                 "profile needs at least two samples",
             ));
         }
-        let values: Vec<f64> = (0..n)
-            .map(|i| f(i as f64 / (n - 1) as f64))
-            .collect();
+        let values: Vec<f64> = (0..n).map(|i| f(i as f64 / (n - 1) as f64)).collect();
         PhaseProfile::from_samples(values)
     }
 
@@ -159,7 +157,10 @@ impl PhaseProfile {
 
     /// Maximum sample value.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum sample value.
@@ -175,8 +176,12 @@ impl PhaseProfile {
     /// Propagates metric errors (never in practice: grids are non-empty).
     pub fn rmse(&self, other: &PhaseProfile) -> Result<f64> {
         let n = self.len().max(other.len());
-        let a: Vec<f64> = (0..n).map(|i| self.eval(i as f64 / (n - 1) as f64)).collect();
-        let b: Vec<f64> = (0..n).map(|i| other.eval(i as f64 / (n - 1) as f64)).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| self.eval(i as f64 / (n - 1) as f64))
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| other.eval(i as f64 / (n - 1) as f64))
+            .collect();
         Ok(cellsync_stats::metrics::rmse(&a, &b)?)
     }
 
@@ -187,8 +192,12 @@ impl PhaseProfile {
     /// Propagates metric errors (constant truth has no range).
     pub fn nrmse(&self, other: &PhaseProfile) -> Result<f64> {
         let n = self.len().max(other.len());
-        let a: Vec<f64> = (0..n).map(|i| self.eval(i as f64 / (n - 1) as f64)).collect();
-        let b: Vec<f64> = (0..n).map(|i| other.eval(i as f64 / (n - 1) as f64)).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| self.eval(i as f64 / (n - 1) as f64))
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| other.eval(i as f64 / (n - 1) as f64))
+            .collect();
         Ok(cellsync_stats::metrics::nrmse(&a, &b)?)
     }
 
@@ -199,8 +208,12 @@ impl PhaseProfile {
     /// Propagates metric errors (constant profiles have no correlation).
     pub fn correlation(&self, other: &PhaseProfile) -> Result<f64> {
         let n = self.len().max(other.len());
-        let a: Vec<f64> = (0..n).map(|i| self.eval(i as f64 / (n - 1) as f64)).collect();
-        let b: Vec<f64> = (0..n).map(|i| other.eval(i as f64 / (n - 1) as f64)).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| self.eval(i as f64 / (n - 1) as f64))
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| other.eval(i as f64 / (n - 1) as f64))
+            .collect();
         Ok(cellsync_stats::metrics::pearson(&a, &b)?)
     }
 
@@ -227,11 +240,7 @@ impl PhaseProfile {
             .map(|(i, _)| i)
             .expect("non-empty");
         let threshold = 0.10 * peak_value;
-        let onset_idx = self
-            .values
-            .iter()
-            .position(|&v| v > threshold)
-            .unwrap_or(0);
+        let onset_idx = self.values.iter().position(|&v| v > threshold).unwrap_or(0);
         // Monotone decline check with 5 % slack for estimator wiggle.
         let slack = 0.05 * peak_value;
         let mut declines = true;
@@ -306,7 +315,11 @@ mod tests {
         })
         .unwrap();
         let f = p.features().unwrap();
-        assert!((f.onset_phase - 0.22).abs() < 0.03, "onset {}", f.onset_phase);
+        assert!(
+            (f.onset_phase - 0.22).abs() < 0.03,
+            "onset {}",
+            f.onset_phase
+        );
         assert!((f.peak_phase - 0.4).abs() < 0.01);
         assert!(f.declines_after_peak);
     }

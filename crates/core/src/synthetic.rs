@@ -134,9 +134,11 @@ pub fn project_onto_constraints(
     // satisfy RNA conservation by inventing expression at birth, which
     // would erase delayed-onset features (the whole point of Fig. 5).
     let pin0: Vec<f64> = (0..n).map(|i| basis.eval(i, 0.0)).collect();
-    let eq_rows = [constraints::rna_conservation_row(&basis, params)?,
+    let eq_rows = [
+        constraints::rna_conservation_row(&basis, params)?,
         constraints::rate_continuity_row(&basis, params)?,
-        pin0];
+        pin0,
+    ];
     let refs: Vec<&[f64]> = eq_rows.iter().map(|r| r.as_slice()).collect();
     let eq = Matrix::from_rows(&refs)?;
     let eq_rhs = Vector::from_slice(&[0.0, 0.0, profile.eval(0.0)]);
@@ -148,10 +150,7 @@ pub fn project_onto_constraints(
         .solve()?;
     let samples: Vec<f64> = (0..profile.len())
         .map(|i| {
-            basis.eval_combination(
-                solution.x.as_slice(),
-                i as f64 / (profile.len() - 1) as f64,
-            )
+            basis.eval_combination(solution.x.as_slice(), i as f64 / (profile.len() - 1) as f64)
         })
         .collect::<std::result::Result<_, _>>()?;
     // Positivity was imposed on a finite grid; clip the dust between
@@ -269,9 +268,7 @@ impl SyntheticExperiment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cellsync_popsim::{
-        CellCycleParams, InitialCondition, KernelEstimator, Population,
-    };
+    use cellsync_popsim::{CellCycleParams, InitialCondition, KernelEstimator, Population};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -279,7 +276,11 @@ mod tests {
     fn ftsz_profile_features() {
         let p = ftsz_profile(400, 0.15, 0.4).unwrap();
         let f = p.features().unwrap();
-        assert!(f.onset_phase > 0.13 && f.onset_phase < 0.25, "onset {}", f.onset_phase);
+        assert!(
+            f.onset_phase > 0.13 && f.onset_phase < 0.25,
+            "onset {}",
+            f.onset_phase
+        );
         assert!((f.peak_phase - 0.4).abs() < 0.01);
         // The grid need not sample φ = 0.4 exactly; allow discretization.
         assert!((f.peak_value - FTSZ_PEAK).abs() < 0.01);
@@ -312,17 +313,24 @@ mod tests {
         assert!(proj.min() >= 0.0);
         // Key biological features survive the projection.
         let f = proj.features().unwrap();
-        assert!(f.onset_phase > 0.08 && f.onset_phase < 0.3, "onset {}", f.onset_phase);
+        assert!(
+            f.onset_phase > 0.08 && f.onset_phase < 0.3,
+            "onset {}",
+            f.onset_phase
+        );
         assert!((f.peak_phase - 0.4).abs() < 0.1, "peak {}", f.peak_phase);
         // Projection stays close to the shape.
-        assert!(raw.nrmse(&proj).unwrap() < 0.15, "nrmse {}", raw.nrmse(&proj).unwrap());
+        assert!(
+            raw.nrmse(&proj).unwrap() < 0.15,
+            "nrmse {}",
+            raw.nrmse(&proj).unwrap()
+        );
     }
 
     #[test]
     fn lv_truth_has_period_and_amplitude() {
         let shape = LotkaVolterra::new(1.0, 1.0, 1.0, 1.0).unwrap();
-        let (x1, x2, scaled) =
-            lotka_volterra_truth(&shape, [2.4, 1.0], 150.0, 300).unwrap();
+        let (x1, x2, scaled) = lotka_volterra_truth(&shape, [2.4, 1.0], 150.0, 300).unwrap();
         // One full period: endpoints match.
         assert!((x1.eval(0.0) - x1.eval(1.0)).abs() < 0.05);
         assert!((x2.eval(0.0) - x2.eval(1.0)).abs() < 0.05);
@@ -384,7 +392,10 @@ mod tests {
         let floor = 1e-9 + 1e-3 * scale;
         for (s, c) in exp.sigmas().iter().zip(exp.clean()) {
             let expected = (0.10 * c.abs()).max(floor);
-            assert!((s - expected).abs() <= 1e-12 + 1e-9 * expected, "sigma {s} vs {expected}");
+            assert!(
+                (s - expected).abs() <= 1e-12 + 1e-9 * expected,
+                "sigma {s} vs {expected}"
+            );
         }
     }
 }

@@ -15,15 +15,11 @@ fn kernel() -> cellsync_popsim::PhaseKernel {
         .get_or_init(|| {
             let params = CellCycleParams::caulobacter().expect("defaults valid");
             let mut rng = StdRng::seed_from_u64(1234);
-            let pop = Population::synchronized(
-                2000,
-                &params,
-                InitialCondition::UniformSwarmer,
-                &mut rng,
-            )
-            .expect("non-empty")
-            .simulate_until(150.0)
-            .expect("finite");
+            let pop =
+                Population::synchronized(2000, &params, InitialCondition::UniformSwarmer, &mut rng)
+                    .expect("non-empty")
+                    .simulate_until(150.0)
+                    .expect("finite");
             let times: Vec<f64> = (0..12).map(|i| 150.0 * i as f64 / 11.0).collect();
             KernelEstimator::new(50)
                 .expect("bins > 0")

@@ -49,7 +49,9 @@ impl CholeskyDecomposition {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         if !a.is_finite() {
-            return Err(LinalgError::InvalidArgument("matrix entries must be finite"));
+            return Err(LinalgError::InvalidArgument(
+                "matrix entries must be finite",
+            ));
         }
         let scale = a.norm_inf().max(1.0);
         if a.asymmetry()? > 1e-8 * scale {
@@ -170,12 +172,7 @@ mod tests {
     use super::*;
 
     fn spd_example() -> Matrix {
-        Matrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]).unwrap()
     }
 
     #[test]

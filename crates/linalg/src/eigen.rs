@@ -51,7 +51,9 @@ impl SymmetricEigen {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         if !a.is_finite() {
-            return Err(LinalgError::InvalidArgument("matrix entries must be finite"));
+            return Err(LinalgError::InvalidArgument(
+                "matrix entries must be finite",
+            ));
         }
         let scale = a.norm_inf().max(1.0);
         if a.asymmetry()? > 1e-8 * scale {
@@ -122,7 +124,11 @@ impl SymmetricEigen {
 
         // Sort eigenpairs ascending by eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("finite eigenvalues"));
+        order.sort_by(|&i, &j| {
+            m[(i, i)]
+                .partial_cmp(&m[(j, j)])
+                .expect("finite eigenvalues")
+        });
         let values = Vector::from_fn(n, |i| m[(order[i], order[i])]);
         let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
         Ok(SymmetricEigen { values, vectors })
@@ -153,10 +159,7 @@ impl SymmetricEigen {
     /// smallest eigenvalue is zero.
     pub fn condition_number(&self) -> f64 {
         let lo = self.min_eigenvalue().abs();
-        let hi = self
-            .values
-            .iter()
-            .fold(0.0_f64, |acc, &x| acc.max(x.abs()));
+        let hi = self.values.iter().fold(0.0_f64, |acc, &x| acc.max(x.abs()));
         if lo == 0.0 {
             f64::INFINITY
         } else {
@@ -228,7 +231,11 @@ mod tests {
         let eig = a.symmetric_eigen().unwrap();
         assert!((eig.condition_number() - 100.0).abs() < 1e-9);
         let z = Matrix::from_diagonal(&Vector::from_slice(&[0.0, 1.0]));
-        assert!(z.symmetric_eigen().unwrap().condition_number().is_infinite());
+        assert!(z
+            .symmetric_eigen()
+            .unwrap()
+            .condition_number()
+            .is_infinite());
     }
 
     #[test]

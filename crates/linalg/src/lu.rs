@@ -49,7 +49,9 @@ impl LuDecomposition {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         if !a.is_finite() {
-            return Err(LinalgError::InvalidArgument("matrix entries must be finite"));
+            return Err(LinalgError::InvalidArgument(
+                "matrix entries must be finite",
+            ));
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -91,7 +93,11 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(LuDecomposition { lu, perm, perm_sign })
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -193,8 +199,8 @@ mod tests {
 
     #[test]
     fn solves_known_system() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
         let b = Vector::from_slice(&[5.0, -2.0, 9.0]);
         let x = a.lu().unwrap().solve(&b).unwrap();
         let r = &a.matvec(&x).unwrap() - &b;
@@ -204,7 +210,11 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_leading_entry() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
-        let x = a.lu().unwrap().solve(&Vector::from_slice(&[2.0, 3.0])).unwrap();
+        let x = a
+            .lu()
+            .unwrap()
+            .solve(&Vector::from_slice(&[2.0, 3.0]))
+            .unwrap();
         assert_eq!(x.as_slice(), &[3.0, 2.0]);
     }
 
@@ -262,8 +272,7 @@ mod tests {
         let lu = good.lu().unwrap();
         assert!(lu.rcond_estimate(&good).unwrap() > 0.3);
 
-        let bad =
-            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0 + 1e-12]]).unwrap();
+        let bad = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0 + 1e-12]]).unwrap();
         let lub = bad.lu().unwrap();
         assert!(lub.rcond_estimate(&bad).unwrap() < 1e-10);
     }

@@ -319,7 +319,9 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self[(i, i)]).sum())
     }
@@ -348,7 +350,9 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn asymmetry(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let mut worst = 0.0_f64;
         for i in 0..self.rows {
@@ -366,7 +370,9 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn symmetrize(&mut self) -> Result<()> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         for i in 0..self.rows {
             for j in (i + 1)..self.cols {
@@ -564,7 +570,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
         assert!(a.matmul(&Matrix::zeros(3, 2)).is_err());
     }
 

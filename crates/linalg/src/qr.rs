@@ -44,7 +44,9 @@ impl QrDecomposition {
             return Err(LinalgError::Empty);
         }
         if !a.is_finite() {
-            return Err(LinalgError::InvalidArgument("matrix entries must be finite"));
+            return Err(LinalgError::InvalidArgument(
+                "matrix entries must be finite",
+            ));
         }
         let m = a.rows();
         let n = a.cols();
@@ -118,9 +120,7 @@ impl QrDecomposition {
     /// `tol · max|R_ii|`.
     pub fn rank(&self, tol: f64) -> usize {
         let k = self.r.rows().min(self.r.cols());
-        let maxdiag = (0..k)
-            .map(|i| self.r[(i, i)].abs())
-            .fold(0.0_f64, f64::max);
+        let maxdiag = (0..k).map(|i| self.r[(i, i)].abs()).fold(0.0_f64, f64::max);
         if maxdiag == 0.0 {
             return 0;
         }
@@ -199,8 +199,12 @@ mod tests {
 
     #[test]
     fn reconstruction_square() {
-        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ])
+        .unwrap();
         let qr = a.qr().unwrap();
         assert!(orthogonality_error(qr.q()) < 1e-12);
         let recon = qr.q().matmul(qr.r()).unwrap();
@@ -215,7 +219,9 @@ mod tests {
 
     #[test]
     fn reconstruction_tall() {
-        let a = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64).sin() + 2.0 * (i == j) as u8 as f64);
+        let a = Matrix::from_fn(5, 3, |i, j| {
+            ((i * 3 + j) as f64).sin() + 2.0 * (i == j) as u8 as f64
+        });
         let qr = a.qr().unwrap();
         assert!(orthogonality_error(qr.q()) < 1e-12);
         let recon = qr.q().matmul(qr.r()).unwrap();
@@ -238,8 +244,7 @@ mod tests {
     fn rank_detects_deficiency() {
         let full = Matrix::identity(3);
         assert_eq!(full.qr().unwrap().rank(1e-12), 3);
-        let deficient =
-            Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let deficient = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
         assert_eq!(deficient.qr().unwrap().rank(1e-10), 1);
     }
 

@@ -57,7 +57,12 @@ impl Tridiagonal {
                 op: "tridiagonal bands",
             });
         }
-        if lower.iter().chain(&diag).chain(&upper).any(|x| !x.is_finite()) {
+        if lower
+            .iter()
+            .chain(&diag)
+            .chain(&upper)
+            .any(|x| !x.is_finite())
+        {
             return Err(LinalgError::InvalidArgument("band entries must be finite"));
         }
         Ok(Tridiagonal { lower, diag, upper })
@@ -90,7 +95,11 @@ impl Tridiagonal {
         if self.diag[0] == 0.0 {
             return Err(LinalgError::Singular);
         }
-        c_star[0] = if n > 1 { self.upper[0] / self.diag[0] } else { 0.0 };
+        c_star[0] = if n > 1 {
+            self.upper[0] / self.diag[0]
+        } else {
+            0.0
+        };
         d_star[0] = b[0] / self.diag[0];
         for i in 1..n {
             let m = self.diag[i] - self.lower[i - 1] * c_star[i - 1];

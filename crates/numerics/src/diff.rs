@@ -84,7 +84,10 @@ pub fn richardson_first<F: Fn(f64) -> f64>(f: F, x: f64, h: f64) -> Result<f64> 
 /// [`NumericsError::InvalidArgument`] for non-positive spacing.
 pub fn gradient_sampled(y: &[f64], h: f64) -> Result<Vec<f64>> {
     if y.len() < 3 {
-        return Err(NumericsError::TooFewPoints { got: y.len(), need: 3 });
+        return Err(NumericsError::TooFewPoints {
+            got: y.len(),
+            need: 3,
+        });
     }
     if !(h > 0.0) || !h.is_finite() {
         return Err(NumericsError::InvalidArgument("spacing must be positive"));
@@ -157,7 +160,12 @@ mod tests {
     fn gradient_sampled_quadratic_exact() {
         // Second-order stencils are exact on quadratics, boundaries included.
         let h = 0.5;
-        let y: Vec<f64> = (0..8).map(|i| { let x = i as f64 * h; x * x }).collect();
+        let y: Vec<f64> = (0..8)
+            .map(|i| {
+                let x = i as f64 * h;
+                x * x
+            })
+            .collect();
         let g = gradient_sampled(&y, h).unwrap();
         for (i, v) in g.iter().enumerate() {
             let x = i as f64 * h;

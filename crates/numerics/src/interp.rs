@@ -40,7 +40,10 @@ impl LinearInterpolator {
     ///   values, or non-increasing abscissae.
     pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
         if xs.len() < 2 {
-            return Err(NumericsError::TooFewPoints { got: xs.len(), need: 2 });
+            return Err(NumericsError::TooFewPoints {
+                got: xs.len(),
+                need: 2,
+            });
         }
         if xs.len() != ys.len() {
             return Err(NumericsError::InvalidArgument(
@@ -83,9 +86,10 @@ impl LinearInterpolator {
             return self.ys[n - 1];
         }
         // Binary search for the bracketing segment.
-        let idx = match self.xs.binary_search_by(|v| {
-            v.partial_cmp(&x).expect("finite by construction")
-        }) {
+        let idx = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite by construction"))
+        {
             Ok(i) => return self.ys[i],
             Err(i) => i, // xs[i-1] < x < xs[i]
         };
@@ -114,8 +118,7 @@ mod tests {
 
     #[test]
     fn hits_knots_exactly() {
-        let li =
-            LinearInterpolator::new(vec![0.0, 1.0, 3.0], vec![5.0, -1.0, 2.0]).unwrap();
+        let li = LinearInterpolator::new(vec![0.0, 1.0, 3.0], vec![5.0, -1.0, 2.0]).unwrap();
         assert_eq!(li.eval(0.0), 5.0);
         assert_eq!(li.eval(1.0), -1.0);
         assert_eq!(li.eval(3.0), 2.0);

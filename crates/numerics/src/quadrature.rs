@@ -3,7 +3,7 @@
 //! The phase integrals of the deconvolution method (paper eqs. 1–3 and
 //! 14–16) are evaluated with the composite rules here. Kernel samples live
 //! on a uniform phase grid, so [`trapezoid_sampled`] is the workhorse;
-//! [`gauss_legendre`] covers smooth analytic integrands (Gaussian densities,
+//! [`GaussLegendre`] covers smooth analytic integrands (Gaussian densities,
 //! spline products) where spectral accuracy is worthwhile.
 
 use crate::{NumericsError, Result};
@@ -297,9 +297,7 @@ pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Re
     let m = 0.5 * (a + b);
     let fm = f(m);
     let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
-    Ok(adaptive_simpson_rec(
-        &f, a, b, fa, fb, fm, whole, tol, 50,
-    ))
+    Ok(adaptive_simpson_rec(&f, a, b, fa, fb, fm, whole, tol, 50))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -409,7 +407,9 @@ mod tests {
     fn gauss_legendre_exact_for_high_degree() {
         let rule = GaussLegendre::new(5).unwrap();
         // 5-point rule is exact through degree 9.
-        let v = rule.integrate(|x| x.powi(9) + x.powi(8), -1.0, 1.0).unwrap();
+        let v = rule
+            .integrate(|x| x.powi(9) + x.powi(8), -1.0, 1.0)
+            .unwrap();
         assert!((v - 2.0 / 9.0).abs() < 1e-13);
     }
 
@@ -424,7 +424,9 @@ mod tests {
     fn gauss_legendre_panels_handle_kinks() {
         let rule = GaussLegendre::new(8).unwrap();
         // |x| has a kink at 0; panel split at the kink makes it exact.
-        let v = rule.integrate_panels(|x: f64| x.abs(), -1.0, 1.0, 2).unwrap();
+        let v = rule
+            .integrate_panels(|x: f64| x.abs(), -1.0, 1.0, 2)
+            .unwrap();
         assert!((v - 1.0).abs() < 1e-14);
     }
 

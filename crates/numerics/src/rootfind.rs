@@ -39,10 +39,18 @@ pub fn bisect<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize
     let mut flo = f(lo);
     let fhi = f(hi);
     if flo == 0.0 {
-        return Ok(Root { x: lo, fx: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: lo,
+            fx: 0.0,
+            iterations: 0,
+        });
     }
     if fhi == 0.0 {
-        return Ok(Root { x: hi, fx: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: hi,
+            fx: 0.0,
+            iterations: 0,
+        });
     }
     if flo * fhi > 0.0 {
         return Err(NumericsError::RootNotBracketed { fa: flo, fb: fhi });
@@ -51,7 +59,11 @@ pub fn bisect<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize
         let mid = 0.5 * (lo + hi);
         let fmid = f(mid);
         if fmid == 0.0 || 0.5 * (hi - lo) < tol {
-            return Ok(Root { x: mid, fx: fmid, iterations: i + 1 });
+            return Ok(Root {
+                x: mid,
+                fx: fmid,
+                iterations: i + 1,
+            });
         }
         if flo * fmid < 0.0 {
             hi = mid;
@@ -90,10 +102,18 @@ pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize)
     let mut fa = f(a);
     let mut fb = f(b);
     if fa == 0.0 {
-        return Ok(Root { x: a, fx: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: a,
+            fx: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, fx: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: b,
+            fx: 0.0,
+            iterations: 0,
+        });
     }
     if fa * fb > 0.0 {
         return Err(NumericsError::RootNotBracketed { fa, fb });
@@ -109,7 +129,11 @@ pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize)
 
     for i in 0..max_iter {
         if fb == 0.0 || (b - a).abs() < tol {
-            return Ok(Root { x: b, fx: fb, iterations: i });
+            return Ok(Root {
+                x: b,
+                fx: fb,
+                iterations: i,
+            });
         }
         let mut s = if fa != fc && fb != fc {
             // Inverse quadratic interpolation.
@@ -178,13 +202,19 @@ where
     D: Fn(f64) -> f64,
 {
     if !x0.is_finite() {
-        return Err(NumericsError::InvalidArgument("initial guess must be finite"));
+        return Err(NumericsError::InvalidArgument(
+            "initial guess must be finite",
+        ));
     }
     let mut x = x0;
     let mut fx = f(x);
     for i in 0..max_iter {
         if fx.abs() < tol {
-            return Ok(Root { x, fx, iterations: i });
+            return Ok(Root {
+                x,
+                fx,
+                iterations: i,
+            });
         }
         let dfx = df(x);
         if dfx == 0.0 || !dfx.is_finite() {
@@ -208,7 +238,11 @@ where
         fx = ftrial;
     }
     if fx.abs() < tol {
-        Ok(Root { x, fx, iterations: max_iter })
+        Ok(Root {
+            x,
+            fx,
+            iterations: max_iter,
+        })
     } else {
         Err(NumericsError::ConvergenceFailed {
             iterations: max_iter,
@@ -274,7 +308,14 @@ mod tests {
     #[test]
     fn newton_damped_survives_overshoot() {
         // atan has small derivative far out: undamped Newton diverges from 2.
-        let r = newton(|x: f64| x.atan(), |x: f64| 1.0 / (1.0 + x * x), 2.0, 1e-12, 200).unwrap();
+        let r = newton(
+            |x: f64| x.atan(),
+            |x: f64| 1.0 / (1.0 + x * x),
+            2.0,
+            1e-12,
+            200,
+        )
+        .unwrap();
         assert!(r.x.abs() < 1e-10);
     }
 

@@ -59,7 +59,10 @@ impl fmt::Display for OdeError {
                 write!(f, "invalid parameter {name} = {value}")
             }
             OdeError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: system has {expected}, state has {got}")
+                write!(
+                    f,
+                    "dimension mismatch: system has {expected}, state has {got}"
+                )
             }
             OdeError::InvalidTimeSpan { t0, t1 } => {
                 write!(f, "invalid time span [{t0}, {t1}]")
@@ -72,7 +75,11 @@ impl fmt::Display for OdeError {
                 write!(f, "step size underflow near t = {t}")
             }
             OdeError::OutOfRange { t, span } => {
-                write!(f, "query t = {t} outside integrated span [{}, {}]", span.0, span.1)
+                write!(
+                    f,
+                    "query t = {t} outside integrated span [{}, {}]",
+                    span.0, span.1
+                )
             }
             OdeError::FeatureNotFound(what) => write!(f, "feature not found: {what}"),
         }
@@ -88,13 +95,22 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            OdeError::InvalidParameter { name: "a", value: -1.0 },
-            OdeError::DimensionMismatch { expected: 2, got: 3 },
+            OdeError::InvalidParameter {
+                name: "a",
+                value: -1.0,
+            },
+            OdeError::DimensionMismatch {
+                expected: 2,
+                got: 3,
+            },
             OdeError::InvalidTimeSpan { t0: 1.0, t1: 0.0 },
             OdeError::InvalidStep(0.0),
             OdeError::SolutionDiverged { t: 2.0 },
             OdeError::StepSizeUnderflow { t: 2.0 },
-            OdeError::OutOfRange { t: 5.0, span: (0.0, 1.0) },
+            OdeError::OutOfRange {
+                t: 5.0,
+                span: (0.0, 1.0),
+            },
             OdeError::FeatureNotFound("peak"),
         ];
         for e in errs {

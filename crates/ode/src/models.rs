@@ -428,7 +428,10 @@ mod tests {
             .skip(traj.len() / 2)
             .collect();
         let mean = x.iter().sum::<f64>() / x.len() as f64;
-        let crossings = x.windows(2).filter(|w| (w[0] - mean) * (w[1] - mean) < 0.0).count();
+        let crossings = x
+            .windows(2)
+            .filter(|w| (w[0] - mean) * (w[1] - mean) < 0.0)
+            .count();
         assert!(crossings >= 4, "crossings {crossings}");
     }
 
@@ -447,7 +450,10 @@ mod tests {
             .skip(traj.len() / 2)
             .collect();
         let mean = p1.iter().sum::<f64>() / p1.len() as f64;
-        let crossings = p1.windows(2).filter(|w| (w[0] - mean) * (w[1] - mean) < 0.0).count();
+        let crossings = p1
+            .windows(2)
+            .filter(|w| (w[0] - mean) * (w[1] - mean) < 0.0)
+            .count();
         assert!(crossings >= 4, "crossings {crossings}");
     }
 
@@ -467,9 +473,7 @@ mod tests {
 
     #[test]
     fn constructor_validation() {
-        assert!(
-            Goodwin::new(0.7, 1.0, 4.0, 0.0, 1.0, 0.7, 0.35, 1.0, 0.7, 0.35, 1.0).is_err()
-        );
+        assert!(Goodwin::new(0.7, 1.0, 4.0, 0.0, 1.0, 0.7, 0.35, 1.0, 0.7, 0.35, 1.0).is_err());
         assert!(Repressilator::new(216.0, -0.1, 5.0, 2.0).is_err());
         assert!(DampedOscillator::new(1.0, 1.0).is_err());
         assert!(DampedOscillator::new(-1.0, 0.5).is_err());

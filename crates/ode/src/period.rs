@@ -194,8 +194,7 @@ mod tests {
     #[test]
     fn rescaling_hits_150_minutes() {
         let shape = LotkaVolterra::new(1.0, 1.0, 1.0, 1.0).unwrap();
-        let (lv, measured_before) =
-            rescale_lotka_volterra(&shape, [2.0, 1.0], 150.0).unwrap();
+        let (lv, measured_before) = rescale_lotka_volterra(&shape, [2.0, 1.0], 150.0).unwrap();
         assert!(measured_before > 2.0 * std::f64::consts::PI * 0.9);
         let p = measure_lv_period(&lv, [2.0, 1.0], 5).unwrap();
         assert!((p - 150.0).abs() < 0.5, "p = {p}");

@@ -469,11 +469,17 @@ mod tests {
     #[test]
     fn euler_first_order_convergence() {
         let exact = (-1.0_f64).exp();
-        let e1 = (Euler::new(0.01).unwrap().integrate(&Decay, &[1.0], 0.0, 1.0).unwrap()
+        let e1 = (Euler::new(0.01)
+            .unwrap()
+            .integrate(&Decay, &[1.0], 0.0, 1.0)
+            .unwrap()
             .last_state()[0]
             - exact)
             .abs();
-        let e2 = (Euler::new(0.005).unwrap().integrate(&Decay, &[1.0], 0.0, 1.0).unwrap()
+        let e2 = (Euler::new(0.005)
+            .unwrap()
+            .integrate(&Decay, &[1.0], 0.0, 1.0)
+            .unwrap()
             .last_state()[0]
             - exact)
             .abs();
@@ -484,11 +490,17 @@ mod tests {
     #[test]
     fn heun_second_order_convergence() {
         let exact = (-1.0_f64).exp();
-        let e1 = (Heun::new(0.02).unwrap().integrate(&Decay, &[1.0], 0.0, 1.0).unwrap()
+        let e1 = (Heun::new(0.02)
+            .unwrap()
+            .integrate(&Decay, &[1.0], 0.0, 1.0)
+            .unwrap()
             .last_state()[0]
             - exact)
             .abs();
-        let e2 = (Heun::new(0.01).unwrap().integrate(&Decay, &[1.0], 0.0, 1.0).unwrap()
+        let e2 = (Heun::new(0.01)
+            .unwrap()
+            .integrate(&Decay, &[1.0], 0.0, 1.0)
+            .unwrap()
             .last_state()[0]
             - exact)
             .abs();
@@ -499,11 +511,17 @@ mod tests {
     #[test]
     fn rk4_fourth_order_convergence() {
         let exact = (-1.0_f64).exp();
-        let e1 = (Rk4::new(0.1).unwrap().integrate(&Decay, &[1.0], 0.0, 1.0).unwrap()
+        let e1 = (Rk4::new(0.1)
+            .unwrap()
+            .integrate(&Decay, &[1.0], 0.0, 1.0)
+            .unwrap()
             .last_state()[0]
             - exact)
             .abs();
-        let e2 = (Rk4::new(0.05).unwrap().integrate(&Decay, &[1.0], 0.0, 1.0).unwrap()
+        let e2 = (Rk4::new(0.05)
+            .unwrap()
+            .integrate(&Decay, &[1.0], 0.0, 1.0)
+            .unwrap()
             .last_state()[0]
             - exact)
             .abs();
@@ -559,7 +577,9 @@ mod tests {
 
     #[test]
     fn divergence_detected() {
-        let r = Rk4::new(0.001).unwrap().integrate(&Blowup, &[1.0], 0.0, 2.0);
+        let r = Rk4::new(0.001)
+            .unwrap()
+            .integrate(&Blowup, &[1.0], 0.0, 2.0);
         assert!(matches!(r.unwrap_err(), OdeError::SolutionDiverged { .. }));
     }
 
@@ -577,7 +597,10 @@ mod tests {
 
     #[test]
     fn endpoint_is_exactly_t1() {
-        let traj = Rk4::new(0.3).unwrap().integrate(&Decay, &[1.0], 0.0, 1.0).unwrap();
+        let traj = Rk4::new(0.3)
+            .unwrap()
+            .integrate(&Decay, &[1.0], 0.0, 1.0)
+            .unwrap();
         let (_, t_end) = traj.span();
         assert_eq!(t_end, 1.0);
     }

@@ -54,7 +54,11 @@ impl Trajectory {
         if states.iter().any(|s| s.len() != dim) {
             return Err(OdeError::DimensionMismatch {
                 expected: dim,
-                got: states.iter().map(|s| s.len()).find(|&l| l != dim).unwrap_or(dim),
+                got: states
+                    .iter()
+                    .map(|s| s.len())
+                    .find(|&l| l != dim)
+                    .unwrap_or(dim),
             });
         }
         Ok(Trajectory { times, states })

@@ -37,13 +37,26 @@ pub enum OptError {
 impl fmt::Display for OptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OptError::DimensionMismatch { what, expected, got } => {
-                write!(f, "dimension mismatch in {what}: expected {expected}, got {got}")
+            OptError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {what}: expected {expected}, got {got}"
+                )
             }
             OptError::NotConvex(msg) => write!(f, "problem is not convex: {msg}"),
             OptError::Infeasible(msg) => write!(f, "no feasible point: {msg}"),
-            OptError::IterationLimit { iterations, residual } => {
-                write!(f, "iteration limit {iterations} reached (residual {residual:e})")
+            OptError::IterationLimit {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "iteration limit {iterations} reached (residual {residual:e})"
+                )
             }
             OptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             OptError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -73,10 +86,17 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            OptError::DimensionMismatch { what: "h", expected: 2, got: 3 },
+            OptError::DimensionMismatch {
+                what: "h",
+                expected: 2,
+                got: 3,
+            },
             OptError::NotConvex("test".into()),
             OptError::Infeasible("test".into()),
-            OptError::IterationLimit { iterations: 10, residual: 0.1 },
+            OptError::IterationLimit {
+                iterations: 10,
+                residual: 0.1,
+            },
             OptError::Linalg(cellsync_linalg::LinalgError::Singular),
             OptError::InvalidArgument("x"),
         ];

@@ -87,8 +87,7 @@ mod tests {
 
     #[test]
     fn asymmetric_unimodal() {
-        let (x, fx) =
-            golden_section(|x: f64| x.exp() - 2.0 * x, 0.0, 2.0, 1e-12, 300).unwrap();
+        let (x, fx) = golden_section(|x: f64| x.exp() - 2.0 * x, 0.0, 2.0, 1e-12, 300).unwrap();
         // Minimum at ln 2, locatable to ~√ε because f(min) ≈ 0.61 ≠ 0.
         assert!((x - 2.0_f64.ln()).abs() < 1e-6);
         assert!((fx - (2.0 - 2.0 * 2.0_f64.ln())).abs() < 1e-10);

@@ -59,7 +59,9 @@ impl NelderMead {
     /// or zero budget.
     pub fn new(max_iterations: usize, tolerance: f64) -> Result<Self> {
         if max_iterations == 0 {
-            return Err(OptError::InvalidArgument("iteration budget must be positive"));
+            return Err(OptError::InvalidArgument(
+                "iteration budget must be positive",
+            ));
         }
         if !(tolerance > 0.0) || !tolerance.is_finite() {
             return Err(OptError::InvalidArgument("tolerance must be positive"));
@@ -86,14 +88,12 @@ impl NelderMead {
     /// * [`OptError::IterationLimit`] when the budget runs out before the
     ///   spread tolerance is met (the best point found so far is carried in
     ///   the error's residual; rerun with a larger budget if needed).
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(
-        &self,
-        mut f: F,
-        x0: &[f64],
-    ) -> Result<SimplexResult> {
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> Result<SimplexResult> {
         let n = x0.len();
         if n == 0 {
-            return Err(OptError::InvalidArgument("starting point must be non-empty"));
+            return Err(OptError::InvalidArgument(
+                "starting point must be non-empty",
+            ));
         }
         if x0.iter().any(|v| !v.is_finite()) {
             return Err(OptError::InvalidArgument("starting point must be finite"));
@@ -123,10 +123,7 @@ impl NelderMead {
             p[i] += delta;
             simplex.push(p);
         }
-        let mut values: Vec<f64> = simplex
-            .iter()
-            .map(|p| eval(p, &mut evaluations))
-            .collect();
+        let mut values: Vec<f64> = simplex.iter().map(|p| eval(p, &mut evaluations)).collect();
 
         for iteration in 0..self.max_iterations {
             // Order the simplex.
@@ -222,10 +219,7 @@ impl NelderMead {
         }
         Err(OptError::IterationLimit {
             iterations: self.max_iterations,
-            residual: values
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min),
+            residual: values.iter().cloned().fold(f64::INFINITY, f64::min),
         })
     }
 }
@@ -289,12 +283,10 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_reported() {
-        let r = NelderMead::new(2, 1e-30)
-            .unwrap()
-            .minimize(
-                |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
-                &[-1.2, 1.0],
-            );
+        let r = NelderMead::new(2, 1e-30).unwrap().minimize(
+            |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
+            &[-1.2, 1.0],
+        );
         assert!(matches!(r.unwrap_err(), OptError::IterationLimit { .. }));
     }
 

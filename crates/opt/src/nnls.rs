@@ -95,8 +95,7 @@ impl Nnls {
             // Inner loop: solve the unconstrained LS on the passive set and
             // clip variables that go negative.
             loop {
-                let p_idx: Vec<usize> =
-                    (0..n).filter(|&i| passive[i]).collect();
+                let p_idx: Vec<usize> = (0..n).filter(|&i| passive[i]).collect();
                 let ap = Matrix::from_fn(a.rows(), p_idx.len(), |r, k| a[(r, p_idx[k])]);
                 let z = ap.qr()?.solve_least_squares(b)?;
                 if z.iter().all(|&v| v > self.tolerance) {

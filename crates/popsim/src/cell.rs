@@ -157,13 +157,19 @@ mod tests {
         assert!(Cell::new(
             0.0,
             0.0,
-            Theta { phi_sst: 0.15, cycle_time: 0.0 }
+            Theta {
+                phi_sst: 0.15,
+                cycle_time: 0.0
+            }
         )
         .is_err());
         assert!(Cell::new(
             0.0,
             0.0,
-            Theta { phi_sst: 1.5, cycle_time: 100.0 }
+            Theta {
+                phi_sst: 1.5,
+                cycle_time: 100.0
+            }
         )
         .is_err());
         assert!(Cell::new(0.0, f64::NAN, theta()).is_err());

@@ -276,8 +276,14 @@ mod tests {
         let th = CellTypeThresholds::paper_mid();
         assert_eq!(th.classify(0.05, 0.15).unwrap(), CellType::Swarmer);
         assert_eq!(th.classify(0.3, 0.15).unwrap(), CellType::StalkedEarly);
-        assert_eq!(th.classify(0.7, 0.15).unwrap(), CellType::EarlyPredivisional);
-        assert_eq!(th.classify(0.95, 0.15).unwrap(), CellType::LatePredivisional);
+        assert_eq!(
+            th.classify(0.7, 0.15).unwrap(),
+            CellType::EarlyPredivisional
+        );
+        assert_eq!(
+            th.classify(0.95, 0.15).unwrap(),
+            CellType::LatePredivisional
+        );
     }
 
     #[test]
@@ -360,9 +366,8 @@ mod tests {
         assert!(th.classify(1.5, 0.15).is_err());
         let params = CellCycleParams::caulobacter().unwrap();
         let mut rng = StdRng::seed_from_u64(13);
-        let pop =
-            Population::synchronized(10, &params, InitialCondition::UniformSwarmer, &mut rng)
-                .unwrap();
+        let pop = Population::synchronized(10, &params, InitialCondition::UniformSwarmer, &mut rng)
+            .unwrap();
         assert!(type_fractions(&pop, &[], &th).is_err());
     }
 }

@@ -80,9 +80,15 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            PopsimError::InvalidParameter { name: "mu", value: -1.0 },
+            PopsimError::InvalidParameter {
+                name: "mu",
+                value: -1.0,
+            },
             PopsimError::InvalidPhase(2.0),
-            PopsimError::TimeOutOfRange { t: 5.0, horizon: 1.0 },
+            PopsimError::TimeOutOfRange {
+                t: 5.0,
+                horizon: 1.0,
+            },
             PopsimError::EmptyConfiguration("cells"),
             PopsimError::Stats(cellsync_stats::StatsError::EmptySample),
             PopsimError::IndexOutOfBounds { index: 9, len: 3 },

@@ -199,8 +199,7 @@ impl PhaseKernel {
                     0.0
                 };
             }
-            volumes[row] =
-                (1.0 - w) * self.total_volume[lo_idx] + w * self.total_volume[hi_idx];
+            volumes[row] = (1.0 - w) * self.total_volume[lo_idx] + w * self.total_volume[hi_idx];
             counts[row] = (((1.0 - w) * self.counts[lo_idx] as f64
                 + w * self.counts[hi_idx] as f64)
                 .round()) as usize;
@@ -241,6 +240,10 @@ pub struct KernelEstimator {
     volume_model: VolumeModel,
     threads: usize,
 }
+
+/// One measurement time's partial estimate: the unnormalized Q̃ row over
+/// phase bins, the total population volume, and the live-cell count.
+type SlotEstimate = (Vec<f64>, f64, usize);
 
 impl KernelEstimator {
     /// Creates an estimator with `bins` uniform phase bins and the default
@@ -312,30 +315,29 @@ impl KernelEstimator {
             // Partition time indices across threads; each thread works on an
             // immutable population reference.
             let chunk = n_times.div_ceil(self.threads);
-            let results: Vec<Result<Vec<(usize, (Vec<f64>, f64, usize))>>> =
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for block in 0..self.threads {
-                        let lo = block * chunk;
-                        if lo >= n_times {
-                            break;
-                        }
-                        let hi = ((block + 1) * chunk).min(n_times);
-                        let est = *self;
-                        let handle = scope.spawn(move || {
-                            let mut out = Vec::with_capacity(hi - lo);
-                            for i in lo..hi {
-                                out.push((i, est.estimate_one(population, times[i])?));
-                            }
-                            Ok(out)
-                        });
-                        handles.push(handle);
+            let results: Vec<Result<Vec<(usize, SlotEstimate)>>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for block in 0..self.threads {
+                    let lo = block * chunk;
+                    if lo >= n_times {
+                        break;
                     }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("kernel estimation thread panicked"))
-                        .collect()
-                });
+                    let hi = ((block + 1) * chunk).min(n_times);
+                    let est = *self;
+                    let handle = scope.spawn(move || {
+                        let mut out = Vec::with_capacity(hi - lo);
+                        for (off, &t) in times[lo..hi].iter().enumerate() {
+                            out.push((lo + off, est.estimate_one(population, t)?));
+                        }
+                        Ok(out)
+                    });
+                    handles.push(handle);
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("kernel estimation thread panicked"))
+                    .collect()
+            });
             for result in results {
                 for (i, (row, vol, count)) in result? {
                     q_tilde_rows[i] = row;
@@ -412,7 +414,10 @@ mod tests {
     fn kernel_rows_are_densities() {
         let pop = population(3000, 180.0, 1);
         let times: Vec<f64> = (0..10).map(|i| i as f64 * 20.0).collect();
-        let k = KernelEstimator::new(80).unwrap().estimate(&pop, &times).unwrap();
+        let k = KernelEstimator::new(80)
+            .unwrap()
+            .estimate(&pop, &times)
+            .unwrap();
         for ti in 0..times.len() {
             assert!((k.integral(ti).unwrap() - 1.0).abs() < 1e-9, "t index {ti}");
             assert!(k.row(ti).unwrap().iter().all(|&v| v >= 0.0));
@@ -422,7 +427,10 @@ mod tests {
     #[test]
     fn initial_support_is_swarmer_only() {
         let pop = population(5000, 10.0, 2);
-        let k = KernelEstimator::new(100).unwrap().estimate(&pop, &[0.0]).unwrap();
+        let k = KernelEstimator::new(100)
+            .unwrap()
+            .estimate(&pop, &[0.0])
+            .unwrap();
         let row = k.row(0).unwrap();
         // All mass below φ = 0.5 (truncation bound of φ_sst).
         for (b, &q) in row.iter().enumerate() {
@@ -444,7 +452,10 @@ mod tests {
         let mut prev = 0.0;
         for ti in 0..4 {
             let m = k.mean_phase(ti).unwrap();
-            assert!(m > prev - 0.02, "mean phase should advance: {m} after {prev}");
+            assert!(
+                m > prev - 0.02,
+                "mean phase should advance: {m} after {prev}"
+            );
             prev = m;
         }
         // After ~120 min (~0.8 cycles) the bulk should be in the stalked stage.
@@ -481,7 +492,10 @@ mod tests {
     #[test]
     fn convolution_of_constant_is_constant() {
         let pop = population(2000, 100.0, 5);
-        let k = KernelEstimator::new(50).unwrap().estimate(&pop, &[50.0]).unwrap();
+        let k = KernelEstimator::new(50)
+            .unwrap()
+            .estimate(&pop, &[50.0])
+            .unwrap();
         let g = k.convolve(0, |_| 3.5).unwrap();
         assert!((g - 3.5).abs() < 1e-9);
     }
@@ -512,7 +526,10 @@ mod tests {
     fn parallel_matches_serial() {
         let pop = population(1500, 150.0, 7);
         let times: Vec<f64> = (0..8).map(|i| i as f64 * 20.0).collect();
-        let serial = KernelEstimator::new(40).unwrap().estimate(&pop, &times).unwrap();
+        let serial = KernelEstimator::new(40)
+            .unwrap()
+            .estimate(&pop, &times)
+            .unwrap();
         let parallel = KernelEstimator::new(40)
             .unwrap()
             .with_threads(4)
@@ -566,7 +583,10 @@ mod tests {
         // matches a direct estimate closely.
         let m15 = ki.mean_phase(0).unwrap();
         assert!(m15 > k.mean_phase(1).unwrap() && m15 < k.mean_phase(2).unwrap());
-        let direct = KernelEstimator::new(40).unwrap().estimate(&pop, &[55.0]).unwrap();
+        let direct = KernelEstimator::new(40)
+            .unwrap()
+            .estimate(&pop, &[55.0])
+            .unwrap();
         let dm = (ki.mean_phase(1).unwrap() - direct.mean_phase(0).unwrap()).abs();
         assert!(dm < 0.01, "mean-phase gap {dm}");
     }

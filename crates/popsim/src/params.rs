@@ -95,8 +95,7 @@ impl CellCycleParams {
         // near-zero swarmer stages, 0.5 is far beyond 6σ of the default.
         let sst_dist = TruncatedNormal::new(sst_base, 0.02, 0.5)?;
         let cycle_base = Normal::from_mean_cv(mean_cycle, cv_cycle)?;
-        let cycle_dist =
-            TruncatedNormal::new(cycle_base, 0.4 * mean_cycle, 2.0 * mean_cycle)?;
+        let cycle_dist = TruncatedNormal::new(cycle_base, 0.4 * mean_cycle, 2.0 * mean_cycle)?;
         Ok(CellCycleParams {
             mu_sst,
             cv_sst,
@@ -199,11 +198,7 @@ impl CellCycleParams {
     /// Draws an initial swarmer phase `φ₀ ~ U(0, φ_sst)` given the cell's
     /// transition phase (paper §2.1: every cell in the inoculum satisfies
     /// `φₖ(0) ≤ φ_sst,k`).
-    pub fn sample_initial_swarmer_phase<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        phi_sst: f64,
-    ) -> f64 {
+    pub fn sample_initial_swarmer_phase<R: Rng + ?Sized>(&self, rng: &mut R, phi_sst: f64) -> f64 {
         rng.gen_range(0.0..phi_sst)
     }
 }

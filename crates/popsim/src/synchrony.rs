@@ -93,11 +93,7 @@ pub fn decay_curve(population: &Population, times: &[f64]) -> Result<Vec<Synchro
 /// # Errors
 ///
 /// Same as [`decay_curve`].
-pub fn time_below(
-    population: &Population,
-    times: &[f64],
-    threshold: f64,
-) -> Result<Option<f64>> {
+pub fn time_below(population: &Population, times: &[f64], threshold: f64) -> Result<Option<f64>> {
     if !(0.0..=1.0).contains(&threshold) {
         return Err(PopsimError::InvalidParameter {
             name: "threshold",
@@ -173,7 +169,10 @@ mod tests {
         let curve = decay_curve(&pop, &times).unwrap();
         assert_eq!(curve.len(), 5);
         let crossing = time_below(&pop, &times, 0.5).unwrap();
-        assert!(crossing.is_some(), "synchrony should fall below 0.5 by 600 min");
+        assert!(
+            crossing.is_some(),
+            "synchrony should fall below 0.5 by 600 min"
+        );
         assert!(time_below(&pop, &times, -0.1).is_err());
         assert!(decay_curve(&pop, &[]).is_err());
     }

@@ -34,7 +34,7 @@ pub const STALKED_FRACTION: f64 = 0.6;
 #[non_exhaustive]
 pub enum VolumeModel {
     /// Piecewise-linear volume through `(0, 0.4)`, `(φ_sst, 0.6)`, `(1, 1)`
-    /// — the model of the 2009 work ([11] in the paper), which satisfies
+    /// — the model of the 2009 work (\[11\] in the paper), which satisfies
     /// the value conditions (6)–(8) but not the rate conditions (9)–(10).
     Linear,
     /// The smooth piecewise-cubic model of paper eq. 11: cubic on
@@ -149,9 +149,18 @@ mod tests {
     fn value_conditions_6_to_8_both_models() {
         for model in [VolumeModel::Linear, VolumeModel::SmoothCubic] {
             for &p in &PHI_SSTS {
-                assert!((model.volume(0.0, p).unwrap() - 0.4).abs() < 1e-12, "{model:?} p={p}");
-                assert!((model.volume(p, p).unwrap() - 0.6).abs() < 1e-9, "{model:?} p={p}");
-                assert!((model.volume(1.0, p).unwrap() - 1.0).abs() < 1e-12, "{model:?} p={p}");
+                assert!(
+                    (model.volume(0.0, p).unwrap() - 0.4).abs() < 1e-12,
+                    "{model:?} p={p}"
+                );
+                assert!(
+                    (model.volume(p, p).unwrap() - 0.6).abs() < 1e-9,
+                    "{model:?} p={p}"
+                );
+                assert!(
+                    (model.volume(1.0, p).unwrap() - 1.0).abs() < 1e-12,
+                    "{model:?} p={p}"
+                );
             }
         }
     }
@@ -189,10 +198,7 @@ mod tests {
                 for i in 1..=200 {
                     let phi = i as f64 / 200.0;
                     let v = model.volume(phi, p).unwrap();
-                    assert!(
-                        v >= prev - 1e-9,
-                        "{model:?} p={p} phi={phi}: {v} < {prev}"
-                    );
+                    assert!(v >= prev - 1e-9, "{model:?} p={p} phi={phi}: {v} < {prev}");
                     prev = v;
                 }
             }
@@ -229,9 +235,7 @@ mod tests {
         let smo = VolumeModel::SmoothCubic;
         // Models agree at the pinned points...
         for &phi in &[0.0, p, 1.0] {
-            assert!(
-                (lin.volume(phi, p).unwrap() - smo.volume(phi, p).unwrap()).abs() < 1e-9
-            );
+            assert!((lin.volume(phi, p).unwrap() - smo.volume(phi, p).unwrap()).abs() < 1e-9);
         }
         // ...and the smooth ST piece is also linear, so they agree there too;
         // they must differ inside the swarmer stage.

@@ -1,8 +1,7 @@
 //! Property-based tests of the population-model invariants.
 
 use cellsync_popsim::{
-    CellCycleParams, CellTypeThresholds, InitialCondition, KernelEstimator, Population,
-    VolumeModel,
+    CellCycleParams, CellTypeThresholds, InitialCondition, KernelEstimator, Population, VolumeModel,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

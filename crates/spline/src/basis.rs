@@ -335,7 +335,11 @@ mod tests {
             acc += b.deriv2(i, phi) * b.deriv2(j, phi);
         }
         acc /= n as f64;
-        assert!((omega[(i, j)] - acc).abs() < 1e-6, "{} vs {acc}", omega[(i, j)]);
+        assert!(
+            (omega[(i, j)] - acc).abs() < 1e-6,
+            "{} vs {acc}",
+            omega[(i, j)]
+        );
     }
 
     #[test]
@@ -345,9 +349,7 @@ mod tests {
         // (not exactly 4 = ∫(2)² because natural BCs flatten the ends).
         let b = basis();
         let omega = b.penalty_matrix();
-        let alpha = Vector::from_slice(
-            &b.knots().iter().map(|t| t * t).collect::<Vec<f64>>(),
-        );
+        let alpha = Vector::from_slice(&b.knots().iter().map(|t| t * t).collect::<Vec<f64>>());
         let quad = alpha.dot(&omega.matvec(&alpha).unwrap()).unwrap();
         // Brute-force ∫ s''² for the same spline.
         let n = 100_000;

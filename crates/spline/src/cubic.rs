@@ -164,8 +164,7 @@ impl CubicSpline {
         let h = self.knots[i + 1] - self.knots[i];
         let a = (self.knots[i + 1] - xq) / h;
         let b = 1.0 - a;
-        (self.values[i + 1] - self.values[i]) / h
-            - (3.0 * a * a - 1.0) * h / 6.0 * self.moments[i]
+        (self.values[i + 1] - self.values[i]) / h - (3.0 * a * a - 1.0) * h / 6.0 * self.moments[i]
             + (3.0 * b * b - 1.0) * h / 6.0 * self.moments[i + 1]
     }
 

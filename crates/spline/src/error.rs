@@ -48,7 +48,10 @@ impl fmt::Display for SplineError {
             SplineError::LengthMismatch { knots, values } => {
                 write!(f, "values length {values} does not match {knots} knots")
             }
-            SplineError::CoefficientMismatch { basis, coefficients } => {
+            SplineError::CoefficientMismatch {
+                basis,
+                coefficients,
+            } => {
                 write!(
                     f,
                     "coefficient length {coefficients} does not match basis dimension {basis}"
@@ -71,8 +74,14 @@ mod tests {
         let errs = [
             SplineError::TooFewKnots { got: 1, need: 3 },
             SplineError::InvalidKnots,
-            SplineError::LengthMismatch { knots: 3, values: 2 },
-            SplineError::CoefficientMismatch { basis: 4, coefficients: 2 },
+            SplineError::LengthMismatch {
+                knots: 3,
+                values: 2,
+            },
+            SplineError::CoefficientMismatch {
+                basis: 4,
+                coefficients: 2,
+            },
             SplineError::SolveFailed("x".into()),
             SplineError::InvalidArgument("y"),
         ];

@@ -49,7 +49,10 @@ pub struct Fold {
 /// ```
 pub fn k_fold<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Vec<Fold>> {
     if k < 2 || k > n {
-        return Err(StatsError::InvalidFolds { folds: k, samples: n });
+        return Err(StatsError::InvalidFolds {
+            folds: k,
+            samples: n,
+        });
     }
     let mut indices: Vec<usize> = (0..n).collect();
     indices.shuffle(rng);
@@ -80,7 +83,10 @@ pub fn k_fold<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Vec<Fo
 /// Returns [`StatsError::InvalidFolds`] when `n < 2`.
 pub fn leave_one_out(n: usize) -> Result<Vec<Fold>> {
     if n < 2 {
-        return Err(StatsError::InvalidFolds { folds: n, samples: n });
+        return Err(StatsError::InvalidFolds {
+            folds: n,
+            samples: n,
+        });
     }
     Ok((0..n)
         .map(|held| Fold {

@@ -64,7 +64,10 @@ pub fn std_dev(xs: &[f64]) -> Result<f64> {
 pub fn coefficient_of_variation(xs: &[f64]) -> Result<f64> {
     let m = mean(xs)?;
     if m == 0.0 {
-        return Err(StatsError::InvalidParameter { name: "mean", value: 0.0 });
+        return Err(StatsError::InvalidParameter {
+            name: "mean",
+            value: 0.0,
+        });
     }
     Ok(std_dev(xs)? / m.abs())
 }

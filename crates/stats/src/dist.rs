@@ -169,7 +169,10 @@ impl Normal {
     /// non-positive/non-finite `sigma`.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
         if !mu.is_finite() {
-            return Err(StatsError::InvalidParameter { name: "mu", value: mu });
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         if !(sigma > 0.0) || !sigma.is_finite() {
             return Err(StatsError::InvalidParameter {
@@ -189,10 +192,16 @@ impl Normal {
     /// Returns [`StatsError::InvalidParameter`] when `mu == 0` or `cv ≤ 0`.
     pub fn from_mean_cv(mu: f64, cv: f64) -> Result<Self> {
         if mu == 0.0 || !mu.is_finite() {
-            return Err(StatsError::InvalidParameter { name: "mu", value: mu });
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         if !(cv > 0.0) || !cv.is_finite() {
-            return Err(StatsError::InvalidParameter { name: "cv", value: cv });
+            return Err(StatsError::InvalidParameter {
+                name: "cv",
+                value: cv,
+            });
         }
         Normal::new(mu, cv * mu.abs())
     }
@@ -289,7 +298,10 @@ impl TruncatedNormal {
     /// the interval.
     pub fn new(base: Normal, lo: f64, hi: f64) -> Result<Self> {
         if !lo.is_finite() || !hi.is_finite() || lo >= hi {
-            return Err(StatsError::InvalidParameter { name: "lo/hi", value: lo });
+            return Err(StatsError::InvalidParameter {
+                name: "lo/hi",
+                value: lo,
+            });
         }
         let mass = base.cdf(hi) - base.cdf(lo);
         if mass < 1e-12 {
@@ -396,10 +408,16 @@ impl LogNormal {
     /// Returns [`StatsError::InvalidParameter`] for non-positive mean or CV.
     pub fn from_mean_cv(mean: f64, cv: f64) -> Result<Self> {
         if !(mean > 0.0) || !mean.is_finite() {
-            return Err(StatsError::InvalidParameter { name: "mean", value: mean });
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+            });
         }
         if !(cv > 0.0) || !cv.is_finite() {
-            return Err(StatsError::InvalidParameter { name: "cv", value: cv });
+            return Err(StatsError::InvalidParameter {
+                name: "cv",
+                value: cv,
+            });
         }
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - 0.5 * sigma2;
@@ -457,7 +475,10 @@ impl Uniform {
     /// are non-finite.
     pub fn new(lo: f64, hi: f64) -> Result<Self> {
         if !lo.is_finite() || !hi.is_finite() || lo >= hi {
-            return Err(StatsError::InvalidParameter { name: "lo/hi", value: lo });
+            return Err(StatsError::InvalidParameter {
+                name: "lo/hi",
+                value: lo,
+            });
         }
         Ok(Uniform { lo, hi })
     }
@@ -591,7 +612,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let xs = t.sample_n(&mut rng, 100_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        assert!((mean - t.mean()).abs() < 0.3, "sample {mean} vs analytic {}", t.mean());
+        assert!(
+            (mean - t.mean()).abs() < 0.3,
+            "sample {mean} vs analytic {}",
+            t.mean()
+        );
     }
 
     #[test]

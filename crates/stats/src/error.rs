@@ -71,11 +71,17 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            StatsError::InvalidParameter { name: "sigma", value: -1.0 },
+            StatsError::InvalidParameter {
+                name: "sigma",
+                value: -1.0,
+            },
             StatsError::EmptySample,
             StatsError::LengthMismatch { left: 1, right: 2 },
             StatsError::InvalidProbability(1.5),
-            StatsError::InvalidFolds { folds: 5, samples: 2 },
+            StatsError::InvalidFolds {
+                folds: 5,
+                samples: 2,
+            },
             StatsError::SamplingFailed { attempts: 100 },
         ];
         for e in errs {

@@ -139,7 +139,6 @@ impl NoiseModel {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,8 +161,8 @@ mod tests {
             .apply(&xs, &mut rng)
             .unwrap();
         let mean = noisy.iter().sum::<f64>() / noisy.len() as f64;
-        let sd = (noisy.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / noisy.len() as f64)
-            .sqrt();
+        let sd =
+            (noisy.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / noisy.len() as f64).sqrt();
         assert!((mean - 5.0).abs() < 0.02);
         assert!((sd - 0.5).abs() < 0.02);
     }
@@ -176,8 +175,8 @@ mod tests {
             .apply(&xs, &mut rng)
             .unwrap();
         let mean = noisy.iter().sum::<f64>() / noisy.len() as f64;
-        let sd = (noisy.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / noisy.len() as f64)
-            .sqrt();
+        let sd =
+            (noisy.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / noisy.len() as f64).sqrt();
         assert!((sd - 10.0).abs() < 0.5, "sd {sd}");
     }
 
@@ -219,11 +218,9 @@ mod tests {
         assert!(NoiseModel::AdditiveGaussian { sigma: -1.0 }
             .apply(&[1.0], &mut rng)
             .is_err());
-        assert!(NoiseModel::RelativeGaussian {
-            fraction: f64::NAN
-        }
-        .sigmas(&[1.0])
-        .is_err());
+        assert!(NoiseModel::RelativeGaussian { fraction: f64::NAN }
+            .sigmas(&[1.0])
+            .is_err());
     }
 
     #[test]

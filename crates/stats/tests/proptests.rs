@@ -2,8 +2,8 @@
 
 use cellsync_stats::describe::{mean, quantile, std_dev, summarize};
 use cellsync_stats::dist::{
-    standard_normal_cdf, standard_normal_quantile, ContinuousDistribution, Normal,
-    TruncatedNormal, Uniform,
+    standard_normal_cdf, standard_normal_quantile, ContinuousDistribution, Normal, TruncatedNormal,
+    Uniform,
 };
 use cellsync_stats::metrics::{mae, pearson, r_squared, rmse};
 use cellsync_stats::noise::NoiseModel;

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hi = celltype::type_fractions(&pop, &times, &CellTypeThresholds::paper_high())?;
 
     println!("\nfraction of cells (midpoint thresholds, [low, high] band):");
-    println!("{:>5}  {:>20}  {:>20}  {:>20}  {:>20}", "min", "SW", "STE", "STEPD", "STLPD");
+    println!(
+        "{:>5}  {:>20}  {:>20}  {:>20}  {:>20}",
+        "min", "SW", "STE", "STEPD", "STLPD"
+    );
     for (ti, &t) in times.iter().enumerate() {
         let cell = |ty: CellType| -> Result<String, Box<dyn std::error::Error>> {
             let m = mid.fraction(ti, ty)?;

@@ -62,8 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             points: 19,
         })
         .build()?;
-    let result = Deconvolver::new(kernel, config)?
-        .fit(experiment.noisy(), Some(experiment.sigmas()))?;
+    let result =
+        Deconvolver::new(kernel, config)?.fit(experiment.noisy(), Some(experiment.sigmas()))?;
     let deconvolved = result.profile(400)?;
 
     let t_feat = truth.features()?;

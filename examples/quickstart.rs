@@ -32,9 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 2. A known single-cell truth, pushed through the forward model ---
-    let truth = PhaseProfile::from_fn(300, |phi| {
-        2.0 + (2.0 * std::f64::consts::PI * phi).sin()
-    })?;
+    let truth = PhaseProfile::from_fn(300, |phi| 2.0 + (2.0 * std::f64::consts::PI * phi).sin())?;
     let forward = ForwardModel::new(kernel.clone());
     let population_series = forward.predict(&truth)?;
     println!("\n   time(min)   population G(t)");

@@ -5,7 +5,10 @@
 //! Library users should depend on the individual crates
 //! ([`cellsync`], [`cellsync_popsim`], ...) directly; this crate exists so
 //! the runnable examples live at the repository root as the README
-//! describes.
+//! describes. See `README.md` for the crate-by-crate architecture map and
+//! `docs/REPRODUCING.md` for the paper-figure reproduction guide.
+
+#![deny(missing_docs)]
 
 pub use cellsync;
 pub use cellsync_linalg;

@@ -3,9 +3,7 @@
 //! constrained deconvolution → feature recovery.
 
 use cellsync::synthetic::{ftsz_profile, project_onto_constraints, SyntheticExperiment};
-use cellsync::{
-    DeconvolutionConfig, Deconvolver, ForwardModel, LambdaSelection, PhaseProfile,
-};
+use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, LambdaSelection, PhaseProfile};
 use cellsync_popsim::{
     CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
 };
@@ -23,16 +21,17 @@ fn kernel(seed: u64, horizon: f64, n_times: usize, cells: usize) -> PhaseKernel 
     let times: Vec<f64> = (0..n_times)
         .map(|i| horizon * i as f64 / (n_times - 1) as f64)
         .collect();
-    KernelEstimator::new(64).unwrap().estimate(&pop, &times).unwrap()
+    KernelEstimator::new(64)
+        .unwrap()
+        .estimate(&pop, &times)
+        .unwrap()
 }
 
 #[test]
 fn oscillator_roundtrip_under_noise() {
     // A smooth oscillating truth survives forward + noise + deconvolution.
-    let truth = PhaseProfile::from_fn(300, |phi| {
-        2.0 + (2.0 * std::f64::consts::PI * phi).sin()
-    })
-    .unwrap();
+    let truth =
+        PhaseProfile::from_fn(300, |phi| 2.0 + (2.0 * std::f64::consts::PI * phi).sin()).unwrap();
     let k = kernel(10, 150.0, 16, 4000);
     let mut rng = StdRng::seed_from_u64(99);
     let experiment = SyntheticExperiment::generate(
@@ -95,12 +94,8 @@ fn deconvolution_beats_naive_population_readout() {
 #[test]
 fn ftsz_features_recovered_with_full_constraints() {
     let params = CellCycleParams::caulobacter().unwrap();
-    let truth = project_onto_constraints(
-        &ftsz_profile(300, 0.15, 0.40).unwrap(),
-        20,
-        &params,
-    )
-    .unwrap();
+    let truth =
+        project_onto_constraints(&ftsz_profile(300, 0.15, 0.40).unwrap(), 20, &params).unwrap();
     let k = kernel(12, 160.0, 17, 4000);
     let mut rng = StdRng::seed_from_u64(55);
     let experiment = SyntheticExperiment::generate(

@@ -15,13 +15,15 @@ use rand::SeedableRng;
 fn kernel(seed: u64) -> PhaseKernel {
     let params = CellCycleParams::caulobacter().unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
-    let pop =
-        Population::synchronized(3000, &params, InitialCondition::UniformSwarmer, &mut rng)
-            .unwrap()
-            .simulate_until(150.0)
-            .unwrap();
+    let pop = Population::synchronized(3000, &params, InitialCondition::UniformSwarmer, &mut rng)
+        .unwrap()
+        .simulate_until(150.0)
+        .unwrap();
     let times: Vec<f64> = (0..14).map(|i| 150.0 * i as f64 / 13.0).collect();
-    KernelEstimator::new(50).unwrap().estimate(&pop, &times).unwrap()
+    KernelEstimator::new(50)
+        .unwrap()
+        .estimate(&pop, &times)
+        .unwrap()
 }
 
 /// Assembles the positivity-only deconvolution QP pieces for cross-checks.
@@ -49,10 +51,8 @@ fn deconv_qp_pieces(
 #[test]
 fn qp_and_projected_gradient_agree_on_deconvolution() {
     let k = kernel(1);
-    let truth = PhaseProfile::from_fn(200, |phi| {
-        1.5 + (2.0 * std::f64::consts::PI * phi).cos()
-    })
-    .unwrap();
+    let truth =
+        PhaseProfile::from_fn(200, |phi| 1.5 + (2.0 * std::f64::consts::PI * phi).cos()).unwrap();
     let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
     let (h, c, basis) = deconv_qp_pieces(&k, &g, 1e-4);
 

@@ -1,0 +1,224 @@
+//! Offline, in-tree stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking crate,
+//! implementing the subset of the 0.5 API the `cellsync_bench` benches use.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. Bench sources stay upstream-compatible
+//! ([`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! `benchmark_group`, `bench_with_input`, [`BenchmarkId`], [`black_box`]);
+//! swapping to real criterion is a one-line manifest change.
+//!
+//! **Measurement model:** instead of criterion's iterative sampling and
+//! statistical analysis, each benchmark is warmed up once and then timed
+//! over enough iterations to fill a small wall-clock budget; the mean
+//! time per iteration is printed as a single line. Good enough to rank
+//! hot paths and catch order-of-magnitude regressions; use the real
+//! criterion (networked environment) for confidence intervals.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Identifier for one benchmark within a group: a function name plus an
+/// optional parameter rendering, matching upstream's display format.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id rendered as just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark name is expected (`&str` or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the final benchmark label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Times closures handed to it by benchmark functions.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and single-shot estimate.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+
+        let iters = if once.is_zero() {
+            1024
+        } else {
+            (MEASURE_BUDGET.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.last_mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher {
+        last_mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench: {label:<50} {:>12}/iter  ({} iters)",
+        human_ns(b.last_mean_ns),
+        b.iters
+    );
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim's per-benchmark
+    /// budget is fixed, so this is a no-op.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for upstream compatibility; no-op in the shim.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, f);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to benchmark functions, mirroring
+/// `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Defines a benchmark group function, mirroring upstream's
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups, mirroring upstream's
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

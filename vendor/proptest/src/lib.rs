@@ -1,0 +1,245 @@
+//! Offline, in-tree stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate, implementing the
+//! subset of the API that the `cellsync` property-test suites use.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the test sources compatible with upstream
+//! `proptest` 1.x: the [`proptest!`] macro (with the
+//! `#![proptest_config(...)]` inner attribute and `pattern in strategy`
+//! arguments), [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`], the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! [`strategy::Just`],
+//! numeric-range strategies, tuple strategies, and
+//! [`collection::vec`].
+//!
+//! **Differences from upstream:** failing inputs are *not* shrunk — the
+//! failing case number and seed are reported instead (runs are fully
+//! deterministic, so a failure always reproduces), and there is no
+//! persistence of failing seeds. For a reproduction-focused scientific
+//! workspace this trade keeps the dependency surface at zero while
+//! preserving the property-based coverage.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies ([`collection::vec`]).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// Number-of-elements specification for [`vec()`]: either an exact size
+    /// or a (half-open / inclusive) range of sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a size drawn from the range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy producing vectors whose elements come from
+    /// `element` and whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Alias module so `prop::collection::vec(...)` resolves, as with the
+    /// real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Generates deterministic pseudo-random test values and runs each test
+/// body over `config.cases` of them.
+///
+/// Supported grammar (the subset upstream `proptest!` accepts that the
+/// workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(pattern in strategy_expr, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        @with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(
+                    &config,
+                    stringify!($name),
+                    |__proptest_rng| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )+
+                        let __proptest_body = || -> ::core::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > {
+                            $body
+                            ::core::result::Result::Ok(())
+                        };
+                        __proptest_body()
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        );
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with the formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (it is re-drawn, not counted) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
