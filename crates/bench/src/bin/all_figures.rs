@@ -14,6 +14,7 @@ fn main() {
         ("fig5", experiments::run_fig5),
         ("paramfit", experiments::run_paramfit),
         ("ablations", experiments::run_ablations),
+        ("genome_wide", experiments::run_genome_wide),
     ];
     let mut failed = false;
     for (name, job) in jobs {

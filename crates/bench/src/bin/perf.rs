@@ -1,0 +1,525 @@
+//! `perf` — the machine-readable performance harness.
+//!
+//! Times the workspace's five hot computational kernels (dense Cholesky
+//! solve, spline-basis assembly/evaluation, active-set QP, RK4 ODE
+//! integration, Monte-Carlo kernel estimation) plus the end-to-end
+//! genome-wide batch deconvolution (wall time, per-gene throughput, and
+//! thread-count scaling at 1/2/4 workers), and writes the results as a
+//! schema-stable `BENCH.json` — the repo's perf trajectory format.
+//!
+//! ```text
+//! perf [--quick|--full] [--out PATH] [--baseline PATH] [--gate-pct PCT]
+//! ```
+//!
+//! * `--quick` (default): CI-sized workloads, a few seconds end to end.
+//! * `--full`: paper-sized workloads (20k-cell population, 1000-gene
+//!   batch) for real trajectory points.
+//! * `--baseline PATH`: compare every kernel's median against a previous
+//!   `BENCH.json` and exit non-zero if any kernel regressed by more than
+//!   `--gate-pct` percent (default 25) — the CI regression gate.
+//!
+//! Timing method: every kernel repetition does enough inner iterations to
+//! run well above timer resolution, repetitions are repeated `reps` times,
+//! and the **median** is compared (robust to one noisy-neighbour outlier
+//! on shared CI runners). The batch section reports minimum-of-reps wall
+//! time per thread count, since scaling ratios want the least-noise
+//! estimate.
+
+use std::time::Instant;
+
+use cellsync::{DeconvolutionConfig, Deconvolver, LambdaSelection};
+use cellsync_bench::experiments::synthetic_genome;
+use cellsync_bench::json::Json;
+use cellsync_linalg::{Matrix, Vector};
+use cellsync_ode::models::LotkaVolterra;
+use cellsync_ode::period::rescale_lotka_volterra;
+use cellsync_ode::solver::Rk4;
+use cellsync_opt::QuadraticProgram;
+use cellsync_popsim::{
+    CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
+};
+use cellsync_runtime::Pool;
+use cellsync_spline::NaturalSplineBasis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thread counts the batch scaling section sweeps.
+const SCALING_THREADS: [usize; 3] = [1, 2, 4];
+
+#[derive(Debug, Clone)]
+struct Config {
+    mode: &'static str,
+    /// Timed repetitions per kernel (median is reported).
+    reps: usize,
+    /// Cells in the simulated population behind the kernel estimate.
+    cells: usize,
+    /// Genes in the end-to-end batch.
+    genes: usize,
+    /// Batch timing repetitions per thread count (minimum is reported).
+    batch_reps: usize,
+    out: String,
+    baseline: Option<String>,
+    gate_pct: f64,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perf [--quick|--full] [--out PATH] [--baseline PATH] [--gate-pct PCT]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        mode: "quick",
+        reps: 5,
+        cells: 3_000,
+        genes: 192,
+        batch_reps: 1,
+        out: "BENCH.json".to_string(),
+        baseline: None,
+        gate_pct: 25.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // Mode flags always reset all size knobs, so the last one on
+            // the command line wins regardless of order.
+            "--quick" => {
+                config.mode = "quick";
+                config.reps = 5;
+                config.cells = 3_000;
+                config.genes = 192;
+                config.batch_reps = 1;
+            }
+            "--full" => {
+                config.mode = "full";
+                config.reps = 9;
+                config.cells = 20_000;
+                config.genes = 1_000;
+                config.batch_reps = 2;
+            }
+            "--out" => config.out = args.next().unwrap_or_else(|| usage()),
+            "--baseline" => config.baseline = Some(args.next().unwrap_or_else(|| usage())),
+            "--gate-pct" => {
+                let raw = args.next().unwrap_or_else(|| usage());
+                match raw.parse::<f64>() {
+                    Ok(v) if v > 0.0 && v.is_finite() => config.gate_pct = v,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    config
+}
+
+/// Times `reps` repetitions of `f` and returns `(median_ms, min_ms)`.
+fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    // One untimed warmup to populate caches/allocator pools.
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (samples[samples.len() / 2], samples[0])
+}
+
+fn kernel_entry(name: &str, reps: usize, median_ms: f64, min_ms: f64) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.into())),
+        ("reps".into(), Json::Num(reps as f64)),
+        ("median_ms".into(), Json::Num(median_ms)),
+        ("min_ms".into(), Json::Num(min_ms)),
+    ])
+}
+
+/// SPD test matrix of the linalg bench shape.
+fn spd(n: usize) -> Matrix {
+    let a = Matrix::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.7).sin());
+    let mut g = a.gram();
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+    g.symmetrize().expect("square");
+    g
+}
+
+/// The positivity-constrained QP instance of the qp_solver bench.
+fn qp_instance(n: usize, m: usize) -> (Matrix, Vector) {
+    let a = Matrix::from_fn(m, n, |r, c| {
+        let t = r as f64 / (m - 1) as f64;
+        let phi = c as f64 / (n - 1) as f64;
+        (-((phi - t).powi(2)) / 0.02).exp() + 0.05
+    });
+    let truth = Vector::from_fn(n, |i| {
+        let phi = i as f64 / (n - 1) as f64;
+        (2.0 * std::f64::consts::PI * phi).sin().max(0.0) * 2.0
+    });
+    let b = a.matvec(&truth).expect("shapes agree");
+    let mut h = a.gram();
+    for i in 0..n {
+        h[(i, i)] += 1e-2 + 1e-9;
+    }
+    let mut h = h.scaled(2.0);
+    h.symmetrize().expect("square");
+    let c = -&a.tr_matvec(&b).expect("shapes agree").scaled(2.0);
+    (h, c)
+}
+
+fn simulate_population(cells: usize, seed: u64) -> Population {
+    let params = CellCycleParams::caulobacter().expect("valid defaults");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Population::synchronized(cells, &params, InitialCondition::UniformSwarmer, &mut rng)
+        .expect("non-empty population")
+        .simulate_until(150.0)
+        .expect("finite horizon")
+}
+
+fn measure_kernels(config: &Config, population: &Population, times: &[f64]) -> Vec<Json> {
+    let mut kernels = Vec::new();
+    let reps = config.reps;
+
+    // 1. Dense Cholesky factor+solve at GCV problem size.
+    let m96 = spd(96);
+    let rhs = Vector::from_fn(96, |i| (i as f64).cos());
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..20 {
+            std::hint::black_box(
+                m96.cholesky()
+                    .expect("spd")
+                    .solve(&rhs)
+                    .expect("matching dims"),
+            );
+        }
+    });
+    kernels.push(kernel_entry(
+        "linalg_cholesky_solve_96x20",
+        reps,
+        median,
+        min,
+    ));
+
+    // 2. Spline basis: construction + penalty assembly + profile evaluation.
+    let coeffs: Vec<f64> = (0..24).map(|i| (i as f64 * 0.3).sin() + 1.5).collect();
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..10 {
+            let basis = NaturalSplineBasis::uniform(24, 0.0, 1.0).expect("n >= 4");
+            std::hint::black_box(basis.penalty_matrix());
+            for i in 0..400 {
+                std::hint::black_box(
+                    basis
+                        .eval_combination(&coeffs, i as f64 / 399.0)
+                        .expect("lengths match"),
+                );
+            }
+        }
+    });
+    kernels.push(kernel_entry("spline_basis_24x10", reps, median, min));
+
+    // 3. Active-set QP with positivity constraints at deconvolution size.
+    let (h, c) = qp_instance(24, 19);
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..5 {
+            std::hint::black_box(
+                QuadraticProgram::new(h.clone(), c.clone())
+                    .expect("valid qp")
+                    .with_inequalities(Matrix::identity(24), Vector::zeros(24))
+                    .expect("shapes agree")
+                    .solve()
+                    .expect("solvable"),
+            );
+        }
+    });
+    kernels.push(kernel_entry("qp_active_set_24x19x5", reps, median, min));
+
+    // 4. RK4 over one 150-minute Lotka–Volterra period.
+    let shape = LotkaVolterra::new(1.0, 0.2, 1.0, 1.0).expect("positive rates");
+    let (lv, _) = rescale_lotka_volterra(&shape, [2.4, 5.0], 150.0).expect("rescales");
+    let solver = Rk4::new(0.25).expect("dt > 0");
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..25 {
+            std::hint::black_box(
+                solver
+                    .integrate(&lv, &[2.4, 5.0], 0.0, 150.0)
+                    .expect("integrates"),
+            );
+        }
+    });
+    kernels.push(kernel_entry("ode_rk4_lv150x25", reps, median, min));
+
+    // 5. Monte-Carlo kernel estimation (single-threaded: the scaling story
+    // lives in the batch section, kernel timings stay comparable across
+    // machines of different widths).
+    let estimator = KernelEstimator::new(100).expect("bins").with_threads(1);
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..5 {
+            std::hint::black_box(
+                estimator
+                    .estimate(population, times)
+                    .expect("valid protocol"),
+            );
+        }
+    });
+    kernels.push(kernel_entry(
+        "kernel_estimate_100bins_16tx5",
+        reps,
+        median,
+        min,
+    ));
+
+    kernels
+}
+
+fn measure_batch(config: &Config, kernel: &PhaseKernel) -> Json {
+    let batch = synthetic_genome(kernel, config.genes, 0.08, 4242).expect("valid batch");
+    let deconv_config = DeconvolutionConfig::builder()
+        .basis_size(18)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 11,
+        })
+        .build()
+        .expect("valid config");
+    let engine = Deconvolver::new(kernel.clone(), deconv_config).expect("valid engine");
+    let input = batch.fit_input();
+
+    // Untimed warmup so the first timed run (threads = 1, the scaling
+    // denominator) does not absorb first-touch/allocator costs.
+    std::hint::black_box(engine.fit_many(&input).expect("batch fits"));
+
+    let mut reference: Option<Vec<Vec<f64>>> = None;
+    let mut wall_by_threads: Vec<(usize, f64, bool)> = Vec::new();
+    for &threads in &SCALING_THREADS {
+        let engine_t = engine.clone().with_threads(threads);
+        let mut best = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..config.batch_reps.max(1) {
+            let start = Instant::now();
+            let results = engine_t.fit_many(&input).expect("batch fits");
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            let alphas: Vec<Vec<f64>> = results.iter().map(|r| r.alpha().to_vec()).collect();
+            match &reference {
+                None => reference = Some(alphas),
+                Some(expected) => identical &= expected == &alphas,
+            }
+        }
+        wall_by_threads.push((threads, best, identical));
+    }
+
+    let wall_1 = wall_by_threads[0].1;
+    let deterministic = wall_by_threads.iter().all(|&(_, _, ok)| ok);
+    let scaling: Vec<Json> = wall_by_threads
+        .iter()
+        .map(|&(threads, wall_ms, _)| {
+            Json::Obj(vec![
+                ("threads".into(), Json::Num(threads as f64)),
+                ("wall_ms".into(), Json::Num(wall_ms)),
+                (
+                    "genes_per_sec".into(),
+                    Json::Num(config.genes as f64 / (wall_ms / 1e3).max(1e-12)),
+                ),
+                (
+                    "speedup_vs_1".into(),
+                    Json::Num(wall_1 / wall_ms.max(1e-12)),
+                ),
+            ])
+        })
+        .collect();
+
+    Json::Obj(vec![
+        ("genes".into(), Json::Num(config.genes as f64)),
+        (
+            "measurements".into(),
+            Json::Num(kernel.times().len() as f64),
+        ),
+        ("basis_size".into(), Json::Num(18.0)),
+        (
+            "deterministic_across_threads".into(),
+            Json::Bool(deterministic),
+        ),
+        ("scaling".into(), Json::Arr(scaling)),
+    ])
+}
+
+/// Compares current kernel medians against a baseline file. Returns the
+/// regressed kernel names.
+fn gate_against_baseline(
+    current: &Json,
+    baseline_text: &str,
+    gate_pct: f64,
+) -> Result<Vec<String>, String> {
+    let baseline = Json::parse(baseline_text).map_err(|e| format!("unreadable baseline: {e}"))?;
+    // Quick and full modes run different workload sizes under the same
+    // kernel names; comparing across modes would gate nothing real.
+    let base_mode = baseline.get("mode").and_then(Json::as_str).unwrap_or("?");
+    let cur_mode = current.get("mode").and_then(Json::as_str).unwrap_or("?");
+    if base_mode != cur_mode {
+        return Err(format!(
+            "baseline mode '{base_mode}' does not match current mode '{cur_mode}' — \
+             regenerate the baseline in the same mode"
+        ));
+    }
+    let base_kernels = baseline
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no kernels array")?;
+    let cur_kernels = current
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or("current run has no kernels array")?;
+    let mut regressed = Vec::new();
+    for cur in cur_kernels {
+        let name = cur
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("kernel entry without name")?;
+        let cur_ms = cur
+            .get("median_ms")
+            .and_then(Json::as_f64)
+            .ok_or("kernel entry without median_ms")?;
+        let base = base_kernels
+            .iter()
+            .find(|k| k.get("name").and_then(Json::as_str) == Some(name));
+        let Some(base_ms) = base.and_then(|k| k.get("median_ms")).and_then(Json::as_f64) else {
+            println!("gate: {name}: no baseline entry, skipped");
+            continue;
+        };
+        let limit = base_ms * (1.0 + gate_pct / 100.0);
+        let delta_pct = (cur_ms / base_ms - 1.0) * 100.0;
+        if cur_ms > limit {
+            println!(
+                "gate: {name}: REGRESSED {cur_ms:.3} ms vs baseline {base_ms:.3} ms ({delta_pct:+.1} %)"
+            );
+            regressed.push(name.to_string());
+        } else {
+            println!(
+                "gate: {name}: ok {cur_ms:.3} ms vs baseline {base_ms:.3} ms ({delta_pct:+.1} %)"
+            );
+        }
+    }
+    // A baseline kernel absent from the current run means a rename or
+    // removal silently dropped its coverage — fail so the baseline gets
+    // refreshed in the same PR.
+    for base in base_kernels {
+        let name = base
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("baseline kernel entry without name")?;
+        let still_present = cur_kernels
+            .iter()
+            .any(|k| k.get("name").and_then(Json::as_str) == Some(name));
+        if !still_present {
+            println!(
+                "gate: {name}: MISSING from current run (renamed/removed kernel — refresh the baseline)"
+            );
+            regressed.push(format!("{name} (missing)"));
+        }
+    }
+    Ok(regressed)
+}
+
+fn main() {
+    let config = parse_args();
+    eprintln!(
+        "perf: mode={} cells={} genes={} ({} available threads)",
+        config.mode,
+        config.cells,
+        config.genes,
+        Pool::available_parallelism()
+    );
+
+    let sim_start = Instant::now();
+    let population = simulate_population(config.cells, 7);
+    let times: Vec<f64> = (0..16).map(|i| i as f64 * 10.0).collect();
+    eprintln!(
+        "perf: simulated {}-cell population in {:.2} s",
+        config.cells,
+        sim_start.elapsed().as_secs_f64()
+    );
+
+    let kernels = measure_kernels(&config, &population, &times);
+    for k in &kernels {
+        eprintln!(
+            "perf: {} median {:.3} ms",
+            k.get("name").and_then(Json::as_str).unwrap_or("?"),
+            k.get("median_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN)
+        );
+    }
+
+    let phase_kernel = KernelEstimator::new(100)
+        .expect("bins")
+        .estimate(&population, &times)
+        .expect("valid protocol");
+    let batch = measure_batch(&config, &phase_kernel);
+    for entry in batch.get("scaling").and_then(Json::as_array).unwrap_or(&[]) {
+        eprintln!(
+            "perf: batch threads={} wall {:.1} ms ({:.1} genes/s, speedup {:.2}x)",
+            entry.get("threads").and_then(Json::as_f64).unwrap_or(0.0),
+            entry.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            entry
+                .get("genes_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            entry
+                .get("speedup_vs_1")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        );
+    }
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as f64)
+        .unwrap_or(0.0);
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("cellsync-perf/1".into())),
+        ("mode".into(), Json::Str(config.mode.into())),
+        ("unix_time_secs".into(), Json::Num(unix_secs)),
+        (
+            "threads_available".into(),
+            Json::Num(Pool::available_parallelism() as f64),
+        ),
+        ("kernels".into(), Json::Arr(kernels)),
+        ("batch".into(), batch),
+    ]);
+    std::fs::write(&config.out, doc.render() + "\n").expect("writable output path");
+    println!("wrote {}", config.out);
+
+    if let Some(baseline_path) = &config.baseline {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf: cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match gate_against_baseline(&doc, &text, config.gate_pct) {
+            Ok(regressed) if regressed.is_empty() => {
+                println!(
+                    "gate: all kernels within {:.0} % of baseline",
+                    config.gate_pct
+                );
+            }
+            Ok(regressed) => {
+                eprintln!(
+                    "perf: {} kernel(s) regressed more than {:.0} %: {}",
+                    regressed.len(),
+                    config.gate_pct,
+                    regressed.join(", ")
+                );
+                std::process::exit(1);
+            }
+            Err(msg) => {
+                eprintln!("perf: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -144,3 +144,4 @@ mod tests {
     }
 }
 pub mod experiments;
+pub mod json;

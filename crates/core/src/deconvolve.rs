@@ -3,6 +3,7 @@
 use cellsync_linalg::{Matrix, Vector};
 use cellsync_opt::QuadraticProgram;
 use cellsync_popsim::{CellCycleParams, PhaseKernel};
+use cellsync_runtime::Pool;
 use cellsync_spline::NaturalSplineBasis;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +18,11 @@ use crate::{constraints, DeconvError, DeconvolutionConfig, ForwardModel, PhasePr
 /// Construction precomputes everything independent of the measurements
 /// (design matrix, roughness penalty, constraint rows), so a single engine
 /// can cheaply fit many series measured on the same protocol — exactly the
-/// genome-wide use case of the original work.
+/// genome-wide use case of the original work. Batch entry points
+/// ([`Deconvolver::fit_many`], [`Deconvolver::fit_bootstrap`]) fan out over
+/// a [`cellsync_runtime::Pool`] sized by [`Deconvolver::with_threads`]
+/// (default: one worker per available core) and are bit-identical at any
+/// thread count.
 ///
 /// # Example
 ///
@@ -35,6 +40,8 @@ pub struct Deconvolver {
     equality: Option<Matrix>,
     /// Positivity collocation matrix.
     positivity: Option<Matrix>,
+    /// Worker pool for the batch entry points.
+    pool: Pool,
 }
 
 /// The outcome of a deconvolution fit.
@@ -116,7 +123,23 @@ impl Deconvolver {
             omega,
             equality,
             positivity,
+            pool: Pool::default(),
         })
+    }
+
+    /// Sets the worker count used by the batch entry points
+    /// ([`Deconvolver::fit_many`], [`Deconvolver::fit_bootstrap`]);
+    /// `0` is clamped to `1`. Results are bit-identical at any thread
+    /// count — this knob trades wall time only.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = Pool::new(threads);
+        self
+    }
+
+    /// The worker count the batch entry points use.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The spline basis the profile estimate lives in.
@@ -267,17 +290,29 @@ impl Deconvolver {
     ///
     /// Each entry of `series` is `(measurements, optional sigmas)`. The
     /// engine's precomputed design/penalty/constraint structures are
-    /// reused; only the per-gene QP differs.
+    /// reused; only the per-gene QP differs, and the per-gene fits fan out
+    /// over the engine's worker pool ([`Deconvolver::with_threads`]).
+    /// Results are ordered like `series` and bit-identical at any thread
+    /// count.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-series failure, identifying nothing about
-    /// the others (fit series individually to isolate failures).
+    /// Returns [`DeconvError::Series`] wrapping the failure of the
+    /// lowest-indexed failing series (every series is attempted, so the
+    /// reported index is deterministic).
     pub fn fit_many(
         &self,
         series: &[(&[f64], Option<&[f64]>)],
     ) -> Result<Vec<DeconvolutionResult>> {
-        series.iter().map(|(g, s)| self.fit(g, *s)).collect()
+        self.pool
+            .try_par_map_indexed(series.len(), |i| {
+                let (g, s) = series[i];
+                self.fit(g, s)
+            })
+            .map_err(|(index, source)| DeconvError::Series {
+                index,
+                source: Box::new(source),
+            })
     }
 
     /// Parametric-bootstrap uncertainty for a fitted profile: refits
@@ -289,10 +324,22 @@ impl Deconvolver {
     /// replicates (standard practice; re-selecting per replicate mixes
     /// model-selection variance into the band).
     ///
+    /// Replicates refit in parallel over the engine's worker pool
+    /// ([`Deconvolver::with_threads`]). Replicate `i` draws its noise from
+    /// its own `StdRng::seed_from_u64(seed ^ i)` stream and the replicate
+    /// profiles are accumulated in index order, so the band is
+    /// bit-identical at any thread count. (One consequence of the XOR
+    /// stream derivation: two seeds differing only in bits below `n_boot`
+    /// reuse the same *set* of replicate streams and give identical
+    /// bands — pick seeds farther apart than `n_boot` when comparing
+    /// independent bootstrap runs.)
+    ///
     /// # Errors
     ///
     /// * [`DeconvError::InvalidConfig`] for `n_boot == 0` or `n_grid < 2`.
-    /// * Propagates fit errors.
+    /// * [`DeconvError::Series`] wrapping the lowest-indexed failing
+    ///   replicate.
+    /// * Propagates point-fit errors.
     pub fn fit_bootstrap(
         &self,
         g: &[f64],
@@ -323,19 +370,30 @@ impl Deconvolver {
             cfg
         };
         let normal = cellsync_stats::dist::Normal::new(0.0, 1.0)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        // Per-replicate RNG streams (`seed ^ i`) decouple the replicates
+        // from each other, which is what lets them refit in parallel while
+        // staying bit-identical at any thread count.
+        let profiles: Vec<Vec<f64>> = self
+            .pool
+            .try_par_map_indexed(n_boot, |i| {
+                use cellsync_stats::dist::ContinuousDistribution as _;
+                let mut rng = StdRng::seed_from_u64(seed ^ i as u64);
+                let resampled: Vec<f64> = g
+                    .iter()
+                    .zip(sigmas)
+                    .map(|(v, s)| v + s * normal.sample(&mut rng))
+                    .collect();
+                let replicate = fixed.fit(&resampled, Some(sigmas))?;
+                Ok::<_, DeconvError>(replicate.profile(n_grid)?.values().to_vec())
+            })
+            .map_err(|(index, source)| DeconvError::Series {
+                index,
+                source: Box::new(source),
+            })?;
         let mut sum = vec![0.0; n_grid];
         let mut sum_sq = vec![0.0; n_grid];
-        for _ in 0..n_boot {
-            use cellsync_stats::dist::ContinuousDistribution as _;
-            let resampled: Vec<f64> = g
-                .iter()
-                .zip(sigmas)
-                .map(|(v, s)| v + s * normal.sample(&mut rng))
-                .collect();
-            let replicate = fixed.fit(&resampled, Some(sigmas))?;
-            let profile = replicate.profile(n_grid)?;
-            for (i, v) in profile.values().iter().enumerate() {
+        for profile in &profiles {
+            for (i, v) in profile.iter().enumerate() {
                 sum[i] += v;
                 sum_sq[i] += v * v;
             }
@@ -821,6 +879,55 @@ mod tests {
         let solo2 = d.fit(&g2, None).unwrap();
         assert_eq!(batch[0].alpha(), solo1.alpha());
         assert_eq!(batch[1].alpha(), solo2.alpha());
+    }
+
+    #[test]
+    fn fit_many_reports_lowest_failing_index() {
+        let k = kernel(12, 12);
+        let config = DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+        let good = vec![1.0; 12];
+        let short = vec![1.0; 5];
+        let nan = vec![f64::NAN; 12];
+        // Failures at indices 1 and 3: the structured error must name 1.
+        let batch: Vec<(&[f64], Option<&[f64]>)> = vec![
+            (good.as_slice(), None),
+            (short.as_slice(), None),
+            (good.as_slice(), None),
+            (nan.as_slice(), None),
+        ];
+        for threads in [1, 4] {
+            let err = d
+                .clone()
+                .with_threads(threads)
+                .fit_many(&batch)
+                .unwrap_err();
+            match err {
+                DeconvError::Series { index, source } => {
+                    assert_eq!(index, 1, "threads {threads}");
+                    assert!(matches!(*source, DeconvError::LengthMismatch { .. }));
+                }
+                other => panic!("expected Series error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_configurable() {
+        let k = kernel(13, 12);
+        let config = DeconvolutionConfig::builder()
+            .basis_size(8)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+        assert!(d.threads() >= 1);
+        assert_eq!(d.clone().with_threads(3).threads(), 3);
+        assert_eq!(d.with_threads(0).threads(), 1);
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub enum DeconvError {
     },
     /// A phase outside `[0, 1]` was supplied.
     InvalidPhase(f64),
+    /// One item of a batch operation failed ([`crate::Deconvolver::fit_many`]
+    /// series, [`crate::Deconvolver::fit_bootstrap`] replicate, or a
+    /// [`crate::paramfit`] multi-start attempt). `index` identifies the
+    /// failing item so genome-wide runs are debuggable without refitting
+    /// series one at a time; `source` is the underlying failure.
+    Series {
+        /// Zero-based index of the failing item within the batch.
+        index: usize,
+        /// The failure itself.
+        source: Box<DeconvError>,
+    },
     /// Linear-algebra substrate failure.
     Linalg(cellsync_linalg::LinalgError),
     /// Numerics substrate failure.
@@ -67,6 +78,9 @@ impl fmt::Display for DeconvError {
                  (need regularization to remain well-posed; reduce basis_size or add data)"
             ),
             DeconvError::InvalidPhase(p) => write!(f, "phase must lie in [0, 1], got {p}"),
+            DeconvError::Series { index, source } => {
+                write!(f, "batch item {index} failed: {source}")
+            }
             DeconvError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             DeconvError::Numerics(e) => write!(f, "numerics failure: {e}"),
             DeconvError::Stats(e) => write!(f, "statistics failure: {e}"),
@@ -88,6 +102,7 @@ impl Error for DeconvError {
             DeconvError::Popsim(e) => Some(e),
             DeconvError::Opt(e) => Some(e),
             DeconvError::Ode(e) => Some(e),
+            DeconvError::Series { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -136,11 +151,18 @@ mod tests {
             cellsync_popsim::PopsimError::InvalidPhase(2.0).into(),
             cellsync_opt::OptError::InvalidArgument("y").into(),
             cellsync_ode::OdeError::InvalidStep(0.0).into(),
+            DeconvError::Series {
+                index: 17,
+                source: Box::new(DeconvError::InvalidPhase(2.0)),
+            },
         ];
         for e in &errs {
             assert!(!e.to_string().is_empty());
         }
         assert!(Error::source(&errs[4]).is_some());
         assert!(Error::source(&errs[0]).is_none());
+        let series = &errs[errs.len() - 1];
+        assert!(series.to_string().contains("batch item 17"));
+        assert!(Error::source(series).is_some());
     }
 }

@@ -13,6 +13,9 @@
 use cellsync_ode::models::LotkaVolterra;
 use cellsync_ode::solver::Rk4;
 use cellsync_opt::NelderMead;
+use cellsync_runtime::Pool;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
 
 use crate::{DeconvError, PhaseProfile, Result};
 
@@ -62,6 +65,11 @@ pub struct LvFitConfig {
     pub samples: usize,
     /// Nelder–Mead iteration budget.
     pub max_iterations: usize,
+    /// Worker count for [`fit_lotka_volterra_multistart`]: `0` means one
+    /// worker per available core (the pool default). Set to `1` when
+    /// calling multistart from inside an already-parallel outer loop to
+    /// avoid oversubscribing the machine.
+    pub threads: usize,
 }
 
 impl LvFitConfig {
@@ -75,6 +83,7 @@ impl LvFitConfig {
             initial_guess: guess,
             samples: 60,
             max_iterations: 4000,
+            threads: 0,
         }
     }
 }
@@ -162,6 +171,85 @@ pub fn fit_lotka_volterra(
     })
 }
 
+/// Multi-start variant of [`fit_lotka_volterra`]: runs `n_starts`
+/// independent Nelder–Mead descents — the configured guess plus
+/// `n_starts − 1` deterministic log-space perturbations of it (each rate
+/// scaled by a factor in `[½, 2]` drawn from the start's own
+/// `StdRng::seed_from_u64(seed ^ i)` stream) — and returns the fit with
+/// the lowest objective.
+///
+/// Starts fan out over a [`cellsync_runtime::Pool`] sized by
+/// [`LvFitConfig::threads`] (`0` = one worker per available core); every
+/// start is always evaluated and ties break toward the lowest start
+/// index, so the result is bit-identical at any thread count.
+///
+/// Nelder–Mead is local: from a single poor guess it can stall in a
+/// shallow basin (the paper's §5 fits are sensitive to initialization).
+/// Restarts are the standard mitigation, and they are embarrassingly
+/// parallel.
+///
+/// # Errors
+///
+/// * [`DeconvError::InvalidConfig`] for `n_starts == 0` or an invalid
+///   `config` (see [`fit_lotka_volterra`]).
+/// * [`DeconvError::Series`] wrapping the lowest-indexed failing start —
+///   only when *every* start fails; individual failures are tolerated as
+///   long as one start converges.
+pub fn fit_lotka_volterra_multistart(
+    target_x1: &PhaseProfile,
+    target_x2: &PhaseProfile,
+    config: &LvFitConfig,
+    n_starts: usize,
+    seed: u64,
+) -> Result<LvFit> {
+    if n_starts == 0 {
+        return Err(DeconvError::InvalidConfig("n_starts must be positive"));
+    }
+    let (ga, gb, gc, gd) = config.initial_guess;
+    let pool = if config.threads == 0 {
+        Pool::default()
+    } else {
+        Pool::new(config.threads)
+    };
+    let attempts = pool.par_map_indexed(n_starts, |i| {
+        let mut start = *config;
+        if i > 0 {
+            // Log-uniform scale in [1/2, 2] per rate: wide enough to hop
+            // basins, narrow enough to stay in the plausible range.
+            let mut rng = StdRng::seed_from_u64(seed ^ i as u64);
+            let mut jitter = || 2f64.powf(rng.gen_range(-1.0..1.0));
+            start.initial_guess = (ga * jitter(), gb * jitter(), gc * jitter(), gd * jitter());
+        }
+        fit_lotka_volterra(target_x1, target_x2, &start)
+    });
+    let mut best: Option<LvFit> = None;
+    for fit in attempts.iter().flatten() {
+        // NaN objectives (a diverged trajectory that slipped through as
+        // Ok) must never stick: `x < NaN` is false for every x, so an
+        // unguarded comparison would make a NaN first-success unbeatable.
+        let better = best
+            .as_ref()
+            .is_none_or(|current| current.objective.is_nan() || fit.objective < current.objective);
+        if better {
+            best = Some(fit.clone());
+        }
+    }
+    match best {
+        Some(fit) => Ok(fit),
+        None => {
+            let (index, source) = attempts
+                .into_iter()
+                .enumerate()
+                .find_map(|(i, a)| a.err().map(|e| (i, e)))
+                .expect("no best fit implies at least one error");
+            Err(DeconvError::Series {
+                index,
+                source: Box::new(source),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +303,39 @@ mod tests {
             damped_err > 3.0 * clean_err,
             "damped {damped_err} vs clean {clean_err}"
         );
+    }
+
+    #[test]
+    fn multistart_no_worse_than_single_start() {
+        let (lv, x1, x2) = truth();
+        let (a, b, c, d) = lv.params();
+        // A deliberately bad guess: 3x off on every rate.
+        let config =
+            LvFitConfig::for_period(150.0, [2.0, 1.0], (a * 3.0, b * 3.0, c / 3.0, d / 3.0));
+        let single = fit_lotka_volterra(&x1, &x2, &config).unwrap();
+        let multi = fit_lotka_volterra_multistart(&x1, &x2, &config, 6, 11).unwrap();
+        assert!(
+            multi.objective <= single.objective + 1e-12,
+            "multi {} vs single {}",
+            multi.objective,
+            single.objective
+        );
+        // Determinism: same seed, same answer.
+        let again = fit_lotka_volterra_multistart(&x1, &x2, &config, 6, 11).unwrap();
+        assert_eq!(multi, again);
+    }
+
+    #[test]
+    fn multistart_validation() {
+        let (_, x1, x2) = truth();
+        let config = LvFitConfig::for_period(150.0, [2.0, 1.0], (1.0, 1.0, 1.0, 1.0));
+        assert!(fit_lotka_volterra_multistart(&x1, &x2, &config, 0, 1).is_err());
+        // Invalid config fails every start and surfaces start 0.
+        let bad = LvFitConfig::for_period(0.0, [2.0, 1.0], (1.0, 1.0, 1.0, 1.0));
+        match fit_lotka_volterra_multistart(&x1, &x2, &bad, 3, 1) {
+            Err(DeconvError::Series { index, .. }) => assert_eq!(index, 0),
+            other => panic!("expected Series error, got {other:?}"),
+        }
     }
 
     #[test]

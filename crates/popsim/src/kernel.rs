@@ -7,6 +7,7 @@
 //! normalizes each time slice to unit integral.
 
 use cellsync_linalg::Matrix;
+use cellsync_runtime::Pool;
 
 use crate::{PopsimError, Population, Result, VolumeModel};
 
@@ -241,13 +242,11 @@ pub struct KernelEstimator {
     threads: usize,
 }
 
-/// One measurement time's partial estimate: the unnormalized Q̃ row over
-/// phase bins, the total population volume, and the live-cell count.
-type SlotEstimate = (Vec<f64>, f64, usize);
-
 impl KernelEstimator {
-    /// Creates an estimator with `bins` uniform phase bins and the default
-    /// (smooth cubic) volume model.
+    /// Creates an estimator with `bins` uniform phase bins, the default
+    /// (smooth cubic) volume model, and one worker per available core
+    /// (estimates are bit-identical at any thread count; see
+    /// [`KernelEstimator::with_threads`]).
     ///
     /// # Errors
     ///
@@ -259,7 +258,7 @@ impl KernelEstimator {
         Ok(KernelEstimator {
             bins,
             volume_model: VolumeModel::default(),
-            threads: 1,
+            threads: Pool::available_parallelism(),
         })
     }
 
@@ -270,7 +269,10 @@ impl KernelEstimator {
         self
     }
 
-    /// Enables multi-threaded estimation over time points (`threads ≥ 1`).
+    /// Sets the worker count for estimation over time points (`threads ≥
+    /// 1`; `0` is clamped to `1`). Time points are distributed over a
+    /// shared [`cellsync_runtime::Pool`], and the result is bit-identical
+    /// at any thread count.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
@@ -300,51 +302,19 @@ impl KernelEstimator {
             return Err(PopsimError::EmptyConfiguration("measurement times"));
         }
         let n_times = times.len();
-        let mut q_tilde_rows: Vec<Vec<f64>> = vec![Vec::new(); n_times];
-        let mut volumes = vec![0.0; n_times];
-        let mut counts = vec![0usize; n_times];
-
-        if self.threads <= 1 || n_times == 1 {
-            for (i, &t) in times.iter().enumerate() {
-                let (row, vol, count) = self.estimate_one(population, t)?;
-                q_tilde_rows[i] = row;
-                volumes[i] = vol;
-                counts[i] = count;
-            }
-        } else {
-            // Partition time indices across threads; each thread works on an
-            // immutable population reference.
-            let chunk = n_times.div_ceil(self.threads);
-            let results: Vec<Result<Vec<(usize, SlotEstimate)>>> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for block in 0..self.threads {
-                    let lo = block * chunk;
-                    if lo >= n_times {
-                        break;
-                    }
-                    let hi = ((block + 1) * chunk).min(n_times);
-                    let est = *self;
-                    let handle = scope.spawn(move || {
-                        let mut out = Vec::with_capacity(hi - lo);
-                        for (off, &t) in times[lo..hi].iter().enumerate() {
-                            out.push((lo + off, est.estimate_one(population, t)?));
-                        }
-                        Ok(out)
-                    });
-                    handles.push(handle);
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("kernel estimation thread panicked"))
-                    .collect()
-            });
-            for result in results {
-                for (i, (row, vol, count)) in result? {
-                    q_tilde_rows[i] = row;
-                    volumes[i] = vol;
-                    counts[i] = count;
-                }
-            }
+        // Each time point is an independent volume histogram over an
+        // immutable population reference — the indexed-map shape of the
+        // shared worker pool.
+        let estimates = Pool::new(self.threads)
+            .try_par_map_indexed(n_times, |i| self.estimate_one(population, times[i]))
+            .map_err(|(_, e)| e)?;
+        let mut q_tilde_rows: Vec<Vec<f64>> = Vec::with_capacity(n_times);
+        let mut volumes = Vec::with_capacity(n_times);
+        let mut counts = Vec::with_capacity(n_times);
+        for (row, vol, count) in estimates {
+            q_tilde_rows.push(row);
+            volumes.push(vol);
+            counts.push(count);
         }
 
         let dphi = 1.0 / self.bins as f64;

@@ -1,0 +1,314 @@
+//! # cellsync_runtime — the workspace's shared parallel runtime
+//!
+//! A dependency-free scoped worker pool for the embarrassingly-parallel
+//! hot paths of the deconvolution stack: genome-wide batch fits
+//! ([`cellsync::Deconvolver::fit_many`]), bootstrap replicates, multi-start
+//! optimization, and Monte-Carlo kernel estimation. All of these share one
+//! shape — *evaluate an index-addressed pure function over `0..n` and
+//! collect the results in order* — which is exactly what
+//! [`Pool::par_map_indexed`] provides.
+//!
+//! Design constraints (and how they are met):
+//!
+//! * **Zero dependencies.** Built on [`std::thread::scope`] and one
+//!   [`AtomicUsize`] work counter; no channels, no rayon.
+//! * **Deterministic result ordering.** Workers steal *indices*, not
+//!   results: slot `i` of the output always holds `f(i)`, so the output is
+//!   bit-identical at any thread count whenever `f` itself is a pure
+//!   function of its index.
+//! * **Panic propagation.** A panic inside a worker is re-raised on the
+//!   calling thread with its original payload (no poisoned state, no
+//!   swallowed errors).
+//! * **Sensible default width.** [`Pool::default`] sizes itself from
+//!   [`std::thread::available_parallelism`]; `threads == 1` degrades to a
+//!   plain serial loop with zero thread-spawn overhead.
+//!
+//! ```
+//! use cellsync_runtime::Pool;
+//!
+//! let squares = Pool::new(4).par_map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+//!
+//! [`cellsync::Deconvolver::fit_many`]: ../cellsync/struct.Deconvolver.html#method.fit_many
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A scoped worker pool of a fixed width.
+///
+/// The pool owns no threads: every [`Pool::par_map_indexed`] call spawns
+/// scoped workers for its own duration, so a `Pool` is nothing but a
+/// validated thread-count and is freely `Copy`-able into configuration
+/// structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool of `threads` workers. `0` is clamped to `1`.
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The machine-wide default width:
+    /// [`std::thread::available_parallelism`], or `1` when the parallelism
+    /// cannot be determined.
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// The number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`std::thread::scope`] — the escape hatch for
+    /// workloads that do not fit the indexed-map shape. Provided so
+    /// callers standardize on one entry point for scoped parallelism
+    /// instead of hand-rolling their own chunking.
+    ///
+    /// Unlike the map entry points, `scope` places **no limit** on how
+    /// many threads the closure spawns — the pool's width bounds only
+    /// [`Pool::par_map_indexed`] and its derivatives. Callers needing a
+    /// bounded fan-out should spawn at most [`Pool::threads`] workers.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        std::thread::scope(f)
+    }
+
+    /// Evaluates `f(i)` for every `i ∈ 0..n` across the pool and returns
+    /// the results in index order.
+    ///
+    /// Work is distributed dynamically (one shared atomic cursor), so
+    /// uneven per-index cost — a QP that converges slowly for one gene,
+    /// say — load-balances automatically. Output slot `i` always holds
+    /// `f(i)`: results are bit-identical at any thread count for pure `f`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any worker on the calling thread (if several
+    /// workers panic, the one joined first wins).
+    pub fn par_map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let f = &f;
+        let cursor = &cursor;
+        // Each worker drains the shared cursor into a private
+        // `(index, value)` list; the lists are merged into index-ordered
+        // slots afterwards, off the hot path.
+        let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(n / workers + 1);
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(list) => list,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for list in per_worker {
+            for (i, value) in list {
+                debug_assert!(slots[i].is_none(), "index {i} computed twice");
+                slots[i] = Some(value);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index is claimed exactly once"))
+            .collect()
+    }
+
+    /// Fallible variant of [`Pool::par_map_indexed`]: evaluates every
+    /// index and, if any failed, returns the error of the **smallest**
+    /// failing index (deterministic regardless of which worker saw it
+    /// first), tagged with that index.
+    ///
+    /// # Errors
+    ///
+    /// `Err((i, e))` where `i` is the lowest index whose `f(i)` returned
+    /// `Err(e)`.
+    pub fn try_par_map_indexed<T, E, F>(
+        &self,
+        n: usize,
+        f: F,
+    ) -> std::result::Result<Vec<T>, (usize, E)>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> std::result::Result<T, E> + Sync,
+    {
+        let mut results = self.par_map_indexed(n, f);
+        if let Some(i) = results.iter().position(std::result::Result::is_err) {
+            let Err(e) = results.swap_remove(i) else {
+                unreachable!("position() found an Err at {i}")
+            };
+            return Err((i, e));
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(_) => unreachable!("errors were ruled out above"),
+            })
+            .collect())
+    }
+
+    /// Maps `f` over a slice with the pool, preserving order — sugar over
+    /// [`Pool::par_map_indexed`] for slice-shaped inputs.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_indexed(items.len(), |i| f(&items[i]))
+    }
+}
+
+impl Default for Pool {
+    /// A pool as wide as the machine.
+    fn default() -> Self {
+        Pool::new(Pool::available_parallelism())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_width_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::default().threads() >= 1);
+        assert!(Pool::available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let calls = AtomicUsize::new(0);
+        let out: Vec<usize> = Pool::new(4).par_map_indexed(0, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert!(out.is_empty());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn ordering_matches_serial_at_any_width() {
+        let expected: Vec<usize> = (0..100).map(|i| i * 7 + 3).collect();
+        for threads in [1, 2, 3, 4, 16, 200] {
+            let got = Pool::new(threads).par_map_indexed(100, |i| i * 7 + 3);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_index_called_exactly_once() {
+        let n = 257;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        Pool::new(8).par_map_indexed(n, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        for threads in [1, 4] {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                Pool::new(threads).par_map_indexed(50, |i| {
+                    if i == 31 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            }));
+            let payload = result.expect_err("worker panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("boom at 31"), "payload: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn try_map_reports_smallest_failing_index() {
+        for threads in [1, 2, 8] {
+            let r: std::result::Result<Vec<usize>, (usize, String)> = Pool::new(threads)
+                .try_par_map_indexed(64, |i| {
+                    if i % 10 == 7 {
+                        Err(format!("bad {i}"))
+                    } else {
+                        Ok(i)
+                    }
+                });
+            assert_eq!(r.unwrap_err(), (7, "bad 7".to_string()));
+        }
+    }
+
+    #[test]
+    fn try_map_success_collects_in_order() {
+        let r: std::result::Result<Vec<usize>, (usize, ())> =
+            Pool::new(4).try_par_map_indexed(33, Ok);
+        assert_eq!(r.unwrap(), (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_over_slice() {
+        let items = vec![1.5, 2.5, 3.5];
+        let doubled = Pool::new(2).par_map(&items, |x| x * 2.0);
+        assert_eq!(doubled, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn scope_escape_hatch_runs_scoped_threads() {
+        let total = AtomicUsize::new(0);
+        Pool::new(2).scope(|scope| {
+            for add in [1usize, 2, 3] {
+                let total = &total;
+                scope.spawn(move || total.fetch_add(add, Ordering::Relaxed));
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6);
+    }
+}

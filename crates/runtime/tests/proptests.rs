@@ -1,0 +1,76 @@
+//! Property-based tests of the pool's ordering, coverage, and
+//! panic-propagation invariants.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cellsync_runtime::Pool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_indexed_equals_serial_map(
+        n in 0usize..300,
+        threads in 1usize..9,
+        mult in 1u64..1000,
+    ) {
+        let serial: Vec<u64> = (0..n).map(|i| i as u64 * mult).collect();
+        let parallel = Pool::new(threads).par_map_indexed(n, |i| i as u64 * mult);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn every_index_visited_exactly_once(n in 1usize..200, threads in 1usize..9) {
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        Pool::new(threads).par_map_indexed(n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "index {} visited", i);
+        }
+    }
+
+    #[test]
+    fn panic_at_any_index_propagates(
+        n in 1usize..120,
+        threads in 1usize..9,
+        victim_raw in 0usize..120,
+    ) {
+        let victim = victim_raw % n;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(threads).par_map_indexed(n, |i| {
+                if i == victim {
+                    panic!("proptest victim {i}");
+                }
+                i
+            })
+        }));
+        prop_assert!(result.is_err(), "panic at {} swallowed", victim);
+    }
+
+    #[test]
+    fn try_map_error_index_is_minimum_failing(
+        n in 1usize..200,
+        threads in 1usize..9,
+        modulus in 2usize..13,
+    ) {
+        let failing = |i: usize| i % modulus == modulus - 1;
+        let expected_first = (0..n).find(|&i| failing(i));
+        let result = Pool::new(threads).try_par_map_indexed(n, |i| {
+            if failing(i) { Err(i) } else { Ok(i) }
+        });
+        match expected_first {
+            Some(first) => {
+                let (index, err) = result.expect_err("failing index must surface");
+                prop_assert_eq!(index, first);
+                prop_assert_eq!(err, first);
+            }
+            None => {
+                let values = result.expect("no index fails");
+                prop_assert_eq!(values, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Thread-count determinism suite: every parallel entry point must
+//! produce **bit-identical** output for `threads ∈ {1, 2, 4}`.
+//!
+//! This is the contract that makes the worker pool safe to default on:
+//! parallelism trades wall time only, never results. The pool guarantees
+//! it structurally (workers steal indices, outputs land in index-ordered
+//! slots, and all randomness is drawn from per-index RNG streams), and
+//! this suite pins the guarantee at the API surface.
+
+use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, LambdaSelection, PhaseProfile};
+use cellsync_popsim::{
+    CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn population(cells: usize, seed: u64) -> Population {
+    let params = CellCycleParams::caulobacter().expect("valid defaults");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Population::synchronized(cells, &params, InitialCondition::UniformSwarmer, &mut rng)
+        .expect("non-empty")
+        .simulate_until(150.0)
+        .expect("finite horizon")
+}
+
+fn test_kernel(seed: u64) -> PhaseKernel {
+    let pop = population(2_000, seed);
+    let times: Vec<f64> = (0..14).map(|i| i as f64 * 150.0 / 13.0).collect();
+    KernelEstimator::new(64)
+        .expect("bins")
+        .estimate(&pop, &times)
+        .expect("valid protocol")
+}
+
+#[test]
+fn kernel_estimation_bit_identical_across_thread_counts() {
+    let pop = population(2_000, 3);
+    let times: Vec<f64> = (0..12).map(|i| i as f64 * 12.5).collect();
+    let reference = KernelEstimator::new(48)
+        .expect("bins")
+        .with_threads(1)
+        .estimate(&pop, &times)
+        .expect("valid protocol");
+    for threads in THREAD_COUNTS {
+        let estimate = KernelEstimator::new(48)
+            .expect("bins")
+            .with_threads(threads)
+            .estimate(&pop, &times)
+            .expect("valid protocol");
+        // PhaseKernel's PartialEq compares every matrix entry exactly.
+        assert_eq!(estimate, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn fit_many_bit_identical_across_thread_counts() {
+    let kernel = test_kernel(5);
+    let forward = ForwardModel::new(kernel.clone());
+    // A small gene panel through the shared protocol, fit with GCV so the
+    // full λ-selection path (scan + golden refinement) is exercised.
+    let truths: Vec<PhaseProfile> = (0..6)
+        .map(|g| {
+            let peak = 0.2 + 0.1 * g as f64;
+            PhaseProfile::from_fn(200, move |phi| {
+                let d = (phi - peak).abs().min(1.0 - (phi - peak).abs());
+                3.0 * (-(d * d) / 0.03).exp() + 0.5
+            })
+            .expect("valid profile")
+        })
+        .collect();
+    let series: Vec<Vec<f64>> = truths
+        .iter()
+        .map(|t| forward.predict(t).expect("predicts"))
+        .collect();
+    let input: Vec<(&[f64], Option<&[f64]>)> =
+        series.iter().map(|g| (g.as_slice(), None)).collect();
+    let config = DeconvolutionConfig::builder()
+        .basis_size(14)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 9,
+        })
+        .build()
+        .expect("valid config");
+    let engine = Deconvolver::new(kernel, config).expect("valid engine");
+
+    let reference = engine
+        .clone()
+        .with_threads(1)
+        .fit_many(&input)
+        .expect("fits");
+    for threads in THREAD_COUNTS {
+        let results = engine
+            .clone()
+            .with_threads(threads)
+            .fit_many(&input)
+            .expect("fits");
+        assert_eq!(results.len(), reference.len());
+        for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
+            assert_eq!(got.alpha(), want.alpha(), "gene {i}, threads {threads}");
+            assert_eq!(got.lambda(), want.lambda(), "gene {i}, threads {threads}");
+            assert_eq!(
+                got.predicted(),
+                want.predicted(),
+                "gene {i}, threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fit_bootstrap_bit_identical_across_thread_counts() {
+    let kernel = test_kernel(8);
+    let truth = PhaseProfile::from_fn(200, |phi| 2.0 + (2.0 * std::f64::consts::PI * phi).sin())
+        .expect("valid profile");
+    let g = ForwardModel::new(kernel.clone())
+        .predict(&truth)
+        .expect("predicts");
+    let sigmas = vec![0.1; g.len()];
+    let config = DeconvolutionConfig::builder()
+        .basis_size(12)
+        .lambda(1e-4)
+        .build()
+        .expect("valid config");
+    let engine = Deconvolver::new(kernel, config).expect("valid engine");
+
+    let reference = engine
+        .clone()
+        .with_threads(1)
+        .fit_bootstrap(&g, &sigmas, 24, 40, 91)
+        .expect("bootstraps");
+    assert!(reference.std.iter().sum::<f64>() > 0.0, "band has spread");
+    for threads in THREAD_COUNTS {
+        let band = engine
+            .clone()
+            .with_threads(threads)
+            .fit_bootstrap(&g, &sigmas, 24, 40, 91)
+            .expect("bootstraps");
+        // Bit-identical: same replicate RNG streams, same index-ordered
+        // accumulation, regardless of which worker ran which replicate.
+        assert_eq!(band.mean, reference.mean, "threads = {threads}");
+        assert_eq!(band.std, reference.std, "threads = {threads}");
+        assert_eq!(band.point.alpha(), reference.point.alpha());
+        assert_eq!(band.replicates, reference.replicates);
+    }
+}
