@@ -145,3 +145,4 @@ mod tests {
 }
 pub mod experiments;
 pub mod json;
+pub mod scenarios;

@@ -917,6 +917,92 @@ mod tests {
     }
 
     #[test]
+    fn fit_many_empty_batch_is_ok_and_empty() {
+        let k = kernel(14, 12);
+        let config = DeconvolutionConfig::builder()
+            .basis_size(8)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+        // An empty genome panel is a valid (if pointless) batch, not an
+        // error — the scenario runner and callers iterating over filtered
+        // gene sets rely on this.
+        for threads in [1, 4] {
+            let results = d.clone().with_threads(threads).fit_many(&[]).unwrap();
+            assert!(results.is_empty(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fit_bootstrap_zero_and_one_replicates() {
+        let k = kernel(15, 12);
+        let truth = smooth_truth();
+        let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+        let sigmas = vec![0.1; g.len()];
+        let config = DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+        // Zero replicates cannot define a band.
+        assert!(matches!(
+            d.fit_bootstrap(&g, &sigmas, 0, 30, 1),
+            Err(DeconvError::InvalidConfig(_))
+        ));
+        // One replicate is degenerate but well-defined: the band collapses
+        // onto that single replicate profile with zero spread.
+        let band = d.fit_bootstrap(&g, &sigmas, 1, 30, 1).unwrap();
+        assert_eq!(band.replicates, 1);
+        assert_eq!(band.mean.len(), 30);
+        assert!(band.std.iter().all(|&s| s == 0.0), "std {:?}", band.std);
+        let (lo, hi) = band.band(3.0);
+        assert_eq!(lo, band.mean);
+        assert_eq!(hi, band.mean);
+    }
+
+    #[test]
+    fn fit_many_surfaces_mid_batch_poisoned_series_index() {
+        let k = kernel(16, 12);
+        let config = DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+        let good = vec![1.0; 12];
+        let mut poisoned = vec![1.0; 12];
+        poisoned[6] = f64::NAN;
+        // Only the middle series (index 2 of 5) is poisoned; the error
+        // must name exactly that index at any thread count.
+        let batch: Vec<(&[f64], Option<&[f64]>)> = vec![
+            (good.as_slice(), None),
+            (good.as_slice(), None),
+            (poisoned.as_slice(), None),
+            (good.as_slice(), None),
+            (good.as_slice(), None),
+        ];
+        for threads in [1, 2, 4] {
+            let err = d
+                .clone()
+                .with_threads(threads)
+                .fit_many(&batch)
+                .unwrap_err();
+            match err {
+                DeconvError::Series { index, source } => {
+                    assert_eq!(index, 2, "threads {threads}");
+                    assert!(
+                        matches!(*source, DeconvError::InvalidConfig(_)),
+                        "source {source:?}"
+                    );
+                }
+                other => panic!("expected Series error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn thread_count_is_configurable() {
         let k = kernel(13, 12);
         let config = DeconvolutionConfig::builder()

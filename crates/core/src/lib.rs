@@ -44,6 +44,9 @@
 //!   Fig. 2/3/5 reproductions.
 //! * [`paramfit`] — the §5 application: estimating single-cell ODE
 //!   parameters from deconvolved vs raw population data.
+//! * [`scenario`] — the accuracy harness's scenario space: noise ×
+//!   desynchronization × sampling × kernel-mismatch specifications run
+//!   end to end and scored (NRMSE, phase error, band coverage).
 //!
 //! ## Quickstart
 //!
@@ -89,6 +92,7 @@ mod error;
 mod forward;
 pub mod paramfit;
 mod profile;
+pub mod scenario;
 pub mod synthetic;
 
 pub use config::{DeconvolutionConfig, DeconvolutionConfigBuilder, LambdaSelection};

@@ -1,0 +1,143 @@
+//! Population-desynchronization presets for the scenario matrix.
+//!
+//! The paper's premise is that cycle-time variability spreads an initially
+//! synchronized culture around the cycle (see [`crate::synchrony`]). How
+//! *fast* that happens is controlled by the coefficients of variation of
+//! `θₖ = {φ_sst, T}`: larger CVs mean the kernel `Q(φ, t)` flattens sooner
+//! and the inverse problem hardens. The accuracy harness sweeps this axis
+//! through three presets rather than raw CV pairs so every scenario cell
+//! has a stable, comparable name.
+
+use crate::{CellCycleParams, Result};
+
+/// How quickly the simulated batch culture loses synchrony — a preset over
+/// the CVs of the per-cell parameter distributions.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_popsim::DesyncLevel;
+///
+/// # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+/// let tight = DesyncLevel::Tight.params()?;
+/// let broad = DesyncLevel::Broad.params()?;
+/// assert!(tight.cv_cycle() < broad.cv_cycle());
+/// // The paper preset is exactly the Caulobacter defaults.
+/// assert_eq!(
+///     DesyncLevel::Paper.params()?.cv_cycle(),
+///     cellsync_popsim::CellCycleParams::caulobacter()?.cv_cycle(),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum DesyncLevel {
+    /// Half the paper's CVs: a tightly clocked population that stays
+    /// synchronized well past one cycle (an easy inverse problem).
+    Tight,
+    /// The paper's Caulobacter defaults (`CV_sst = 0.13`,
+    /// `CV_T = 0.12`) — the reference cell of the scenario matrix.
+    #[default]
+    Paper,
+    /// Double the paper's CVs: synchrony collapses within roughly one
+    /// cycle, flattening the kernel and hardening the deconvolution.
+    Broad,
+}
+
+impl DesyncLevel {
+    /// All presets, in increasing desynchronization order.
+    pub const ALL: [DesyncLevel; 3] = [DesyncLevel::Tight, DesyncLevel::Paper, DesyncLevel::Broad];
+
+    /// The CV multiplier this preset applies to the paper defaults.
+    pub fn cv_multiplier(self) -> f64 {
+        match self {
+            DesyncLevel::Tight => 0.5,
+            DesyncLevel::Paper => 1.0,
+            DesyncLevel::Broad => 2.0,
+        }
+    }
+
+    /// The population parameters for this preset: the paper's Caulobacter
+    /// means with both CVs scaled by [`DesyncLevel::cv_multiplier`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (all presets produce valid CVs); kept
+    /// fallible for constructor uniformity.
+    pub fn params(self) -> Result<CellCycleParams> {
+        let m = self.cv_multiplier();
+        CellCycleParams::new(
+            CellCycleParams::MU_SST_UPDATED,
+            CellCycleParams::CV_SST * m,
+            CellCycleParams::MEAN_CYCLE_MIN,
+            CellCycleParams::CV_CYCLE * m,
+        )
+    }
+
+    /// Stable lowercase label used in scenario names and `ACCURACY.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesyncLevel::Tight => "tight",
+            DesyncLevel::Paper => "paper",
+            DesyncLevel::Broad => "broad",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synchrony, InitialCondition, Population};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_scale_cvs_around_paper_defaults() {
+        let paper = DesyncLevel::Paper.params().unwrap();
+        let defaults = CellCycleParams::caulobacter().unwrap();
+        assert_eq!(paper.cv_sst(), defaults.cv_sst());
+        assert_eq!(paper.cv_cycle(), defaults.cv_cycle());
+        let tight = DesyncLevel::Tight.params().unwrap();
+        let broad = DesyncLevel::Broad.params().unwrap();
+        assert!((tight.cv_cycle() - 0.06).abs() < 1e-12);
+        assert!((broad.cv_cycle() - 0.24).abs() < 1e-12);
+        // Means are preset-independent: only the spread changes.
+        for p in [tight, paper, broad] {
+            assert_eq!(p.mu_sst(), CellCycleParams::MU_SST_UPDATED);
+            assert_eq!(p.mean_cycle(), CellCycleParams::MEAN_CYCLE_MIN);
+        }
+    }
+
+    #[test]
+    fn broader_presets_lose_synchrony_faster() {
+        // After one full cycle the order parameter must rank
+        // Tight > Paper > Broad.
+        let mut order = Vec::new();
+        for level in DesyncLevel::ALL {
+            let params = level.params().unwrap();
+            let mut rng = StdRng::seed_from_u64(17);
+            let pop = Population::synchronized(
+                2_000,
+                &params,
+                InitialCondition::UniformSwarmer,
+                &mut rng,
+            )
+            .unwrap()
+            .simulate_until(150.0)
+            .unwrap();
+            order.push(synchrony::index_at(&pop, 150.0).unwrap().order_parameter);
+        }
+        assert!(
+            order[0] > order[1] && order[1] > order[2],
+            "order parameters not monotone in desync level: {order:?}"
+        );
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<&str> = DesyncLevel::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels, vec!["tight", "paper", "broad"]);
+        assert_eq!(DesyncLevel::default(), DesyncLevel::Paper);
+    }
+}

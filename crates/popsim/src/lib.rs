@@ -25,6 +25,9 @@
 //!   fractional volume density `Q(φ, t)`.
 //! * [`celltype`] — the SW/STE/STEPD/STLPD morphological classifier behind
 //!   the Fig. 4 reproduction.
+//! * [`DesyncLevel`] / [`SamplingSchedule`] — desynchronization presets
+//!   and measurement-schedule generators: the population and protocol axes
+//!   of the accuracy scenario matrix.
 //!
 //! # Example
 //!
@@ -51,19 +54,23 @@
 
 mod cell;
 pub mod celltype;
+mod desync;
 mod error;
 mod kernel;
 mod params;
 mod population;
+pub mod schedule;
 pub mod synchrony;
 mod volume;
 
 pub use cell::Cell;
 pub use celltype::{CellType, CellTypeThresholds};
+pub use desync::DesyncLevel;
 pub use error::PopsimError;
 pub use kernel::{KernelEstimator, PhaseKernel};
 pub use params::{CellCycleParams, Theta};
 pub use population::{InitialCondition, Population};
+pub use schedule::SamplingSchedule;
 pub use volume::VolumeModel;
 
 /// Convenience alias for results produced by this crate.

@@ -1,0 +1,322 @@
+//! Measurement-schedule generators for the scenario matrix.
+//!
+//! The paper's validations sample the population uniformly in time; real
+//! microarray series are rarely that kind. This module generates the
+//! sampling-protocol axis of the accuracy harness: uniform grids, sparse
+//! grids, jittered grids (clock drift / operator latency), and grids with
+//! missing-timepoint dropout (failed arrays). Every generated schedule is
+//! strictly increasing, finite, spans `[0, horizon]`, and never shrinks
+//! below [`MIN_TIMEPOINTS`] — the minimum [`Deconvolver::fit`] requires —
+//! so any schedule can be fed straight into kernel estimation and
+//! deconvolution.
+//!
+//! [`Deconvolver::fit`]: ../cellsync/struct.Deconvolver.html#method.fit
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{PopsimError, Result};
+
+/// The minimum number of measurement times any schedule produces: the
+/// floor `Deconvolver` needs to pose the regularized fit (fewer than four
+/// measurements leave nothing to regularize against).
+pub const MIN_TIMEPOINTS: usize = 4;
+
+/// A measurement-schedule generator over `[0, horizon]`.
+///
+/// Construction is deterministic in `(horizon, seed)`; the stochastic
+/// variants ([`SamplingSchedule::Jittered`],
+/// [`SamplingSchedule::Dropout`]) draw from their own seeded stream so a
+/// scenario's protocol is reproducible independent of everything else.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_popsim::schedule::{SamplingSchedule, MIN_TIMEPOINTS};
+///
+/// # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+/// let times = SamplingSchedule::Dropout { n: 16, drop_prob: 0.9, min_keep: 4 }
+///     .times(150.0, 7)?;
+/// // Even at 90 % dropout the schedule keeps the deconvolver viable.
+/// assert!(times.len() >= MIN_TIMEPOINTS);
+/// assert!(times.windows(2).all(|w| w[0] < w[1]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SamplingSchedule {
+    /// `n` uniform times over `[0, horizon]` — the paper's protocol.
+    Uniform {
+        /// Number of measurement times.
+        n: usize,
+    },
+    /// A deliberately coarse uniform grid — identical generator to
+    /// [`SamplingSchedule::Uniform`] but named separately so the scenario
+    /// matrix can gate the data-poor regime as its own cell.
+    Sparse {
+        /// Number of measurement times (small by intent).
+        n: usize,
+    },
+    /// A uniform grid whose interior points are perturbed by
+    /// `U(−jitter·Δt/2, +jitter·Δt/2)` — clock drift and sampling
+    /// latency. `jitter < 1` guarantees strict monotonicity; the
+    /// endpoints stay pinned at `0` and `horizon`.
+    Jittered {
+        /// Number of measurement times.
+        n: usize,
+        /// Jitter amplitude as a fraction of the grid spacing, in `[0, 1)`.
+        jitter: f64,
+    },
+    /// A uniform grid with each interior point independently dropped with
+    /// probability `drop_prob` (failed measurements), never dropping below
+    /// `max(min_keep, MIN_TIMEPOINTS)` surviving times. The endpoints are
+    /// never dropped (the kernel span must cover the protocol).
+    Dropout {
+        /// Nominal (pre-dropout) number of measurement times.
+        n: usize,
+        /// Per-interior-point drop probability, in `[0, 1]`.
+        drop_prob: f64,
+        /// Minimum surviving times (clamped up to [`MIN_TIMEPOINTS`]).
+        min_keep: usize,
+    },
+}
+
+impl SamplingSchedule {
+    /// Generates the measurement times for this schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::InvalidParameter`] for a non-positive or
+    /// non-finite horizon, `n < MIN_TIMEPOINTS`, jitter outside `[0, 1)`,
+    /// or a drop probability outside `[0, 1]`.
+    pub fn times(&self, horizon: f64, seed: u64) -> Result<Vec<f64>> {
+        if !(horizon > 0.0) || !horizon.is_finite() {
+            return Err(PopsimError::InvalidParameter {
+                name: "horizon",
+                value: horizon,
+            });
+        }
+        let n = self.nominal_len();
+        if n < MIN_TIMEPOINTS {
+            return Err(PopsimError::InvalidParameter {
+                name: "schedule points",
+                value: n as f64,
+            });
+        }
+        let uniform = |n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| horizon * i as f64 / (n - 1) as f64)
+                .collect()
+        };
+        match *self {
+            SamplingSchedule::Uniform { n } | SamplingSchedule::Sparse { n } => Ok(uniform(n)),
+            SamplingSchedule::Jittered { n, jitter } => {
+                if !(0.0..1.0).contains(&jitter) {
+                    return Err(PopsimError::InvalidParameter {
+                        name: "jitter",
+                        value: jitter,
+                    });
+                }
+                let dt = horizon / (n - 1) as f64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let times: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let base = i as f64 * dt;
+                        if i == 0 || i == n - 1 {
+                            base
+                        } else {
+                            // |offset| < dt/2 strictly, so neighbours can
+                            // never cross or coincide.
+                            let u: f64 = rng.gen_range(0.0..1.0);
+                            base + jitter * dt * (u - 0.5)
+                        }
+                    })
+                    .collect();
+                debug_assert!(times.windows(2).all(|w| w[0] < w[1]));
+                Ok(times)
+            }
+            SamplingSchedule::Dropout {
+                n,
+                drop_prob,
+                min_keep,
+            } => {
+                if !(0.0..=1.0).contains(&drop_prob) {
+                    return Err(PopsimError::InvalidParameter {
+                        name: "drop_prob",
+                        value: drop_prob,
+                    });
+                }
+                let grid = uniform(n);
+                let floor = min_keep.max(MIN_TIMEPOINTS).min(n);
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Endpoints always survive; interior points flip a coin.
+                let mut keep: Vec<bool> = (0..n)
+                    .map(|i| i == 0 || i == n - 1 || rng.gen_range(0.0..1.0) >= drop_prob)
+                    .collect();
+                // Re-admit dropped points (lowest index first — a
+                // deterministic repair) until the floor holds.
+                let mut kept = keep.iter().filter(|&&k| k).count();
+                for flag in keep.iter_mut() {
+                    if kept >= floor {
+                        break;
+                    }
+                    if !*flag {
+                        *flag = true;
+                        kept += 1;
+                    }
+                }
+                Ok(grid
+                    .into_iter()
+                    .zip(keep)
+                    .filter_map(|(t, k)| k.then_some(t))
+                    .collect())
+            }
+        }
+    }
+
+    /// The nominal (pre-dropout) number of points this schedule targets.
+    pub fn nominal_len(&self) -> usize {
+        match *self {
+            SamplingSchedule::Uniform { n }
+            | SamplingSchedule::Sparse { n }
+            | SamplingSchedule::Jittered { n, .. }
+            | SamplingSchedule::Dropout { n, .. } => n,
+        }
+    }
+
+    /// Stable lowercase label used in scenario names and `ACCURACY.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SamplingSchedule::Uniform { .. } => "uniform",
+            SamplingSchedule::Sparse { .. } => "sparse",
+            SamplingSchedule::Jittered { .. } => "jittered",
+            SamplingSchedule::Dropout { .. } => "dropout",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spans_the_horizon() {
+        let t = SamplingSchedule::Uniform { n: 16 }.times(150.0, 0).unwrap();
+        assert_eq!(t.len(), 16);
+        assert_eq!(t[0], 0.0);
+        assert!((t[15] - 150.0).abs() < 1e-12);
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+        // Seed-independent.
+        assert_eq!(
+            t,
+            SamplingSchedule::Uniform { n: 16 }
+                .times(150.0, 99)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn sparse_is_uniform_under_a_different_name() {
+        let sparse = SamplingSchedule::Sparse { n: 6 }.times(120.0, 1).unwrap();
+        let uniform = SamplingSchedule::Uniform { n: 6 }.times(120.0, 1).unwrap();
+        assert_eq!(sparse, uniform);
+        assert_eq!(SamplingSchedule::Sparse { n: 6 }.label(), "sparse");
+    }
+
+    #[test]
+    fn jittered_keeps_endpoints_and_order() {
+        let s = SamplingSchedule::Jittered { n: 12, jitter: 0.9 };
+        let t = s.times(150.0, 42).unwrap();
+        assert_eq!(t.len(), 12);
+        assert_eq!(t[0], 0.0);
+        assert!((t[11] - 150.0).abs() < 1e-12);
+        assert!(t.windows(2).all(|w| w[0] < w[1]), "{t:?}");
+        // Actually jittered: differs from the uniform grid somewhere.
+        let u = SamplingSchedule::Uniform { n: 12 }
+            .times(150.0, 42)
+            .unwrap();
+        assert_ne!(t, u);
+        // Deterministic in the seed.
+        assert_eq!(t, s.times(150.0, 42).unwrap());
+        assert_ne!(t, s.times(150.0, 43).unwrap());
+    }
+
+    #[test]
+    fn dropout_respects_floor_and_keeps_endpoints() {
+        let s = SamplingSchedule::Dropout {
+            n: 16,
+            drop_prob: 1.0,
+            min_keep: 5,
+        };
+        let t = s.times(150.0, 3).unwrap();
+        // Full dropout pressure still leaves the floor.
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0], 0.0);
+        assert!((t[t.len() - 1] - 150.0).abs() < 1e-12);
+        // min_keep below the deconvolver floor is clamped up.
+        let clamped = SamplingSchedule::Dropout {
+            n: 16,
+            drop_prob: 1.0,
+            min_keep: 0,
+        }
+        .times(150.0, 3)
+        .unwrap();
+        assert_eq!(clamped.len(), MIN_TIMEPOINTS);
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_the_full_grid() {
+        let t = SamplingSchedule::Dropout {
+            n: 10,
+            drop_prob: 0.0,
+            min_keep: 4,
+        }
+        .times(90.0, 5)
+        .unwrap();
+        assert_eq!(
+            t,
+            SamplingSchedule::Uniform { n: 10 }.times(90.0, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(SamplingSchedule::Uniform { n: 3 }.times(150.0, 0).is_err());
+        assert!(SamplingSchedule::Uniform { n: 8 }.times(0.0, 0).is_err());
+        assert!(SamplingSchedule::Uniform { n: 8 }
+            .times(f64::NAN, 0)
+            .is_err());
+        assert!(SamplingSchedule::Jittered { n: 8, jitter: 1.0 }
+            .times(150.0, 0)
+            .is_err());
+        assert!(SamplingSchedule::Jittered { n: 8, jitter: -0.1 }
+            .times(150.0, 0)
+            .is_err());
+        assert!(SamplingSchedule::Dropout {
+            n: 8,
+            drop_prob: 1.5,
+            min_keep: 4
+        }
+        .times(150.0, 0)
+        .is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SamplingSchedule::Uniform { n: 8 }.label(), "uniform");
+        assert_eq!(
+            SamplingSchedule::Jittered { n: 8, jitter: 0.5 }.label(),
+            "jittered"
+        );
+        assert_eq!(
+            SamplingSchedule::Dropout {
+                n: 8,
+                drop_prob: 0.2,
+                min_keep: 4
+            }
+            .label(),
+            "dropout"
+        );
+    }
+}

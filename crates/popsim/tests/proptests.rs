@@ -127,4 +127,65 @@ proptest! {
             .sum();
         prop_assert!((total - 1.0).abs() < 1e-12);
     }
+
+    // Schedule-generator contracts the accuracy scenario matrix relies on:
+    // every schedule is finite, strictly increasing, inside [0, horizon],
+    // and never shorter than the deconvolver's minimum-timepoint floor.
+
+    #[test]
+    fn jittered_schedules_stay_strictly_increasing(
+        n in 4usize..40,
+        jitter in 0.0..0.999f64,
+        horizon in 10.0..400.0f64,
+        seed in 0u64..500,
+    ) {
+        use cellsync_popsim::schedule::SamplingSchedule;
+        let t = SamplingSchedule::Jittered { n, jitter }
+            .times(horizon, seed)
+            .expect("valid schedule");
+        prop_assert_eq!(t.len(), n);
+        prop_assert!(t.iter().all(|v| v.is_finite()));
+        prop_assert!(t[0] == 0.0 && (t[n - 1] - horizon).abs() < 1e-9 * horizon);
+        prop_assert!(t.windows(2).all(|w| w[0] < w[1]), "not increasing: {:?}", t);
+        prop_assert!(t.iter().all(|&v| (0.0..=horizon + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn dropout_schedules_respect_minimum_timepoints(
+        n in 4usize..40,
+        drop_prob in 0.0..=1.0f64,
+        min_keep in 0usize..40,
+        horizon in 10.0..400.0f64,
+        seed in 0u64..500,
+    ) {
+        use cellsync_popsim::schedule::{SamplingSchedule, MIN_TIMEPOINTS};
+        let t = SamplingSchedule::Dropout { n, drop_prob, min_keep }
+            .times(horizon, seed)
+            .expect("valid schedule");
+        // Never below the Deconvolver::fit floor, never above the nominal
+        // grid, endpoints always kept, strictly increasing.
+        let floor = min_keep.max(MIN_TIMEPOINTS).min(n);
+        prop_assert!(t.len() >= floor, "len {} below floor {}", t.len(), floor);
+        prop_assert!(t.len() >= MIN_TIMEPOINTS, "len {} below MIN_TIMEPOINTS", t.len());
+        prop_assert!(t.len() <= n);
+        prop_assert!(t[0] == 0.0 && (t[t.len() - 1] - horizon).abs() < 1e-9 * horizon);
+        prop_assert!(t.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(t.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn uniform_and_sparse_schedules_are_deterministic_grids(
+        n in 4usize..40,
+        horizon in 10.0..400.0f64,
+        seed_a in 0u64..500,
+        seed_b in 0u64..500,
+    ) {
+        use cellsync_popsim::schedule::SamplingSchedule;
+        let a = SamplingSchedule::Uniform { n }.times(horizon, seed_a).expect("valid");
+        let b = SamplingSchedule::Uniform { n }.times(horizon, seed_b).expect("valid");
+        prop_assert_eq!(&a, &b, "uniform grids must ignore the seed");
+        let s = SamplingSchedule::Sparse { n }.times(horizon, seed_a).expect("valid");
+        prop_assert_eq!(&a, &s);
+        prop_assert!(a.windows(2).all(|w| (w[1] - w[0] - a[1]).abs() < 1e-9 * horizon));
+    }
 }

@@ -36,6 +36,24 @@ pub enum NoiseModel {
         /// Standard deviation of the log-scale perturbation.
         sigma: f64,
     },
+    /// Heavy-tailed outlier contamination: relative Gaussian noise whose
+    /// per-point σ is inflated by `outlier_scale` with probability
+    /// `outlier_prob` — the two-component Gaussian scale mixture that is
+    /// the standard contamination model for robustness stress tests.
+    ///
+    /// [`NoiseModel::sigmas`] reports the *nominal* σ (`fraction·|x|`,
+    /// floored), not the inflated one: an analyst does not know which
+    /// points were contaminated, so the deconvolution is deliberately fed
+    /// misspecified weights at the outliers. That misspecification is
+    /// exactly what the scenario matrix stresses.
+    Contaminated {
+        /// Fraction of each point's magnitude used as its nominal σ.
+        fraction: f64,
+        /// Per-point probability of drawing from the inflated component.
+        outlier_prob: f64,
+        /// Multiplier applied to σ for contaminated points (≥ 1).
+        outlier_scale: f64,
+    },
 }
 
 impl NoiseModel {
@@ -58,6 +76,26 @@ impl NoiseModel {
             NoiseModel::AdditiveGaussian { sigma } => check("sigma", sigma),
             NoiseModel::RelativeGaussian { fraction } => check("fraction", fraction),
             NoiseModel::Multiplicative { sigma } => check("sigma", sigma),
+            NoiseModel::Contaminated {
+                fraction,
+                outlier_prob,
+                outlier_scale,
+            } => {
+                check("fraction", fraction)?;
+                if !(0.0..=1.0).contains(&outlier_prob) {
+                    return Err(StatsError::InvalidParameter {
+                        name: "outlier_prob",
+                        value: outlier_prob,
+                    });
+                }
+                if outlier_scale < 1.0 || !outlier_scale.is_finite() {
+                    return Err(StatsError::InvalidParameter {
+                        name: "outlier_scale",
+                        value: outlier_scale,
+                    });
+                }
+                Ok(())
+            }
         }
     }
 
@@ -110,6 +148,22 @@ impl NoiseModel {
                         x * (sigma * unit.sample(rng)).exp()
                     }
                 }
+                NoiseModel::Contaminated {
+                    fraction,
+                    outlier_prob,
+                    outlier_scale,
+                } => {
+                    // Draw the mixture indicator before the noise so the
+                    // RNG stream consumes a fixed count per point.
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    let z = unit.sample(rng);
+                    if fraction == 0.0 {
+                        x
+                    } else {
+                        let scale = if u < outlier_prob { outlier_scale } else { 1.0 };
+                        x + scale * fraction * x.abs() * z
+                    }
+                }
             })
             .collect())
     }
@@ -134,6 +188,9 @@ impl NoiseModel {
                 NoiseModel::AdditiveGaussian { sigma } => sigma.max(floor),
                 NoiseModel::RelativeGaussian { fraction } => (fraction * x.abs()).max(floor),
                 NoiseModel::Multiplicative { sigma } => (sigma * x.abs()).max(floor),
+                // Nominal σ only — contamination is invisible to the
+                // analyst (see the variant docs).
+                NoiseModel::Contaminated { fraction, .. } => (fraction * x.abs()).max(floor),
             })
             .collect())
     }
@@ -221,6 +278,83 @@ mod tests {
         assert!(NoiseModel::RelativeGaussian { fraction: f64::NAN }
             .sigmas(&[1.0])
             .is_err());
+    }
+
+    #[test]
+    fn contaminated_tails_are_heavier_than_nominal() {
+        let xs = vec![100.0; 20_000];
+        let mut rng = StdRng::seed_from_u64(7);
+        let noisy = NoiseModel::Contaminated {
+            fraction: 0.10,
+            outlier_prob: 0.05,
+            outlier_scale: 10.0,
+        }
+        .apply(&xs, &mut rng)
+        .unwrap();
+        // Nominal σ is 10; a pure Gaussian would put essentially nothing
+        // beyond 5σ, while 5 % of points draw with σ = 100.
+        let extreme = noisy.iter().filter(|&&x| (x - 100.0).abs() > 50.0).count();
+        let frac = extreme as f64 / noisy.len() as f64;
+        assert!(frac > 0.01 && frac < 0.05, "extreme fraction {frac}");
+        // Sigmas report the NOMINAL per-point σ, not the inflated one.
+        let s = NoiseModel::Contaminated {
+            fraction: 0.10,
+            outlier_prob: 0.05,
+            outlier_scale: 10.0,
+        }
+        .sigmas(&xs)
+        .unwrap();
+        assert!((s[0] - 10.0).abs() < 1e-9, "sigma {}", s[0]);
+    }
+
+    #[test]
+    fn contaminated_zero_prob_matches_relative_statistics() {
+        let xs = vec![50.0; 20_000];
+        let contaminated = NoiseModel::Contaminated {
+            fraction: 0.10,
+            outlier_prob: 0.0,
+            outlier_scale: 10.0,
+        }
+        .apply(&xs, &mut StdRng::seed_from_u64(11))
+        .unwrap();
+        let sd = {
+            let mean = contaminated.iter().sum::<f64>() / contaminated.len() as f64;
+            (contaminated.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / contaminated.len() as f64)
+                .sqrt()
+        };
+        // With the outlier component switched off the spread is the
+        // nominal 10 % of magnitude.
+        assert!((sd - 5.0).abs() < 0.2, "sd {sd}");
+    }
+
+    #[test]
+    fn contaminated_parameter_validation() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for bad in [
+            NoiseModel::Contaminated {
+                fraction: -0.1,
+                outlier_prob: 0.05,
+                outlier_scale: 10.0,
+            },
+            NoiseModel::Contaminated {
+                fraction: 0.1,
+                outlier_prob: 1.5,
+                outlier_scale: 10.0,
+            },
+            NoiseModel::Contaminated {
+                fraction: 0.1,
+                outlier_prob: 0.05,
+                outlier_scale: 0.5,
+            },
+            NoiseModel::Contaminated {
+                fraction: 0.1,
+                outlier_prob: 0.05,
+                outlier_scale: f64::INFINITY,
+            },
+        ] {
+            assert!(bad.apply(&[1.0], &mut rng).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

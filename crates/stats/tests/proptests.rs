@@ -126,4 +126,73 @@ proptest! {
             .expect("valid model");
         prop_assert_eq!(out, vec![0.0, 0.0, 0.0]);
     }
+
+    // Generator contracts the scenario matrix leans on: every noise model
+    // preserves series length and finiteness, and every implied σ respects
+    // the positive floor (weights in paper eq. 5 must stay finite).
+    #[test]
+    fn noise_models_preserve_length_and_finiteness(
+        xs in prop::collection::vec(-50.0..50.0f64, 1..40),
+        seed in 0u64..200,
+        sigma in 0.0..2.0f64,
+        fraction in 0.0..0.5f64,
+        outlier_prob in 0.0..1.0f64,
+        outlier_scale in 1.0..20.0f64,
+    ) {
+        let models = [
+            NoiseModel::None,
+            NoiseModel::AdditiveGaussian { sigma },
+            NoiseModel::RelativeGaussian { fraction },
+            NoiseModel::Multiplicative { sigma },
+            NoiseModel::Contaminated { fraction, outlier_prob, outlier_scale },
+        ];
+        for model in models {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = model.apply(&xs, &mut rng).expect("valid model");
+            prop_assert_eq!(out.len(), xs.len());
+            prop_assert!(out.iter().all(|v| v.is_finite()), "{model:?} produced non-finite noise");
+        }
+    }
+
+    #[test]
+    fn noise_sigmas_respect_positive_floor(
+        xs in prop::collection::vec(-50.0..50.0f64, 1..40),
+        sigma in 0.0..2.0f64,
+        fraction in 0.0..0.5f64,
+        outlier_prob in 0.0..1.0f64,
+        outlier_scale in 1.0..20.0f64,
+    ) {
+        let scale = xs.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        let floor = 1e-9 + 1e-3 * scale;
+        let models = [
+            NoiseModel::AdditiveGaussian { sigma },
+            NoiseModel::RelativeGaussian { fraction },
+            NoiseModel::Multiplicative { sigma },
+            NoiseModel::Contaminated { fraction, outlier_prob, outlier_scale },
+        ];
+        for model in models {
+            let sigmas = model.sigmas(&xs).expect("valid model");
+            prop_assert_eq!(sigmas.len(), xs.len());
+            for s in &sigmas {
+                prop_assert!(s.is_finite() && *s >= floor - 1e-15,
+                    "{model:?} sigma {s} below floor {floor}");
+            }
+        }
+    }
+
+    #[test]
+    fn contaminated_nominal_sigma_matches_relative(
+        xs in prop::collection::vec(-50.0..50.0f64, 1..40),
+        fraction in 0.0..0.5f64,
+        outlier_prob in 0.0..1.0f64,
+        outlier_scale in 1.0..20.0f64,
+    ) {
+        // The analyst-visible weights are identical to the uncontaminated
+        // relative-Gaussian model: contamination only changes the draws.
+        let nominal = NoiseModel::RelativeGaussian { fraction }.sigmas(&xs).expect("valid");
+        let contaminated = NoiseModel::Contaminated { fraction, outlier_prob, outlier_scale }
+            .sigmas(&xs)
+            .expect("valid");
+        prop_assert_eq!(nominal, contaminated);
+    }
 }

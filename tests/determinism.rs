@@ -7,7 +7,9 @@
 //! slots, and all randomness is drawn from per-index RNG streams), and
 //! this suite pins the guarantee at the API surface.
 
+use cellsync::scenario::ScenarioRunConfig;
 use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, LambdaSelection, PhaseProfile};
+use cellsync_bench::scenarios::{quick_matrix, run_matrix};
 use cellsync_popsim::{
     CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
 };
@@ -109,6 +111,47 @@ fn fit_many_bit_identical_across_thread_counts() {
                 "gene {i}, threads {threads}"
             );
         }
+    }
+}
+
+#[test]
+fn scenario_matrix_bit_identical_across_thread_counts_and_order() {
+    // The full quick matrix (the one `accuracy --quick` gates) at a
+    // debug-friendly workload size: every outcome — metrics AND the raw
+    // alpha vectors — must be bit-identical at any pool width and under
+    // any permutation of the cell order. Per-cell RNG streams derive from
+    // the scenario *name* (not its index), which is what makes the
+    // permutation half hold.
+    let config = ScenarioRunConfig {
+        cells: 400,
+        kernel_bins: 32,
+        horizon: 160.0,
+        basis_size: 12,
+        gcv_points: 5,
+        n_boot: 3,
+        boot_grid: 20,
+        profile_grid: 100,
+    };
+    let specs = quick_matrix();
+    // The threads = 1 run doubles as the reference for the wider widths,
+    // covering the full {1, 2, 4} sweep without re-running width 1.
+    let reference = run_matrix(&specs, &config, 1).expect("matrix runs");
+    assert_eq!(reference.len(), specs.len());
+    for threads in [2, 4] {
+        let outcomes = run_matrix(&specs, &config, threads).expect("matrix runs");
+        // ScenarioOutcome's PartialEq compares every float exactly,
+        // including the alpha vectors.
+        assert_eq!(outcomes, reference, "threads = {threads}");
+    }
+    // Order permutation: reversed spec list, re-aligned by position.
+    let reversed: Vec<_> = specs.iter().rev().copied().collect();
+    let rev_outcomes = run_matrix(&reversed, &config, 2).expect("matrix runs");
+    for (i, outcome) in rev_outcomes.iter().enumerate() {
+        assert_eq!(
+            *outcome,
+            reference[specs.len() - 1 - i],
+            "permuted cell {i} diverged"
+        );
     }
 }
 
