@@ -1,8 +1,9 @@
 //! `perf` — the machine-readable performance harness.
 //!
-//! Times the workspace's five hot computational kernels (dense Cholesky
+//! Times the workspace's seven hot computational kernels (dense Cholesky
 //! solve, spline-basis assembly/evaluation, active-set QP, RK4 ODE
-//! integration, Monte-Carlo kernel estimation) plus the end-to-end
+//! integration, Monte-Carlo kernel estimation, the λ-path GCV fit, and
+//! the warm-started shared-Hessian QP pattern) plus the end-to-end
 //! genome-wide batch deconvolution (wall time, per-gene throughput, and
 //! thread-count scaling at 1/2/4 workers), and writes the results as a
 //! schema-stable `BENCH.json` — the repo's perf trajectory format.
@@ -34,7 +35,7 @@ use cellsync_linalg::{Matrix, Vector};
 use cellsync_ode::models::LotkaVolterra;
 use cellsync_ode::period::rescale_lotka_volterra;
 use cellsync_ode::solver::Rk4;
-use cellsync_opt::QuadraticProgram;
+use cellsync_opt::{QpProblem, QpWorkspace, QuadraticProgram};
 use cellsync_popsim::{
     CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
 };
@@ -273,6 +274,86 @@ fn measure_kernels(config: &Config, population: &Population, times: &[f64]) -> V
     kernels
 }
 
+/// Times the λ-selection hot path (GCV grid scan + golden refinement +
+/// constrained solve) and the shared-Hessian repeated-QP pattern that
+/// bootstrap replicates exercise. Split out from [`measure_kernels`]
+/// because both need the estimated phase kernel.
+fn measure_solver_kernels(config: &Config, kernel: &PhaseKernel) -> Vec<Json> {
+    let mut kernels = Vec::new();
+    let reps = config.reps;
+
+    // 6. λ-path: one full GCV-selected deconvolution fit (11-point grid
+    // plus golden-section refinement, positivity constraints on). This is
+    // the per-gene cost of `fit_many` and the per-cell cost of the
+    // accuracy matrix.
+    let deconv_config = DeconvolutionConfig::builder()
+        .basis_size(18)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 11,
+        })
+        .build()
+        .expect("valid config");
+    let engine = Deconvolver::new(kernel.clone(), deconv_config).expect("valid engine");
+    let truth = cellsync::PhaseProfile::from_fn(200, |phi| {
+        2.0 + (2.0 * std::f64::consts::PI * phi).sin() + 0.5 * phi
+    })
+    .expect("valid profile");
+    let clean = engine.forward().predict(&truth).expect("predicts");
+    // Deterministic measurement noise pushes the GCV minimum into the
+    // grid interior so the golden-section refinement (the expensive half
+    // of real λ selection) is part of the timed path.
+    let g: Vec<f64> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v + 0.08 * (i as f64 * 1.7).sin())
+        .collect();
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..4 {
+            std::hint::black_box(engine.fit(&g, None).expect("fits"));
+        }
+    });
+    kernels.push(kernel_entry("lambda_path_gcv_18x11x4", reps, median, min));
+
+    // 7. Warm-started repeated QP: one Hessian, 32 right-hand sides — the
+    // bootstrap-replicate pattern (λ fixed, per-replicate noise only).
+    // The borrow-based problem view plus a persistent workspace reuses
+    // the Hessian factor and warm-starts every solve from the base
+    // problem's solution.
+    let (h, c0) = qp_instance(24, 19);
+    let rhs: Vec<Vector> = (0..32)
+        .map(|r| {
+            Vector::from_fn(24, |i| {
+                c0[i] * (1.0 + 0.01 * ((r * 24 + i) as f64 * 0.7).sin())
+            })
+        })
+        .collect();
+    let ineq = Matrix::identity(24);
+    let zeros = Vector::zeros(24);
+    let base = QuadraticProgram::new(h.clone(), c0)
+        .expect("valid qp")
+        .with_inequalities(ineq.clone(), zeros.clone())
+        .expect("shapes agree")
+        .solve()
+        .expect("solvable");
+    let (median, min) = time_reps(reps, || {
+        let mut workspace = QpWorkspace::new();
+        workspace.set_warm_start(base.x.clone(), base.active_set.clone());
+        for c in &rhs {
+            let problem = QpProblem::new(&h, c)
+                .expect("valid qp")
+                .with_inequalities(&ineq, &zeros)
+                .expect("shapes agree");
+            std::hint::black_box(workspace.solve(&problem).expect("solvable"));
+        }
+    });
+    kernels.push(kernel_entry("qp_warmstart_24x32", reps, median, min));
+
+    kernels
+}
+
 fn measure_batch(config: &Config, kernel: &PhaseKernel) -> Json {
     let batch = synthetic_genome(kernel, config.genes, 0.08, 4242).expect("valid batch");
     let deconv_config = DeconvolutionConfig::builder()
@@ -442,7 +523,12 @@ fn main() {
         sim_start.elapsed().as_secs_f64()
     );
 
-    let kernels = measure_kernels(&config, &population, &times);
+    let mut kernels = measure_kernels(&config, &population, &times);
+    let phase_kernel = KernelEstimator::new(100)
+        .expect("bins")
+        .estimate(&population, &times)
+        .expect("valid protocol");
+    kernels.extend(measure_solver_kernels(&config, &phase_kernel));
     for k in &kernels {
         eprintln!(
             "perf: {} median {:.3} ms",
@@ -453,10 +539,6 @@ fn main() {
         );
     }
 
-    let phase_kernel = KernelEstimator::new(100)
-        .expect("bins")
-        .estimate(&population, &times)
-        .expect("valid protocol");
     let batch = measure_batch(&config, &phase_kernel);
     for entry in batch.get("scaling").and_then(Json::as_array).unwrap_or(&[]) {
         eprintln!(

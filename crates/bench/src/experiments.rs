@@ -773,7 +773,7 @@ pub fn run_ablations(seed: u64) -> ExpResult {
 
     // (c) μ_sst mismatch: constraints built with the legacy 0.25.
     let legacy = CellCycleParams::caulobacter_legacy()?;
-    let d_legacy = Deconvolver::with_params(kernel_smooth.clone(), base_config.clone(), &legacy)?;
+    let d_legacy = Deconvolver::with_params(kernel_smooth, base_config, &legacy)?;
     let r_legacy = d_legacy.fit(experiment.noisy(), Some(experiment.sigmas()))?;
     let err_legacy = truth.nrmse(&r_legacy.profile(400)?)?;
 

@@ -62,11 +62,7 @@ impl LambdaSelection {
                 log10_max,
                 points,
             } => {
-                if log10_min >= log10_max || *points < 2 {
-                    return Err(DeconvError::InvalidConfig(
-                        "gcv grid needs log10_min < log10_max and at least 2 points",
-                    ));
-                }
+                validate_grid(*log10_min, *log10_max, *points, "gcv")?;
             }
             LambdaSelection::KFold {
                 folds,
@@ -78,11 +74,7 @@ impl LambdaSelection {
                 if *folds < 2 {
                     return Err(DeconvError::InvalidConfig("k-fold needs at least 2 folds"));
                 }
-                if log10_min >= log10_max || *points < 2 {
-                    return Err(DeconvError::InvalidConfig(
-                        "k-fold grid needs log10_min < log10_max and at least 2 points",
-                    ));
-                }
+                validate_grid(*log10_min, *log10_max, *points, "k-fold")?;
             }
         }
         Ok(())
@@ -110,6 +102,27 @@ impl LambdaSelection {
                 .collect(),
         }
     }
+}
+
+/// Validates a log₁₀ λ grid: finite bounds, a genuinely two-sided range
+/// (a degenerate `log10_min == log10_max` grid collapses every point onto
+/// one λ), and at least two points. Non-finite bounds would otherwise
+/// propagate NaN λ values into every GCV/CV score and poison the
+/// selector silently.
+fn validate_grid(log10_min: f64, log10_max: f64, points: usize, what: &'static str) -> Result<()> {
+    if !log10_min.is_finite() || !log10_max.is_finite() {
+        return Err(DeconvError::InvalidConfig(match what {
+            "gcv" => "gcv grid bounds must be finite",
+            _ => "k-fold grid bounds must be finite",
+        }));
+    }
+    if log10_min >= log10_max || points < 2 {
+        return Err(DeconvError::InvalidConfig(match what {
+            "gcv" => "gcv grid needs log10_min < log10_max and at least 2 points",
+            _ => "k-fold grid needs log10_min < log10_max and at least 2 points",
+        }));
+    }
+    Ok(())
 }
 
 impl Default for LambdaSelection {
@@ -384,6 +397,77 @@ mod tests {
             })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn degenerate_lambda_grids_rejected() {
+        // Collapsed range (log10_min == log10_max) — every grid point
+        // would be the same λ.
+        for selection in [
+            LambdaSelection::Gcv {
+                log10_min: -3.0,
+                log10_max: -3.0,
+                points: 10,
+            },
+            LambdaSelection::KFold {
+                folds: 3,
+                log10_min: 0.0,
+                log10_max: 0.0,
+                points: 10,
+                seed: 1,
+            },
+        ] {
+            assert!(
+                DeconvolutionConfig::builder()
+                    .lambda_selection(selection)
+                    .build()
+                    .is_err(),
+                "collapsed grid accepted"
+            );
+        }
+        // Single-point grids.
+        assert!(DeconvolutionConfig::builder()
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: -4.0,
+                log10_max: 0.0,
+                points: 1,
+            })
+            .build()
+            .is_err());
+        // Non-finite bounds: NaN passes neither `>=` nor `<` checks, so
+        // it needs (and gets) an explicit finiteness rejection instead of
+        // NaN scores reaching the selector.
+        for (lo, hi) in [
+            (f64::NAN, 0.0),
+            (-4.0, f64::NAN),
+            (f64::NEG_INFINITY, 0.0),
+            (-4.0, f64::INFINITY),
+        ] {
+            assert!(
+                DeconvolutionConfig::builder()
+                    .lambda_selection(LambdaSelection::Gcv {
+                        log10_min: lo,
+                        log10_max: hi,
+                        points: 5,
+                    })
+                    .build()
+                    .is_err(),
+                "non-finite gcv bounds ({lo}, {hi}) accepted"
+            );
+            assert!(
+                DeconvolutionConfig::builder()
+                    .lambda_selection(LambdaSelection::KFold {
+                        folds: 3,
+                        log10_min: lo,
+                        log10_max: hi,
+                        points: 5,
+                        seed: 0,
+                    })
+                    .build()
+                    .is_err(),
+                "non-finite k-fold bounds ({lo}, {hi}) accepted"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The constrained-spline deconvolution solver (paper §2.3).
 
-use cellsync_linalg::{Matrix, Vector};
-use cellsync_opt::QuadraticProgram;
+use cellsync_linalg::{CholeskyDecomposition, Matrix, Vector};
+use cellsync_opt::{QpProblem, QpWorkspace};
 use cellsync_popsim::{CellCycleParams, PhaseKernel};
 use cellsync_runtime::Pool;
 use cellsync_spline::NaturalSplineBasis;
@@ -9,19 +9,29 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::LambdaSelection;
-use crate::{constraints, DeconvError, DeconvolutionConfig, ForwardModel, PhaseProfile, Result};
+use crate::solver::{ReducedOperators, SpectralPath};
+use crate::{
+    constraints, DeconvError, DeconvolutionConfig, FitWorkspace, ForwardModel, PhaseProfile, Result,
+};
 
 /// The deconvolution engine: inverts `G(t) = ∫Q(φ,t)f(φ)dφ` for the
 /// synchronous profile `f` by solving the constrained penalized
 /// least-squares problem of paper eq. 5.
 ///
-/// Construction precomputes everything independent of the measurements
-/// (design matrix, roughness penalty, constraint rows), so a single engine
-/// can cheaply fit many series measured on the same protocol — exactly the
-/// genome-wide use case of the original work. Batch entry points
-/// ([`Deconvolver::fit_many`], [`Deconvolver::fit_bootstrap`]) fan out over
-/// a [`cellsync_runtime::Pool`] sized by [`Deconvolver::with_threads`]
-/// (default: one worker per available core) and are bit-identical at any
+/// Construction precomputes everything independent of the measurements —
+/// design matrix, roughness penalty, constraint rows, the
+/// equality-nullspace-reduced operators, and the generalized
+/// eigendecomposition of the (penalty, Gram) pencil for unit weights — so
+/// a single engine can cheaply fit many series measured on the same
+/// protocol, exactly the genome-wide use case of the original work. The
+/// spectral decomposition turns every λ candidate of the GCV scan into a
+/// diagonal shrinkage (no per-λ factorization; see `docs/SOLVER.md`).
+///
+/// Batch entry points ([`Deconvolver::fit_many`],
+/// [`Deconvolver::fit_bootstrap`]) fan out over a
+/// [`cellsync_runtime::Pool`] sized by [`Deconvolver::with_threads`]
+/// (default: one worker per available core), handing each worker a
+/// thread-local [`FitWorkspace`] — results are bit-identical at any
 /// thread count.
 ///
 /// # Example
@@ -36,10 +46,20 @@ pub struct Deconvolver {
     design: Matrix,
     /// Roughness Gram matrix `Ω`.
     omega: Matrix,
-    /// Stacked equality rows (0–2 rows).
-    equality: Option<Matrix>,
-    /// Positivity collocation matrix.
-    positivity: Option<Matrix>,
+    /// Stacked equality rows (0–2 rows) with their zero right-hand side.
+    equality: Option<(Matrix, Vector)>,
+    /// Positivity collocation matrix with its zero right-hand side.
+    positivity: Option<(Matrix, Vector)>,
+    /// Equality-nullspace-reduced design and penalty.
+    ops: ReducedOperators,
+    /// Factor-once spectral decomposition for unit weights (weighted fits
+    /// build their own, once per fit, reused across the whole λ path).
+    /// Only GCV selection reads it, so only GCV engines build it.
+    spectral_unit: Option<SpectralPath>,
+    /// The λ grid of the configured selection, computed once.
+    lambda_grid: Vec<f64>,
+    /// Unit weights, kept so `sigmas: None` fits never allocate them.
+    unit_weights: Vec<f64>,
     /// Worker pool for the batch entry points.
     pool: Pool,
 }
@@ -54,6 +74,18 @@ pub struct DeconvolutionResult {
     weighted_sse: f64,
     /// `(λ, score)` pairs scanned during λ selection (empty for `Fixed`).
     selection_scores: Vec<(f64, f64)>,
+}
+
+/// Per-worker scratch for bootstrap replicates: the QP workspace carries
+/// the shared warm hint (the point fit), and the buffers hold the
+/// replicate's resampled data and assembled linear term.
+#[derive(Debug)]
+struct BootScratch {
+    qp: QpWorkspace,
+    chol: Option<CholeskyDecomposition>,
+    resampled: Vec<f64>,
+    w2g: Vector,
+    c: Vector,
 }
 
 impl Deconvolver {
@@ -103,17 +135,31 @@ impl Deconvolver {
             None
         } else {
             let rows: Vec<&[f64]> = eq_rows.iter().map(|r| r.as_slice()).collect();
-            Some(Matrix::from_rows(&rows)?)
+            let e = Matrix::from_rows(&rows)?;
+            let rhs = Vector::zeros(e.rows());
+            Some((e, rhs))
         };
 
         let positivity = if config.positivity() {
             let grid: Vec<f64> = (0..config.positivity_grid())
                 .map(|i| i as f64 / (config.positivity_grid() - 1) as f64)
                 .collect();
-            Some(basis.collocation_matrix(&grid)?)
+            let p = basis.collocation_matrix(&grid)?;
+            let rhs = Vector::zeros(p.rows());
+            Some((p, rhs))
         } else {
             None
         };
+
+        let ops = ReducedOperators::new(&design, &omega, equality.as_ref().map(|(e, _)| e))?;
+        let ridge = config.ridge().max(1e-12);
+        let unit_weights = vec![1.0; forward.num_measurements()];
+        let spectral_unit = if matches!(config.lambda(), LambdaSelection::Gcv { .. }) {
+            Some(SpectralPath::new(&ops, &unit_weights, ridge)?)
+        } else {
+            None
+        };
+        let lambda_grid = config.lambda().lambda_grid();
 
         Ok(Deconvolver {
             forward,
@@ -123,6 +169,10 @@ impl Deconvolver {
             omega,
             equality,
             positivity,
+            ops,
+            spectral_unit,
+            lambda_grid,
+            unit_weights,
             pool: Pool::default(),
         })
     }
@@ -157,10 +207,37 @@ impl Deconvolver {
         &self.config
     }
 
+    /// The effective Tikhonov ridge (configured value floored at 10⁻¹²
+    /// for numerical definiteness).
+    fn ridge_eff(&self) -> f64 {
+        self.config.ridge().max(1e-12)
+    }
+
+    /// Turns `h` (holding `BᵀB` on entry) into the QP Hessian
+    /// `H = 2(BᵀB + λΩ + εI)`, symmetrized — the single site for the
+    /// scale/ridge convention, shared by the per-fit solve and the
+    /// bootstrap's once-per-band replicate Hessian.
+    fn assemble_hessian(&self, h: &mut Matrix, lambda: f64) -> Result<()> {
+        let n = self.basis.len();
+        let ridge = self.ridge_eff();
+        for i in 0..n {
+            for j in 0..n {
+                h[(i, j)] = 2.0 * (h[(i, j)] + lambda * self.omega[(i, j)]);
+            }
+            h[(i, i)] += 2.0 * ridge;
+        }
+        h.symmetrize()?;
+        Ok(())
+    }
+
     /// Fits the synchronous profile to population measurements `g`.
     ///
     /// `sigmas` are the per-measurement standard deviations σₘ of paper
     /// eq. 5; pass `None` for unit weights.
+    ///
+    /// Allocates a fresh [`FitWorkspace`]; hot loops fitting many series
+    /// should hold one workspace and call [`Deconvolver::fit_with`] (or
+    /// use [`Deconvolver::fit_many`], which does so per worker).
     ///
     /// # Errors
     ///
@@ -169,6 +246,27 @@ impl Deconvolver {
     ///   non-positive sigmas.
     /// * Propagates QP/linear-algebra failures.
     pub fn fit(&self, g: &[f64], sigmas: Option<&[f64]>) -> Result<DeconvolutionResult> {
+        let mut workspace = FitWorkspace::new();
+        self.fit_with(&mut workspace, g, sigmas)
+    }
+
+    /// Fits one series reusing `workspace` for every buffer,
+    /// factorization, and QP scratch the fit needs.
+    ///
+    /// The result is identical to [`Deconvolver::fit`] regardless of the
+    /// workspace's history: each fit fully re-initializes the state it
+    /// reads, so a workspace is an allocation cache, never a source of
+    /// cross-fit coupling.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Deconvolver::fit`].
+    pub fn fit_with(
+        &self,
+        workspace: &mut FitWorkspace,
+        g: &[f64],
+        sigmas: Option<&[f64]>,
+    ) -> Result<DeconvolutionResult> {
         let m = self.forward.num_measurements();
         if g.len() != m {
             return Err(DeconvError::LengthMismatch {
@@ -180,98 +278,42 @@ impl Deconvolver {
         if g.iter().any(|v| !v.is_finite()) {
             return Err(DeconvError::InvalidConfig("measurements must be finite"));
         }
-        let weights: Vec<f64> = match sigmas {
-            None => vec![1.0; m],
-            Some(s) => {
-                if s.len() != m {
-                    return Err(DeconvError::LengthMismatch {
-                        what: "sigmas",
-                        expected: m,
-                        got: s.len(),
-                    });
-                }
-                if s.iter().any(|v| !(*v > 0.0) || !v.is_finite()) {
-                    return Err(DeconvError::InvalidConfig("sigmas must be positive"));
-                }
-                s.iter().map(|s| 1.0 / s).collect()
+        let unit = sigmas.is_none();
+        if let Some(s) = sigmas {
+            if s.len() != m {
+                return Err(DeconvError::LengthMismatch {
+                    what: "sigmas",
+                    expected: m,
+                    got: s.len(),
+                });
             }
-        };
-
-        // Weighted design and data: B = W·A, y = W·g.
-        let b = Matrix::from_fn(m, self.basis.len(), |r, c| weights[r] * self.design[(r, c)]);
-        let y = Vector::from_fn(m, |i| weights[i] * g[i]);
-
-        let (lambda, scores) = match self.config.lambda().clone() {
-            LambdaSelection::Fixed(l) => (l, Vec::new()),
-            LambdaSelection::Gcv { .. } => {
-                let grid = self.config.lambda().lambda_grid();
-                let mut scores = Vec::with_capacity(grid.len());
-                for &l in &grid {
-                    scores.push((l, self.gcv_score(&b, &y, l)?));
-                }
-                // GCV is known to undersmooth: when the basis is rich
-                // relative to the measurement count the score can dip
-                // spuriously at the λ → 0 boundary while the genuine
-                // minimum sits in the interior. Standard mitigation: take
-                // the LARGEST λ whose score is within 5 % of the minimum
-                // (prefer the most parsimonious fit among near-ties).
-                let s_min = scores.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
-                let threshold = s_min + 0.05 * s_min.abs() + f64::MIN_POSITIVE;
-                let (best_idx, best) = scores
-                    .iter()
-                    .cloned()
-                    .enumerate()
-                    .rfind(|(_, (_, s))| *s <= threshold)
-                    .expect("the minimizer itself passes the threshold");
-                // Golden-section refinement in log₁₀λ between the grid
-                // neighbours of the coarse minimizer (interior minima
-                // only; boundary minima keep the grid value).
-                let refined = if best_idx > 0 && best_idx + 1 < scores.len() {
-                    let lo = scores[best_idx - 1].0.log10();
-                    let hi = scores[best_idx + 1].0.log10();
-                    match cellsync_opt::golden_section(
-                        |log_l| {
-                            self.gcv_score(&b, &y, 10f64.powf(log_l))
-                                .unwrap_or(f64::INFINITY)
-                        },
-                        lo,
-                        hi,
-                        1e-3,
-                        60,
-                    ) {
-                        Ok((log_l, score)) if score <= best.1 => {
-                            let l = 10f64.powf(log_l);
-                            scores.push((l, score));
-                            l
-                        }
-                        _ => best.0,
-                    }
-                } else {
-                    best.0
-                };
-                (refined, scores)
+            if s.iter().any(|v| !(*v > 0.0) || !v.is_finite()) {
+                return Err(DeconvError::InvalidConfig("sigmas must be positive"));
             }
+            workspace.weights.clear();
+            workspace.weights.extend(s.iter().map(|s| 1.0 / s));
+        }
+        workspace.ensure(m, self.basis.len(), self.ops.reduced_dim());
+
+        let (lambda, scores) = match self.config.lambda() {
+            LambdaSelection::Fixed(l) => (*l, Vec::new()),
+            LambdaSelection::Gcv { .. } => self.gcv_lambda(workspace, g, unit)?,
             LambdaSelection::KFold { folds, seed, .. } => {
-                let grid = self.config.lambda().lambda_grid();
-                let mut scores = Vec::with_capacity(grid.len());
-                for &l in &grid {
-                    scores.push((l, self.kfold_score(&b, &y, l, folds, seed)?));
-                }
-                let best = scores
-                    .iter()
-                    .cloned()
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
-                    .expect("non-empty grid");
-                (best.0, scores)
+                self.kfold_lambda(workspace, g, unit, *folds, *seed)?
             }
         };
 
-        let alpha = self.solve_constrained(&b, &y, lambda)?;
+        let alpha = self.solve_constrained_full(workspace, g, unit, lambda)?;
         let predicted = self.design.matvec(&alpha)?.into_vec();
+        let weights: &[f64] = if unit {
+            &self.unit_weights
+        } else {
+            &workspace.weights
+        };
         let weighted_sse: f64 = predicted
             .iter()
             .zip(g)
-            .zip(&weights)
+            .zip(weights)
             .map(|((p, gv), w)| ((p - gv) * w).powi(2))
             .sum();
         Ok(DeconvolutionResult {
@@ -289,11 +331,13 @@ impl Deconvolver {
     /// share one kernel and one design matrix.
     ///
     /// Each entry of `series` is `(measurements, optional sigmas)`. The
-    /// engine's precomputed design/penalty/constraint structures are
-    /// reused; only the per-gene QP differs, and the per-gene fits fan out
-    /// over the engine's worker pool ([`Deconvolver::with_threads`]).
-    /// Results are ordered like `series` and bit-identical at any thread
-    /// count.
+    /// engine's precomputed design/penalty/constraint/spectral structures
+    /// are reused; only the per-gene shrinkage and QP differ. The
+    /// per-gene fits fan out over the engine's worker pool
+    /// ([`Deconvolver::with_threads`]), each worker carrying one
+    /// thread-local [`FitWorkspace`]
+    /// ([`cellsync_runtime::Pool::par_map_with`]). Results are ordered
+    /// like `series` and bit-identical at any thread count.
     ///
     /// # Errors
     ///
@@ -305,9 +349,9 @@ impl Deconvolver {
         series: &[(&[f64], Option<&[f64]>)],
     ) -> Result<Vec<DeconvolutionResult>> {
         self.pool
-            .try_par_map_indexed(series.len(), |i| {
+            .try_par_map_with(series.len(), FitWorkspace::new, |workspace, i| {
                 let (g, s) = series[i];
-                self.fit(g, s)
+                self.fit_with(workspace, g, s)
             })
             .map_err(|(index, source)| DeconvError::Series {
                 index,
@@ -322,7 +366,12 @@ impl Deconvolver {
     ///
     /// λ is selected once on the original data and held fixed across
     /// replicates (standard practice; re-selecting per replicate mixes
-    /// model-selection variance into the band).
+    /// model-selection variance into the band). Because λ and the weights
+    /// are shared, the replicate Hessian is assembled and factored
+    /// **once**; each replicate then solves for its own right-hand side,
+    /// warm-started from the point fit's coefficients and active set —
+    /// the same deterministic hint for every replicate, so the band stays
+    /// independent of scheduling.
     ///
     /// Replicates refit in parallel over the engine's worker pool
     /// ([`Deconvolver::with_threads`]). Replicate `i` draws its noise from
@@ -356,40 +405,115 @@ impl Deconvolver {
         }
         let point = self.fit(g, Some(sigmas))?;
         let lambda = point.lambda();
-        let fixed = {
-            let mut cfg = self.clone();
-            cfg.config = DeconvolutionConfig::builder()
-                .basis_size(self.config.basis_size())
-                .positivity(self.config.positivity())
-                .conservation(self.config.conservation())
-                .rate_continuity(self.config.rate_continuity())
-                .positivity_grid(self.config.positivity_grid())
-                .lambda(lambda)
-                .ridge(self.config.ridge())
-                .build()?;
-            cfg
+        let n = self.basis.len();
+        let m = g.len();
+        let weights: Vec<f64> = sigmas.iter().map(|s| 1.0 / s).collect();
+
+        // The replicate Hessian H = 2(AᵀW²A + λΩ + εI) is shared by every
+        // replicate (same weights, same λ): assemble and symmetrize once.
+        let mut h = Matrix::zeros(n, n);
+        self.design.weighted_gram_into(&weights, &mut h)?;
+        self.assemble_hessian(&mut h, lambda)?;
+
+        // Deterministic warm hint: the point fit's coefficients and the
+        // positivity rows active there. Every worker seeds its workspace
+        // with this same hint, so replicate solves are independent of
+        // which worker runs them.
+        let point_alpha = Vector::from_slice(point.alpha());
+        let hint_active: Vec<usize> = match &self.positivity {
+            Some((p, _)) => {
+                let px = p.matvec(&point_alpha)?;
+                let scale = 1.0 + point_alpha.norm_inf();
+                (0..px.len())
+                    .filter(|&i| px[i].abs() <= QpWorkspace::WARM_ACTIVITY_TOL * scale)
+                    .collect()
+            }
+            None => Vec::new(),
         };
+
         let normal = cellsync_stats::dist::Normal::new(0.0, 1.0)?;
+        let h = &h;
+        let weights = &weights;
+        let point_alpha = &point_alpha;
+        let hint_active = &hint_active;
         // Per-replicate RNG streams (`seed ^ i`) decouple the replicates
         // from each other, which is what lets them refit in parallel while
         // staying bit-identical at any thread count.
-        let profiles: Vec<Vec<f64>> = self
-            .pool
-            .try_par_map_indexed(n_boot, |i| {
-                use cellsync_stats::dist::ContinuousDistribution as _;
-                let mut rng = StdRng::seed_from_u64(seed ^ i as u64);
-                let resampled: Vec<f64> = g
-                    .iter()
-                    .zip(sigmas)
-                    .map(|(v, s)| v + s * normal.sample(&mut rng))
-                    .collect();
-                let replicate = fixed.fit(&resampled, Some(sigmas))?;
-                Ok::<_, DeconvError>(replicate.profile(n_grid)?.values().to_vec())
-            })
-            .map_err(|(index, source)| DeconvError::Series {
-                index,
-                source: Box::new(source),
-            })?;
+        let profiles: Vec<Vec<f64>> =
+            self.pool
+                .try_par_map_with(
+                    n_boot,
+                    || {
+                        let mut qp = QpWorkspace::new();
+                        qp.set_warm_start(point_alpha.clone(), hint_active.clone());
+                        BootScratch {
+                            qp,
+                            chol: None,
+                            resampled: vec![0.0; m],
+                            w2g: Vector::zeros(m),
+                            c: Vector::zeros(n),
+                        }
+                    },
+                    |scratch, i| {
+                        use cellsync_stats::dist::ContinuousDistribution as _;
+                        let mut rng = StdRng::seed_from_u64(seed ^ i as u64);
+                        for ((r, &v), &s) in scratch.resampled.iter_mut().zip(g).zip(sigmas) {
+                            *r = v + s * normal.sample(&mut rng);
+                        }
+                        // c = −2·AᵀW²·g_rep — the only replicate-specific part
+                        // of the QP.
+                        for (w2, (&wi, &gi)) in scratch
+                            .w2g
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(weights.iter().zip(scratch.resampled.iter()))
+                        {
+                            *w2 = wi * wi * gi;
+                        }
+                        self.design.tr_matvec_into(&scratch.w2g, &mut scratch.c)?;
+                        scratch.c.scale_in_place(-2.0);
+
+                        let alpha = if self.equality.is_none() && self.positivity.is_none() {
+                            // Pure smoothing spline: H factored once per
+                            // worker, O(n²) per replicate afterwards.
+                            if scratch.chol.is_none() {
+                                scratch.chol = Some(h.cholesky()?);
+                            }
+                            let mut x = Vector::from_fn(n, |k| -scratch.c[k]);
+                            scratch
+                                .chol
+                                .as_ref()
+                                .expect("just ensured")
+                                .solve_in_place(&mut x)?;
+                            x
+                        } else {
+                            let mut problem = QpProblem::new(h, &scratch.c)?;
+                            if let Some((e, rhs)) = &self.equality {
+                                problem = problem.with_equalities(e, rhs)?;
+                            }
+                            if let Some((p, rhs)) = &self.positivity {
+                                problem = problem.with_inequalities(p, rhs)?;
+                            }
+                            // H is shared across replicates, so the cached
+                            // Hessian factor in the QP workspace stays valid.
+                            scratch.qp.solve(&problem)?.x
+                        };
+
+                        let mut values = Vec::with_capacity(n_grid);
+                        for k in 0..n_grid {
+                            values.push(self.basis.eval_combination(
+                                alpha.as_slice(),
+                                k as f64 / (n_grid - 1) as f64,
+                            )?);
+                        }
+                        Ok::<_, DeconvError>(values)
+                    },
+                )
+                .map_err(|(index, source)| DeconvError::Series {
+                    index,
+                    source: Box::new(source),
+                })?;
+
         let mut sum = vec![0.0; n_grid];
         let mut sum_sq = vec![0.0; n_grid];
         for profile in &profiles {
@@ -413,76 +537,133 @@ impl Deconvolver {
         })
     }
 
-    /// Solves the constrained QP for one λ on weighted data.
-    fn solve_constrained(&self, b: &Matrix, y: &Vector, lambda: f64) -> Result<Vector> {
-        let n = self.basis.len();
-        // H = 2(BᵀB + λΩ + εI); c = −2Bᵀy.
-        let mut h = b.gram();
-        for i in 0..n {
-            for j in 0..n {
-                h[(i, j)] += lambda * self.omega[(i, j)];
+    /// GCV λ selection on the spectral path: grid scan plus
+    /// golden-section refinement, every score a diagonal shrinkage.
+    fn gcv_lambda(
+        &self,
+        workspace: &mut FitWorkspace,
+        g: &[f64],
+        unit: bool,
+    ) -> Result<(f64, Vec<(f64, f64)>)> {
+        if !unit {
+            workspace.spectral = Some(SpectralPath::new(
+                &self.ops,
+                &workspace.weights,
+                self.ridge_eff(),
+            )?);
+        }
+        let FitWorkspace {
+            spectral,
+            weights,
+            w2g,
+            rhs_r,
+            zproj,
+            d,
+            beta,
+            u,
+            ..
+        } = workspace;
+        let weights: &[f64] = if unit { &self.unit_weights } else { weights };
+        let path: &SpectralPath = if unit {
+            self.spectral_unit
+                .as_ref()
+                .expect("GCV engines build the unit-weight decomposition")
+        } else {
+            spectral.as_ref().expect("built above")
+        };
+        path.project_series(&self.ops, weights, g, w2g, rhs_r, zproj)?;
+
+        let mut scores = Vec::with_capacity(self.lambda_grid.len() + 1);
+        for &l in &self.lambda_grid {
+            scores.push((
+                l,
+                path.gcv_score(&self.ops, weights, g, zproj, l, d, beta, u)?,
+            ));
+        }
+        // GCV is known to undersmooth: when the basis is rich
+        // relative to the measurement count the score can dip
+        // spuriously at the λ → 0 boundary while the genuine
+        // minimum sits in the interior. Standard mitigation: take
+        // the LARGEST λ whose score is within 5 % of the minimum
+        // (prefer the most parsimonious fit among near-ties).
+        let s_min = scores.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        let threshold = s_min + 0.05 * s_min.abs() + f64::MIN_POSITIVE;
+        let (best_idx, best) = scores
+            .iter()
+            .cloned()
+            .enumerate()
+            .rfind(|(_, (_, s))| *s <= threshold)
+            .expect("the minimizer itself passes the threshold");
+        // Golden-section refinement in log₁₀λ between the grid
+        // neighbours of the coarse minimizer (interior minima
+        // only; boundary minima keep the grid value).
+        let refined = if best_idx > 0 && best_idx + 1 < scores.len() {
+            let lo = scores[best_idx - 1].0.log10();
+            let hi = scores[best_idx + 1].0.log10();
+            match cellsync_opt::golden_section(
+                |log_l| {
+                    path.gcv_score(&self.ops, weights, g, zproj, 10f64.powf(log_l), d, beta, u)
+                        .unwrap_or(f64::INFINITY)
+                },
+                lo,
+                hi,
+                1e-3,
+                60,
+            ) {
+                Ok((log_l, score)) if score <= best.1 => {
+                    let l = 10f64.powf(log_l);
+                    scores.push((l, score));
+                    l
+                }
+                _ => best.0,
             }
-            h[(i, i)] += self.config.ridge().max(1e-12);
-        }
-        let mut h = h.scaled(2.0);
-        h.symmetrize()?;
-        let c = -&b.tr_matvec(y)?.scaled(2.0);
-
-        if self.equality.is_none() && self.positivity.is_none() {
-            // Pure smoothing spline: direct SPD solve.
-            return Ok(h.cholesky()?.solve(&(-&c))?);
-        }
-
-        let mut qp = QuadraticProgram::new(h, c)?;
-        if let Some(e) = &self.equality {
-            qp = qp.with_equalities(e.clone(), Vector::zeros(e.rows()))?;
-        }
-        if let Some(p) = &self.positivity {
-            qp = qp.with_inequalities(p.clone(), Vector::zeros(p.rows()))?;
-        }
-        Ok(qp.solve()?.x)
+        } else {
+            best.0
+        };
+        Ok((refined, scores))
     }
 
-    /// Generalized cross validation score of the unconstrained smoother:
-    /// `GCV(λ) = (‖y − ŷ‖²/M) / (1 − tr(S)/M)²` with
-    /// `S = B(BᵀB + λΩ + εI)⁻¹Bᵀ`.
-    fn gcv_score(&self, b: &Matrix, y: &Vector, lambda: f64) -> Result<f64> {
-        let m = b.rows() as f64;
-        let n = self.basis.len();
-        let mut k = b.gram();
-        for i in 0..n {
-            for j in 0..n {
-                k[(i, j)] += lambda * self.omega[(i, j)];
-            }
-            k[(i, i)] += self.config.ridge().max(1e-12);
+    /// K-fold cross-validated λ selection: refit (with the full
+    /// constraint set) on each training fold and score the held-out
+    /// weighted squared error. The fold designs differ per fold, so this
+    /// path stays dense — it reuses the workspace's assembly buffers but
+    /// factors per (fold, λ).
+    fn kfold_lambda(
+        &self,
+        workspace: &mut FitWorkspace,
+        g: &[f64],
+        unit: bool,
+        folds: usize,
+        seed: u64,
+    ) -> Result<(f64, Vec<(f64, f64)>)> {
+        let m = self.forward.num_measurements();
+        // Weighted design and data: B = W·A, y = W·g (cloned out of the
+        // workspace so the per-fold solves below can borrow it mutably).
+        let weights: Vec<f64> = if unit {
+            self.unit_weights.clone()
+        } else {
+            workspace.weights.clone()
+        };
+        let b = Matrix::from_fn(m, self.basis.len(), |r, c| weights[r] * self.design[(r, c)]);
+        let y = Vector::from_fn(m, |i| weights[i] * g[i]);
+
+        let mut scores = Vec::with_capacity(self.lambda_grid.len());
+        for &l in &self.lambda_grid {
+            scores.push((l, self.kfold_score(workspace, &b, &y, l, folds, seed)?));
         }
-        k.symmetrize()?;
-        let chol = k.cholesky()?;
-        let bty = b.tr_matvec(y)?;
-        let alpha = chol.solve(&bty)?;
-        let fitted = b.matvec(&alpha)?;
-        let rss = (&fitted - y).norm2().powi(2);
-        // tr(S) = tr(K⁻¹·BᵀB).
-        let btb = b.gram();
-        let x = chol.solve_matrix(&btb)?;
-        let trace = x.trace()?;
-        // GCV is degenerate once the smoother saturates (tr(S) → M makes
-        // both numerator and denominator vanish — guaranteed when the
-        // basis is at least as large as the measurement count and λ → 0).
-        // Reject λ values whose effective degrees of freedom exceed 99 %
-        // of the data; the scan then picks the best non-interpolating fit.
-        let edf_ratio = trace / m;
-        if edf_ratio > 0.99 {
-            return Ok(f64::INFINITY);
-        }
-        let denom = 1.0 - edf_ratio;
-        Ok((rss / m) / (denom * denom))
+        let best = scores
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .expect("non-empty grid");
+        Ok((best.0, scores))
     }
 
-    /// K-fold cross-validation score: mean held-out weighted squared error
-    /// of the *constrained* fit.
+    /// Mean held-out weighted squared error of the constrained fit at one
+    /// λ.
     fn kfold_score(
         &self,
+        workspace: &mut FitWorkspace,
         b: &Matrix,
         y: &Vector,
         lambda: f64,
@@ -499,7 +680,7 @@ impl Deconvolver {
                 b[(fold.train[r], c)]
             });
             let yt = Vector::from_fn(fold.train.len(), |r| y[fold.train[r]]);
-            let alpha = self.solve_constrained(&bt, &yt, lambda)?;
+            let alpha = self.solve_constrained_dense(workspace, &bt, &yt, lambda)?;
             for &v in &fold.validation {
                 let pred = Vector::from_slice(b.row(v)).dot(&alpha)?;
                 total += (pred - y[v]).powi(2);
@@ -507,6 +688,100 @@ impl Deconvolver {
             }
         }
         Ok(total / count as f64)
+    }
+
+    /// Solves the constrained QP at `lambda` for the engine's own design
+    /// and the given data, assembling `BᵀB`/`Bᵀy` straight from the
+    /// unweighted design (the weighted design is never materialized).
+    fn solve_constrained_full(
+        &self,
+        workspace: &mut FitWorkspace,
+        g: &[f64],
+        unit: bool,
+        lambda: f64,
+    ) -> Result<Vector> {
+        let n = self.basis.len();
+        if workspace.h.shape() != (n, n) {
+            workspace.h.reset_zeroed(n, n);
+        }
+        {
+            let FitWorkspace {
+                h, c, w2g, weights, ..
+            } = workspace;
+            let weights: &[f64] = if unit { &self.unit_weights } else { weights };
+            self.design.weighted_gram_into(weights, h)?;
+            for (w2, (&wi, &gi)) in w2g
+                .as_mut_slice()
+                .iter_mut()
+                .zip(weights.iter().zip(g.iter()))
+            {
+                *w2 = wi * wi * gi;
+            }
+            self.design.tr_matvec_into(w2g, c)?;
+        }
+        self.solve_assembled(workspace, lambda)
+    }
+
+    /// Solves the constrained QP at `lambda` for an explicit weighted
+    /// design `b` and data `y` (the k-fold path, where folds subset the
+    /// rows).
+    fn solve_constrained_dense(
+        &self,
+        workspace: &mut FitWorkspace,
+        b: &Matrix,
+        y: &Vector,
+        lambda: f64,
+    ) -> Result<Vector> {
+        let n = self.basis.len();
+        if workspace.h.shape() != (n, n) {
+            workspace.h.reset_zeroed(n, n);
+        }
+        b.gram_into(&mut workspace.h)?;
+        b.tr_matvec_into(y, &mut workspace.c)?;
+        self.solve_assembled(workspace, lambda)
+    }
+
+    /// Core constrained solve: expects `workspace.h = BᵀB` and
+    /// `workspace.c = Bᵀy`, turns them into `H = 2(BᵀB + λΩ + εI)` and
+    /// `c = −2Bᵀy` in place, and dispatches to the direct SPD solve or
+    /// the active-set QP.
+    fn solve_assembled(&self, workspace: &mut FitWorkspace, lambda: f64) -> Result<Vector> {
+        let n = self.basis.len();
+        self.assemble_hessian(&mut workspace.h, lambda)?;
+        for v in workspace.c.as_mut_slice() {
+            *v *= -2.0;
+        }
+
+        if self.equality.is_none() && self.positivity.is_none() {
+            // Pure smoothing spline: direct SPD solve (the workspace's
+            // Cholesky storage is re-factored in place, never reused
+            // stale — H changes with λ and data).
+            match &mut workspace.chol {
+                Some(chol) => chol.refactor(&workspace.h)?,
+                None => workspace.chol = Some(workspace.h.cholesky()?),
+            }
+            let mut x = Vector::from_fn(n, |i| -workspace.c[i]);
+            workspace
+                .chol
+                .as_ref()
+                .expect("just ensured")
+                .solve_in_place(&mut x)?;
+            return Ok(x);
+        }
+
+        let FitWorkspace { h, c, qp, .. } = workspace;
+        // H differs per call in fit context and fits must be independent
+        // of workspace history: drop the cached factor and any warm hint.
+        qp.invalidate_hessian();
+        qp.clear_warm_start();
+        let mut problem = QpProblem::new(&*h, &*c)?;
+        if let Some((e, rhs)) = &self.equality {
+            problem = problem.with_equalities(e, rhs)?;
+        }
+        if let Some((p, rhs)) = &self.positivity {
+            problem = problem.with_inequalities(p, rhs)?;
+        }
+        Ok(qp.solve(&problem)?.x)
     }
 }
 
@@ -758,6 +1033,38 @@ mod tests {
     }
 
     #[test]
+    fn gcv_with_equality_constraints_scans_the_reduced_smoother() {
+        // GCV + equality constraints: the score is computed on the
+        // nullspace-reduced smoother, and the selected fit still honors
+        // the constraints exactly.
+        let k = kernel(5, 16);
+        let truth =
+            PhaseProfile::from_fn(200, |phi| 3.0 + 2.0 * (std::f64::consts::PI * phi).sin())
+                .unwrap();
+        let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+        let config = DeconvolutionConfig::builder()
+            .basis_size(14)
+            .conservation(true)
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: -8.0,
+                log10_max: 1.0,
+                points: 9,
+            })
+            .build()
+            .unwrap();
+        let params = CellCycleParams::caulobacter().unwrap();
+        let result = Deconvolver::new(k, config).unwrap().fit(&g, None).unwrap();
+        assert!(result.selection_scores().len() >= 9);
+        assert!(result.lambda() > 0.0);
+        let cons = constraints::conservation_residual(
+            |phi| result.eval(phi).expect("phi in range"),
+            &params,
+        )
+        .unwrap();
+        assert!(cons.abs() < 1e-6, "conservation residual {cons}");
+    }
+
+    #[test]
     fn weighted_fit_downweights_noisy_points() {
         let k = kernel(6, 14);
         let truth = smooth_truth();
@@ -821,6 +1128,49 @@ mod tests {
     }
 
     #[test]
+    fn fit_with_reused_workspace_is_bit_identical_to_fresh() {
+        // A workspace is an allocation cache, not state: interleaving
+        // unit-weight, weighted, GCV, and fixed-λ fits through ONE
+        // workspace must reproduce fresh-workspace results exactly.
+        let k = kernel(17, 14);
+        let truth = smooth_truth();
+        let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+        let sigmas: Vec<f64> = (0..g.len()).map(|i| 0.05 + 0.01 * i as f64).collect();
+        let gcv = DeconvolutionConfig::builder()
+            .basis_size(12)
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: -8.0,
+                log10_max: 1.0,
+                points: 7,
+            })
+            .build()
+            .unwrap();
+        let fixed = DeconvolutionConfig::builder()
+            .basis_size(12)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let engine_gcv = Deconvolver::new(k.clone(), gcv).unwrap();
+        let engine_fixed = Deconvolver::new(k, fixed).unwrap();
+
+        let mut shared = FitWorkspace::new();
+        let fits: Vec<(&Deconvolver, Option<&[f64]>)> = vec![
+            (&engine_gcv, None),
+            (&engine_gcv, Some(&sigmas)),
+            (&engine_fixed, Some(&sigmas)),
+            (&engine_gcv, None),
+            (&engine_fixed, None),
+        ];
+        for (i, (engine, s)) in fits.iter().enumerate() {
+            let reused = engine.fit_with(&mut shared, &g, *s).unwrap();
+            let fresh = engine.fit(&g, *s).unwrap();
+            assert_eq!(reused.alpha(), fresh.alpha(), "fit {i}");
+            assert_eq!(reused.lambda(), fresh.lambda(), "fit {i}");
+            assert_eq!(reused.predicted(), fresh.predicted(), "fit {i}");
+        }
+    }
+
+    #[test]
     fn bootstrap_band_covers_truth() {
         let k = kernel(10, 14);
         let truth = smooth_truth();
@@ -857,6 +1207,50 @@ mod tests {
         // Validation.
         assert!(d.fit_bootstrap(&noisy, &sigmas, 0, 50, 1).is_err());
         assert!(d.fit_bootstrap(&noisy, &sigmas, 5, 1, 1).is_err());
+    }
+
+    #[test]
+    fn bootstrap_replicates_match_full_refits() {
+        // The warm-started shared-Hessian replicate path must agree with
+        // refitting each replicate from scratch at the fixed λ (to solver
+        // tolerance — the warm path takes a different iterate route).
+        let k = kernel(18, 14);
+        let truth = smooth_truth();
+        let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+        let sigmas = vec![0.08; g.len()];
+        use cellsync_stats::dist::ContinuousDistribution as _;
+        let normal = cellsync_stats::dist::Normal::new(0.0, 1.0).unwrap();
+        let config = DeconvolutionConfig::builder()
+            .basis_size(12)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+        let n_grid = 40;
+        let seed = 77;
+        let band = d.fit_bootstrap(&g, &sigmas, 6, n_grid, seed).unwrap();
+        // Reconstruct each replicate by hand through the public fit API.
+        let mut sum = vec![0.0; n_grid];
+        for i in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ i);
+            let resampled: Vec<f64> = g
+                .iter()
+                .zip(&sigmas)
+                .map(|(v, s)| v + s * normal.sample(&mut rng))
+                .collect();
+            let refit = d.fit(&resampled, Some(&sigmas)).unwrap();
+            let profile = refit.profile(n_grid).unwrap();
+            for (acc, v) in sum.iter_mut().zip(profile.values()) {
+                *acc += v;
+            }
+        }
+        for (mean, acc) in band.mean.iter().zip(&sum) {
+            assert!(
+                (mean - acc / 6.0).abs() < 1e-7,
+                "replicate mean {mean} vs refit {}",
+                acc / 6.0
+            );
+        }
     }
 
     #[test]

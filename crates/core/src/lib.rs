@@ -38,7 +38,15 @@
 //!   builds the spline design matrix `A[m,i] = ∫Q(φ,tₘ)ψᵢ(φ)dφ`.
 //! * [`constraints`] — the equality-constraint functionals of §2.3 / §3.2.
 //! * [`DeconvolutionConfig`] / [`Deconvolver`] — the constrained QP fit
-//!   with GCV or k-fold cross-validated λ.
+//!   with GCV or k-fold cross-validated λ. The engine precomputes the
+//!   equality-nullspace-reduced operators and a generalized
+//!   eigendecomposition of the (penalty, Gram) pencil, so each λ of the
+//!   GCV path costs a diagonal shrinkage instead of a factorization
+//!   (`docs/SOLVER.md` derives the trick).
+//! * [`FitWorkspace`] — reusable per-thread fit scratch: buffers,
+//!   factorization storage, and the QP workspace that
+//!   [`Deconvolver::fit_many`] / [`Deconvolver::fit_bootstrap`] hand to
+//!   each pool worker.
 //! * [`synthetic`] — ground-truth generators (ftsZ-like profile, LV
 //!   oscillator profiles) and the simulated-experiment harness used by the
 //!   Fig. 2/3/5 reproductions.
@@ -93,6 +101,7 @@ mod forward;
 pub mod paramfit;
 mod profile;
 pub mod scenario;
+mod solver;
 pub mod synthetic;
 
 pub use config::{DeconvolutionConfig, DeconvolutionConfigBuilder, LambdaSelection};
@@ -100,6 +109,7 @@ pub use deconvolve::{BootstrapBand, DeconvolutionResult, Deconvolver};
 pub use error::DeconvError;
 pub use forward::ForwardModel;
 pub use profile::{PhaseProfile, ProfileFeatures};
+pub use solver::FitWorkspace;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, DeconvError>;

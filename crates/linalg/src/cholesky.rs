@@ -42,6 +42,24 @@ impl CholeskyDecomposition {
     /// * [`LinalgError::InvalidArgument`] for non-finite or asymmetric input.
     /// * [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive.
     pub fn new(a: &Matrix) -> Result<Self> {
+        let mut decomposition = CholeskyDecomposition {
+            l: Matrix::zeros(0, 0),
+        };
+        decomposition.refactor(a)?;
+        Ok(decomposition)
+    }
+
+    /// Re-factors `a` into this decomposition's existing storage — the
+    /// no-allocation path for workspaces that factor a same-shaped matrix
+    /// many times (λ sweeps, bootstrap replicates).
+    ///
+    /// On error the decomposition's factor is unspecified; refactor again
+    /// (or drop it) before calling [`CholeskyDecomposition::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CholeskyDecomposition::new`].
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
         if a.is_empty() {
             return Err(LinalgError::Empty);
         }
@@ -60,7 +78,8 @@ impl CholeskyDecomposition {
             ));
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        self.l.reset_zeroed(n, n);
+        let l = &mut self.l;
         for j in 0..n {
             let mut diag = a[(j, j)];
             for k in 0..j {
@@ -79,7 +98,7 @@ impl CholeskyDecomposition {
                 l[(i, j)] = sum / ljj;
             }
         }
-        Ok(CholeskyDecomposition { l })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -98,33 +117,44 @@ impl CholeskyDecomposition {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != dim()`.
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let mut x = b.clone();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` in place: `x` holds `b` on entry and the solution
+    /// on exit. No allocation — both triangular sweeps overwrite the one
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != dim()`.
+    pub fn solve_in_place(&self, x: &mut Vector) -> Result<()> {
         let n = self.dim();
-        if b.len() != n {
+        if x.len() != n {
             return Err(LinalgError::ShapeMismatch {
                 left: (n, n),
-                right: (b.len(), 1),
-                op: "cholesky solve",
+                right: (x.len(), 1),
+                op: "cholesky solve_in_place",
             });
         }
-        // Forward solve L·y = b.
-        let mut y = Vector::zeros(n);
+        // Forward solve L·y = b (y overwrites x).
         for i in 0..n {
-            let mut sum = b[i];
+            let mut sum = x[i];
             for j in 0..i {
-                sum -= self.l[(i, j)] * y[j];
+                sum -= self.l[(i, j)] * x[j];
             }
-            y[i] = sum / self.l[(i, i)];
+            x[i] = sum / self.l[(i, i)];
         }
         // Backward solve Lᵀ·x = y.
-        let mut x = Vector::zeros(n);
         for i in (0..n).rev() {
-            let mut sum = y[i];
+            let mut sum = x[i];
             for j in (i + 1)..n {
                 sum -= self.l[(j, i)] * x[j];
             }
             x[i] = sum / self.l[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A·X = B` column by column.
@@ -237,6 +267,36 @@ mod tests {
         let inv = a.cholesky().unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!((&prod - &Matrix::identity(3)).norm_frobenius() < 1e-11);
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_fresh() {
+        let a = spd_example();
+        let b = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let mut ch = a.cholesky().unwrap();
+        ch.refactor(&b).unwrap();
+        assert_eq!(ch.factor(), b.cholesky().unwrap().factor());
+        // Refactoring back to the original shape works too.
+        ch.refactor(&a).unwrap();
+        assert_eq!(ch.factor(), a.cholesky().unwrap().factor());
+        // Errors still reported through the in-place path.
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            ch.refactor(&indef),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = spd_example();
+        let ch = a.cholesky().unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 4.0]);
+        let mut x = b.clone();
+        ch.solve_in_place(&mut x).unwrap();
+        assert_eq!(x, ch.solve(&b).unwrap());
+        let mut wrong = Vector::zeros(2);
+        assert!(ch.solve_in_place(&mut wrong).is_err());
     }
 
     #[test]

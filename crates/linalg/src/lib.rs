@@ -16,6 +16,17 @@
 //!   null spaces (used by the null-space active-set QP in `cellsync-opt`).
 //! * [`SymmetricEigen`] — cyclic Jacobi eigendecomposition of symmetric
 //!   matrices (used for influence traces and diagnostics).
+//! * [`GeneralizedSymmetricEigen`] — simultaneous diagonalization of a
+//!   symmetric-definite pencil `(A, B)`; the factor-once basis behind the
+//!   λ-path GCV sweep in `cellsync`.
+//!
+//! The factorizations expose in-place entry points
+//! ([`CholeskyDecomposition::refactor`] / [`CholeskyDecomposition::solve_in_place`],
+//! [`QrDecomposition::refactor`]) and the [`Matrix`] product kernels have
+//! `_into` variants ([`Matrix::gram_into`], [`Matrix::weighted_gram_into`],
+//! [`Matrix::matvec_into`], [`Matrix::tr_matvec_into`]) that write into
+//! caller-provided buffers, so per-λ / per-replicate hot loops run without
+//! allocating.
 //! * [`Tridiagonal`] — Thomas-algorithm solver (used by the natural-spline
 //!   interpolation in `cellsync-spline`).
 //!
@@ -40,6 +51,7 @@
 mod cholesky;
 mod eigen;
 mod error;
+mod geigen;
 mod lu;
 mod matrix;
 mod qr;
@@ -49,6 +61,7 @@ mod vector;
 pub use cholesky::CholeskyDecomposition;
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
+pub use geigen::GeneralizedSymmetricEigen;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use qr::QrDecomposition;

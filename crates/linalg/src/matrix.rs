@@ -283,6 +283,27 @@ impl Matrix {
     /// Gram product `selfᵀ * self`, always symmetric positive semidefinite.
     pub fn gram(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.cols);
+        self.gram_into(&mut out).expect("freshly sized buffer");
+        out
+    }
+
+    /// Writes the Gram product `selfᵀ * self` into `out` without
+    /// allocating. `out` is fully overwritten; its previous contents are
+    /// irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `out` is not
+    /// `cols × cols`.
+    pub fn gram_into(&self, out: &mut Matrix) -> Result<()> {
+        if out.shape() != (self.cols, self.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.cols, self.cols),
+                right: out.shape(),
+                op: "gram_into",
+            });
+        }
+        out.data.fill(0.0);
         for i in 0..self.rows {
             let row = self.row(i);
             for a in 0..self.cols {
@@ -300,7 +321,125 @@ impl Matrix {
                 out[(a, b)] = out[(b, a)];
             }
         }
-        out
+        Ok(())
+    }
+
+    /// Writes the weighted Gram product `selfᵀ·W²·self` (with
+    /// `W = diag(weights)`) into `out` without allocating — the normal
+    /// matrix `AᵀW²A` of a weighted least-squares fit, assembled directly
+    /// from the unweighted design so the weighted design `W·A` never needs
+    /// to be materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `weights.len() != rows`
+    /// or `out` is not `cols × cols`.
+    pub fn weighted_gram_into(&self, weights: &[f64], out: &mut Matrix) -> Result<()> {
+        if weights.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.rows, 1),
+                right: (weights.len(), 1),
+                op: "weighted_gram_into",
+            });
+        }
+        if out.shape() != (self.cols, self.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.cols, self.cols),
+                right: out.shape(),
+                op: "weighted_gram_into",
+            });
+        }
+        out.data.fill(0.0);
+        for (i, &wi) in weights.iter().enumerate() {
+            let row = self.row(i);
+            let w2 = wi * wi;
+            if w2 == 0.0 {
+                continue;
+            }
+            for a in 0..self.cols {
+                let ra = w2 * row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    out[(a, b)] += ra * row[b];
+                }
+            }
+        }
+        for a in 0..self.cols {
+            for b in 0..a {
+                out[(a, b)] = out[(b, a)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `self * x` into `out` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn matvec_into(&self, x: &Vector, out: &mut Vector) -> Result<()> {
+        if self.cols != x.len() || out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "matvec_into",
+            });
+        }
+        let xs = x.as_slice();
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            *o = self.row(i).iter().zip(xs).map(|(a, b)| a * b).sum::<f64>();
+        }
+        Ok(())
+    }
+
+    /// Writes `selfᵀ * x` into `out` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != rows` or
+    /// `out.len() != cols`.
+    pub fn tr_matvec_into(&self, x: &Vector, out: &mut Vector) -> Result<()> {
+        if self.rows != x.len() || out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "tr_matvec_into",
+            });
+        }
+        out.as_mut_slice().fill(0.0);
+        let os = out.as_mut_slice();
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in os.iter_mut().zip(self.row(i)) {
+                *o += a * xi;
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the existing
+    /// storage when it is large enough (no allocation on the steady-state
+    /// path of a workspace that re-factors same-shaped matrices).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Reshapes `self` to `rows × cols`, zeroing every entry and reusing
+    /// the existing storage when possible.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Returns a scaled copy.
@@ -642,6 +781,55 @@ mod tests {
         let m = Matrix::identity(2);
         let s = format!("{m}");
         assert!(s.contains("1.000000"));
+    }
+
+    #[test]
+    fn gram_into_matches_gram_and_validates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let mut out = Matrix::from_fn(2, 2, |_, _| 7.7); // stale contents
+        a.gram_into(&mut out).unwrap();
+        assert_eq!(out, a.gram());
+        let mut wrong = Matrix::zeros(3, 3);
+        assert!(a.gram_into(&mut wrong).is_err());
+    }
+
+    #[test]
+    fn weighted_gram_matches_explicit_weighting() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let w = [0.5, 2.0, 1.5];
+        let b = Matrix::from_fn(3, 2, |i, j| w[i] * a[(i, j)]);
+        let mut out = Matrix::zeros(2, 2);
+        a.weighted_gram_into(&w, &mut out).unwrap();
+        assert!((&out - &b.gram()).norm_frobenius() < 1e-14);
+        assert!(a.weighted_gram_into(&[1.0], &mut out).is_err());
+        let mut wrong = Matrix::zeros(3, 3);
+        assert!(a.weighted_gram_into(&w, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let x = Vector::from_slice(&[1.0, -1.0, 2.0]);
+        let mut out = Vector::filled(2, 9.0);
+        a.matvec_into(&x, &mut out).unwrap();
+        assert_eq!(out, a.matvec(&x).unwrap());
+        let mut tr_out = Vector::filled(3, 9.0);
+        let y = Vector::from_slice(&[1.0, 2.0]);
+        a.tr_matvec_into(&y, &mut tr_out).unwrap();
+        assert_eq!(tr_out, a.tr_matvec(&y).unwrap());
+        assert!(a.matvec_into(&x, &mut Vector::zeros(3)).is_err());
+        assert!(a.tr_matvec_into(&y, &mut Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn copy_from_and_reset_reuse_storage() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let mut dst = Matrix::zeros(5, 5);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.reset_zeroed(3, 2);
+        assert_eq!(dst.shape(), (3, 2));
+        assert!(dst.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

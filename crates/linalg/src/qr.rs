@@ -40,6 +40,26 @@ impl QrDecomposition {
     /// * [`LinalgError::Empty`] for an empty matrix.
     /// * [`LinalgError::InvalidArgument`] for non-finite entries.
     pub fn new(a: &Matrix) -> Result<Self> {
+        let mut decomposition = QrDecomposition {
+            q: Matrix::zeros(0, 0),
+            r: Matrix::zeros(0, 0),
+        };
+        decomposition.refactor(a)?;
+        Ok(decomposition)
+    }
+
+    /// Re-factors `a` into this decomposition's existing `Q`/`R` storage —
+    /// the no-allocation path for workspaces that factor same-shaped
+    /// matrices repeatedly (active-set iterations, fold loops). A single
+    /// `m`-length Householder scratch vector is the only allocation, and
+    /// only when `m` grows.
+    ///
+    /// On error the factors are unspecified; refactor again before use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QrDecomposition::new`].
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
         if a.is_empty() {
             return Err(LinalgError::Empty);
         }
@@ -50,8 +70,13 @@ impl QrDecomposition {
         }
         let m = a.rows();
         let n = a.cols();
-        let mut r = a.clone();
-        let mut q = Matrix::identity(m);
+        self.r.copy_from(a);
+        self.q.reset_zeroed(m, m);
+        for i in 0..m {
+            self.q[(i, i)] = 1.0;
+        }
+        let r = &mut self.r;
+        let q = &mut self.q;
 
         for k in 0..n.min(m.saturating_sub(1)) {
             // Build the Householder vector for column k.
@@ -103,7 +128,7 @@ impl QrDecomposition {
                 }
             }
         }
-        Ok(QrDecomposition { q, r })
+        Ok(())
     }
 
     /// The full orthogonal factor `Q` (`m × m`).
@@ -282,6 +307,24 @@ mod tests {
         let mut a = Matrix::identity(2);
         a[(0, 0)] = f64::NAN;
         assert!(a.qr().is_err());
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization() {
+        let a = Matrix::from_fn(5, 3, |i, j| {
+            ((i * 3 + j) as f64).sin() + (i == j) as u8 as f64
+        });
+        let b = Matrix::from_fn(4, 4, |i, j| ((i + 2 * j) as f64).cos());
+        let mut qr = a.qr().unwrap();
+        qr.refactor(&b).unwrap();
+        let fresh = b.qr().unwrap();
+        assert_eq!(qr.q(), fresh.q());
+        assert_eq!(qr.r(), fresh.r());
+        // And back to the original shape.
+        qr.refactor(&a).unwrap();
+        let fresh = a.qr().unwrap();
+        assert_eq!(qr.q(), fresh.q());
+        assert_eq!(qr.r(), fresh.r());
     }
 
     #[test]

@@ -408,7 +408,7 @@ mod tests {
         assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
         assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
         assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
-        let mut c = a.clone();
+        let mut c = a;
         c += &b;
         assert_eq!(c.as_slice(), &[4.0, 7.0]);
         c -= &b;

@@ -7,9 +7,13 @@
 //! inequalities on a dense phase grid. No approved external crate solves
 //! QPs, so this crate implements the required machinery:
 //!
-//! * [`QuadraticProgram`] — primal active-set method with null-space KKT
-//!   solves (Nocedal & Wright, §16.5) for convex QPs with general linear
-//!   equality and inequality constraints.
+//! * [`QpProblem`] / [`QpWorkspace`] — primal active-set method with
+//!   null-space KKT solves (Nocedal & Wright, §16.5) for convex QPs with
+//!   general linear equality and inequality constraints, split into a
+//!   borrow-based problem view and a reusable workspace (cached Hessian
+//!   factor, warm starts, scratch buffers) for repeated-solve hot paths.
+//! * [`QuadraticProgram`] — the owned one-shot wrapper over the same
+//!   solver.
 //! * [`Nnls`] — Lawson–Hanson nonnegative least squares (independent
 //!   cross-check of the QP on positivity-only problems).
 //! * [`ProjectedGradient`] — projected gradient descent for box-constrained
@@ -52,7 +56,7 @@ pub use golden::golden_section;
 pub use nelder_mead::{NelderMead, SimplexResult};
 pub use nnls::Nnls;
 pub use projgrad::ProjectedGradient;
-pub use qp::{QpSolution, QuadraticProgram};
+pub use qp::{QpProblem, QpSolution, QpWorkspace, QuadraticProgram};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, OptError>;

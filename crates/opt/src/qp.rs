@@ -1,10 +1,18 @@
 //! Primal active-set method for convex quadratic programs.
+//!
+//! The solver is split into a borrow-based problem description
+//! ([`QpProblem`]) and a reusable mutable scratch ([`QpWorkspace`]), so
+//! repeated solves — a λ sweep, cross-validation folds, bootstrap
+//! replicates — share buffers, cached Hessian factorizations, and
+//! warm-start information instead of reallocating per solve. The original
+//! owned builder ([`QuadraticProgram`]) remains as a thin convenience
+//! wrapper for one-shot solves.
 
-use cellsync_linalg::{Matrix, Vector};
+use cellsync_linalg::{CholeskyDecomposition, Matrix, QrDecomposition, Vector};
 
 use crate::{OptError, Result};
 
-/// A convex quadratic program
+/// A borrowed view of a convex quadratic program
 ///
 /// ```text
 /// minimize   ½·xᵀH x + cᵀx
@@ -17,10 +25,552 @@ use crate::{OptError, Result};
 /// symmetric positive definite — the deconvolution Hessian
 /// `2(AᵀW²A + λΩ + εI)` always is.
 ///
-/// The solver needs a feasible starting point. One is found automatically
-/// when the origin or the minimum-norm equality solution is feasible (both
-/// hold for the deconvolution problem, whose constraints are homogeneous);
-/// otherwise supply one via [`QuadraticProgram::with_start`].
+/// The problem only borrows its matrices: building one is free, so a hot
+/// loop can rebuild the view per solve (e.g. with a new linear term)
+/// while the backing storage and the [`QpWorkspace`] persist.
+///
+/// # Example
+///
+/// ```
+/// use cellsync_linalg::{Matrix, Vector};
+/// use cellsync_opt::{QpProblem, QpWorkspace};
+///
+/// # fn main() -> Result<(), cellsync_opt::OptError> {
+/// // min (x−1)² + (y−2.5)² s.t. x ≥ 0, y ≥ 0, y ≤ 2  →  (1, 2)
+/// let h = Matrix::identity(2).scaled(2.0);
+/// let c = Vector::from_slice(&[-2.0, -5.0]);
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]).expect("rows");
+/// let b = Vector::from_slice(&[0.0, 0.0, -2.0]);
+/// let problem = QpProblem::new(&h, &c)?.with_inequalities(&a, &b)?;
+/// let mut workspace = QpWorkspace::new();
+/// let sol = workspace.solve(&problem)?;
+/// assert!((sol.x[0] - 1.0).abs() < 1e-9);
+/// assert!((sol.x[1] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QpProblem<'a> {
+    h: &'a Matrix,
+    c: &'a Vector,
+    eq: Option<(&'a Matrix, &'a Vector)>,
+    ineq: Option<(&'a Matrix, &'a Vector)>,
+    start: Option<&'a Vector>,
+    max_iterations: usize,
+    tolerance: f64,
+}
+
+/// The result of a successful QP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpSolution {
+    /// The minimizer.
+    pub x: Vector,
+    /// Objective value `½xᵀHx + cᵀx` at the minimizer.
+    pub objective: f64,
+    /// Active-set iterations used.
+    pub iterations: usize,
+    /// Indices of inequality constraints active at the solution.
+    pub active_set: Vec<usize>,
+}
+
+impl<'a> QpProblem<'a> {
+    /// Creates an unconstrained QP view `min ½xᵀHx + cᵀx`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::DimensionMismatch`] when `c.len() != H.rows()`.
+    /// * [`OptError::NotConvex`] when `H` is rectangular or asymmetric.
+    /// * [`OptError::InvalidArgument`] for non-finite entries.
+    pub fn new(h: &'a Matrix, c: &'a Vector) -> Result<Self> {
+        if !h.is_square() {
+            return Err(OptError::NotConvex("hessian must be square".into()));
+        }
+        if !h.is_finite() || !c.is_finite() {
+            return Err(OptError::InvalidArgument("entries must be finite"));
+        }
+        let scale = h.norm_inf().max(1.0);
+        if h.asymmetry()? > 1e-7 * scale {
+            return Err(OptError::NotConvex("hessian must be symmetric".into()));
+        }
+        if c.len() != h.rows() {
+            return Err(OptError::DimensionMismatch {
+                what: "linear term",
+                expected: h.rows(),
+                got: c.len(),
+            });
+        }
+        let n = h.rows();
+        Ok(QpProblem {
+            h,
+            c,
+            eq: None,
+            ineq: None,
+            start: None,
+            max_iterations: 100 * (n + 10),
+            tolerance: 1e-10,
+        })
+    }
+
+    /// Adds equality constraints `E x = e`.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::DimensionMismatch`] for inconsistent shapes.
+    pub fn with_equalities(mut self, e_mat: &'a Matrix, e_rhs: &'a Vector) -> Result<Self> {
+        if e_mat.cols() != self.dim() {
+            return Err(OptError::DimensionMismatch {
+                what: "equality matrix columns",
+                expected: self.dim(),
+                got: e_mat.cols(),
+            });
+        }
+        if e_mat.rows() != e_rhs.len() {
+            return Err(OptError::DimensionMismatch {
+                what: "equality rhs",
+                expected: e_mat.rows(),
+                got: e_rhs.len(),
+            });
+        }
+        self.eq = Some((e_mat, e_rhs));
+        Ok(self)
+    }
+
+    /// Adds inequality constraints `A x ≥ b`.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::DimensionMismatch`] for inconsistent shapes.
+    pub fn with_inequalities(mut self, a_mat: &'a Matrix, b_rhs: &'a Vector) -> Result<Self> {
+        if a_mat.cols() != self.dim() {
+            return Err(OptError::DimensionMismatch {
+                what: "inequality matrix columns",
+                expected: self.dim(),
+                got: a_mat.cols(),
+            });
+        }
+        if a_mat.rows() != b_rhs.len() {
+            return Err(OptError::DimensionMismatch {
+                what: "inequality rhs",
+                expected: a_mat.rows(),
+                got: b_rhs.len(),
+            });
+        }
+        self.ineq = Some((a_mat, b_rhs));
+        Ok(self)
+    }
+
+    /// Supplies a feasible starting point (takes precedence over any
+    /// workspace warm start).
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::DimensionMismatch`] for a wrong-length vector.
+    pub fn with_start(mut self, x0: &'a Vector) -> Result<Self> {
+        if x0.len() != self.dim() {
+            return Err(OptError::DimensionMismatch {
+                what: "starting point",
+                expected: self.dim(),
+                got: x0.len(),
+            });
+        }
+        self.start = Some(x0);
+        Ok(self)
+    }
+
+    /// Replaces the iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.h.rows()
+    }
+
+    fn objective(&self, x: &Vector) -> Result<f64> {
+        Ok(0.5 * x.dot(&self.h.matvec(x)?)? + self.c.dot(x)?)
+    }
+
+    /// Checks feasibility of `x` within tolerance `tol`.
+    fn is_feasible(&self, x: &Vector, tol: f64) -> Result<bool> {
+        if let Some((e_mat, e_rhs)) = &self.eq {
+            let r = &e_mat.matvec(x)? - e_rhs;
+            if r.norm_inf() > tol {
+                return Ok(false);
+            }
+        }
+        if let Some((a_mat, b_rhs)) = &self.ineq {
+            let ax = a_mat.matvec(x)?;
+            for i in 0..b_rhs.len() {
+                if ax[i] < b_rhs[i] - tol {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Finds a default feasible starting point (user-supplied, origin, or
+    /// minimum-norm equality solution).
+    fn feasible_start(&self, tol: f64) -> Result<Vector> {
+        if let Some(x0) = self.start {
+            if self.is_feasible(x0, tol)? {
+                return Ok(x0.clone());
+            }
+            return Err(OptError::Infeasible(
+                "supplied starting point violates constraints".into(),
+            ));
+        }
+        let origin = Vector::zeros(self.dim());
+        if self.is_feasible(&origin, tol)? {
+            return Ok(origin);
+        }
+        if let Some((e_mat, e_rhs)) = &self.eq {
+            // Minimum-norm solution of Ex = e: x = Eᵀ(EEᵀ)⁻¹e.
+            let eet = e_mat.matmul(&e_mat.transpose())?;
+            let w = eet.lu()?.solve(e_rhs)?;
+            let x = e_mat.tr_matvec(&w)?;
+            if self.is_feasible(&x, tol.max(1e-8))? {
+                return Ok(x);
+            }
+        }
+        Err(OptError::Infeasible(
+            "no feasible starting point found (supply one with with_start)".into(),
+        ))
+    }
+}
+
+/// Reusable scratch for [`QpProblem`] solves.
+///
+/// A workspace provides three things across repeated solves:
+///
+/// 1. **Buffer reuse** — the working-set matrix, its QR factorization,
+///    and the gradient/step vectors live in the workspace, so steady-state
+///    solves of same-sized problems avoid most per-iteration allocation.
+/// 2. **Hessian-factor caching** — the Cholesky factor of `H` used for
+///    unconstrained Newton steps is kept between solves. The caller owns
+///    invalidation: call [`QpWorkspace::invalidate_hessian`] whenever the
+///    backing `H` changes (a dimension change invalidates automatically).
+///    Bootstrap replicates — one `H`, many right-hand sides — factor once
+///    and reuse everywhere.
+/// 3. **Warm starts** — [`QpWorkspace::set_warm_start`] records a hint
+///    `(x₀, active set)` (typically a previous solution of a nearby
+///    problem). The next solves start from the hint when it is feasible
+///    and seed the working set from its still-active, linearly
+///    independent rows; an infeasible or stale hint is ignored, never an
+///    error. The hint persists until replaced or cleared, so a family of
+///    perturbed problems (bootstrap replicates around a point fit) all
+///    warm-start from the same deterministic hint — results stay
+///    independent of solve order.
+#[derive(Debug, Clone, Default)]
+pub struct QpWorkspace {
+    hessian_factor: Option<CholeskyDecomposition>,
+    warm: Option<(Vector, Vec<usize>)>,
+    working: Vec<usize>,
+    /// Working-constraint matrix, rebuilt per iteration into reused storage.
+    aw: Matrix,
+    /// Transposed working matrix handed to QR.
+    awt: Matrix,
+    qr: Option<QrDecomposition>,
+    grad: Vector,
+    step: Vector,
+}
+
+impl QpWorkspace {
+    /// Activity tolerance of the warm-start protocol: a hinted inequality
+    /// row is seeded into the working set only when `|aᵀx₀ − b|` is below
+    /// this times the problem scale. Callers that *collect* hint rows
+    /// (e.g. from a previous solution) should use the same constant, or a
+    /// looser one only deliberately — rows failing this test at solve
+    /// time are silently dropped.
+    pub const WARM_ACTIVITY_TOL: f64 = 1e-8;
+
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        QpWorkspace::default()
+    }
+
+    /// Drops the cached Hessian factorization. Call whenever the `H`
+    /// backing subsequent [`QpProblem`]s changes; forgetting to do so
+    /// silently reuses the stale factor.
+    pub fn invalidate_hessian(&mut self) {
+        self.hessian_factor = None;
+    }
+
+    /// Records a warm-start hint: a candidate starting point and the
+    /// inequality active set to seed the working set from. The hint is
+    /// validated at solve time (feasibility, activity, rank) and ignored
+    /// when it does not apply.
+    pub fn set_warm_start(&mut self, x0: Vector, active: Vec<usize>) {
+        self.warm = Some((x0, active));
+    }
+
+    /// Clears the warm-start hint.
+    pub fn clear_warm_start(&mut self) {
+        self.warm = None;
+    }
+
+    /// Solves `problem`, reusing this workspace's buffers, cached Hessian
+    /// factor, and warm-start hint.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::Infeasible`] when no feasible start exists.
+    /// * [`OptError::NotConvex`] when the reduced Hessian is not positive
+    ///   definite.
+    /// * [`OptError::IterationLimit`] if the active-set loop fails to
+    ///   terminate (degenerate cycling; not observed on the deconvolution
+    ///   problems).
+    pub fn solve(&mut self, problem: &QpProblem<'_>) -> Result<QpSolution> {
+        let n = problem.dim();
+        let tol = problem.tolerance;
+        if self.hessian_factor.as_ref().is_some_and(|f| f.dim() != n) {
+            self.hessian_factor = None;
+        }
+
+        let n_eq = problem.eq.as_ref().map_or(0, |(m, _)| m.rows());
+        let n_ineq = problem.ineq.as_ref().map_or(0, |(m, _)| m.rows());
+
+        // Working set: indices into the inequality rows treated as
+        // equalities. Cold solves start EMPTY (equalities only):
+        // constraints are then added exclusively as blocking constraints,
+        // which keeps the working matrix full rank — a blocking row
+        // satisfies aᵀp ≠ 0 for the current null-space direction p, so it
+        // cannot be a linear combination of rows already in the set. Warm
+        // solves seed the set from the hint after an explicit rank check,
+        // which preserves the same invariant.
+        self.working.clear();
+        let mut x = match self.warm_start_point(problem, tol)? {
+            Some(x0) => x0,
+            None => problem.feasible_start(tol)?,
+        };
+
+        if self.grad.len() != n {
+            self.grad = Vector::zeros(n);
+            self.step = Vector::zeros(n);
+        }
+
+        for iteration in 0..problem.max_iterations {
+            // Assemble the working-constraint matrix into reused storage.
+            let m_w = self.assemble_working(problem)?;
+
+            // Null-space step: p = Z·pz with (ZᵀHZ)pz = −Zᵀg.
+            problem.h.matvec_into(&x, &mut self.grad)?;
+            for (g, &ci) in self.grad.as_mut_slice().iter_mut().zip(problem.c.iter()) {
+                *g += ci;
+            }
+            if m_w == 0 {
+                // Unconstrained Newton step from the cached factor.
+                if self.hessian_factor.is_none() {
+                    self.hessian_factor = Some(problem.h.cholesky().map_err(|_| {
+                        OptError::NotConvex("hessian is not positive definite".into())
+                    })?);
+                }
+                let factor = self.hessian_factor.as_ref().expect("just ensured");
+                for (s, &g) in self.step.as_mut_slice().iter_mut().zip(self.grad.iter()) {
+                    *s = -g;
+                }
+                factor.solve_in_place(&mut self.step)?;
+            } else {
+                self.refactor_working_transpose()?;
+                let qr = self.qr.as_ref().expect("factored above");
+                match qr.null_space_basis(1e-12) {
+                    None => self.step.as_mut_slice().fill(0.0), // fully constrained
+                    Some(z) => {
+                        let hz = problem.h.matmul(&z)?;
+                        let mut zhz = z.transpose().matmul(&hz)?;
+                        zhz.symmetrize()?;
+                        let rhs = -&z.tr_matvec(&self.grad)?;
+                        let pz = zhz
+                            .cholesky()
+                            .map_err(|_| {
+                                OptError::NotConvex(
+                                    "reduced hessian is not positive definite".into(),
+                                )
+                            })?
+                            .solve(&rhs)?;
+                        z.matvec_into(&pz, &mut self.step)?;
+                    }
+                }
+            }
+
+            let p_scale = 1.0 + x.norm2();
+            if self.step.norm2() <= tol * p_scale {
+                // Stationary on the working set: check multipliers.
+                if self.working.is_empty() {
+                    return self.finish(problem, x, iteration);
+                }
+                // A non-empty working set means the non-empty branch above
+                // just QR-factored the current working matrix.
+                // Least-squares multipliers: A_Wᵀ λ ≈ grad.
+                let lambda = self
+                    .qr
+                    .as_ref()
+                    .expect("working set non-empty")
+                    .solve_least_squares(&self.grad)?;
+                // Inequality multipliers are the last working.len() entries.
+                let mut most_negative: Option<(usize, f64)> = None;
+                for (k, &ci) in self.working.iter().enumerate() {
+                    let l = lambda[n_eq + k];
+                    if l < -1e-8 {
+                        match most_negative {
+                            Some((_, best)) if l >= best => {}
+                            _ => most_negative = Some((ci, l)),
+                        }
+                    }
+                }
+                match most_negative {
+                    None => return self.finish(problem, x, iteration),
+                    Some((drop_idx, _)) => {
+                        self.working.retain(|&i| i != drop_idx);
+                    }
+                }
+            } else {
+                // Line search to the nearest blocking constraint.
+                let mut alpha = 1.0;
+                let mut blocking: Option<usize> = None;
+                if let Some((a_mat, b_rhs)) = &problem.ineq {
+                    let ap = a_mat.matvec(&self.step)?;
+                    let ax = a_mat.matvec(&x)?;
+                    for i in 0..n_ineq {
+                        if self.working.contains(&i) {
+                            continue;
+                        }
+                        if ap[i] < -tol {
+                            let step = (b_rhs[i] - ax[i]) / ap[i];
+                            if step < alpha {
+                                alpha = step.max(0.0);
+                                blocking = Some(i);
+                            }
+                        }
+                    }
+                }
+                x = x.axpy(alpha, &self.step)?;
+                if let Some(bi) = blocking {
+                    if n_eq + self.working.len() < n {
+                        self.working.push(bi);
+                    }
+                }
+            }
+        }
+        Err(OptError::IterationLimit {
+            iterations: problem.max_iterations,
+            residual: f64::NAN,
+        })
+    }
+
+    /// Assembles the working-constraint matrix (equality rows, then the
+    /// working inequality rows, in that fixed order) into the reused
+    /// `aw` storage and returns its row count. The single assembly site
+    /// for both the solve loop and the warm-start rank check — they must
+    /// agree on the row layout.
+    fn assemble_working(&mut self, problem: &QpProblem<'_>) -> Result<usize> {
+        let n_eq = problem.eq.as_ref().map_or(0, |(m, _)| m.rows());
+        let m_w = n_eq + self.working.len();
+        if m_w == 0 {
+            return Ok(0);
+        }
+        self.aw.reset_zeroed(m_w, problem.dim());
+        let mut row = 0;
+        if let Some((e_mat, _)) = &problem.eq {
+            for r in 0..e_mat.rows() {
+                self.aw.set_row(row, e_mat.row(r))?;
+                row += 1;
+            }
+        }
+        if let Some((a_mat, _)) = &problem.ineq {
+            for &i in &self.working {
+                self.aw.set_row(row, a_mat.row(i))?;
+                row += 1;
+            }
+        }
+        Ok(m_w)
+    }
+
+    /// QR-factors the transpose of the current working matrix into the
+    /// workspace's reused decomposition.
+    fn refactor_working_transpose(&mut self) -> Result<()> {
+        // `transpose()` allocates a fresh matrix per call; route it
+        // through the reused buffer instead.
+        let (rows, cols) = (self.aw.cols(), self.aw.rows());
+        self.awt.reset_zeroed(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                self.awt[(i, j)] = self.aw[(j, i)];
+            }
+        }
+        match &mut self.qr {
+            Some(qr) => qr.refactor(&self.awt)?,
+            None => self.qr = Some(self.awt.qr()?),
+        }
+        Ok(())
+    }
+
+    /// Validates the warm-start hint against `problem`; returns the
+    /// starting point and seeds `self.working` when the hint applies.
+    fn warm_start_point(&mut self, problem: &QpProblem<'_>, tol: f64) -> Result<Option<Vector>> {
+        // An explicit user start always wins.
+        if problem.start.is_some() {
+            return Ok(None);
+        }
+        let Some((x0, active)) = &self.warm else {
+            return Ok(None);
+        };
+        if x0.len() != problem.dim()
+            || !problem.is_feasible(x0, tol.max(Self::WARM_ACTIVITY_TOL))?
+        {
+            return Ok(None);
+        }
+        let x0 = x0.clone();
+        let n_eq = problem.eq.as_ref().map_or(0, |(m, _)| m.rows());
+        let mut seeded: Vec<usize> = Vec::new();
+        if let Some((a_mat, b_rhs)) = &problem.ineq {
+            let scale = 1.0 + x0.norm_inf();
+            let ax = a_mat.matvec(&x0)?;
+            for &i in active {
+                if i < a_mat.rows()
+                    && (ax[i] - b_rhs[i]).abs() <= Self::WARM_ACTIVITY_TOL * scale
+                    && n_eq + seeded.len() < problem.dim()
+                    && !seeded.contains(&i)
+                {
+                    seeded.push(i);
+                }
+            }
+        }
+        if !seeded.is_empty() {
+            // Rank check: the seeded working matrix (equalities + hinted
+            // rows) must have independent rows, otherwise the null-space
+            // KKT solve breaks. A deficient seed falls back to the safe
+            // empty set rather than erroring.
+            self.working = seeded;
+            let m_w = self.assemble_working(problem)?;
+            self.refactor_working_transpose()?;
+            let full_rank = self.qr.as_ref().is_some_and(|qr| qr.rank(1e-12) == m_w);
+            if !full_rank {
+                self.working.clear();
+            }
+        }
+        Ok(Some(x0))
+    }
+
+    fn finish(&self, problem: &QpProblem<'_>, x: Vector, iterations: usize) -> Result<QpSolution> {
+        Ok(QpSolution {
+            objective: problem.objective(&x)?,
+            x,
+            iterations,
+            active_set: self.working.clone(),
+        })
+    }
+}
+
+/// An owned convex quadratic program — the one-shot convenience wrapper
+/// over [`QpProblem`] / [`QpWorkspace`].
+///
+/// Prefer the borrow-based pair for repeated solves; this type clones
+/// nothing and allocates one workspace per [`QuadraticProgram::solve`]
+/// call, which is fine for isolated problems.
 ///
 /// # Example
 ///
@@ -49,21 +599,7 @@ pub struct QuadraticProgram {
     eq: Option<(Matrix, Vector)>,
     ineq: Option<(Matrix, Vector)>,
     start: Option<Vector>,
-    max_iterations: usize,
-    tolerance: f64,
-}
-
-/// The result of a successful QP solve.
-#[derive(Debug, Clone, PartialEq)]
-pub struct QpSolution {
-    /// The minimizer.
-    pub x: Vector,
-    /// Objective value `½xᵀHx + cᵀx` at the minimizer.
-    pub objective: f64,
-    /// Active-set iterations used.
-    pub iterations: usize,
-    /// Indices of inequality constraints active at the solution.
-    pub active_set: Vec<usize>,
+    max_iterations: Option<usize>,
 }
 
 impl QuadraticProgram {
@@ -71,36 +607,18 @@ impl QuadraticProgram {
     ///
     /// # Errors
     ///
-    /// * [`OptError::DimensionMismatch`] when `c.len() != H.rows()`.
-    /// * [`OptError::NotConvex`] when `H` is rectangular or asymmetric.
-    /// * [`OptError::InvalidArgument`] for non-finite entries.
+    /// Same as [`QpProblem::new`].
     pub fn new(h: Matrix, c: Vector) -> Result<Self> {
-        if !h.is_square() {
-            return Err(OptError::NotConvex("hessian must be square".into()));
-        }
-        if !h.is_finite() || !c.is_finite() {
-            return Err(OptError::InvalidArgument("entries must be finite"));
-        }
-        let scale = h.norm_inf().max(1.0);
-        if h.asymmetry()? > 1e-7 * scale {
-            return Err(OptError::NotConvex("hessian must be symmetric".into()));
-        }
-        if c.len() != h.rows() {
-            return Err(OptError::DimensionMismatch {
-                what: "linear term",
-                expected: h.rows(),
-                got: c.len(),
-            });
-        }
-        let n = h.rows();
+        // Validate eagerly so construction errors surface here, exactly
+        // like the borrow-based API.
+        QpProblem::new(&h, &c)?;
         Ok(QuadraticProgram {
             h,
             c,
             eq: None,
             ineq: None,
             start: None,
-            max_iterations: 100 * (n + 10),
-            tolerance: 1e-10,
+            max_iterations: None,
         })
     }
 
@@ -110,6 +628,9 @@ impl QuadraticProgram {
     ///
     /// [`OptError::DimensionMismatch`] for inconsistent shapes.
     pub fn with_equalities(mut self, e_mat: Matrix, e_rhs: Vector) -> Result<Self> {
+        // H/c were validated in `new`; only the constraint shapes need
+        // checking here (re-running the full O(n²) Hessian scans per
+        // builder call would be pure duplication).
         if e_mat.cols() != self.dim() {
             return Err(OptError::DimensionMismatch {
                 what: "equality matrix columns",
@@ -172,7 +693,7 @@ impl QuadraticProgram {
     /// Replaces the iteration budget.
     #[must_use]
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
-        self.max_iterations = max_iterations;
+        self.max_iterations = Some(max_iterations);
         self
     }
 
@@ -181,214 +702,36 @@ impl QuadraticProgram {
         self.h.rows()
     }
 
-    fn objective(&self, x: &Vector) -> Result<f64> {
-        Ok(0.5 * x.dot(&self.h.matvec(x)?)? + self.c.dot(x)?)
-    }
-
-    fn gradient(&self, x: &Vector) -> Result<Vector> {
-        Ok(&self.h.matvec(x)? + &self.c)
-    }
-
-    /// Checks feasibility of `x` within tolerance `tol`.
-    fn is_feasible(&self, x: &Vector, tol: f64) -> Result<bool> {
-        if let Some((e_mat, e_rhs)) = &self.eq {
-            let r = &e_mat.matvec(x)? - e_rhs;
-            if r.norm_inf() > tol {
-                return Ok(false);
-            }
-        }
-        if let Some((a_mat, b_rhs)) = &self.ineq {
-            let ax = a_mat.matvec(x)?;
-            for i in 0..b_rhs.len() {
-                if ax[i] < b_rhs[i] - tol {
-                    return Ok(false);
-                }
-            }
-        }
-        Ok(true)
-    }
-
-    /// Finds a feasible starting point (user-supplied, origin, or
-    /// minimum-norm equality solution).
-    fn feasible_start(&self, tol: f64) -> Result<Vector> {
-        if let Some(x0) = &self.start {
-            if self.is_feasible(x0, tol)? {
-                return Ok(x0.clone());
-            }
-            return Err(OptError::Infeasible(
-                "supplied starting point violates constraints".into(),
-            ));
-        }
-        let origin = Vector::zeros(self.dim());
-        if self.is_feasible(&origin, tol)? {
-            return Ok(origin);
-        }
-        if let Some((e_mat, e_rhs)) = &self.eq {
-            // Minimum-norm solution of Ex = e: x = Eᵀ(EEᵀ)⁻¹e.
-            let eet = e_mat.matmul(&e_mat.transpose())?;
-            let w = eet.lu()?.solve(e_rhs)?;
-            let x = e_mat.tr_matvec(&w)?;
-            if self.is_feasible(&x, tol.max(1e-8))? {
-                return Ok(x);
-            }
-        }
-        Err(OptError::Infeasible(
-            "no feasible starting point found (supply one with with_start)".into(),
-        ))
-    }
-
-    /// Solves the program.
+    /// Borrows this program as a [`QpProblem`] view.
     ///
     /// # Errors
     ///
-    /// * [`OptError::Infeasible`] when no feasible start exists.
-    /// * [`OptError::NotConvex`] when the reduced Hessian is not positive
-    ///   definite.
-    /// * [`OptError::IterationLimit`] if the active-set loop fails to
-    ///   terminate (degenerate cycling; not observed on the deconvolution
-    ///   problems).
-    pub fn solve(&self) -> Result<QpSolution> {
-        let n = self.dim();
-        let tol = self.tolerance;
-        let mut x = self.feasible_start(tol)?;
-
-        let n_eq = self.eq.as_ref().map_or(0, |(m, _)| m.rows());
-        let n_ineq = self.ineq.as_ref().map_or(0, |(m, _)| m.rows());
-
-        // Working set: indices into the inequality rows that are treated as
-        // equalities. Start EMPTY (equalities only): constraints are added
-        // exclusively as blocking constraints, which guarantees the working
-        // matrix stays full rank — a blocking row satisfies aᵀp ≠ 0 for the
-        // current null-space direction p, so it cannot be a linear
-        // combination of rows already in the set.
-        let mut working: Vec<usize> = Vec::new();
-
-        for iteration in 0..self.max_iterations {
-            // Assemble the working-constraint matrix.
-            let m_w = n_eq + working.len();
-            let a_w = if m_w > 0 {
-                let mut m = Matrix::zeros(m_w, n);
-                let mut row = 0;
-                if let Some((e_mat, _)) = &self.eq {
-                    for r in 0..e_mat.rows() {
-                        m.set_row(row, e_mat.row(r))?;
-                        row += 1;
-                    }
-                }
-                if let Some((a_mat, _)) = &self.ineq {
-                    for &i in &working {
-                        m.set_row(row, a_mat.row(i))?;
-                        row += 1;
-                    }
-                }
-                Some(m)
-            } else {
-                None
-            };
-
-            // Null-space step: p = Z·pz with (ZᵀHZ)pz = −Zᵀg.
-            let grad = self.gradient(&x)?;
-            let p = match &a_w {
-                None => {
-                    // Unconstrained Newton step.
-                    let step = self.h.cholesky().map_err(|_| {
-                        OptError::NotConvex("hessian is not positive definite".into())
-                    })?;
-                    step.solve(&(-&grad))?
-                }
-                Some(aw) => {
-                    let qr = aw.transpose().qr()?;
-                    match qr.null_space_basis(1e-12) {
-                        None => Vector::zeros(n), // fully constrained
-                        Some(z) => {
-                            let hz = self.h.matmul(&z)?;
-                            let mut zhz = z.transpose().matmul(&hz)?;
-                            zhz.symmetrize()?;
-                            let rhs = -&z.tr_matvec(&grad)?;
-                            let pz = zhz
-                                .cholesky()
-                                .map_err(|_| {
-                                    OptError::NotConvex(
-                                        "reduced hessian is not positive definite".into(),
-                                    )
-                                })?
-                                .solve(&rhs)?;
-                            z.matvec(&pz)?
-                        }
-                    }
-                }
-            };
-
-            let p_scale = 1.0 + x.norm2();
-            if p.norm2() <= tol * p_scale {
-                // Stationary on the working set: check multipliers.
-                if working.is_empty() {
-                    return Ok(QpSolution {
-                        objective: self.objective(&x)?,
-                        x,
-                        iterations: iteration,
-                        active_set: working,
-                    });
-                }
-                let aw = a_w.expect("working set non-empty");
-                // Least-squares multipliers: A_Wᵀ λ ≈ grad.
-                let lambda = aw.transpose().qr()?.solve_least_squares(&grad)?;
-                // Inequality multipliers are the last working.len() entries.
-                let mut most_negative: Option<(usize, f64)> = None;
-                for (k, &ci) in working.iter().enumerate() {
-                    let l = lambda[n_eq + k];
-                    if l < -1e-8 {
-                        match most_negative {
-                            Some((_, best)) if l >= best => {}
-                            _ => most_negative = Some((ci, l)),
-                        }
-                    }
-                }
-                match most_negative {
-                    None => {
-                        return Ok(QpSolution {
-                            objective: self.objective(&x)?,
-                            x,
-                            iterations: iteration,
-                            active_set: working,
-                        });
-                    }
-                    Some((drop_idx, _)) => {
-                        working.retain(|&i| i != drop_idx);
-                    }
-                }
-            } else {
-                // Line search to the nearest blocking constraint.
-                let mut alpha = 1.0;
-                let mut blocking: Option<usize> = None;
-                if let Some((a_mat, b_rhs)) = &self.ineq {
-                    let ap = a_mat.matvec(&p)?;
-                    let ax = a_mat.matvec(&x)?;
-                    for i in 0..n_ineq {
-                        if working.contains(&i) {
-                            continue;
-                        }
-                        if ap[i] < -tol {
-                            let step = (b_rhs[i] - ax[i]) / ap[i];
-                            if step < alpha {
-                                alpha = step.max(0.0);
-                                blocking = Some(i);
-                            }
-                        }
-                    }
-                }
-                x = x.axpy(alpha, &p)?;
-                if let Some(bi) = blocking {
-                    if n_eq + working.len() < n {
-                        working.push(bi);
-                    }
-                }
-            }
+    /// Propagates the view validation errors (none expected after
+    /// successful construction).
+    pub fn as_problem(&self) -> Result<QpProblem<'_>> {
+        let mut problem = QpProblem::new(&self.h, &self.c)?;
+        if let Some((e_mat, e_rhs)) = &self.eq {
+            problem = problem.with_equalities(e_mat, e_rhs)?;
         }
-        Err(OptError::IterationLimit {
-            iterations: self.max_iterations,
-            residual: f64::NAN,
-        })
+        if let Some((a_mat, b_rhs)) = &self.ineq {
+            problem = problem.with_inequalities(a_mat, b_rhs)?;
+        }
+        if let Some(x0) = &self.start {
+            problem = problem.with_start(x0)?;
+        }
+        if let Some(max_iterations) = self.max_iterations {
+            problem = problem.with_max_iterations(max_iterations);
+        }
+        Ok(problem)
+    }
+
+    /// Solves the program with a fresh workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QpWorkspace::solve`].
+    pub fn solve(&self) -> Result<QpSolution> {
+        QpWorkspace::new().solve(&self.as_problem()?)
     }
 }
 
@@ -526,7 +869,7 @@ mod tests {
         let e = Matrix::from_rows(&[&[1.0, -1.0, 0.0]]).unwrap();
         let sol = QuadraticProgram::new(h, c)
             .unwrap()
-            .with_equalities(e.clone(), Vector::zeros(1))
+            .with_equalities(e, Vector::zeros(1))
             .unwrap()
             .with_inequalities(Matrix::identity(3), Vector::zeros(3))
             .unwrap()
@@ -628,5 +971,126 @@ mod tests {
                 assert!(grad[i] > -1e-7, "coordinate {i}: grad {}", grad[i]);
             }
         }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        // One Hessian, several right-hand sides — the bootstrap pattern.
+        let n = 8;
+        let mut h = Matrix::identity(n).scaled(2.0);
+        for i in 0..n - 1 {
+            h[(i, i + 1)] = 0.3;
+            h[(i + 1, i)] = 0.3;
+        }
+        let ineq = Matrix::identity(n);
+        let zero = Vector::zeros(n);
+        let mut ws = QpWorkspace::new();
+        for r in 0..5 {
+            let c = Vector::from_fn(n, |i| ((i + 3 * r) as f64 * 0.9).sin() - 0.4);
+            let problem = QpProblem::new(&h, &c)
+                .unwrap()
+                .with_inequalities(&ineq, &zero)
+                .unwrap();
+            let warm = ws.solve(&problem).unwrap();
+            let fresh = QuadraticProgram::new(h.clone(), c.clone())
+                .unwrap()
+                .with_inequalities(ineq.clone(), zero.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            assert!(
+                (&warm.x - &fresh.x).norm2() < 1e-9,
+                "replicate {r}: {} vs {}",
+                warm.x,
+                fresh.x
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations_and_matches_cold() {
+        let n = 10;
+        let mut h = Matrix::identity(n).scaled(2.0);
+        for i in 0..n - 1 {
+            h[(i, i + 1)] = 0.4;
+            h[(i + 1, i)] = 0.4;
+        }
+        let c = Vector::from_fn(n, |i| ((i * 5 % 7) as f64) - 3.0);
+        let ineq = Matrix::identity(n);
+        let zero = Vector::zeros(n);
+        let problem = QpProblem::new(&h, &c)
+            .unwrap()
+            .with_inequalities(&ineq, &zero)
+            .unwrap();
+
+        let mut cold_ws = QpWorkspace::new();
+        let cold = cold_ws.solve(&problem).unwrap();
+
+        let mut warm_ws = QpWorkspace::new();
+        warm_ws.set_warm_start(cold.x.clone(), cold.active_set.clone());
+        let warm = warm_ws.solve(&problem).unwrap();
+        assert!((&warm.x - &cold.x).norm2() < 1e-9);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // Restarting exactly at the optimum must terminate immediately
+        // after the multiplier check.
+        assert!(warm.iterations <= 1, "iterations {}", warm.iterations);
+    }
+
+    #[test]
+    fn infeasible_or_stale_warm_hints_are_ignored() {
+        let h = Matrix::identity(2).scaled(2.0);
+        let c = Vector::from_slice(&[-2.0, -5.0]);
+        let ineq = Matrix::identity(2);
+        let zero = Vector::zeros(2);
+        let problem = QpProblem::new(&h, &c)
+            .unwrap()
+            .with_inequalities(&ineq, &zero)
+            .unwrap();
+        let expected = QpWorkspace::new().solve(&problem).unwrap();
+
+        // Infeasible hint (negative coordinates), wrong-length hint, and
+        // out-of-range active indices: all silently ignored.
+        for (x0, active) in [
+            (Vector::from_slice(&[-1.0, -1.0]), vec![0]),
+            (Vector::zeros(3), vec![0]),
+            (Vector::zeros(2), vec![17, 0, 0]),
+        ] {
+            let mut ws = QpWorkspace::new();
+            ws.set_warm_start(x0, active);
+            let sol = ws.solve(&problem).unwrap();
+            assert!((&sol.x - &expected.x).norm2() < 1e-9);
+        }
+        // Clearing the hint keeps the workspace usable.
+        let mut ws = QpWorkspace::new();
+        ws.set_warm_start(expected.x.clone(), expected.active_set.clone());
+        ws.clear_warm_start();
+        let sol = ws.solve(&problem).unwrap();
+        assert!((&sol.x - &expected.x).norm2() < 1e-9);
+    }
+
+    #[test]
+    fn hessian_cache_invalidation_contract() {
+        // Same dimension, different H: without invalidation the stale
+        // factor would be reused on the unconstrained path, so the
+        // contract is exercised exactly as a caller must honor it.
+        let h1 = Matrix::identity(3).scaled(2.0);
+        let h2 = Matrix::identity(3).scaled(8.0);
+        let c = Vector::from_slice(&[-2.0, -4.0, -6.0]);
+        let mut ws = QpWorkspace::new();
+        let s1 = ws.solve(&QpProblem::new(&h1, &c).unwrap()).unwrap();
+        assert!((s1.x[0] - 1.0).abs() < 1e-10);
+        ws.invalidate_hessian();
+        let s2 = ws.solve(&QpProblem::new(&h2, &c).unwrap()).unwrap();
+        assert!((s2.x[0] - 0.25).abs() < 1e-10, "x = {}", s2.x);
+        // A dimension change invalidates automatically.
+        let h3 = Matrix::identity(2);
+        let c3 = Vector::from_slice(&[-1.0, -1.0]);
+        let s3 = ws.solve(&QpProblem::new(&h3, &c3).unwrap()).unwrap();
+        assert!((s3.x[0] - 1.0).abs() < 1e-10);
     }
 }

@@ -6,7 +6,11 @@
 //! optimization, and Monte-Carlo kernel estimation. All of these share one
 //! shape — *evaluate an index-addressed pure function over `0..n` and
 //! collect the results in order* — which is exactly what
-//! [`Pool::par_map_indexed`] provides.
+//! [`Pool::par_map_indexed`] provides. Workloads whose per-index work
+//! wants reusable solver state (factorization buffers, fit workspaces)
+//! use the scratch-carrying variant [`Pool::par_map_with`], which hands
+//! each worker one thread-local scratch while keeping the same
+//! bit-identical ordering guarantee.
 //!
 //! Design constraints (and how they are met):
 //!
@@ -102,16 +106,67 @@ impl Pool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.par_map_with(n, || (), |(), i| f(i))
+    }
+
+    /// Evaluates `f(&mut scratch, i)` for every `i ∈ 0..n` across the
+    /// pool, handing each worker one thread-local scratch value built by
+    /// `make_scratch`, and returns the results in index order.
+    ///
+    /// This is the workspace-carrying variant of
+    /// [`Pool::par_map_indexed`]: per-index work that needs factorization
+    /// buffers, RNG-free solver state, or other reusable allocations
+    /// builds the scratch once per worker instead of once per index. At
+    /// most `min(threads, n)` scratches are ever constructed, and the
+    /// serial path (`threads == 1` or `n <= 1`) builds exactly one.
+    ///
+    /// **Determinism contract:** the output is bit-identical at any
+    /// thread count *provided `f(·, i)`'s result is a pure function of
+    /// `i`* — the scratch must be an allocation cache, not a value that
+    /// feeds the result. Carrying information between indices through the
+    /// scratch (running sums, warm starts derived from the previous index
+    /// served by the same worker) makes results depend on the work
+    /// distribution and breaks the contract; derive any warm-start data
+    /// from the index itself instead.
+    ///
+    /// ```
+    /// use cellsync_runtime::Pool;
+    ///
+    /// // The scratch buffer is reused across indices on each worker.
+    /// let out = Pool::new(4).par_map_with(
+    ///     6,
+    ///     || Vec::with_capacity(16),
+    ///     |buf, i| {
+    ///         buf.clear();
+    ///         buf.extend((0..=i).map(|k| k * k));
+    ///         buf.iter().sum::<usize>()
+    ///     },
+    /// );
+    /// assert_eq!(out, vec![0, 1, 5, 14, 30, 55]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any worker on the calling thread (if several
+    /// workers panic, the one joined first wins).
+    pub fn par_map_with<S, T, FS, F>(&self, n: usize, make_scratch: FS, f: F) -> Vec<T>
+    where
+        T: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
         if n == 0 {
             return Vec::new();
         }
         let workers = self.threads.min(n);
         if workers <= 1 {
-            return (0..n).map(f).collect();
+            let mut scratch = make_scratch();
+            return (0..n).map(|i| f(&mut scratch, i)).collect();
         }
 
         let cursor = AtomicUsize::new(0);
         let f = &f;
+        let make_scratch = &make_scratch;
         let cursor = &cursor;
         // Each worker drains the shared cursor into a private
         // `(index, value)` list; the lists are merged into index-ordered
@@ -120,13 +175,14 @@ impl Pool {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(move || {
+                        let mut scratch = make_scratch();
                         let mut out = Vec::with_capacity(n / workers + 1);
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            out.push((i, f(i)));
+                            out.push((i, f(&mut scratch, i)));
                         }
                         out
                     })
@@ -152,6 +208,43 @@ impl Pool {
             .into_iter()
             .map(|s| s.expect("every index is claimed exactly once"))
             .collect()
+    }
+
+    /// Fallible variant of [`Pool::par_map_with`]: evaluates every index
+    /// with a per-worker scratch and, if any failed, returns the error of
+    /// the **smallest** failing index (deterministic regardless of which
+    /// worker saw it first), tagged with that index.
+    ///
+    /// # Errors
+    ///
+    /// `Err((i, e))` where `i` is the lowest index whose `f(·, i)`
+    /// returned `Err(e)`.
+    pub fn try_par_map_with<S, T, E, FS, F>(
+        &self,
+        n: usize,
+        make_scratch: FS,
+        f: F,
+    ) -> std::result::Result<Vec<T>, (usize, E)>
+    where
+        T: Send,
+        E: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> std::result::Result<T, E> + Sync,
+    {
+        let mut results = self.par_map_with(n, make_scratch, f);
+        if let Some(i) = results.iter().position(std::result::Result::is_err) {
+            let Err(e) = results.swap_remove(i) else {
+                unreachable!("position() found an Err at {i}")
+            };
+            return Err((i, e));
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(_) => unreachable!("errors were ruled out above"),
+            })
+            .collect())
     }
 
     /// Fallible variant of [`Pool::par_map_indexed`]: evaluates every
@@ -291,6 +384,63 @@ mod tests {
         let r: std::result::Result<Vec<usize>, (usize, ())> =
             Pool::new(4).try_par_map_indexed(33, Ok);
         assert_eq!(r.unwrap(), (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_with_builds_at_most_one_scratch_per_worker() {
+        let n = 64;
+        for threads in [1, 2, 4, 16] {
+            let built = AtomicUsize::new(0);
+            let out = Pool::new(threads).par_map_with(
+                n,
+                || {
+                    built.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    scratch.push(i);
+                    i * 3
+                },
+            );
+            assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+            let count = built.load(Ordering::Relaxed);
+            assert!(
+                count >= 1 && count <= threads.min(n),
+                "threads {threads}: {count} scratches"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_with_serial_path_builds_exactly_one_scratch() {
+        let built = AtomicUsize::new(0);
+        let out = Pool::new(1).par_map_with(10, || built.fetch_add(1, Ordering::Relaxed), |_, i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn try_par_map_with_reports_smallest_failing_index() {
+        for threads in [1, 2, 8] {
+            let r: std::result::Result<Vec<usize>, (usize, String)> = Pool::new(threads)
+                .try_par_map_with(
+                    48,
+                    || 0usize,
+                    |scratch, i| {
+                        *scratch += 1; // scratch mutation must not affect results
+                        if i % 9 == 4 {
+                            Err(format!("bad {i}"))
+                        } else {
+                            Ok(i)
+                        }
+                    },
+                );
+            assert_eq!(
+                r.unwrap_err(),
+                (4, "bad 4".to_string()),
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! λ-path tour: how the engine selects the smoothing parameter, and why
+//! selecting it is cheap.
+//!
+//! The GCV scan of paper eq. 5 evaluates dozens of λ candidates per
+//! fitted gene. The engine factors the (penalty, Gram) pencil **once**
+//! (generalized eigendecomposition → Demmler–Reinsch basis) and scores
+//! every candidate by diagonal shrinkage, so the whole path costs about
+//! as much as two dense solves. This example:
+//!
+//! 1. Fits a noisy series with GCV selection and prints the scanned
+//!    `(λ, score)` path, marking the selected λ.
+//! 2. Fits a small gene panel through `fit_many`, timing the batch.
+//! 3. Reuses one `FitWorkspace` across repeated fits to show the
+//!    allocation-free steady state of the hot loop.
+//!
+//! Run with: `cargo run --release --example lambda_path`
+
+use std::time::Instant;
+
+use cellsync::{
+    DeconvolutionConfig, Deconvolver, FitWorkspace, ForwardModel, LambdaSelection, PhaseProfile,
+};
+use cellsync_popsim::{CellCycleParams, InitialCondition, KernelEstimator, Population};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Kernel and engine -------------------------------------------------
+    let params = CellCycleParams::caulobacter()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let population =
+        Population::synchronized(4_000, &params, InitialCondition::UniformSwarmer, &mut rng)?
+            .simulate_until(150.0)?;
+    let times: Vec<f64> = (0..14).map(|i| 150.0 * i as f64 / 13.0).collect();
+    let kernel = KernelEstimator::new(64)?.estimate(&population, &times)?;
+    let config = DeconvolutionConfig::builder()
+        .basis_size(18)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 13,
+        })
+        .build()?;
+    let engine = Deconvolver::new(kernel, config)?;
+
+    // --- 1. One GCV-selected fit, path printed -----------------------------
+    let truth = PhaseProfile::from_fn(300, |phi| {
+        2.0 + (2.0 * std::f64::consts::PI * phi).sin() + 0.5 * phi
+    })?;
+    let clean = engine.forward().predict(&truth)?;
+    // Deterministic pseudo-noise keeps the example reproducible while
+    // pushing the GCV minimum into the grid interior.
+    let noisy: Vec<f64> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v + 0.08 * (i as f64 * 1.7).sin())
+        .collect();
+    let fit = engine.fit(&noisy, None)?;
+    println!("λ path (grid scan + golden-section refinement):");
+    println!("   {:>12}   {:>14}", "lambda", "GCV score");
+    for &(lambda, score) in fit.selection_scores() {
+        let marker = if lambda == fit.lambda() {
+            "  <= selected"
+        } else {
+            ""
+        };
+        println!("   {lambda:>12.4e}   {score:>14.6e}{marker}");
+    }
+    println!(
+        "selected λ = {:.4e} with weighted SSE {:.4}",
+        fit.lambda(),
+        fit.weighted_sse()
+    );
+
+    // --- 2. A gene panel through fit_many ----------------------------------
+    let panel: Vec<Vec<f64>> = (0..48)
+        .map(|gene| {
+            let peak = gene as f64 / 48.0;
+            let profile = PhaseProfile::from_fn(200, move |phi| {
+                let d = (phi - peak).abs().min(1.0 - (phi - peak).abs());
+                2.5 * (-(d * d) / 0.03).exp() + 0.5
+            })
+            .expect("valid profile");
+            ForwardModel::new(engine.forward().kernel().clone())
+                .predict(&profile)
+                .expect("predicts")
+        })
+        .collect();
+    let input: Vec<(&[f64], Option<&[f64]>)> = panel.iter().map(|g| (g.as_slice(), None)).collect();
+    let start = Instant::now();
+    let results = engine.fit_many(&input)?;
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "\nfit_many: {} genes in {:.1} ms ({:.0} genes/s, {} worker threads)",
+        results.len(),
+        elapsed * 1e3,
+        results.len() as f64 / elapsed,
+        engine.threads(),
+    );
+
+    // --- 3. Steady-state workspace reuse -----------------------------------
+    let mut workspace = FitWorkspace::new();
+    let start = Instant::now();
+    for g in &panel {
+        std::hint::black_box(engine.fit_with(&mut workspace, g, None)?);
+    }
+    let reused = start.elapsed().as_secs_f64();
+    println!(
+        "sequential fit_with on one workspace: {:.1} ms total ({:.3} ms/gene)",
+        reused * 1e3,
+        reused * 1e3 / panel.len() as f64
+    );
+    Ok(())
+}

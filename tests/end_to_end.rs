@@ -82,7 +82,7 @@ fn deconvolution_beats_naive_population_readout() {
         .unwrap()
         .profile(300)
         .unwrap();
-    let naive = PhaseProfile::from_samples(g.clone()).unwrap();
+    let naive = PhaseProfile::from_samples(g).unwrap();
     let err_deconv = truth.nrmse(&recovered).unwrap();
     let err_naive = truth.nrmse(&naive).unwrap();
     assert!(
