@@ -1,15 +1,17 @@
 //! `perf` — the machine-readable performance harness.
 //!
-//! Times the workspace's seven hot computational kernels (dense Cholesky
+//! Times the workspace's nine hot computational kernels (dense Cholesky
 //! solve, spline-basis assembly/evaluation, active-set QP, RK4 ODE
-//! integration, Monte-Carlo kernel estimation, the λ-path GCV fit, and
-//! the warm-started shared-Hessian QP pattern) plus the end-to-end
+//! integration, Monte-Carlo kernel estimation, blocked weighted-Gram
+//! assembly, the cold collocation-constrained QP, the λ-path GCV fit,
+//! and the warm-started shared-Hessian QP pattern) plus the end-to-end
 //! genome-wide batch deconvolution (wall time, per-gene throughput, and
 //! thread-count scaling at 1/2/4 workers), and writes the results as a
 //! schema-stable `BENCH.json` — the repo's perf trajectory format.
 //!
 //! ```text
 //! perf [--quick|--full] [--out PATH] [--baseline PATH] [--gate-pct PCT]
+//!      [--append-history PATH]
 //! ```
 //!
 //! * `--quick` (default): CI-sized workloads, a few seconds end to end.
@@ -18,6 +20,14 @@
 //! * `--baseline PATH`: compare every kernel's median against a previous
 //!   `BENCH.json` and exit non-zero if any kernel regressed by more than
 //!   `--gate-pct` percent (default 25) — the CI regression gate.
+//! * `--append-history PATH`: append this run's medians (stamped with
+//!   the measured git commit) to the `cellsync-perf-history/1` log, so
+//!   the perf trajectory across PRs stays machine-recoverable from one
+//!   committed file (`crates/bench/PERF_HISTORY.json`).
+//!
+//! Every document carries the git commit of the measured tree
+//! (`git_commit`, `-dirty`-suffixed for uncommitted changes; override
+//! with `CELLSYNC_GIT_COMMIT` when measuring an exported tree).
 //!
 //! Timing method: every kernel repetition does enough inner iterations to
 //! run well above timer resolution, repetitions are repeated `reps` times,
@@ -31,6 +41,7 @@ use std::time::Instant;
 use cellsync::{DeconvolutionConfig, Deconvolver, LambdaSelection};
 use cellsync_bench::experiments::synthetic_genome;
 use cellsync_bench::json::Json;
+use cellsync_bench::stamp;
 use cellsync_linalg::{Matrix, Vector};
 use cellsync_ode::models::LotkaVolterra;
 use cellsync_ode::period::rescale_lotka_volterra;
@@ -61,10 +72,14 @@ struct Config {
     out: String,
     baseline: Option<String>,
     gate_pct: f64,
+    append_history: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: perf [--quick|--full] [--out PATH] [--baseline PATH] [--gate-pct PCT]");
+    eprintln!(
+        "usage: perf [--quick|--full] [--out PATH] [--baseline PATH] [--gate-pct PCT] \
+         [--append-history PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -78,6 +93,7 @@ fn parse_args() -> Config {
         out: "BENCH.json".to_string(),
         baseline: None,
         gate_pct: 25.0,
+        append_history: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,6 +116,9 @@ fn parse_args() -> Config {
             }
             "--out" => config.out = args.next().unwrap_or_else(|| usage()),
             "--baseline" => config.baseline = Some(args.next().unwrap_or_else(|| usage())),
+            "--append-history" => {
+                config.append_history = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--gate-pct" => {
                 let raw = args.next().unwrap_or_else(|| usage());
                 match raw.parse::<f64>() {
@@ -270,6 +289,70 @@ fn measure_kernels(config: &Config, population: &Population, times: &[f64]) -> V
         median,
         min,
     ));
+
+    // 6. Weighted Gram assembly `AᵀW²A` at the dense-design shape (96
+    // measurements × 24 basis functions) — the syrk-style kernel behind
+    // every Hessian assembly in the fit path.
+    let design = Matrix::from_fn(96, 24, |r, c| {
+        let t = r as f64 / 95.0;
+        let phi = c as f64 / 23.0;
+        (-((phi - t).powi(2)) / 0.02).exp() + 0.05
+    });
+    let weights: Vec<f64> = (0..96)
+        .map(|i| 1.0 + 0.5 * (i as f64 * 0.3).sin())
+        .collect();
+    let mut gram = Matrix::zeros(24, 24);
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..50 {
+            design
+                .weighted_gram_into(&weights, &mut gram)
+                .expect("matching shapes");
+            std::hint::black_box(&gram);
+        }
+    });
+    kernels.push(kernel_entry("gram_weighted_96x24x50", reps, median, min));
+
+    // 7. Cold constrained QP at the per-gene batch shape: 18 basis
+    // functions, the engine's 101-row positivity collocation matrix — the
+    // QP a `fit_many` gene pays when its warm hint does not apply.
+    let basis = NaturalSplineBasis::uniform(18, 0.0, 1.0).expect("n >= 4");
+    let grid: Vec<f64> = (0..101).map(|i| i as f64 / 100.0).collect();
+    let colloc = basis.collocation_matrix(&grid).expect("finite grid");
+    let design_qp = Matrix::from_fn(16, 18, |r, c| {
+        let t = r as f64 / 15.0;
+        let phi = c as f64 / 17.0;
+        (-((phi - t).powi(2)) / 0.03).exp() + 0.05
+    });
+    let truth = Vector::from_fn(18, |i| {
+        let phi = i as f64 / 17.0;
+        (2.0 * std::f64::consts::PI * phi).sin() * 1.5 - 0.3
+    });
+    let data = design_qp.matvec(&truth).expect("shapes agree");
+    let omega = basis.penalty_matrix();
+    let mut h = design_qp.gram();
+    for i in 0..18 {
+        for j in 0..18 {
+            h[(i, j)] = 2.0 * (h[(i, j)] + 1e-4 * omega[(i, j)]);
+        }
+        h[(i, i)] += 2e-9;
+    }
+    h.symmetrize().expect("square");
+    let c = -&design_qp
+        .tr_matvec(&data)
+        .expect("shapes agree")
+        .scaled(2.0);
+    let zeros101 = Vector::zeros(101);
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..6 {
+            let mut workspace = QpWorkspace::new();
+            let problem = QpProblem::new(&h, &c)
+                .expect("valid qp")
+                .with_inequalities(&colloc, &zeros101)
+                .expect("shapes agree");
+            std::hint::black_box(workspace.solve(&problem).expect("solvable"));
+        }
+    });
+    kernels.push(kernel_entry("qp_cold_colloc_18x101x6", reps, median, min));
 
     kernels
 }
@@ -560,9 +643,11 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs() as f64)
         .unwrap_or(0.0);
+    let git_commit = stamp::git_commit();
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::Str("cellsync-perf/1".into())),
+        ("schema".into(), Json::Str(stamp::PERF_SCHEMA.into())),
         ("mode".into(), Json::Str(config.mode.into())),
+        ("git_commit".into(), Json::Str(git_commit.clone())),
         ("unix_time_secs".into(), Json::Num(unix_secs)),
         (
             "threads_available".into(),
@@ -573,6 +658,49 @@ fn main() {
     ]);
     std::fs::write(&config.out, doc.render() + "\n").expect("writable output path");
     println!("wrote {}", config.out);
+
+    if let Some(history_path) = &config.append_history {
+        let medians: Vec<Json> = doc
+            .get("kernels")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|k| {
+                Json::Obj(vec![
+                    (
+                        "name".into(),
+                        Json::Str(k.get("name").and_then(Json::as_str).unwrap_or("?").into()),
+                    ),
+                    (
+                        "median_ms".into(),
+                        Json::Num(
+                            k.get("median_ms")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(f64::NAN),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let batch_1t = doc
+            .get("batch")
+            .and_then(|b| b.get("scaling"))
+            .and_then(Json::as_array)
+            .and_then(|s| s.first())
+            .and_then(|e| e.get("wall_ms"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let entry = Json::Obj(vec![
+            ("git_commit".into(), Json::Str(git_commit)),
+            ("unix_time_secs".into(), Json::Num(unix_secs)),
+            ("mode".into(), Json::Str(config.mode.into())),
+            ("kernels".into(), Json::Arr(medians)),
+            ("batch_wall_ms_1t".into(), Json::Num(batch_1t)),
+        ]);
+        stamp::append_history(std::path::Path::new(history_path), entry)
+            .expect("writable history path");
+        println!("appended history entry to {history_path}");
+    }
 
     if let Some(baseline_path) = &config.baseline {
         let text = match std::fs::read_to_string(baseline_path) {

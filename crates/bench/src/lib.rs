@@ -146,3 +146,4 @@ mod tests {
 pub mod experiments;
 pub mod json;
 pub mod scenarios;
+pub mod stamp;

@@ -192,7 +192,8 @@ pub fn run_matrix(
 }
 
 /// Assembles the schema-stable `ACCURACY.json` document
-/// (`cellsync-accuracy/1`): run metadata, one entry per scenario, and the
+/// ([`crate::stamp::ACCURACY_SCHEMA`]): run metadata — including the
+/// git commit of the measured tree — one entry per scenario, and the
 /// aggregate summary the trajectory plots track.
 pub fn accuracy_document(
     outcomes: &[ScenarioOutcome],
@@ -228,8 +229,12 @@ pub fn accuracy_document(
         .map(|o| o.coverage)
         .fold(f64::INFINITY, f64::min);
     Json::Obj(vec![
-        ("schema".into(), Json::Str("cellsync-accuracy/1".into())),
+        (
+            "schema".into(),
+            Json::Str(crate::stamp::ACCURACY_SCHEMA.into()),
+        ),
         ("mode".into(), Json::Str(mode.into())),
+        ("git_commit".into(), Json::Str(crate::stamp::git_commit())),
         ("unix_time_secs".into(), Json::Num(unix_secs)),
         ("threads_available".into(), Json::Num(threads as f64)),
         ("base_seed".into(), Json::Num(BASE_SEED as f64)),
@@ -446,7 +451,11 @@ mod tests {
         let config = ScenarioRunConfig::quick();
         let doc = accuracy_document(&outcomes, "quick", &config, 0.0, 1);
         let text = doc.render();
-        assert!(text.starts_with("{\"schema\":\"cellsync-accuracy/1\""));
+        assert!(text.starts_with("{\"schema\":\"cellsync-accuracy/2\""));
+        assert!(
+            doc.get("git_commit").and_then(Json::as_str).is_some(),
+            "document must carry the measured commit"
+        );
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(parsed, doc);
         assert!(check_paper_anchor(&doc).is_ok());

@@ -303,7 +303,13 @@ impl Deconvolver {
             }
         };
 
-        let alpha = self.solve_constrained_full(workspace, g, unit, lambda)?;
+        // GCV fits get a deterministic warm hint for the constrained
+        // solve: the spectral path's own unconstrained minimizer at the
+        // selected λ. It is a pure function of (engine, data, λ) — never
+        // of workspace history — so batch results stay order- and
+        // thread-invariant; the QP ignores it whenever it is infeasible.
+        let hint = self.spectral_warm_hint(workspace, unit, lambda)?;
+        let alpha = self.solve_constrained_full(workspace, g, unit, lambda, hint)?;
         let predicted = self.design.matvec(&alpha)?.into_vec();
         let weights: &[f64] = if unit {
             &self.unit_weights
@@ -537,6 +543,39 @@ impl Deconvolver {
         })
     }
 
+    /// The deterministic warm hint of a GCV fit: the unconstrained
+    /// spectral solution `α = Z·T·(zproj ⊙ s(λ))` at the selected λ
+    /// (`None` for non-GCV selections, whose workspaces hold no spectral
+    /// projection). The QP validates feasibility at solve time, so a
+    /// hint that violates positivity is simply ignored.
+    fn spectral_warm_hint(
+        &self,
+        workspace: &mut FitWorkspace,
+        unit: bool,
+        lambda: f64,
+    ) -> Result<Option<Vector>> {
+        if !matches!(self.config.lambda(), LambdaSelection::Gcv { .. }) {
+            return Ok(None);
+        }
+        if self.equality.is_none() && self.positivity.is_none() {
+            return Ok(None); // direct SPD solve path: no QP to warm.
+        }
+        let path: &SpectralPath = if unit {
+            self.spectral_unit
+                .as_ref()
+                .expect("GCV engines build the unit-weight decomposition")
+        } else {
+            workspace.spectral.as_ref().expect("built by gcv_lambda")
+        };
+        let FitWorkspace { zproj, d, beta, .. } = workspace;
+        path.reduced_solution(zproj, lambda, d, beta)?;
+        let alpha = match &self.ops.z {
+            Some(z) => z.matvec(beta)?,
+            None => beta.clone(),
+        };
+        Ok(Some(alpha))
+    }
+
     /// GCV λ selection on the spectral path: grid scan plus
     /// golden-section refinement, every score a diagonal shrinkage.
     fn gcv_lambda(
@@ -699,6 +738,7 @@ impl Deconvolver {
         g: &[f64],
         unit: bool,
         lambda: f64,
+        hint: Option<Vector>,
     ) -> Result<Vector> {
         let n = self.basis.len();
         if workspace.h.shape() != (n, n) {
@@ -719,7 +759,7 @@ impl Deconvolver {
             }
             self.design.tr_matvec_into(w2g, c)?;
         }
-        self.solve_assembled(workspace, lambda)
+        self.solve_assembled(workspace, lambda, hint)
     }
 
     /// Solves the constrained QP at `lambda` for an explicit weighted
@@ -738,14 +778,20 @@ impl Deconvolver {
         }
         b.gram_into(&mut workspace.h)?;
         b.tr_matvec_into(y, &mut workspace.c)?;
-        self.solve_assembled(workspace, lambda)
+        self.solve_assembled(workspace, lambda, None)
     }
 
     /// Core constrained solve: expects `workspace.h = BᵀB` and
     /// `workspace.c = Bᵀy`, turns them into `H = 2(BᵀB + λΩ + εI)` and
     /// `c = −2Bᵀy` in place, and dispatches to the direct SPD solve or
-    /// the active-set QP.
-    fn solve_assembled(&self, workspace: &mut FitWorkspace, lambda: f64) -> Result<Vector> {
+    /// the active-set QP (seeded with `hint` as a deterministic warm
+    /// start when one is supplied).
+    fn solve_assembled(
+        &self,
+        workspace: &mut FitWorkspace,
+        lambda: f64,
+        hint: Option<Vector>,
+    ) -> Result<Vector> {
         let n = self.basis.len();
         self.assemble_hessian(&mut workspace.h, lambda)?;
         for v in workspace.c.as_mut_slice() {
@@ -771,9 +817,13 @@ impl Deconvolver {
 
         let FitWorkspace { h, c, qp, .. } = workspace;
         // H differs per call in fit context and fits must be independent
-        // of workspace history: drop the cached factor and any warm hint.
+        // of workspace history: drop the cached factor and replace any
+        // warm hint with the (history-free) spectral one, if supplied.
         qp.invalidate_hessian();
-        qp.clear_warm_start();
+        match hint {
+            Some(x0) => qp.set_warm_start(x0, Vec::new()),
+            None => qp.clear_warm_start(),
+        }
         let mut problem = QpProblem::new(&*h, &*c)?;
         if let Some((e, rhs)) = &self.equality {
             problem = problem.with_equalities(e, rhs)?;

@@ -36,11 +36,9 @@ use crate::{DeconvError, Result};
 #[derive(Debug, Clone)]
 pub(crate) struct ReducedOperators {
     /// Orthonormal basis `Z` of the equality-constraint null space
-    /// (`None` means no equality constraints, i.e. `Z = I`). Production
-    /// code only consumes the reduced products below; the basis itself is
-    /// kept for invariants checked in tests (`E·Z = 0`) and the
-    /// `docs/SOLVER.md` derivation.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// (`None` means no equality constraints, i.e. `Z = I`). Consumed by
+    /// the warm-hint path (`α = Z·β` lifts the reduced spectral solution
+    /// back to coefficient space) and by tests pinning `E·Z = 0`.
     pub(crate) z: Option<Matrix>,
     /// Reduced design `A·Z` (`m × r`; the design itself when `Z = I`).
     pub(crate) a_r: Matrix,
@@ -166,6 +164,25 @@ impl SpectralPath {
     /// `1/(1 + (λ−μ)γᵢ) = (gᵢ + μωᵢ)/(gᵢ + λωᵢ)`, in `(0, 1 + μγᵢ]`.
     fn shrink(&self, lambda: f64, i: usize) -> f64 {
         1.0 / (1.0 + (lambda - self.mu) * self.gamma[i])
+    }
+
+    /// The reduced-space **unconstrained** solution at `lambda`:
+    /// `β = T·(zproj ⊙ s(λ))` — the smoother's own minimizer, used as
+    /// the deterministic warm hint for the constrained QP (when it is
+    /// feasible, the QP terminates after one multiplier check).
+    /// `d`/`beta` are caller scratch; the result lands in `beta`.
+    pub(crate) fn reduced_solution(
+        &self,
+        zproj: &Vector,
+        lambda: f64,
+        d: &mut Vector,
+        beta: &mut Vector,
+    ) -> Result<()> {
+        for i in 0..self.dim() {
+            d[i] = zproj[i] * self.shrink(lambda, i);
+        }
+        self.t.matvec_into(d, beta)?;
+        Ok(())
     }
 
     /// Projects the data onto the Demmler–Reinsch basis:

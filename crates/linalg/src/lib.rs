@@ -58,7 +58,7 @@ mod qr;
 mod tridiagonal;
 mod vector;
 
-pub use cholesky::CholeskyDecomposition;
+pub use cholesky::{CholeskyDecomposition, IncrementalCholesky};
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
 pub use geigen::GeneralizedSymmetricEigen;

@@ -145,6 +145,11 @@ impl Matrix {
         &self.data
     }
 
+    /// A mutable view of the packed row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Borrows row `i` as a slice.
     ///
     /// # Panics
@@ -304,23 +309,8 @@ impl Matrix {
             });
         }
         out.data.fill(0.0);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for a in 0..self.cols {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                for b in a..self.cols {
-                    out[(a, b)] += ra * row[b];
-                }
-            }
-        }
-        for a in 0..self.cols {
-            for b in 0..a {
-                out[(a, b)] = out[(b, a)];
-            }
-        }
+        self.syrk_upper(None, out);
+        out.mirror_upper_in_place();
         Ok(())
     }
 
@@ -350,28 +340,100 @@ impl Matrix {
             });
         }
         out.data.fill(0.0);
-        for (i, &wi) in weights.iter().enumerate() {
-            let row = self.row(i);
-            let w2 = wi * wi;
-            if w2 == 0.0 {
+        self.syrk_upper(Some(weights), out);
+        out.mirror_upper_in_place();
+        Ok(())
+    }
+
+    /// The shared `syrk`-style core of [`Matrix::gram_into`] and
+    /// [`Matrix::weighted_gram_into`]: accumulates
+    /// `Σᵢ cᵢ·rowᵢᵀ·rowᵢ` (with `cᵢ = wᵢ²` or `1`) into the **upper**
+    /// triangle of `out`, consuming rows in rank-4 panels so each pass
+    /// over the output tile folds in four rank-one updates — four row
+    /// loads per cache line of `out` instead of one, with fully
+    /// contiguous inner loops. Rows are accumulated in ascending order
+    /// inside each output element, and a panel containing a
+    /// zero-coefficient row degrades to the scalar per-row loop (whose
+    /// `cᵢ = 0` skip masks that row entirely, non-finite entries
+    /// included), so results are bit-for-bit those of the scalar
+    /// rank-one recurrence for every finite contributing row.
+    fn syrk_upper(&self, weights: Option<&[f64]>, out: &mut Matrix) {
+        let n = self.cols;
+        let w2 = |i: usize| weights.map_or(1.0, |w| w[i] * w[i]);
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            let (c0, c1, c2, c3) = (w2(i), w2(i + 1), w2(i + 2), w2(i + 3));
+            if c0 == 0.0 || c1 == 0.0 || c2 == 0.0 || c3 == 0.0 {
+                // Zero-weight rows must be masked, not multiplied
+                // (0·∞ = NaN): take the scalar path for this panel.
+                for k in i..i + 4 {
+                    self.syrk_upper_row(k, w2(k), out);
+                }
+                i += 4;
                 continue;
             }
-            for a in 0..self.cols {
-                let ra = w2 * row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                for b in a..self.cols {
-                    out[(a, b)] += ra * row[b];
+            let (r0, r1, r2, r3) = (
+                &self.data[i * n..(i + 1) * n],
+                &self.data[(i + 1) * n..(i + 2) * n],
+                &self.data[(i + 2) * n..(i + 3) * n],
+                &self.data[(i + 3) * n..(i + 4) * n],
+            );
+            for a in 0..n {
+                let (a0, a1, a2, a3) = (c0 * r0[a], c1 * r1[a], c2 * r2[a], c3 * r3[a]);
+                let orow = &mut out.data[a * n + a..(a + 1) * n];
+                for ((((o, &b0), &b1), &b2), &b3) in orow
+                    .iter_mut()
+                    .zip(&r0[a..])
+                    .zip(&r1[a..])
+                    .zip(&r2[a..])
+                    .zip(&r3[a..])
+                {
+                    // Ascending-row addition order — see the doc comment.
+                    let mut acc = *o;
+                    acc += a0 * b0;
+                    acc += a1 * b1;
+                    acc += a2 * b2;
+                    acc += a3 * b3;
+                    *o = acc;
                 }
             }
+            i += 4;
         }
-        for a in 0..self.cols {
+        while i < self.rows {
+            self.syrk_upper_row(i, w2(i), out);
+            i += 1;
+        }
+    }
+
+    /// One scalar rank-one update of [`Matrix::syrk_upper`]: folds
+    /// `cᵢ·rowᵢᵀ·rowᵢ` into the upper triangle, skipping zero-weight
+    /// rows and zero left-factors exactly like the pre-blocking loop
+    /// did.
+    fn syrk_upper_row(&self, i: usize, ci: f64, out: &mut Matrix) {
+        if ci == 0.0 {
+            return;
+        }
+        let n = self.cols;
+        let row = &self.data[i * n..(i + 1) * n];
+        for a in 0..n {
+            let ra = ci * row[a];
+            if ra == 0.0 {
+                continue;
+            }
+            let orow = &mut out.data[a * n + a..(a + 1) * n];
+            for (o, &rb) in orow.iter_mut().zip(&row[a..]) {
+                *o += ra * rb;
+            }
+        }
+    }
+
+    /// Mirrors the upper triangle of a square buffer onto the lower one.
+    fn mirror_upper_in_place(&mut self) {
+        for a in 0..self.rows {
             for b in 0..a {
-                out[(a, b)] = out[(b, a)];
+                self.data[a * self.cols + b] = self.data[b * self.cols + a];
             }
         }
-        Ok(())
     }
 
     /// Writes `self * x` into `out` without allocating.
@@ -804,6 +866,56 @@ mod tests {
         assert!(a.weighted_gram_into(&[1.0], &mut out).is_err());
         let mut wrong = Matrix::zeros(3, 3);
         assert!(a.weighted_gram_into(&w, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn gram_panels_match_scalar_loop_on_tall_matrices() {
+        // 11 rows exercises two rank-4 panels plus a 3-row scalar tail;
+        // the blocked result must be bit-identical to the reference
+        // row-by-row accumulation.
+        let a = Matrix::from_fn(11, 5, |i, j| ((i * 5 + j) as f64 * 0.37).sin());
+        let w: Vec<f64> = (0..11).map(|i| 0.3 + 0.2 * i as f64).collect();
+        let mut blocked = Matrix::zeros(5, 5);
+        a.weighted_gram_into(&w, &mut blocked).unwrap();
+        let mut reference = Matrix::zeros(5, 5);
+        for i in 0..11 {
+            let w2 = w[i] * w[i];
+            for p in 0..5 {
+                for q in p..5 {
+                    reference[(p, q)] += w2 * a[(i, p)] * a[(i, q)];
+                }
+            }
+        }
+        for p in 0..5 {
+            for q in p..5 {
+                assert_eq!(blocked[(p, q)], reference[(p, q)], "({p},{q})");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_rows_are_masked_even_when_non_finite() {
+        // A zero weight must skip its row entirely — multiplying through
+        // would turn 0·∞ into NaN. Both panel-interior and tail rows.
+        let a = Matrix::from_fn(9, 3, |i, j| {
+            if i == 2 || i == 8 {
+                f64::INFINITY
+            } else {
+                (i + j) as f64
+            }
+        });
+        let mut w = vec![1.0; 9];
+        w[2] = 0.0;
+        w[8] = 0.0;
+        let mut out = Matrix::zeros(3, 3);
+        a.weighted_gram_into(&w, &mut out).unwrap();
+        assert!(out.is_finite(), "masked rows leaked non-finite values");
+        // Equivalent to dropping those rows outright.
+        let kept = Matrix::from_fn(7, 3, |r, j| {
+            let i = [0, 1, 3, 4, 5, 6, 7][r];
+            a[(i, j)]
+        });
+        assert!((&out - &kept.gram()).norm_frobenius() < 1e-12);
     }
 
     #[test]

@@ -84,6 +84,11 @@ impl Cell {
         self.theta
     }
 
+    /// The cell's cycle parameters, borrowed (no copy in hot loops).
+    pub(crate) fn theta_ref(&self) -> &Theta {
+        &self.theta
+    }
+
     /// Absolute time at which the cell reaches `φ = 1` and divides:
     /// `t_birth + T·(1 − φ₀)` (paper §2.1).
     pub fn division_time(&self) -> f64 {

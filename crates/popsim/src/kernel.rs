@@ -346,21 +346,31 @@ impl KernelEstimator {
     /// per-bin volume density (volume per unit phase per cell), the total
     /// volume, and the live-cell count.
     fn estimate_one(&self, population: &Population, t: f64) -> Result<(Vec<f64>, f64, usize)> {
-        let snapshot = population.snapshot_at(t)?;
         let dphi = 1.0 / self.bins as f64;
+        // Hoisted out of the per-cell loop: one multiply by the
+        // precomputed reciprocal bin width replaces a divide per sample,
+        // and the `min` clamp compiles branch-free. The product can
+        // differ from the old per-sample quotient by one ulp, which only
+        // matters for a phase within one ulp of a bin edge — the golden
+        // fixtures and determinism suite pin that no committed workload
+        // crosses one. Cells stream directly from the population (no
+        // snapshot vector) in cell order, so the sums are unchanged.
+        let inv_dphi = 1.0 / dphi;
+        let top_bin = self.bins - 1;
         let mut hist = vec![0.0; self.bins];
         let mut total = 0.0;
-        for (phi, theta) in &snapshot {
-            let v = self.volume_model.volume(*phi, theta.phi_sst)?;
-            let b = ((phi / dphi) as usize).min(self.bins - 1);
+        let count = population.for_each_alive_at(t, |phi, theta| {
+            let v = self.volume_model.volume(phi, theta.phi_sst)?;
+            let b = ((phi * inv_dphi) as usize).min(top_bin);
             hist[b] += v;
             total += v;
-        }
+            Ok(())
+        })?;
         // Convert bin mass to density in φ.
         for h in &mut hist {
             *h /= dphi;
         }
-        Ok((hist, total, snapshot.len()))
+        Ok((hist, total, count))
     }
 }
 

@@ -1,8 +1,24 @@
 //! The cardinal natural-spline basis and its exact roughness penalty.
 
+use std::cell::Cell;
+
 use cellsync_linalg::Matrix;
 
 use crate::{CubicSpline, Result, SplineError};
+
+thread_local! {
+    /// Per-thread last-segment hint for the knot-interval lookup, keyed
+    /// by the knot buffer's address: profile evaluation sweeps phases
+    /// monotonically (dense grids, design rows, bootstrap sampling), so
+    /// the segment that served the previous query almost always serves
+    /// the next one — the binary search runs only on a miss. Thread-local
+    /// rather than a field so parallel `fit_many` workers sharing one
+    /// engine never contend on (or invalidate) each other's hint. The
+    /// hint is a pure accelerator: it is validated against the current
+    /// basis before use, so a stale or aliased key costs one extra
+    /// search, never a wrong answer.
+    static SEGMENT_HINT: Cell<(usize, usize)> = const { Cell::new((usize::MAX, 0)) };
+}
 
 /// The cardinal basis `{ψᵢ}` of natural cubic splines on a knot grid:
 /// `ψᵢ` is the natural cubic spline with `ψᵢ(t_j) = δᵢⱼ`.
@@ -30,6 +46,14 @@ pub struct NaturalSplineBasis {
     knots: Vec<f64>,
     /// One cardinal spline per knot.
     cardinals: Vec<CubicSpline>,
+    /// Knot-major moment table: row `k` holds `ψⱼ''(t_k)` for every
+    /// cardinal `j` (contiguous, so a combination's curvature at a knot
+    /// is one dot product with the coefficients).
+    moments_t: Matrix,
+    /// `ψⱼ'(t₀)` per cardinal — the left linear-extension slopes.
+    deriv_lo: Vec<f64>,
+    /// `ψⱼ'(t_{n−1})` per cardinal — the right linear-extension slopes.
+    deriv_hi: Vec<f64>,
 }
 
 impl NaturalSplineBasis {
@@ -58,7 +82,16 @@ impl NaturalSplineBasis {
             cardinals.push(CubicSpline::interpolate(&knots, &delta)?);
             delta[i] = 0.0;
         }
-        Ok(NaturalSplineBasis { knots, cardinals })
+        let moments_t = Matrix::from_fn(n, n, |k, j| cardinals[j].moments()[k]);
+        let deriv_lo: Vec<f64> = cardinals.iter().map(|c| c.deriv(knots[0])).collect();
+        let deriv_hi: Vec<f64> = cardinals.iter().map(|c| c.deriv(knots[n - 1])).collect();
+        Ok(NaturalSplineBasis {
+            knots,
+            cardinals,
+            moments_t,
+            deriv_lo,
+            deriv_hi,
+        })
     }
 
     /// Builds the basis on `n` uniformly spaced knots over `[a, b]`.
@@ -163,44 +196,111 @@ impl NaturalSplineBasis {
         }))
     }
 
+    /// Index of the knot interval containing `phi` (clamped to the
+    /// boundary intervals), served by the per-thread last-segment hint
+    /// with a binary-search fallback on miss.
+    fn segment(&self, phi: f64) -> usize {
+        let n = self.knots.len();
+        let key = self.knots.as_ptr() as usize;
+        let (cached_key, hint) = SEGMENT_HINT.with(Cell::get);
+        if cached_key == key
+            && hint + 1 < n
+            && self.knots[hint] <= phi
+            && phi < self.knots[hint + 1]
+        {
+            return hint;
+        }
+        let i = if phi <= self.knots[0] {
+            0
+        } else if phi >= self.knots[n - 1] {
+            n - 2
+        } else {
+            match self
+                .knots
+                .binary_search_by(|v| v.partial_cmp(&phi).expect("finite knots"))
+            {
+                Ok(i) => i.min(n - 2),
+                Err(i) => i - 1,
+            }
+        };
+        SEGMENT_HINT.with(|c| c.set((key, i)));
+        i
+    }
+
     /// Evaluates the spline `Σ coeffs[i]·ψᵢ` at `phi`.
+    ///
+    /// A combination of cardinal splines on one knot grid is itself a
+    /// natural spline with knot values `coeffs` and knot curvatures
+    /// `Σⱼ coeffs[j]·ψⱼ''(t_k)`, so the evaluation is **one** (cached,
+    /// binary-search-backed) segment lookup plus two contiguous dot
+    /// products with the precomputed moment table — not `n` independent
+    /// cardinal evaluations each paying its own knot scan.
     ///
     /// # Errors
     ///
     /// Returns [`SplineError::CoefficientMismatch`] for wrong-length
     /// coefficients.
     pub fn eval_combination(&self, coeffs: &[f64], phi: f64) -> Result<f64> {
-        if coeffs.len() != self.len() {
+        let n = self.len();
+        if coeffs.len() != n {
             return Err(SplineError::CoefficientMismatch {
-                basis: self.len(),
+                basis: n,
                 coefficients: coeffs.len(),
             });
         }
-        Ok(coeffs
-            .iter()
-            .zip(&self.cardinals)
-            .map(|(a, c)| a * c.eval(phi))
-            .sum())
+        // Linear extension outside the knot range (zero end curvature).
+        if phi < self.knots[0] {
+            let slope: f64 = dot(&self.deriv_lo, coeffs);
+            return Ok(coeffs[0] + slope * (phi - self.knots[0]));
+        }
+        if phi > self.knots[n - 1] {
+            let slope: f64 = dot(&self.deriv_hi, coeffs);
+            return Ok(coeffs[n - 1] + slope * (phi - self.knots[n - 1]));
+        }
+        let i = self.segment(phi);
+        let h = self.knots[i + 1] - self.knots[i];
+        let a = (self.knots[i + 1] - phi) / h;
+        let b = 1.0 - a;
+        let m_lo = dot(self.moments_t.row(i), coeffs);
+        let m_hi = dot(self.moments_t.row(i + 1), coeffs);
+        Ok(a * coeffs[i]
+            + b * coeffs[i + 1]
+            + ((a * a * a - a) * m_lo + (b * b * b - b) * m_hi) * h * h / 6.0)
     }
 
-    /// Evaluates the derivative of the combination at `phi`.
+    /// Evaluates the derivative of the combination at `phi`, through the
+    /// same single-lookup fast path as
+    /// [`NaturalSplineBasis::eval_combination`].
     ///
     /// # Errors
     ///
     /// Returns [`SplineError::CoefficientMismatch`] for wrong-length
     /// coefficients.
     pub fn deriv_combination(&self, coeffs: &[f64], phi: f64) -> Result<f64> {
-        if coeffs.len() != self.len() {
+        let n = self.len();
+        if coeffs.len() != n {
             return Err(SplineError::CoefficientMismatch {
-                basis: self.len(),
+                basis: n,
                 coefficients: coeffs.len(),
             });
         }
-        Ok(coeffs
-            .iter()
-            .zip(&self.cardinals)
-            .map(|(a, c)| a * c.deriv(phi))
-            .sum())
+        // Outside the knots the extension is linear: constant slope.
+        if phi < self.knots[0] {
+            return Ok(dot(&self.deriv_lo, coeffs));
+        }
+        if phi > self.knots[n - 1] {
+            return Ok(dot(&self.deriv_hi, coeffs));
+        }
+        let i = self.segment(phi);
+        let h = self.knots[i + 1] - self.knots[i];
+        let a = (self.knots[i + 1] - phi) / h;
+        let b = 1.0 - a;
+        let m_lo = dot(self.moments_t.row(i), coeffs);
+        let m_hi = dot(self.moments_t.row(i + 1), coeffs);
+        Ok(
+            (coeffs[i + 1] - coeffs[i]) / h - (3.0 * a * a - 1.0) * h / 6.0 * m_lo
+                + (3.0 * b * b - 1.0) * h / 6.0 * m_hi,
+        )
     }
 
     /// The exact roughness Gram matrix `Ωᵢⱼ = ∫ψᵢ''(φ)ψⱼ''(φ)dφ` over the
@@ -243,6 +343,11 @@ impl NaturalSplineBasis {
     pub fn integrals(&self) -> Vec<f64> {
         self.cardinals.iter().map(|c| c.integral()).collect()
     }
+}
+
+/// Contiguous dot product of two equal-length slices.
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 #[cfg(test)]
@@ -395,6 +500,41 @@ mod tests {
         let b = basis();
         assert!(b.eval_combination(&[1.0], 0.5).is_err());
         assert!(b.deriv_combination(&[1.0], 0.5).is_err());
+    }
+
+    #[test]
+    fn combination_fast_path_matches_cardinal_sum() {
+        // The single-lookup moment-table path must agree with the naive
+        // Σ αᵢψᵢ(φ) cardinal sum everywhere — including out-of-range
+        // phases (linear extension) and adversarial sweep orders that
+        // defeat the segment hint.
+        let b = NaturalSplineBasis::uniform(9, 0.0, 1.0).unwrap();
+        let coeffs: Vec<f64> = (0..9).map(|i| ((i * 13 % 7) as f64) - 2.5).collect();
+        let naive = |phi: f64| -> (f64, f64) {
+            let v: f64 = coeffs
+                .iter()
+                .zip(0..b.len())
+                .map(|(a, i)| a * b.eval(i, phi))
+                .sum();
+            let d: f64 = coeffs
+                .iter()
+                .zip(0..b.len())
+                .map(|(a, i)| a * b.deriv(i, phi))
+                .sum();
+            (v, d)
+        };
+        // Forward sweep (cache hits), backward sweep (cache misses), and
+        // boundary/out-of-range probes.
+        let mut phis: Vec<f64> = (0..=200).map(|k| k as f64 / 200.0).collect();
+        phis.extend((0..=200).rev().map(|k| k as f64 / 200.0));
+        phis.extend([-0.25, -1e-12, 0.0, 1.0, 1.0 + 1e-12, 1.4]);
+        for &phi in &phis {
+            let (v, d) = naive(phi);
+            let fast_v = b.eval_combination(&coeffs, phi).unwrap();
+            let fast_d = b.deriv_combination(&coeffs, phi).unwrap();
+            assert!((fast_v - v).abs() < 1e-12, "phi {phi}: {fast_v} vs {v}");
+            assert!((fast_d - d).abs() < 1e-11, "phi {phi}: {fast_d}' vs {d}'");
+        }
     }
 
     #[test]
