@@ -1,10 +1,11 @@
 //! `perf` — the machine-readable performance harness.
 //!
-//! Times the workspace's nine hot computational kernels (dense Cholesky
+//! Times the workspace's ten hot computational kernels (dense Cholesky
 //! solve, spline-basis assembly/evaluation, active-set QP, RK4 ODE
 //! integration, Monte-Carlo kernel estimation, blocked weighted-Gram
-//! assembly, the cold collocation-constrained QP, the λ-path GCV fit,
-//! and the warm-started shared-Hessian QP pattern) plus the end-to-end
+//! assembly, the cold collocation-constrained QP on both the active-set
+//! and interior-point backends, the λ-path GCV fit, and the
+//! warm-started shared-Hessian QP pattern) plus the end-to-end
 //! genome-wide batch deconvolution (wall time, per-gene throughput, and
 //! thread-count scaling at 1/2/4 workers), and writes the results as a
 //! schema-stable `BENCH.json` — the repo's perf trajectory format.
@@ -46,7 +47,7 @@ use cellsync_linalg::{Matrix, Vector};
 use cellsync_ode::models::LotkaVolterra;
 use cellsync_ode::period::rescale_lotka_volterra;
 use cellsync_ode::solver::Rk4;
-use cellsync_opt::{QpProblem, QpWorkspace, QuadraticProgram};
+use cellsync_opt::{IpmWorkspace, QpProblem, QpWorkspace, QuadraticProgram};
 use cellsync_popsim::{
     CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
 };
@@ -353,6 +354,23 @@ fn measure_kernels(config: &Config, population: &Population, times: &[f64]) -> V
         }
     });
     kernels.push(kernel_entry("qp_cold_colloc_18x101x6", reps, median, min));
+
+    // 8. The same cold collocation-constrained QP through the Mehrotra
+    // interior-point backend — the second opinion a differential
+    // cross-check (or an ill-conditioned fit) pays per instance. Same
+    // H/c/collocation as kernel 7 so the two medians are directly
+    // comparable backend-to-backend.
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..6 {
+            let mut workspace = IpmWorkspace::new();
+            let problem = QpProblem::new(&h, &c)
+                .expect("valid qp")
+                .with_inequalities(&colloc, &zeros101)
+                .expect("shapes agree");
+            std::hint::black_box(workspace.solve(&problem).expect("solvable"));
+        }
+    });
+    kernels.push(kernel_entry("qp_ipm_cold_18x101x6", reps, median, min));
 
     kernels
 }

@@ -1,7 +1,7 @@
 //! The constrained-spline deconvolution solver (paper §2.3).
 
 use cellsync_linalg::{CholeskyDecomposition, Matrix, Vector};
-use cellsync_opt::{QpProblem, QpWorkspace};
+use cellsync_opt::{QpInstance, QpProblem, QpWorkspace};
 use cellsync_popsim::{CellCycleParams, PhaseKernel};
 use cellsync_runtime::Pool;
 use cellsync_spline::NaturalSplineBasis;
@@ -248,6 +248,72 @@ impl Deconvolver {
     pub fn fit(&self, g: &[f64], sigmas: Option<&[f64]>) -> Result<DeconvolutionResult> {
         let mut workspace = FitWorkspace::new();
         self.fit_with(&mut workspace, g, sigmas)
+    }
+
+    /// Harvests the constrained QP a real fit of `g` solves, as a
+    /// portable [`QpInstance`] in the corpus text format.
+    ///
+    /// Runs the full fit (λ selection included), then re-assembles the
+    /// Hessian `H = 2(BᵀW²B + λΩ + εI)` and linear term `c = −2BᵀW²g`
+    /// at the selected λ — exactly what the production solve saw — along
+    /// with the engine's equality and positivity blocks. The fitted
+    /// coefficients become the instance's warm start, and the positivity
+    /// rows active at them (the bootstrap's warm-hint rule) its active
+    /// set, so the corpus preserves the warm-started solve shape, not
+    /// just the cold one. The origin line records λ, the problem sizes,
+    /// and the weighting for provenance.
+    ///
+    /// This is how the committed instances under
+    /// `tests/fixtures/qp_corpus/harvest-*.qp` were produced.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Deconvolver::fit`], plus [`cellsync_opt::OptError`]
+    /// (wrapped in [`DeconvError::Opt`]) for an invalid instance `name`.
+    pub fn harvest_qp(&self, g: &[f64], sigmas: Option<&[f64]>, name: &str) -> Result<QpInstance> {
+        let fitted = self.fit(g, sigmas)?;
+        let lambda = fitted.lambda();
+        let alpha = Vector::from_slice(fitted.alpha());
+        let n = self.basis.len();
+        let m = self.forward.num_measurements();
+
+        let owned_weights: Vec<f64>;
+        let weights: &[f64] = match sigmas {
+            Some(s) => {
+                owned_weights = s.iter().map(|s| 1.0 / s).collect();
+                &owned_weights
+            }
+            None => &self.unit_weights,
+        };
+        let mut h = Matrix::zeros(n, n);
+        self.design.weighted_gram_into(weights, &mut h)?;
+        self.assemble_hessian(&mut h, lambda)?;
+        let w2g = Vector::from_fn(m, |i| weights[i] * weights[i] * g[i]);
+        let c = -&self.design.tr_matvec(&w2g)?.scaled(2.0);
+
+        let weighting = if sigmas.is_some() {
+            "sigma-weighted"
+        } else {
+            "unit-weighted"
+        };
+        let mut instance = QpInstance::new(name, h, c)?.with_origin(&format!(
+            "harvested deconvolution fit: n={n} m={m} lambda={lambda:e} ridge={:e} {weighting}",
+            self.ridge_eff()
+        ))?;
+        if let Some((e_mat, e_rhs)) = &self.equality {
+            instance = instance.with_equalities(e_mat.clone(), e_rhs.clone())?;
+        }
+        if let Some((p_mat, p_rhs)) = &self.positivity {
+            instance = instance.with_inequalities(p_mat.clone(), p_rhs.clone())?;
+            let px = p_mat.matvec(&alpha)?;
+            let scale = 1.0 + alpha.norm_inf();
+            let active: Vec<usize> = (0..px.len())
+                .filter(|&i| px[i].abs() <= QpWorkspace::WARM_ACTIVITY_TOL * scale)
+                .collect();
+            instance = instance.with_active(active)?;
+        }
+        instance = instance.with_start(alpha)?;
+        Ok(instance)
     }
 
     /// Fits one series reusing `workspace` for every buffer,

@@ -32,6 +32,13 @@ pub enum OptError {
     Linalg(cellsync_linalg::LinalgError),
     /// Generic invalid argument.
     InvalidArgument(&'static str),
+    /// A QP corpus document failed to parse (see [`crate::QpInstance`]).
+    Corpus {
+        /// 1-based line number of the offending line (0 for end-of-file).
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for OptError {
@@ -60,6 +67,13 @@ impl fmt::Display for OptError {
             }
             OptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             OptError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            OptError::Corpus { line, message } => {
+                if *line == 0 {
+                    write!(f, "corpus parse error at end of input: {message}")
+                } else {
+                    write!(f, "corpus parse error at line {line}: {message}")
+                }
+            }
         }
     }
 }
@@ -99,6 +113,14 @@ mod tests {
             },
             OptError::Linalg(cellsync_linalg::LinalgError::Singular),
             OptError::InvalidArgument("x"),
+            OptError::Corpus {
+                line: 3,
+                message: "test".into(),
+            },
+            OptError::Corpus {
+                line: 0,
+                message: "truncated".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -14,6 +14,13 @@
 //!   factor, warm starts, scratch buffers) for repeated-solve hot paths.
 //! * [`QuadraticProgram`] — the owned one-shot wrapper over the same
 //!   solver.
+//! * [`IpmWorkspace`] — Mehrotra predictor–corrector interior-point method
+//!   (Nocedal & Wright, §16.6), an algorithmically independent second QP
+//!   backend; both solvers implement [`QpBackend`] so callers can run the
+//!   same problem through each and compare.
+//! * [`QpInstance`] — owned, serializable QP with a line-oriented text
+//!   format (writer + strict parser) backing the committed differential
+//!   corpus under `tests/fixtures/qp_corpus/`.
 //! * [`Nnls`] — Lawson–Hanson nonnegative least squares (independent
 //!   cross-check of the QP on positivity-only problems).
 //! * [`ProjectedGradient`] — projected gradient descent for box-constrained
@@ -44,15 +51,21 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod backend;
+mod corpus;
 mod error;
 mod golden;
+mod ipm;
 mod nelder_mead;
 mod nnls;
 mod projgrad;
 mod qp;
 
+pub use backend::QpBackend;
+pub use corpus::QpInstance;
 pub use error::OptError;
 pub use golden::golden_section;
+pub use ipm::IpmWorkspace;
 pub use nelder_mead::{NelderMead, SimplexResult};
 pub use nnls::Nnls;
 pub use projgrad::ProjectedGradient;

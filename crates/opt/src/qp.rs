@@ -189,6 +189,31 @@ impl<'a> QpProblem<'a> {
         self.h.rows()
     }
 
+    /// The Hessian `H` (crate-internal: shared with the IPM backend).
+    pub(crate) fn hessian(&self) -> &'a Matrix {
+        self.h
+    }
+
+    /// The linear term `c`.
+    pub(crate) fn linear(&self) -> &'a Vector {
+        self.c
+    }
+
+    /// The equality block `(E, e)`, if any.
+    pub(crate) fn equalities(&self) -> Option<(&'a Matrix, &'a Vector)> {
+        self.eq
+    }
+
+    /// The inequality block `(A, b)`, if any.
+    pub(crate) fn inequalities(&self) -> Option<(&'a Matrix, &'a Vector)> {
+        self.ineq
+    }
+
+    /// The iteration budget.
+    pub(crate) fn iteration_budget(&self) -> usize {
+        self.max_iterations
+    }
+
     /// Checks feasibility of `x` within tolerance `tol`.
     fn is_feasible(&self, x: &Vector, tol: f64) -> Result<bool> {
         if let Some((e_mat, e_rhs)) = &self.eq {
@@ -224,12 +249,25 @@ impl<'a> QpProblem<'a> {
             return Ok(origin);
         }
         if let Some((e_mat, e_rhs)) = &self.eq {
-            // Minimum-norm solution of Ex = e: x = Eᵀ(EEᵀ)⁻¹e.
+            // Minimum-norm solution of Ex = e: x = Eᵀ(EEᵀ)⁻¹e. A singular
+            // EEᵀ means dependent equality rows — with a right-hand side
+            // the origin did not already satisfy, the system is either
+            // inconsistent or needs a user-supplied start, so the failure
+            // is reported as infeasibility rather than a bare linear-
+            // algebra error.
             let eet = e_mat.matmul(&e_mat.transpose())?;
-            let w = eet.lu()?.solve(e_rhs)?;
-            let x = e_mat.tr_matvec(&w)?;
-            if self.is_feasible(&x, tol.max(1e-8))? {
-                return Ok(x);
+            if let Ok(lu) = eet.lu() {
+                let w = lu.solve(e_rhs)?;
+                let x = e_mat.tr_matvec(&w)?;
+                if self.is_feasible(&x, tol.max(1e-8))? {
+                    return Ok(x);
+                }
+            } else {
+                return Err(OptError::Infeasible(
+                    "equality system is rank-deficient and not satisfied at the origin \
+                     (inconsistent rows, or supply a start with with_start)"
+                        .into(),
+                ));
             }
         }
         Err(OptError::Infeasible(

@@ -2,7 +2,10 @@
 //! convex problems and cross-solver agreement.
 
 use cellsync_linalg::{Matrix, Vector};
-use cellsync_opt::{golden_section, NelderMead, Nnls, ProjectedGradient, QuadraticProgram};
+use cellsync_opt::{
+    golden_section, IpmWorkspace, NelderMead, Nnls, ProjectedGradient, QpBackend, QpInstance,
+    QpWorkspace, QuadraticProgram,
+};
 use proptest::prelude::*;
 
 /// Random SPD Hessian: AᵀA + n·I from bounded entries.
@@ -20,6 +23,68 @@ fn spd_hessian(n: usize) -> impl Strategy<Value = Matrix> {
 
 fn linear_term(n: usize) -> impl Strategy<Value = Vector> {
     prop::collection::vec(-5.0..5.0f64, n).prop_map(Vector::from)
+}
+
+/// Constraint geometry for the cross-backend differential property.
+/// Every variant is feasible by construction and supplies a start when
+/// the origin is not one (the active-set method has no inequality
+/// phase-1).
+#[derive(Debug, Clone)]
+enum Geometry {
+    /// `x ≥ 0`; the origin is feasible.
+    Positivity,
+    /// `x ≥ 0` with a conservation-style row `Σx = n·t`, `t > 0`;
+    /// `t·1` is feasible.
+    SumEquality(f64),
+    /// `x ≥ 0` plus the half-space `Σx ≥ −1`; the origin is feasible.
+    Halfspace,
+}
+
+fn geometry() -> impl Strategy<Value = Geometry> {
+    (0..3usize, 0.5..1.5f64).prop_map(|(kind, t)| match kind {
+        0 => Geometry::Positivity,
+        1 => Geometry::SumEquality(t),
+        _ => Geometry::Halfspace,
+    })
+}
+
+/// Builds the serializable instance for one random draw. Returning a
+/// [`QpInstance`] (rather than a bare problem) is the point: a shrunk
+/// counterexample prints in the corpus text format, ready to pin under
+/// `tests/fixtures/qp_corpus/regressions/`.
+fn differential_instance(n: usize, h: Matrix, c: Vector, geom: &Geometry) -> QpInstance {
+    let inst = QpInstance::new("regress-shrunk", h, c).expect("valid name and shapes");
+    match *geom {
+        Geometry::Positivity => inst
+            .with_inequalities(Matrix::identity(n), Vector::zeros(n))
+            .expect("shapes"),
+        Geometry::SumEquality(t) => inst
+            .with_equalities(
+                Matrix::from_fn(1, n, |_, _| 1.0),
+                Vector::from_slice(&[n as f64 * t]),
+            )
+            .expect("shapes")
+            .with_inequalities(Matrix::identity(n), Vector::zeros(n))
+            .expect("shapes")
+            .with_start(Vector::from_fn(n, |_| t))
+            .expect("shapes"),
+        Geometry::Halfspace => inst
+            .with_inequalities(
+                Matrix::from_fn(n + 1, n, |i, j| {
+                    if i < n {
+                        if i == j {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        1.0
+                    }
+                }),
+                Vector::from_fn(n + 1, |i| if i < n { 0.0 } else { -1.0 }),
+            )
+            .expect("shapes"),
+    }
 }
 
 proptest! {
@@ -45,6 +110,37 @@ proptest! {
                 prop_assert!(grad[i] > -1e-6, "dual feasibility at {i}: {}", grad[i]);
             }
         }
+    }
+
+    #[test]
+    fn active_set_and_ipm_agree_on_random_qps(
+        h in spd_hessian(5),
+        c in linear_term(5),
+        geom in geometry(),
+    ) {
+        let inst = differential_instance(5, h, c, &geom);
+        let problem = inst.problem().expect("feasible by construction");
+        let ipm = IpmWorkspace::new().solve_qp(&problem);
+        let active = QpWorkspace::new().solve_qp(&problem);
+        let (ipm, active) = match (ipm, active) {
+            (Ok(i), Ok(a)) => (i, a),
+            (i, a) => {
+                return Err(TestCaseError::fail(format!(
+                    "backend error (ipm: {:?}, active-set: {:?}); pin this instance under \
+                     tests/fixtures/qp_corpus/regressions/ (see its README):\n{}",
+                    i.err(), a.err(), inst.to_text(),
+                )));
+            }
+        };
+        let scale = 1.0 + active.x.norm_inf();
+        let dx = (&ipm.x - &active.x).norm_inf();
+        let dobj = (ipm.objective - active.objective).abs();
+        prop_assert!(
+            dx <= 1e-7 * scale && dobj <= 1e-7 * (1.0 + active.objective.abs()),
+            "backends disagree (|Δx|∞ = {dx:e}, |Δobj| = {dobj:e}); pin this instance \
+             under tests/fixtures/qp_corpus/regressions/ (see its README):\n{}",
+            inst.to_text(),
+        );
     }
 
     #[test]
