@@ -1,0 +1,507 @@
+//! `loadgen` — localhost load driver for the cellsync serving stack.
+//!
+//! Spawns an in-process [`cellsync_serve::Server`] (or targets a running
+//! one via `--addr`), fires a mixed-family fit workload at configurable
+//! concurrency over persistent keep-alive connections, and writes
+//! throughput (genes/s), exact client-side latency percentiles, and the
+//! server's cache/batch counters into a `cellsync-serve-bench/1`
+//! `BENCH.json` document.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--concurrency N]
+//!         [--families a,b,c] [--out PATH] [--min-hit-rate F] [--verify]
+//!         [--full] [--seed N] [--series-len N]
+//!         [--linger-us N] [--max-batch N] [--cache-cap N]
+//! ```
+//!
+//! * Default mode builds the quick in-process registry (400 cells, 32
+//!   bins, 10 times, 8 basis functions); `--full` switches to the
+//!   paper-scale standard registry. `--addr` skips the in-process server
+//!   and drives an external `served` instance instead.
+//! * `--verify` re-runs every response's request through the library
+//!   directly (after the timed window) and fails unless payloads are
+//!   bit-identical — only available in-process, where the registry is
+//!   known.
+//! * `--min-hit-rate F` exits non-zero when the server's engine-cache
+//!   hit rate `hits / (hits + misses)` falls below `F` — the CI gate for
+//!   the repeated-key workload.
+//!
+//! Exit status is non-zero on any request error, any verification
+//! mismatch, or a missed hit-rate gate, so CI can treat the binary as a
+//! smoke test.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use cellsync::{Deconvolver, FitRequest};
+use cellsync_bench::json::Json;
+use cellsync_bench::stamp;
+use cellsync_serve::{Client, FamilyRegistry, Server, ServerConfig};
+use cellsync_wire::{ErrorWire, FitRequestWire, FitResponseWire, StatsWire};
+
+/// Schema tag of the serving benchmark document.
+const SCHEMA: &str = "cellsync-serve-bench/1";
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    families: Vec<String>,
+    out: String,
+    min_hit_rate: Option<f64>,
+    verify: bool,
+    full: bool,
+    seed: u64,
+    series_len: Option<usize>,
+    linger_us: u64,
+    max_batch: usize,
+    cache_cap: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: None,
+            requests: 1_000,
+            concurrency: 4,
+            families: vec!["fixed".into(), "gcv".into(), "smooth".into()],
+            out: "BENCH.json".to_string(),
+            min_hit_rate: None,
+            verify: false,
+            full: false,
+            seed: 42,
+            series_len: None,
+            linger_us: 2_000,
+            max_batch: 64,
+            cache_cap: 8,
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] \
+     [--families a,b,c] [--out PATH] [--min-hit-rate F] [--verify] [--full] \
+     [--seed N] [--series-len N] [--linger-us N] [--max-batch N] [--cache-cap N]"
+        .to_string()
+}
+
+fn parse<T: std::str::FromStr>(text: &str, name: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{name}: cannot parse '{text}'"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--requests" => args.requests = parse(&value("--requests")?, "--requests")?,
+            "--concurrency" => {
+                args.concurrency = parse(&value("--concurrency")?, "--concurrency")?;
+            }
+            "--families" => {
+                args.families = value("--families")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--out" => args.out = value("--out")?,
+            "--min-hit-rate" => {
+                args.min_hit_rate = Some(parse(&value("--min-hit-rate")?, "--min-hit-rate")?);
+            }
+            "--verify" => args.verify = true,
+            "--full" => args.full = true,
+            "--seed" => args.seed = parse(&value("--seed")?, "--seed")?,
+            "--series-len" => {
+                args.series_len = Some(parse(&value("--series-len")?, "--series-len")?);
+            }
+            "--linger-us" => args.linger_us = parse(&value("--linger-us")?, "--linger-us")?,
+            "--max-batch" => args.max_batch = parse(&value("--max-batch")?, "--max-batch")?,
+            "--cache-cap" => args.cache_cap = parse(&value("--cache-cap")?, "--cache-cap")?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag '{other}': {}", usage())),
+        }
+    }
+    if args.requests == 0 || args.concurrency == 0 || args.families.is_empty() {
+        return Err("--requests, --concurrency, and --families must be non-empty".to_string());
+    }
+    if args.verify && args.addr.is_some() {
+        return Err(
+            "--verify needs the in-process registry; it cannot be combined with --addr".to_string(),
+        );
+    }
+    Ok(args)
+}
+
+/// The deterministic synthetic series for request `index`: a smooth
+/// strictly-positive curve whose phase and harmonics vary per request,
+/// so batches are never degenerate repeats of one series.
+fn series_for(index: usize, len: usize, seed: u64) -> Vec<f64> {
+    let phase = 0.37 * index as f64 + 1e-3 * seed as f64;
+    (0..len)
+        .map(|j| {
+            let t = j as f64 / len as f64;
+            2.0 + 0.6 * (std::f64::consts::TAU * t + phase).sin()
+                + 0.25 * (2.0 * std::f64::consts::TAU * t + 0.5 * phase).cos()
+        })
+        .collect()
+}
+
+fn wire_request(index: usize, families: &[String], len: usize, seed: u64) -> FitRequestWire {
+    FitRequestWire {
+        family: families[index % families.len()].clone(),
+        series: series_for(index, len, seed),
+        sigmas: None,
+        lambda: None,
+        bootstrap: None,
+    }
+}
+
+#[derive(Default)]
+struct WorkerOut {
+    latencies_us: Vec<u64>,
+    /// `(request index, response body)` pairs kept for `--verify`.
+    responses: Vec<(usize, String)>,
+    errors: u64,
+    first_error: Option<String>,
+}
+
+fn run_worker(
+    addr: &str,
+    args: &Args,
+    series_len: usize,
+    next: &AtomicUsize,
+) -> Result<WorkerOut, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut out = WorkerOut::default();
+    loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        if index >= args.requests {
+            return Ok(out);
+        }
+        let body = wire_request(index, &args.families, series_len, args.seed).encode();
+        let start = Instant::now();
+        let (status, response) = client
+            .post("/fit", &body)
+            .map_err(|e| format!("request {index}: {e}"))?;
+        let elapsed = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        out.latencies_us.push(elapsed);
+        if status == 200 {
+            if args.verify {
+                out.responses.push((index, response));
+            }
+        } else {
+            out.errors += 1;
+            if out.first_error.is_none() {
+                let detail = ErrorWire::decode(&response)
+                    .map(|e| format!("{} ({})", e.message, e.code))
+                    .unwrap_or(response);
+                out.first_error = Some(format!("request {index}: HTTP {status}: {detail}"));
+            }
+        }
+    }
+}
+
+/// Exact percentile of a sorted latency sample (nearest-rank method).
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Replays every recorded response through the library directly and
+/// counts bit-exact mismatches. Plain fits only (the workload sends no
+/// sigmas/overrides), so one engine per family covers every request.
+fn verify_responses(
+    registry: &FamilyRegistry,
+    args: &Args,
+    series_len: usize,
+    responses: &[(usize, String)],
+) -> Result<u64, String> {
+    let mut engines: HashMap<&str, Deconvolver> = HashMap::new();
+    for name in &args.families {
+        let family = registry
+            .get(name)
+            .ok_or_else(|| format!("family '{name}' missing from registry"))?;
+        let engine = family
+            .build_engine()
+            .map_err(|e| format!("build '{name}': {e}"))?;
+        engines.insert(family.name(), engine);
+    }
+    let mut mismatches = 0;
+    for (index, body) in responses {
+        let wire = FitResponseWire::decode(body)
+            .map_err(|e| format!("response {index} did not decode: {e}"))?;
+        let family = &args.families[index % args.families.len()];
+        let direct = engines[family.as_str()]
+            .fit_request(&FitRequest::new(series_for(*index, series_len, args.seed)))
+            .map_err(|e| format!("direct fit {index}: {e}"))?;
+        let direct = direct.result();
+        let same = wire.lambda.to_bits() == direct.lambda().to_bits()
+            && wire.weighted_sse.to_bits() == direct.weighted_sse().to_bits()
+            && wire.alpha.len() == direct.alpha().len()
+            && wire
+                .alpha
+                .iter()
+                .zip(direct.alpha())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && wire.predicted.len() == direct.predicted().len()
+            && wire
+                .predicted
+                .iter()
+                .zip(direct.predicted())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same {
+            mismatches += 1;
+            if mismatches == 1 {
+                eprintln!("loadgen: request {index} ({family}) is not bit-identical");
+            }
+        }
+    }
+    Ok(mismatches)
+}
+
+fn fetch_stats(addr: &str) -> Result<StatsWire, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("stats connect: {e}"))?;
+    let (status, body) = client.get("/stats").map_err(|e| format!("stats: {e}"))?;
+    if status != 200 {
+        return Err(format!("stats: HTTP {status}: {body}"));
+    }
+    StatsWire::decode(&body).map_err(|e| format!("stats decode: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+
+    // In-process by default: build the registry, start the server on an
+    // ephemeral port. With --addr, drive the external server instead.
+    let mut in_process = None;
+    let mut registry = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let (cells, bins, times, basis) = if args.full {
+                (20_000, 100, 11, 16)
+            } else {
+                (400, 32, 10, 8)
+            };
+            eprintln!(
+                "loadgen: starting in-process server ({cells} cells, {bins} bins, {times} times)"
+            );
+            let built = FamilyRegistry::standard(cells, bins, times, basis, args.seed)
+                .map_err(|e| format!("registry: {e}"))?;
+            let server = Server::start(
+                built.clone(),
+                ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    linger: Duration::from_micros(args.linger_us),
+                    max_batch: args.max_batch,
+                    cache_capacity: args.cache_cap,
+                },
+            )
+            .map_err(|e| format!("server start: {e}"))?;
+            let addr = server.addr().to_string();
+            registry = Some(built);
+            in_process = Some(server);
+            addr
+        }
+    };
+    // Series length must match the server's kernel: the registry's
+    // sample-time count in-process, `--series-len` (default: the
+    // standard `served` daemon's 11 times) externally.
+    let series_len = args.series_len.unwrap_or_else(|| {
+        registry.as_ref().map_or(11, |r| {
+            r.get(&args.families[0])
+                .map_or(11, |f| f.kernel().times().len())
+        })
+    });
+
+    eprintln!(
+        "loadgen: {} requests x {} workers -> {addr} (families: {})",
+        args.requests,
+        args.concurrency,
+        args.families.join(",")
+    );
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut workers: Vec<Result<WorkerOut, String>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.concurrency)
+            .map(|_| scope.spawn(|| run_worker(&addr, &args, series_len, &next)))
+            .collect();
+        for handle in handles {
+            workers.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let wall = started.elapsed();
+
+    let mut latencies = Vec::with_capacity(args.requests);
+    let mut responses = Vec::new();
+    let mut errors = 0u64;
+    let mut first_error = None;
+    for worker in workers {
+        let out = worker?;
+        latencies.extend(out.latencies_us);
+        responses.extend(out.responses);
+        errors += out.errors;
+        if first_error.is_none() {
+            first_error = out.first_error;
+        }
+    }
+    latencies.sort_unstable();
+    let completed = latencies.len();
+    let wall_s = wall.as_secs_f64();
+    let genes_per_s = if wall_s > 0.0 {
+        completed as f64 / wall_s
+    } else {
+        0.0
+    };
+    let p50 = percentile(&latencies, 0.50);
+    let p90 = percentile(&latencies, 0.90);
+    let p99 = percentile(&latencies, 0.99);
+    let max = latencies.last().copied().unwrap_or(0);
+
+    let mismatches = if args.verify {
+        let registry = registry.as_ref().expect("--verify implies in-process");
+        verify_responses(registry, &args, series_len, &responses)?
+    } else {
+        0
+    };
+
+    let stats = fetch_stats(&addr)?;
+    let lookups = stats.cache_hits + stats.cache_misses;
+    let hit_rate = if lookups > 0 {
+        stats.cache_hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+
+    if let Some(server) = in_process {
+        server.shutdown();
+        server.join();
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("git_commit".into(), Json::Str(stamp::git_commit())),
+        (
+            "mode".into(),
+            Json::Str(if args.addr.is_some() {
+                "external".into()
+            } else if args.full {
+                "in-process-full".into()
+            } else {
+                "in-process-quick".into()
+            }),
+        ),
+        ("requests".into(), Json::Num(args.requests as f64)),
+        ("completed".into(), Json::Num(completed as f64)),
+        ("concurrency".into(), Json::Num(args.concurrency as f64)),
+        (
+            "families".into(),
+            Json::Arr(args.families.iter().map(|f| Json::Str(f.clone())).collect()),
+        ),
+        ("series_len".into(), Json::Num(series_len as f64)),
+        ("errors".into(), Json::Num(errors as f64)),
+        ("verified".into(), Json::Bool(args.verify)),
+        ("verify_mismatches".into(), Json::Num(mismatches as f64)),
+        ("wall_s".into(), Json::Num(wall_s)),
+        ("genes_per_s".into(), Json::Num(genes_per_s)),
+        (
+            "latency_us".into(),
+            Json::Obj(vec![
+                ("p50".into(), Json::Num(p50 as f64)),
+                ("p90".into(), Json::Num(p90 as f64)),
+                ("p99".into(), Json::Num(p99 as f64)),
+                ("max".into(), Json::Num(max as f64)),
+            ]),
+        ),
+        (
+            "server".into(),
+            Json::Obj(vec![
+                ("cache_hits".into(), Json::Num(stats.cache_hits as f64)),
+                ("cache_misses".into(), Json::Num(stats.cache_misses as f64)),
+                ("cache_hit_rate".into(), Json::Num(hit_rate)),
+                (
+                    "cache_entries".into(),
+                    Json::Num(stats.cache_entries as f64),
+                ),
+                ("batches".into(), Json::Num(stats.batches as f64)),
+                (
+                    "batched_requests".into(),
+                    Json::Num(stats.batched_requests as f64),
+                ),
+                ("max_batch".into(), Json::Num(stats.max_batch as f64)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&args.out, doc.render() + "\n").map_err(|e| format!("{}: {e}", args.out))?;
+
+    println!(
+        "loadgen: {completed}/{} ok in {wall_s:.2}s -> {genes_per_s:.0} genes/s \
+         (p50 {p50}us, p99 {p99}us), cache hit rate {:.1}% over {lookups} lookups, \
+         {} batches (max {})",
+        args.requests,
+        100.0 * hit_rate,
+        stats.batches,
+        stats.max_batch,
+    );
+    println!("wrote {}", args.out);
+
+    let mut ok = true;
+    if errors > 0 {
+        eprintln!(
+            "loadgen: FAIL: {errors} request errors ({})",
+            first_error.as_deref().unwrap_or("no detail captured")
+        );
+        ok = false;
+    }
+    if completed != args.requests {
+        eprintln!(
+            "loadgen: FAIL: only {completed} of {} requests completed",
+            args.requests
+        );
+        ok = false;
+    }
+    if mismatches > 0 {
+        eprintln!("loadgen: FAIL: {mismatches} responses differ from direct library fits");
+        ok = false;
+    } else if args.verify {
+        println!(
+            "loadgen: verified {} responses bit-identical to direct library fits",
+            responses.len()
+        );
+    }
+    if let Some(gate) = args.min_hit_rate {
+        if hit_rate < gate {
+            eprintln!(
+                "loadgen: FAIL: cache hit rate {:.3} below the --min-hit-rate {gate} gate",
+                hit_rate
+            );
+            ok = false;
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::LambdaSelection;
+use crate::request::{BootstrapSpec, FitRequest, FitResponse};
 use crate::solver::{ReducedOperators, SpectralPath};
 use crate::{
     constraints, DeconvError, DeconvolutionConfig, FitWorkspace, ForwardModel, PhaseProfile, Result,
@@ -333,6 +334,59 @@ impl Deconvolver {
         g: &[f64],
         sigmas: Option<&[f64]>,
     ) -> Result<DeconvolutionResult> {
+        self.validate_series(g, sigmas)?;
+        self.fit_validated(workspace, g, sigmas, None)
+    }
+
+    /// Runs one owned [`FitRequest`] through the engine, allocating a
+    /// fresh workspace. This is the canonical fit entry point: `fit`,
+    /// `fit_with`, `fit_many`, and `fit_bootstrap` are all thin wrappers
+    /// over the same validated path, so request validation lives in
+    /// exactly one place.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Deconvolver::fit`], plus
+    /// [`DeconvError::InvalidConfig`] for a non-finite or negative λ
+    /// override, a bootstrap spec without sigmas, `replicates == 0`, or
+    /// `grid < 2`.
+    pub fn fit_request(&self, request: &FitRequest) -> Result<FitResponse> {
+        let mut workspace = FitWorkspace::new();
+        self.fit_request_with(&mut workspace, request)
+    }
+
+    /// [`Deconvolver::fit_request`] reusing a caller-held workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Deconvolver::fit_request`].
+    pub fn fit_request_with(
+        &self,
+        workspace: &mut FitWorkspace,
+        request: &FitRequest,
+    ) -> Result<FitResponse> {
+        self.validate_request(request)?;
+        let g = request.series();
+        let sigmas = request.sigmas();
+        let lambda_override = request.lambda_override();
+        match request.bootstrap() {
+            None => {
+                let result = self.fit_validated(workspace, g, sigmas, lambda_override)?;
+                Ok(FitResponse::new(result, None))
+            }
+            Some(spec) => {
+                let sigmas = sigmas.expect("validate_request: bootstrap requires sigmas");
+                let band = self.bootstrap_validated(workspace, g, sigmas, spec, lambda_override)?;
+                Ok(FitResponse::new(band.point.clone(), Some(band)))
+            }
+        }
+    }
+
+    /// The single validation site for per-series inputs: series length
+    /// and finiteness, sigma length and positivity. Every fit entry
+    /// point funnels through here (directly or via
+    /// [`Deconvolver::validate_request`]).
+    fn validate_series(&self, g: &[f64], sigmas: Option<&[f64]>) -> Result<()> {
         let m = self.forward.num_measurements();
         if g.len() != m {
             return Err(DeconvError::LengthMismatch {
@@ -344,7 +398,6 @@ impl Deconvolver {
         if g.iter().any(|v| !v.is_finite()) {
             return Err(DeconvError::InvalidConfig("measurements must be finite"));
         }
-        let unit = sigmas.is_none();
         if let Some(s) = sigmas {
             if s.len() != m {
                 return Err(DeconvError::LengthMismatch {
@@ -356,17 +409,64 @@ impl Deconvolver {
             if s.iter().any(|v| !(*v > 0.0) || !v.is_finite()) {
                 return Err(DeconvError::InvalidConfig("sigmas must be positive"));
             }
+        }
+        Ok(())
+    }
+
+    /// Validates a full [`FitRequest`]: the series checks of
+    /// [`Deconvolver::validate_series`] plus the request-only options
+    /// (λ override, bootstrap spec).
+    fn validate_request(&self, request: &FitRequest) -> Result<()> {
+        self.validate_series(request.series(), request.sigmas())?;
+        if let Some(l) = request.lambda_override() {
+            if !l.is_finite() || l < 0.0 {
+                return Err(DeconvError::InvalidConfig(
+                    "lambda override must be finite and non-negative",
+                ));
+            }
+        }
+        if let Some(spec) = request.bootstrap() {
+            if request.sigmas().is_none() {
+                return Err(DeconvError::InvalidConfig("bootstrap requires sigmas"));
+            }
+            if spec.replicates() == 0 {
+                return Err(DeconvError::InvalidConfig("n_boot must be positive"));
+            }
+            if spec.grid() < 2 {
+                return Err(DeconvError::InvalidConfig("n_grid must be at least 2"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The post-validation fit body shared by every entry point. A
+    /// `lambda_override` skips the engine's λ-selection entirely (empty
+    /// selection scores, no spectral warm hint — the hint is only built
+    /// by the GCV sweep).
+    fn fit_validated(
+        &self,
+        workspace: &mut FitWorkspace,
+        g: &[f64],
+        sigmas: Option<&[f64]>,
+        lambda_override: Option<f64>,
+    ) -> Result<DeconvolutionResult> {
+        let m = self.forward.num_measurements();
+        let unit = sigmas.is_none();
+        if let Some(s) = sigmas {
             workspace.weights.clear();
             workspace.weights.extend(s.iter().map(|s| 1.0 / s));
         }
         workspace.ensure(m, self.basis.len(), self.ops.reduced_dim());
 
-        let (lambda, scores) = match self.config.lambda() {
-            LambdaSelection::Fixed(l) => (*l, Vec::new()),
-            LambdaSelection::Gcv { .. } => self.gcv_lambda(workspace, g, unit)?,
-            LambdaSelection::KFold { folds, seed, .. } => {
-                self.kfold_lambda(workspace, g, unit, *folds, *seed)?
-            }
+        let (lambda, scores) = match lambda_override {
+            Some(l) => (l, Vec::new()),
+            None => match self.config.lambda() {
+                LambdaSelection::Fixed(l) => (*l, Vec::new()),
+                LambdaSelection::Gcv { .. } => self.gcv_lambda(workspace, g, unit)?,
+                LambdaSelection::KFold { folds, seed, .. } => {
+                    self.kfold_lambda(workspace, g, unit, *folds, *seed)?
+                }
+            },
         };
 
         // GCV fits get a deterministic warm hint for the constrained
@@ -374,7 +474,12 @@ impl Deconvolver {
         // selected λ. It is a pure function of (engine, data, λ) — never
         // of workspace history — so batch results stay order- and
         // thread-invariant; the QP ignores it whenever it is infeasible.
-        let hint = self.spectral_warm_hint(workspace, unit, lambda)?;
+        // A λ override never ran the sweep, so it carries no hint.
+        let hint = if lambda_override.is_some() {
+            None
+        } else {
+            self.spectral_warm_hint(workspace, unit, lambda)?
+        };
         let alpha = self.solve_constrained_full(workspace, g, unit, lambda, hint)?;
         let predicted = self.design.matvec(&alpha)?.into_vec();
         let weights: &[f64] = if unit {
@@ -469,13 +574,27 @@ impl Deconvolver {
         n_grid: usize,
         seed: u64,
     ) -> Result<BootstrapBand> {
-        if n_boot == 0 {
-            return Err(DeconvError::InvalidConfig("n_boot must be positive"));
-        }
-        if n_grid < 2 {
-            return Err(DeconvError::InvalidConfig("n_grid must be at least 2"));
-        }
-        let point = self.fit(g, Some(sigmas))?;
+        let request = FitRequest::new(g.to_vec())
+            .with_sigmas(sigmas.to_vec())
+            .with_bootstrap(BootstrapSpec::new(n_boot, n_grid, seed));
+        let (_, band) = self.fit_request(&request)?.into_parts();
+        Ok(band.expect("bootstrap request always returns a band"))
+    }
+
+    /// The post-validation bootstrap body behind
+    /// [`Deconvolver::fit_request`] / [`Deconvolver::fit_bootstrap`].
+    fn bootstrap_validated(
+        &self,
+        workspace: &mut FitWorkspace,
+        g: &[f64],
+        sigmas: &[f64],
+        spec: &BootstrapSpec,
+        lambda_override: Option<f64>,
+    ) -> Result<BootstrapBand> {
+        let n_boot = spec.replicates();
+        let n_grid = spec.grid();
+        let seed = spec.seed();
+        let point = self.fit_validated(workspace, g, Some(sigmas), lambda_override)?;
         let lambda = point.lambda();
         let n = self.basis.len();
         let m = g.len();
@@ -1542,5 +1661,118 @@ mod tests {
             let v = result.eval(i as f64 / 20.0).unwrap();
             assert!((v - 4.2).abs() < 0.15, "v = {v}");
         }
+    }
+
+    #[test]
+    fn fit_request_matches_fit() {
+        let k = kernel(21, 12);
+        let truth = smooth_truth();
+        let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+        let sigmas = vec![0.05; g.len()];
+        let config = DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: -6.0,
+                log10_max: 0.0,
+                points: 9,
+            })
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+
+        let direct = d.fit(&g, Some(&sigmas)).unwrap();
+        let request = FitRequest::new(g.clone()).with_sigmas(sigmas.clone());
+        let via_request = d.fit_request(&request).unwrap();
+        assert_eq!(via_request.result().alpha(), direct.alpha());
+        assert_eq!(via_request.result().lambda(), direct.lambda());
+        assert_eq!(via_request.result().predicted(), direct.predicted());
+        assert!(via_request.band().is_none());
+    }
+
+    #[test]
+    fn lambda_override_matches_fixed_lambda_engine() {
+        let k = kernel(22, 12);
+        let truth = smooth_truth();
+        let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+        let gcv_config = DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: -6.0,
+                log10_max: 0.0,
+                points: 9,
+            })
+            .build()
+            .unwrap();
+        let fixed_config = DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda(1e-3)
+            .build()
+            .unwrap();
+        let gcv_engine = Deconvolver::new(k.clone(), gcv_config).unwrap();
+        let fixed_engine = Deconvolver::new(k, fixed_config).unwrap();
+
+        // Overriding λ on a GCV engine must reproduce the Fixed-λ engine
+        // bit for bit: selection is skipped, not re-parameterized.
+        let overridden = gcv_engine
+            .fit_request(&FitRequest::new(g.clone()).with_lambda(1e-3))
+            .unwrap();
+        let fixed = fixed_engine.fit(&g, None).unwrap();
+        assert_eq!(overridden.result().alpha(), fixed.alpha());
+        assert_eq!(overridden.result().lambda(), 1e-3);
+        assert!(overridden.result().selection_scores().is_empty());
+    }
+
+    #[test]
+    fn fit_request_bootstrap_matches_fit_bootstrap() {
+        let k = kernel(23, 12);
+        let truth = smooth_truth();
+        let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+        let sigmas = vec![0.05; g.len()];
+        let config = DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+
+        let direct = d.fit_bootstrap(&g, &sigmas, 8, 25, 7).unwrap();
+        let request = FitRequest::new(g.clone())
+            .with_sigmas(sigmas.clone())
+            .with_bootstrap(BootstrapSpec::new(8, 25, 7));
+        let via_request = d.fit_request(&request).unwrap();
+        let band = via_request.band().expect("bootstrap request has a band");
+        assert_eq!(band.mean, direct.mean);
+        assert_eq!(band.std, direct.std);
+        assert_eq!(band.replicates, direct.replicates);
+        assert_eq!(via_request.result().alpha(), direct.point.alpha());
+    }
+
+    #[test]
+    fn request_validation_is_centralized() {
+        let k = kernel(24, 12);
+        let config = DeconvolutionConfig::builder()
+            .basis_size(8)
+            .lambda(1e-4)
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+        let g = vec![1.0; 12];
+
+        // Bootstrap without sigmas.
+        let r =
+            d.fit_request(&FitRequest::new(g.clone()).with_bootstrap(BootstrapSpec::new(4, 25, 0)));
+        assert!(matches!(r, Err(DeconvError::InvalidConfig(_))));
+        // Non-finite / negative λ overrides.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let r = d.fit_request(&FitRequest::new(g.clone()).with_lambda(bad));
+            assert!(matches!(r, Err(DeconvError::InvalidConfig(_))), "{bad}");
+        }
+        // Series validation still runs on the request path.
+        let r = d.fit_request(&FitRequest::new(vec![1.0; 5]));
+        assert!(matches!(r, Err(DeconvError::LengthMismatch { .. })));
+        let r = d.fit_request(&FitRequest::new(vec![f64::NAN; 12]));
+        assert!(matches!(r, Err(DeconvError::InvalidConfig(_))));
+        let r = d.fit_request(&FitRequest::new(g.clone()).with_sigmas(vec![0.0; 12]));
+        assert!(matches!(r, Err(DeconvError::InvalidConfig(_))));
     }
 }

@@ -55,6 +55,33 @@ pub enum DeconvError {
     Ode(cellsync_ode::OdeError),
 }
 
+impl DeconvError {
+    /// A stable machine-readable code identifying the error class.
+    ///
+    /// Codes are part of the wire contract of the serving layer (the
+    /// `error.code` field of `cellsync_serve` responses; see
+    /// `docs/SERVING.md`) and must never change for an existing variant.
+    /// A `Series` error reports the code of its underlying `source` —
+    /// the batch position is carried separately in the message — so
+    /// clients can branch on the root cause without unwrapping.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DeconvError::LengthMismatch { .. } => "length_mismatch",
+            DeconvError::InvalidConfig(_) => "invalid_config",
+            DeconvError::TooFewMeasurements { .. } => "too_few_measurements",
+            DeconvError::InvalidPhase(_) => "invalid_phase",
+            DeconvError::Series { source, .. } => source.code(),
+            DeconvError::Linalg(_) => "linalg",
+            DeconvError::Numerics(_) => "numerics",
+            DeconvError::Stats(_) => "stats",
+            DeconvError::Spline(_) => "spline",
+            DeconvError::Popsim(_) => "popsim",
+            DeconvError::Opt(_) => "opt",
+            DeconvError::Ode(_) => "ode",
+        }
+    }
+}
+
 impl fmt::Display for DeconvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -164,5 +191,52 @@ mod tests {
         let series = &errs[errs.len() - 1];
         assert!(series.to_string().contains("batch item 17"));
         assert!(Error::source(series).is_some());
+    }
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let errs: Vec<(DeconvError, &str)> = vec![
+            (
+                DeconvError::LengthMismatch {
+                    what: "sigmas",
+                    expected: 3,
+                    got: 2,
+                },
+                "length_mismatch",
+            ),
+            (DeconvError::InvalidConfig("x"), "invalid_config"),
+            (
+                DeconvError::TooFewMeasurements {
+                    measurements: 2,
+                    basis: 24,
+                },
+                "too_few_measurements",
+            ),
+            (DeconvError::InvalidPhase(1.5), "invalid_phase"),
+            (cellsync_linalg::LinalgError::Singular.into(), "linalg"),
+            (
+                cellsync_numerics::NumericsError::InvalidArgument("x").into(),
+                "numerics",
+            ),
+            (cellsync_stats::StatsError::EmptySample.into(), "stats"),
+            (cellsync_spline::SplineError::InvalidKnots.into(), "spline"),
+            (
+                cellsync_popsim::PopsimError::InvalidPhase(2.0).into(),
+                "popsim",
+            ),
+            (cellsync_opt::OptError::InvalidArgument("y").into(), "opt"),
+            (cellsync_ode::OdeError::InvalidStep(0.0).into(), "ode"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (e, expected) in &errs {
+            assert_eq!(e.code(), *expected);
+            assert!(seen.insert(*expected), "duplicate code {expected}");
+        }
+        // Series errors surface the code of their root cause.
+        let nested = DeconvError::Series {
+            index: 3,
+            source: Box::new(DeconvError::InvalidPhase(2.0)),
+        };
+        assert_eq!(nested.code(), "invalid_phase");
     }
 }

@@ -100,7 +100,9 @@ mod error;
 mod forward;
 pub mod paramfit;
 mod profile;
+mod request;
 pub mod scenario;
+pub mod session;
 mod solver;
 pub mod synthetic;
 
@@ -109,6 +111,7 @@ pub use deconvolve::{BootstrapBand, DeconvolutionResult, Deconvolver};
 pub use error::DeconvError;
 pub use forward::ForwardModel;
 pub use profile::{PhaseProfile, ProfileFeatures};
+pub use request::{BootstrapSpec, FitRequest, FitResponse};
 pub use solver::FitWorkspace;
 
 /// Convenience alias for results produced by this crate.

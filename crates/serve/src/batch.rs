@@ -1,0 +1,378 @@
+//! The coalescing fit queue: same-engine requests arriving within a
+//! linger window are dispatched as one [`Deconvolver::fit_many`] batch.
+//!
+//! The genome-wide workload this server exists for sends thousands of
+//! series against a handful of engine families. Fitting them one by one
+//! would pay per-request pool fan-in/fan-out and leave the engine's
+//! precomputed structures cold between requests; batching them restores
+//! the library's batch throughput without the client having to batch.
+//! The queue holds each arriving job for at most `linger` (new arrivals
+//! reset nothing — the window is anchored at the first job of the
+//! round), then drains every queued job sharing the anchor job's engine
+//! into one batch, up to `max_batch`.
+//!
+//! Batching never changes results: `fit_many` is bit-identical to
+//! per-series `fit` by the engine's contract, jobs with per-request
+//! options (λ override, bootstrap) fit individually through the same
+//! validated request path, and a poisoned batch (one bad series) falls
+//! back to individual fits so neighbors are unaffected.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cellsync::{
+    BootstrapBand, DeconvError, DeconvolutionResult, Deconvolver, FitRequest, FitResponse,
+    FitWorkspace,
+};
+
+/// What a fit job resolves to: the point fit plus the optional
+/// bootstrap band (the owned parts of a [`FitResponse`]).
+pub type JobResult = Result<(DeconvolutionResult, Option<BootstrapBand>), DeconvError>;
+
+/// One queued fit job: the prepared engine it runs on, the validated-on
+/// -arrival request, and the channel the result goes back on.
+pub struct Job {
+    /// The prepared engine (shared via the engine cache).
+    pub engine: Arc<Deconvolver>,
+    /// The fit request.
+    pub request: FitRequest,
+    /// Where the result is sent (send failures are ignored — the client
+    /// may have disconnected).
+    pub reply: Sender<JobResult>,
+}
+
+/// Batch-queue counters for `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchCounters {
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Jobs that went through the queue.
+    pub batched_requests: u64,
+    /// Largest batch dispatched.
+    pub max_batch: u64,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// The coalescing queue. One dispatcher thread runs
+/// [`BatchQueue::run_dispatcher`]; any number of connection threads
+/// [`BatchQueue::submit`] jobs.
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+    linger: Duration,
+    max_batch: usize,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+impl BatchQueue {
+    /// Creates a queue that holds jobs up to `linger` to coalesce them,
+    /// dispatching at most `max_batch` jobs per batch.
+    pub fn new(linger: Duration, max_batch: usize) -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            arrived: Condvar::new(),
+            linger,
+            max_batch: max_batch.max(1),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a job. Returns the job back as `Err` if the queue has
+    /// been closed (the caller should answer "shutting down").
+    ///
+    /// # Errors
+    ///
+    /// `Err(job)` when the queue is closed.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        if !state.open {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        self.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Closes the queue: no new jobs are accepted; the dispatcher
+    /// drains what is already queued and then returns.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        state.open = false;
+        self.arrived.notify_all();
+    }
+
+    /// Snapshots the batch counters.
+    pub fn counters(&self) -> BatchCounters {
+        BatchCounters {
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch: self.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The dispatcher loop: wait for jobs, linger, drain one same-engine
+    /// batch, execute, repeat — until the queue is closed *and* empty.
+    pub fn run_dispatcher(&self) {
+        loop {
+            let batch = {
+                let mut state = self.state.lock().expect("batch queue poisoned");
+                while state.jobs.is_empty() {
+                    if !state.open {
+                        return;
+                    }
+                    state = self.arrived.wait(state).expect("batch queue poisoned");
+                }
+                // Linger, anchored at this round's first job: give
+                // same-engine neighbors a window to arrive.
+                let deadline = Instant::now() + self.linger;
+                while state.open && state.jobs.len() < self.max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) = self
+                        .arrived
+                        .wait_timeout(state, deadline - now)
+                        .expect("batch queue poisoned");
+                    state = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                // Drain every job sharing the front job's engine (Arc
+                // pointer identity — the cache guarantees one Arc per
+                // key), preserving arrival order for the rest.
+                let anchor = Arc::as_ptr(
+                    &state
+                        .jobs
+                        .front()
+                        .expect("loop guarantees non-empty")
+                        .engine,
+                );
+                let mut taken = Vec::new();
+                let mut rest = VecDeque::with_capacity(state.jobs.len());
+                for job in state.jobs.drain(..) {
+                    if taken.len() < self.max_batch && Arc::as_ptr(&job.engine) == anchor {
+                        taken.push(job);
+                    } else {
+                        rest.push_back(job);
+                    }
+                }
+                state.jobs = rest;
+                taken
+            };
+            self.execute(batch);
+        }
+    }
+
+    fn execute(&self, batch: Vec<Job>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(n, Ordering::Relaxed);
+        self.max_batch_seen.fetch_max(n, Ordering::Relaxed);
+
+        let engine = Arc::clone(&batch[0].engine);
+        // Jobs without per-request options batch through fit_many; the
+        // rest (λ override, bootstrap) fit individually below.
+        let plain: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| {
+                job.request.bootstrap().is_none() && job.request.lambda_override().is_none()
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut results: Vec<Option<JobResult>> = (0..batch.len()).map(|_| None).collect();
+        if plain.len() >= 2 {
+            let series: Vec<(&[f64], Option<&[f64]>)> = plain
+                .iter()
+                .map(|&i| (batch[i].request.series(), batch[i].request.sigmas()))
+                .collect();
+            // A failed batch (one poisoned series) falls through to the
+            // individual path, which isolates the failure to its job.
+            if let Ok(fits) = engine.fit_many(&series) {
+                for (&i, fit) in plain.iter().zip(fits) {
+                    results[i] = Some(Ok((fit, None)));
+                }
+            }
+        }
+
+        let mut workspace = FitWorkspace::new();
+        for (job, slot) in batch.into_iter().zip(results) {
+            let outcome = match slot {
+                Some(result) => result,
+                None => engine
+                    .fit_request_with(&mut workspace, &job.request)
+                    .map(FitResponse::into_parts),
+            };
+            let _ = job.reply.send(outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::FamilyRegistry;
+    use cellsync::{BootstrapSpec, ForwardModel, PhaseProfile};
+    use std::sync::mpsc;
+
+    fn run_jobs(
+        queue: &Arc<BatchQueue>,
+        jobs: Vec<(Arc<Deconvolver>, FitRequest)>,
+    ) -> Vec<JobResult> {
+        let dispatcher = {
+            let queue = Arc::clone(queue);
+            std::thread::spawn(move || queue.run_dispatcher())
+        };
+        let receivers: Vec<mpsc::Receiver<JobResult>> = jobs
+            .into_iter()
+            .map(|(engine, request)| {
+                let (tx, rx) = mpsc::channel();
+                queue
+                    .submit(Job {
+                        engine,
+                        request,
+                        reply: tx,
+                    })
+                    .unwrap_or_else(|_| panic!("queue closed"));
+                rx
+            })
+            .collect();
+        let results = receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        queue.close();
+        dispatcher.join().unwrap();
+        results
+    }
+
+    fn test_series(registry: &FamilyRegistry) -> Vec<f64> {
+        let kernel = registry.get("fixed").unwrap().kernel().clone();
+        let truth =
+            PhaseProfile::from_fn(100, |phi| 1.5 + (2.0 * std::f64::consts::PI * phi).sin())
+                .unwrap();
+        ForwardModel::new(kernel).predict(&truth).unwrap()
+    }
+
+    #[test]
+    fn same_engine_jobs_coalesce_and_match_direct_fits() {
+        let registry = FamilyRegistry::quick(5).unwrap();
+        let family = registry.get("fixed").unwrap();
+        let engine = Arc::new(family.build_engine().unwrap());
+        let g = test_series(&registry);
+
+        let queue = Arc::new(BatchQueue::new(Duration::from_millis(100), 64));
+        let jobs: Vec<_> = (0..4)
+            .map(|i| {
+                let mut series = g.clone();
+                series[0] += i as f64 * 0.01;
+                (Arc::clone(&engine), FitRequest::new(series))
+            })
+            .collect();
+        let expected: Vec<Vec<f64>> = jobs
+            .iter()
+            .map(|(e, r)| e.fit_request(r).unwrap().result().alpha().to_vec())
+            .collect();
+
+        let results = run_jobs(&queue, jobs);
+        for (result, want) in results.iter().zip(&expected) {
+            let (fit, band) = result.as_ref().unwrap();
+            assert_eq!(fit.alpha(), &want[..]);
+            assert!(band.is_none());
+        }
+        let counters = queue.counters();
+        assert_eq!(counters.batched_requests, 4);
+        assert_eq!(counters.batches, 1, "jobs did not coalesce: {counters:?}");
+        assert_eq!(counters.max_batch, 4);
+    }
+
+    #[test]
+    fn poisoned_job_fails_alone() {
+        let registry = FamilyRegistry::quick(6).unwrap();
+        let family = registry.get("fixed").unwrap();
+        let engine = Arc::new(family.build_engine().unwrap());
+        let g = test_series(&registry);
+
+        let queue = Arc::new(BatchQueue::new(Duration::from_millis(100), 64));
+        let jobs = vec![
+            (Arc::clone(&engine), FitRequest::new(g.clone())),
+            (
+                Arc::clone(&engine),
+                FitRequest::new(vec![f64::NAN; g.len()]),
+            ),
+            (Arc::clone(&engine), FitRequest::new(g.clone())),
+        ];
+        let results = run_jobs(&queue, jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(DeconvError::InvalidConfig("measurements must be finite"))
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn option_jobs_fit_individually_with_same_results() {
+        let registry = FamilyRegistry::quick(7).unwrap();
+        let family = registry.get("gcv").unwrap();
+        let engine = Arc::new(family.build_engine().unwrap());
+        let g = test_series(&registry);
+        let sigmas = vec![0.05; g.len()];
+
+        let override_req = FitRequest::new(g.clone()).with_lambda(1e-3);
+        let boot_req = FitRequest::new(g.clone())
+            .with_sigmas(sigmas)
+            .with_bootstrap(BootstrapSpec::new(4, 20, 3));
+        let want_override = engine.fit_request(&override_req).unwrap();
+        let want_boot = engine.fit_request(&boot_req).unwrap();
+
+        let queue = Arc::new(BatchQueue::new(Duration::from_millis(50), 64));
+        let jobs = vec![
+            (Arc::clone(&engine), override_req),
+            (Arc::clone(&engine), boot_req),
+            (Arc::clone(&engine), FitRequest::new(g.clone())),
+        ];
+        let results = run_jobs(&queue, jobs);
+
+        let (fit, band) = results[0].as_ref().unwrap();
+        assert_eq!(fit.alpha(), want_override.result().alpha());
+        assert!(band.is_none());
+        let (fit, band) = results[1].as_ref().unwrap();
+        assert_eq!(fit.alpha(), want_boot.result().alpha());
+        let band = band.as_ref().unwrap();
+        assert_eq!(band.mean, want_boot.band().unwrap().mean);
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn closed_queue_rejects_jobs() {
+        let queue = BatchQueue::new(Duration::from_millis(1), 4);
+        queue.close();
+        let registry = FamilyRegistry::quick(8).unwrap();
+        let engine = Arc::new(registry.get("fixed").unwrap().build_engine().unwrap());
+        let (tx, _rx) = mpsc::channel();
+        let job = Job {
+            engine,
+            request: FitRequest::new(vec![1.0]),
+            reply: tx,
+        };
+        assert!(queue.submit(job).is_err());
+    }
+}

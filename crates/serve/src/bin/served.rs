@@ -1,0 +1,131 @@
+//! `served` — the cellsync deconvolution server daemon.
+//!
+//! Simulates the standard *Caulobacter* kernel once at startup,
+//! registers the standard engine families (`fixed`, `gcv`, `smooth`;
+//! see [`cellsync_serve::FamilyRegistry::standard`]), and serves the
+//! JSON API documented in `docs/SERVING.md` until `POST /shutdown`.
+//!
+//! ```text
+//! served [--addr HOST:PORT] [--cells N] [--bins N] [--times N]
+//!        [--basis N] [--seed N] [--linger-us N] [--max-batch N]
+//!        [--cache-cap N] [--quick]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cellsync_serve::{FamilyRegistry, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    cells: usize,
+    bins: usize,
+    times: usize,
+    basis: usize,
+    seed: u64,
+    linger_us: u64,
+    max_batch: usize,
+    cache_cap: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:8466".to_string(),
+            cells: 20_000,
+            bins: 100,
+            times: 11,
+            basis: 16,
+            seed: 42,
+            linger_us: 2_000,
+            max_batch: 64,
+            cache_cap: 8,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--cells" => args.cells = parse(&value("--cells")?, "--cells")?,
+            "--bins" => args.bins = parse(&value("--bins")?, "--bins")?,
+            "--times" => args.times = parse(&value("--times")?, "--times")?,
+            "--basis" => args.basis = parse(&value("--basis")?, "--basis")?,
+            "--seed" => args.seed = parse(&value("--seed")?, "--seed")?,
+            "--linger-us" => args.linger_us = parse(&value("--linger-us")?, "--linger-us")?,
+            "--max-batch" => args.max_batch = parse(&value("--max-batch")?, "--max-batch")?,
+            "--cache-cap" => args.cache_cap = parse(&value("--cache-cap")?, "--cache-cap")?,
+            "--quick" => {
+                args.cells = 400;
+                args.bins = 32;
+                args.times = 10;
+                args.basis = 8;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: served [--addr HOST:PORT] [--cells N] [--bins N] [--times N] \
+                     [--basis N] [--seed N] [--linger-us N] [--max-batch N] [--cache-cap N] \
+                     [--quick]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(text: &str, name: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{name}: cannot parse '{text}'"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "served: simulating kernel ({} cells, {} bins, {} times)...",
+        args.cells, args.bins, args.times
+    );
+    let registry =
+        match FamilyRegistry::standard(args.cells, args.bins, args.times, args.basis, args.seed) {
+            Ok(registry) => registry,
+            Err(e) => {
+                eprintln!("served: kernel setup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let families = registry.names().join(", ");
+
+    let config = ServerConfig {
+        addr: args.addr,
+        linger: Duration::from_micros(args.linger_us),
+        max_batch: args.max_batch,
+        cache_capacity: args.cache_cap,
+    };
+    let server = match Server::start(registry, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("served: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The loadgen driver greps for this line to learn the bound port.
+    println!(
+        "served: listening on {} (families: {families})",
+        server.addr()
+    );
+    server.join();
+    eprintln!("served: shut down");
+    ExitCode::SUCCESS
+}

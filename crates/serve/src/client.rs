@@ -1,0 +1,75 @@
+//! A minimal blocking keep-alive client for the serving API, used by
+//! the end-to-end tests and the `loadgen` benchmark driver.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::http::{self, HttpError};
+
+/// One persistent connection to a cellsync server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+fn to_io(e: HttpError) -> io::Error {
+    match e {
+        HttpError::Io(io) => io,
+        HttpError::Closed => io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"),
+        HttpError::Malformed(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
+    }
+}
+
+impl Client {
+    /// Opens a keep-alive connection to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, stream })
+    }
+
+    /// Sets the read timeout for responses (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads the response, reusing the
+    /// connection. Returns `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed responses.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        http::write_request(&mut self.stream, method, path, body)?;
+        let response = http::read_response(&mut self.reader).map_err(to_io)?;
+        Ok((response.status, response.body))
+    }
+
+    /// `POST` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    /// `GET` with an empty body.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+}

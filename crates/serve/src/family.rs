@@ -1,0 +1,223 @@
+//! Named engine families: the server-side half of a fit request.
+//!
+//! A *family* is one prepared (kernel, [`DeconvolutionConfig`]) pair
+//! under a stable name. Clients name the family in the request
+//! (`{"family": "gcv", ...}`) instead of shipping a kernel per request —
+//! kernels are hundreds of kilobytes and identical across a study, so
+//! they live server-side and requests carry only what varies per series.
+//! The family's canonical [`EngineKey`] is derived once at registration,
+//! making the per-request cache lookup cheap.
+
+use cellsync::session::EngineKey;
+use cellsync::{DeconvError, DeconvolutionConfig, Deconvolver, LambdaSelection};
+use cellsync_popsim::{
+    CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One named engine family.
+#[derive(Debug, Clone)]
+pub struct Family {
+    name: String,
+    kernel: PhaseKernel,
+    config: DeconvolutionConfig,
+    key: EngineKey,
+}
+
+impl Family {
+    /// Registers a (kernel, config) pair under `name` and derives its
+    /// canonical engine key.
+    pub fn new(name: impl Into<String>, kernel: PhaseKernel, config: DeconvolutionConfig) -> Self {
+        let key = EngineKey::new(&kernel, &config);
+        Family {
+            name: name.into(),
+            kernel,
+            config,
+            key,
+        }
+    }
+
+    /// The family's wire name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deconvolution kernel.
+    pub fn kernel(&self) -> &PhaseKernel {
+        &self.kernel
+    }
+
+    /// The fit configuration.
+    pub fn config(&self) -> &DeconvolutionConfig {
+        &self.config
+    }
+
+    /// The canonical cache key of this family's prepared engine.
+    pub fn key(&self) -> &EngineKey {
+        &self.key
+    }
+
+    /// Builds the prepared engine for this family (the expensive step
+    /// the [`cellsync::session::EngineCache`] amortizes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction failures.
+    pub fn build_engine(&self) -> Result<Deconvolver, DeconvError> {
+        Deconvolver::new(self.kernel.clone(), self.config.clone())
+    }
+}
+
+/// The set of families a server instance exposes, looked up by name.
+#[derive(Debug, Clone, Default)]
+pub struct FamilyRegistry {
+    families: Vec<Family>,
+}
+
+impl FamilyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FamilyRegistry::default()
+    }
+
+    /// Adds (or replaces, by name) a family.
+    pub fn insert(&mut self, family: Family) {
+        if let Some(existing) = self.families.iter_mut().find(|f| f.name == family.name) {
+            *existing = family;
+        } else {
+            self.families.push(family);
+        }
+    }
+
+    /// Looks a family up by wire name.
+    pub fn get(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Registered family names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.families.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// The standard serving registry: one simulated *Caulobacter*
+    /// kernel (`cells` agents, `bins` phase bins, `n_times` sample times
+    /// across one 150-minute cycle) shared by three configs —
+    ///
+    /// * `fixed`  — fixed λ = 10⁻⁴,
+    /// * `gcv`    — GCV-selected λ over λ ∈ [10⁻⁶, 1],
+    /// * `smooth` — fixed λ = 10⁻², for heavily smoothed estimates.
+    ///
+    /// Three configs over one kernel means three distinct engine keys,
+    /// which is what lets a mixed-family workload exercise the engine
+    /// cache without simulating three populations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates population-simulation and config-validation failures.
+    pub fn standard(
+        cells: usize,
+        bins: usize,
+        n_times: usize,
+        basis: usize,
+        seed: u64,
+    ) -> Result<FamilyRegistry, DeconvError> {
+        let params = CellCycleParams::caulobacter()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let population =
+            Population::synchronized(cells, &params, InitialCondition::UniformSwarmer, &mut rng)?
+                .simulate_until(150.0)?;
+        let times: Vec<f64> = (0..n_times)
+            .map(|i| 150.0 * i as f64 / (n_times.max(2) - 1) as f64)
+            .collect();
+        let kernel = KernelEstimator::new(bins)?.estimate(&population, &times)?;
+
+        let mut registry = FamilyRegistry::new();
+        registry.insert(Family::new(
+            "fixed",
+            kernel.clone(),
+            DeconvolutionConfig::builder()
+                .basis_size(basis)
+                .lambda(1e-4)
+                .build()?,
+        ));
+        registry.insert(Family::new(
+            "gcv",
+            kernel.clone(),
+            DeconvolutionConfig::builder()
+                .basis_size(basis)
+                .lambda_selection(LambdaSelection::Gcv {
+                    log10_min: -6.0,
+                    log10_max: 0.0,
+                    points: 13,
+                })
+                .build()?,
+        ));
+        registry.insert(Family::new(
+            "smooth",
+            kernel,
+            DeconvolutionConfig::builder()
+                .basis_size(basis)
+                .lambda(1e-2)
+                .build()?,
+        ));
+        Ok(registry)
+    }
+
+    /// A small, fast standard registry for tests and smoke runs:
+    /// 400 cells, 32 bins, 10 sample times, 8 basis functions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FamilyRegistry::standard`].
+    pub fn quick(seed: u64) -> Result<FamilyRegistry, DeconvError> {
+        FamilyRegistry::standard(400, 32, 10, 8, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_registry_exposes_three_distinct_families() {
+        let registry = FamilyRegistry::quick(1).unwrap();
+        assert_eq!(registry.names(), vec!["fixed", "gcv", "smooth"]);
+        let fixed = registry.get("fixed").unwrap();
+        let gcv = registry.get("gcv").unwrap();
+        let smooth = registry.get("smooth").unwrap();
+        assert_ne!(fixed.key(), gcv.key());
+        assert_ne!(fixed.key(), smooth.key());
+        assert_ne!(gcv.key(), smooth.key());
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn insert_replaces_by_name() {
+        let mut registry = FamilyRegistry::quick(1).unwrap();
+        let kernel = registry.get("fixed").unwrap().kernel().clone();
+        let replacement = Family::new(
+            "fixed",
+            kernel,
+            DeconvolutionConfig::builder()
+                .basis_size(8)
+                .lambda(5e-4)
+                .build()
+                .unwrap(),
+        );
+        let key = replacement.key().clone();
+        registry.insert(replacement);
+        assert_eq!(registry.len(), 3);
+        assert_eq!(registry.get("fixed").unwrap().key(), &key);
+    }
+}

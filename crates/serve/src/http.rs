@@ -1,0 +1,302 @@
+//! A minimal HTTP/1.1 layer over [`std::net`]: just enough protocol for
+//! the JSON serving API — request line, headers, `Content-Length`
+//! bodies, and keep-alive — with hard limits on line and body sizes so a
+//! misbehaving peer cannot balloon memory.
+//!
+//! Deliberately not a general HTTP implementation: no chunked transfer,
+//! no multipart, no TLS, no compression. Every payload this server
+//! speaks is a small JSON document, and the hand-rolled parser keeps the
+//! crate dependency-free (the same trade the [`cellsync_wire`] JSON
+//! module makes).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line or header line, bytes.
+const MAX_LINE: usize = 16 * 1024;
+/// Largest accepted request body, bytes (a 100k-point series with sigmas
+/// is ~4 MB of JSON text; 64 MB leaves generous headroom).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (query strings are not split off; the API uses none).
+    pub path: String,
+    /// Decoded UTF-8 body ("" when absent).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// Transport failure (includes read timeouts).
+    Io(io::Error),
+    /// The bytes were not a well-formed HTTP/1.1 request.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "http i/o error: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed http request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Whether an I/O error is a read timeout (used by connection loops to
+/// poll a shutdown flag while blocked on an idle keep-alive socket).
+pub fn is_timeout(e: &HttpError) -> bool {
+    matches!(
+        e,
+        HttpError::Io(io) if matches!(io.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    )
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                buf.extend_from_slice(&available[..=i]);
+                reader.consume(i + 1);
+                break;
+            }
+            None => {
+                let len = available.len();
+                buf.extend_from_slice(available);
+                reader.consume(len);
+            }
+        }
+        if buf.len() > MAX_LINE {
+            return Err(HttpError::Malformed("header line too long"));
+        }
+    }
+    if buf.len() > MAX_LINE {
+        return Err(HttpError::Malformed("header line too long"));
+    }
+    let mut line =
+        String::from_utf8(buf).map_err(|_| HttpError::Malformed("header is not utf-8"))?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads one request off the connection. Returns [`HttpError::Closed`]
+/// when the peer hung up between requests (the normal end of a
+/// keep-alive session).
+///
+/// # Errors
+///
+/// [`HttpError::Io`] on transport failures (including configured read
+/// timeouts) and [`HttpError::Malformed`] for protocol violations.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpError> {
+    let request_line = match read_line(reader)? {
+        None => return Err(HttpError::Closed),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line has no path"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported http version"));
+    }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length: usize = 0;
+
+    loop {
+        let line = match read_line(reader)? {
+            None => return Err(HttpError::Malformed("connection closed mid-headers")),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line has no colon"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+                if content_length > MAX_BODY {
+                    return Err(HttpError::Malformed("body too large"));
+                }
+            }
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut body_bytes = vec![0u8; content_length];
+    reader.read_exact(&mut body_bytes)?;
+    let body =
+        String::from_utf8(body_bytes).map_err(|_| HttpError::Malformed("body is not utf-8"))?;
+
+    Ok(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// One parsed HTTP response (client side).
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Decoded UTF-8 body ("" when absent).
+    pub body: String,
+}
+
+/// Reads one response off the connection (client side of the protocol).
+///
+/// # Errors
+///
+/// Same classes as [`read_request`].
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<HttpResponse, HttpError> {
+    let status_line = match read_line(reader)? {
+        None => return Err(HttpError::Closed),
+        Some(line) => line,
+    };
+    let mut parts = status_line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported http version"));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or(HttpError::Malformed("status line has no code"))?
+        .parse()
+        .map_err(|_| HttpError::Malformed("bad status code"))?;
+
+    let mut content_length: usize = 0;
+    loop {
+        let line = match read_line(reader)? {
+            None => return Err(HttpError::Malformed("connection closed mid-headers")),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+                if content_length > MAX_BODY {
+                    return Err(HttpError::Malformed("body too large"));
+                }
+            }
+        }
+    }
+
+    let mut body_bytes = vec![0u8; content_length];
+    reader.read_exact(&mut body_bytes)?;
+    let body =
+        String::from_utf8(body_bytes).map_err(|_| HttpError::Malformed("body is not utf-8"))?;
+    Ok(HttpResponse { status, body })
+}
+
+/// Writes a JSON request and flushes the stream (client side).
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<()> {
+    let header = format!(
+        "{method} {path} HTTP/1.1\r\nHost: cellsync\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response and flushes the stream.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+        connection
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,46 @@
+//! # cellsync_serve — deconvolution as a long-running service
+//!
+//! A dependency-free HTTP/1.1 + JSON server over the cellsync
+//! deconvolution engine, built for the workload the library's
+//! factor-once architecture anticipates: many series, few engine
+//! families. The pieces, bottom to top:
+//!
+//! * [`http`] — a minimal HTTP/1.1 layer over [`std::net`] (request
+//!   line, headers, `Content-Length` bodies, keep-alive).
+//! * [`family`] — named server-side (kernel, config) pairs; requests
+//!   reference a family by name instead of shipping kernels.
+//! * the engine cache ([`cellsync::session::EngineCache`]) — prepared
+//!   engines, LRU-bounded, shared across requests and threads.
+//! * [`batch`] — the coalescing queue: same-family requests arriving
+//!   within a linger window dispatch as one
+//!   [`cellsync::Deconvolver::fit_many`] batch.
+//! * [`stats`] — per-endpoint request/error/latency counters behind
+//!   `GET /stats`.
+//! * [`server`] — routing, structured errors
+//!   (`{"error":{"code":...}}`, codes from
+//!   [`cellsync::DeconvError::code`]), graceful shutdown.
+//! * [`client`] — a tiny blocking keep-alive client for tests and the
+//!   `loadgen` driver.
+//!
+//! Payload schemas live in [`cellsync_wire`]; the full wire contract is
+//! documented in `docs/SERVING.md`. The `served` binary wraps
+//! [`Server`] in a CLI.
+//!
+//! Responses are bit-identical to direct library calls: the server
+//! funnels every request through the same validated
+//! [`cellsync::FitRequest`] path the library exposes, and the wire
+//! codec renders floats with shortest round-trip formatting.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod batch;
+pub mod client;
+pub mod family;
+pub mod http;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use family::{Family, FamilyRegistry};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,355 @@
+//! The deconvolution server: request routing, the engine cache, the
+//! coalescing fit queue, counters, and graceful shutdown, wired over
+//! the [`crate::http`] layer.
+//!
+//! ## Endpoints
+//!
+//! * `POST /fit` — one [`cellsync_wire::FitRequestWire`] in, one
+//!   [`cellsync_wire::FitResponseWire`] (or error envelope) out.
+//! * `GET /stats` — a [`cellsync_wire::StatsWire`] snapshot.
+//! * `GET /healthz` — `{"ok":true}` liveness probe.
+//! * `POST /shutdown` — acknowledge, then shut down gracefully.
+//!
+//! Errors are always the structured envelope
+//! `{"error":{"code":...,"message":...}}`; fit-validation codes come
+//! straight from [`cellsync::DeconvError::code`], so a client can match
+//! on the same stable strings the library's typed errors carry.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cellsync::session::EngineCache;
+use cellsync::{BootstrapSpec, DeconvError, FitRequest};
+use cellsync_wire::{BandWire, ErrorWire, FitRequestWire, FitResponseWire};
+
+use crate::batch::{BatchQueue, Job};
+use crate::family::FamilyRegistry;
+use crate::http::{self, HttpError, HttpRequest};
+use crate::stats::{EndpointStats, ServerStats};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// How long the batch queue holds a job to coalesce same-family
+    /// neighbors.
+    pub linger: Duration,
+    /// Largest coalesced batch.
+    pub max_batch: usize,
+    /// Engine-cache capacity (prepared engines kept warm).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            linger: Duration::from_millis(2),
+            max_batch: 64,
+            cache_capacity: 8,
+        }
+    }
+}
+
+struct Shared {
+    registry: FamilyRegistry,
+    cache: EngineCache,
+    queue: BatchQueue,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Idempotently starts shutdown: close the queue and nudge the
+    /// acceptor awake with a throwaway connection to our own port.
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.close();
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running deconvolution server.
+///
+/// Dropping the handle shuts the server down and joins its threads; use
+/// [`Server::join`] to block until an externally-triggered shutdown
+/// (`POST /shutdown`) completes instead.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and batch-dispatcher threads, and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(registry: FamilyRegistry, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            cache: EngineCache::new(config.cache_capacity.max(1)),
+            queue: BatchQueue::new(config.linger, config.max_batch),
+            stats: ServerStats::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || shared.queue.run_dispatcher())
+        };
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || accept_loop(listener, shared, connections))
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral-port bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts a graceful shutdown: stop accepting, drain queued fits,
+    /// close idle connections. Returns immediately; [`Server::join`]
+    /// waits for completion.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Blocks until the server has shut down (via [`Server::shutdown`]
+    /// or `POST /shutdown`) and every server thread has exited.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.connections.lock().expect("connections poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.trigger_shutdown();
+        self.join_threads();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || handle_connection(stream, &shared));
+        let mut guard = connections.lock().expect("connections poisoned");
+        // Finished threads' handles are dropped (joining a finished
+        // thread is a no-op); live ones are joined at shutdown.
+        guard.retain(|h| !h.is_finished());
+        guard.push(handle);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // A short read timeout turns idle keep-alive blocking into a
+    // periodic shutdown-flag poll.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+                let start = Instant::now();
+                let (endpoint, status, body, shutdown_after) = route(&request, shared);
+                endpoint.record(start.elapsed(), status >= 400);
+                let write_ok = http::write_response(&mut writer, status, &body, keep_alive).is_ok();
+                if shutdown_after {
+                    shared.trigger_shutdown();
+                }
+                if !write_ok || !keep_alive {
+                    return;
+                }
+            }
+            Err(e) if http::is_timeout(&e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(HttpError::Malformed(msg)) => {
+                let start = Instant::now();
+                let body = ErrorWire::new("parse_error", msg).encode();
+                shared.stats.other.record(start.elapsed(), true);
+                let _ = http::write_response(&mut writer, 400, &body, false);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one request to `(endpoint counters, status, body,
+/// shutdown-after-response)`.
+fn route<'a>(request: &HttpRequest, shared: &'a Shared) -> (&'a EndpointStats, u16, String, bool) {
+    let stats = &shared.stats;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/fit") => {
+            let (status, body) = handle_fit(&request.body, shared);
+            (&stats.fit, status, body, false)
+        }
+        ("GET", "/stats") => {
+            let snapshot = stats.snapshot(shared.cache.stats(), shared.queue.counters());
+            (&stats.stats, 200, snapshot.encode(), false)
+        }
+        ("GET", "/healthz") => (&stats.healthz, 200, r#"{"ok":true}"#.to_string(), false),
+        ("POST", "/shutdown") => (&stats.other, 200, r#"{"ok":true}"#.to_string(), true),
+        (_, "/fit" | "/stats" | "/healthz" | "/shutdown") => (
+            &stats.other,
+            405,
+            ErrorWire::new("method_not_allowed", "wrong method for this endpoint").encode(),
+            false,
+        ),
+        _ => (
+            &stats.other,
+            404,
+            ErrorWire::new("not_found", "unknown endpoint").encode(),
+            false,
+        ),
+    }
+}
+
+/// HTTP status for a fit failure: client-input codes map to 400,
+/// numerical/substrate failures to 500.
+fn status_for(error: &DeconvError) -> u16 {
+    match error.code() {
+        "length_mismatch" | "invalid_config" | "too_few_measurements" | "invalid_phase" => 400,
+        _ => 500,
+    }
+}
+
+fn handle_fit(body: &str, shared: &Shared) -> (u16, String) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (
+            503,
+            ErrorWire::new("shutting_down", "server is shutting down").encode(),
+        );
+    }
+    let wire = match FitRequestWire::decode(body) {
+        Ok(wire) => wire,
+        Err(e) => return (400, ErrorWire::new("parse_error", e.to_string()).encode()),
+    };
+    let Some(family) = shared.registry.get(&wire.family) else {
+        return (
+            404,
+            ErrorWire::new(
+                "unknown_family",
+                format!("unknown engine family '{}'", wire.family),
+            )
+            .encode(),
+        );
+    };
+    let engine = match shared
+        .cache
+        .get_or_build(family.key(), || family.build_engine())
+    {
+        Ok(engine) => engine,
+        Err(e) => {
+            return (
+                status_for(&e),
+                ErrorWire::new(e.code(), e.to_string()).encode(),
+            )
+        }
+    };
+
+    let mut request = FitRequest::new(wire.series);
+    if let Some(sigmas) = wire.sigmas {
+        request = request.with_sigmas(sigmas);
+    }
+    if let Some(lambda) = wire.lambda {
+        request = request.with_lambda(lambda);
+    }
+    if let Some(b) = wire.bootstrap {
+        request = request.with_bootstrap(BootstrapSpec::new(b.replicates, b.grid, b.seed));
+    }
+
+    let (reply, result) = mpsc::channel();
+    if shared
+        .queue
+        .submit(Job {
+            engine,
+            request,
+            reply,
+        })
+        .is_err()
+    {
+        return (
+            503,
+            ErrorWire::new("shutting_down", "server is shutting down").encode(),
+        );
+    }
+    match result.recv() {
+        Ok(Ok((fit, band))) => {
+            let response = FitResponseWire {
+                alpha: fit.alpha().to_vec(),
+                lambda: fit.lambda(),
+                predicted: fit.predicted().to_vec(),
+                weighted_sse: fit.weighted_sse(),
+                band: band.map(|b| BandWire {
+                    mean: b.mean,
+                    std: b.std,
+                    replicates: b.replicates,
+                }),
+            };
+            (200, response.encode())
+        }
+        Ok(Err(e)) => (
+            status_for(&e),
+            ErrorWire::new(e.code(), e.to_string()).encode(),
+        ),
+        Err(_) => (
+            500,
+            ErrorWire::new("internal", "dispatcher dropped the job").encode(),
+        ),
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-endpoint serving counters: request/error totals and a lock-free
+//! log₂-bucketed latency histogram from which p50/p99 are read.
+//!
+//! The histogram trades resolution for zero contention: 64 power-of-two
+//! buckets of microseconds, each an `AtomicU64`, so the record path on
+//! the hot serving threads is two relaxed atomic increments. Reported
+//! percentiles are the upper bound of the bucket containing the
+//! percentile rank — at worst a 2× overestimate, which is the right
+//! direction to err for a latency SLO.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use cellsync_wire::{EndpointStatsWire, StatsWire};
+
+use crate::batch::BatchCounters;
+use cellsync::session::CacheStats;
+
+/// Lock-free log₂-bucketed histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[b]` counts samples with `bucket(us) == b`, where
+    /// `bucket(0) = 0` and `bucket(v) = 64 - v.leading_zeros()`.
+    buckets: [AtomicU64; 65],
+}
+
+fn bucket(us: u64) -> usize {
+    (u64::BITS - us.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of a bucket, the value percentiles report.
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, us: u64) {
+        self.buckets[bucket(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The value at percentile `p ∈ (0, 1]`: the upper bound of the
+    /// bucket containing the `⌈p·total⌉`-th smallest sample (0 when no
+    /// samples were recorded).
+    pub fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (b, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(64)
+    }
+}
+
+/// Counters for one endpoint.
+#[derive(Debug)]
+pub struct EndpointStats {
+    name: &'static str,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl EndpointStats {
+    fn new(name: &'static str) -> Self {
+        EndpointStats {
+            name,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records one served request (`is_error` = the response carried an
+    /// error payload).
+    pub fn record(&self, elapsed: Duration, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.latency.record(us);
+    }
+
+    fn snapshot(&self) -> EndpointStatsWire {
+        EndpointStatsWire {
+            name: self.name.to_string(),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            p50_us: self.latency.percentile(0.50),
+            p99_us: self.latency.percentile(0.99),
+        }
+    }
+}
+
+/// All serving counters: one [`EndpointStats`] per endpoint plus the
+/// server start time for uptime.
+#[derive(Debug)]
+pub struct ServerStats {
+    start: Instant,
+    /// `POST /fit` counters.
+    pub fit: EndpointStats,
+    /// `GET /stats` counters.
+    pub stats: EndpointStats,
+    /// `GET /healthz` counters.
+    pub healthz: EndpointStats,
+    /// Everything else (unknown routes, bad methods, parse failures).
+    pub other: EndpointStats,
+}
+
+impl ServerStats {
+    /// Fresh counters with uptime starting now.
+    pub fn new() -> Self {
+        ServerStats {
+            start: Instant::now(),
+            fit: EndpointStats::new("fit"),
+            stats: EndpointStats::new("stats"),
+            healthz: EndpointStats::new("healthz"),
+            other: EndpointStats::new("other"),
+        }
+    }
+
+    /// Assembles the `/stats` payload from the endpoint counters plus
+    /// the engine-cache and batch-queue counters.
+    pub fn snapshot(&self, cache: CacheStats, batch: BatchCounters) -> StatsWire {
+        StatsWire {
+            uptime_ms: u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX),
+            endpoints: vec![
+                self.fit.snapshot(),
+                self.stats.snapshot(),
+                self.healthz.snapshot(),
+                self.other.snapshot(),
+            ],
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries as u64,
+            cache_capacity: cache.capacity as u64,
+            batches: batch.batches,
+            batched_requests: batch.batched_requests,
+            max_batch: batch.max_batch,
+        }
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let h = LatencyHistogram::new();
+        // 99 fast samples and one slow outlier.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        let p100 = h.percentile(1.0);
+        // p50/p99 live in the fast bucket (upper bound 127), the max in
+        // the outlier's bucket.
+        assert!((100..200).contains(&p50), "p50 = {p50}");
+        assert_eq!(p99, p50);
+        assert!(p100 >= 1_000_000, "p100 = {p100}");
+        assert!(p100 < 2_100_000, "p100 = {p100}");
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn endpoint_counts_errors_separately() {
+        let e = EndpointStats::new("fit");
+        e.record(Duration::from_micros(10), false);
+        e.record(Duration::from_micros(20), true);
+        let snap = e.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.errors, 1);
+        assert!(snap.p50_us >= 10);
+    }
+}

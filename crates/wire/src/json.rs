@@ -1,0 +1,485 @@
+//! Minimal JSON reader/writer for the cellsync wire formats.
+//!
+//! The build environment is offline (no serde), and the only JSON this
+//! workspace touches is its own schemas — `BENCH.json`/`ACCURACY.json`
+//! documents and the serving payloads of [`crate::payload`]: flat objects
+//! of numbers, strings, booleans, and arrays thereof. This module
+//! implements exactly that: a [`Json`] value tree with a recursive-descent
+//! parser and a deterministic writer (object keys render in insertion
+//! order, so emitted schemas are stable across runs and diff cleanly).
+//!
+//! Numbers round-trip bit-exactly: the writer uses Rust's shortest
+//! round-trip float formatting (with negative zero rendered as `-0` so the
+//! sign bit survives), which is what lets the serving layer promise
+//! bit-identical payloads to direct library calls.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A (finite) number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved and rendered as inserted.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset the parser stopped at.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Looks up a key in an object (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                // JSON has no NaN/Inf; the harnesses never produce them,
+                // but render defensively as null rather than emit invalid
+                // text.
+                if v.is_finite() {
+                    // Integral values print without a fractional part
+                    // (thread counts, rep counts), everything else with
+                    // Rust's shortest round-trip formatting. Negative zero
+                    // keeps its sign (`-0` parses back to -0.0), so
+                    // numeric payloads round-trip bit-exactly.
+                    if *v == 0.0 && v.is_sign_negative() {
+                        out.push_str("-0");
+                    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+                        out.push_str(&format!("{}", *v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with the failing byte offset on malformed
+    /// input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                offset: pos,
+                message: "trailing characters after value",
+            });
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &'static str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(JsonError {
+            offset: *pos,
+            message: "unexpected token",
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(JsonError {
+            offset: *pos,
+            message: "unexpected end of input",
+        });
+    };
+    match b {
+        b'n' => expect(bytes, pos, "null").map(|()| Json::Null),
+        b't' => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            offset: *pos,
+                            message: "expected ',' or ']' in array",
+                        })
+                    }
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError {
+                        offset: *pos,
+                        message: "expected ':' after object key",
+                    });
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            offset: *pos,
+                            message: "expected ',' or '}' in object",
+                        })
+                    }
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| JsonError {
+                offset: start,
+                message: "invalid utf-8 in number",
+            })?;
+            let v: f64 = text.parse().map_err(|_| JsonError {
+                offset: start,
+                message: "invalid number",
+            })?;
+            Ok(Json::Num(v))
+        }
+        _ => Err(JsonError {
+            offset: *pos,
+            message: "unexpected character",
+        }),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError {
+            offset: *pos,
+            message: "expected string",
+        });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(JsonError {
+                offset: *pos,
+                message: "unterminated string",
+            });
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(JsonError {
+                        offset: *pos,
+                        message: "unterminated escape",
+                    });
+                };
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or(JsonError {
+                            offset: *pos,
+                            message: "truncated \\u escape",
+                        })?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| JsonError {
+                            offset: *pos,
+                            message: "invalid \\u escape",
+                        })?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                            offset: *pos,
+                            message: "invalid \\u escape",
+                        })?;
+                        // Surrogates are not needed by the wire schemas;
+                        // map unpaired ones to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            offset: *pos,
+                            message: "unknown escape",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
+                    offset: *pos,
+                    message: "invalid utf-8 in string",
+                })?;
+                let c = rest.chars().next().expect("non-empty by get() above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_bench_schema_shape() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("cellsync-perf/1".into())),
+            ("mode".into(), Json::Str("quick".into())),
+            ("threads_available".into(), Json::Num(4.0)),
+            (
+                "kernels".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("name".into(), Json::Str("qp_active_set".into())),
+                    ("median_ms".into(), Json::Num(1.25)),
+                ])]),
+            ),
+            ("deterministic".into(), Json::Bool(true)),
+            ("missing".into(), Json::Null),
+        ]);
+        let text = doc.render();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        // Key order is stable: schema first.
+        assert!(text.starts_with("{\"schema\":\"cellsync-perf/1\""));
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse(r#"{"a": 1.5, "b": "x", "c": [1, 2], "d": true}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            doc.get("c").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(doc.get("d"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("zz"), None);
+        assert_eq!(Json::Num(1.0).get("a"), None);
+    }
+
+    #[test]
+    fn parses_whitespace_numbers_escapes() {
+        let doc = Json::parse(" { \"k\" : [ -1.5e-3 , 12 , \"a\\n\\\"b\\u0041\" ] } ").unwrap();
+        let arr = doc.get("k").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(-1.5e-3));
+        assert_eq!(arr[1].as_f64(), Some(12.0));
+        assert_eq!(arr[2].as_str(), Some("a\n\"bA"));
+    }
+
+    #[test]
+    fn integral_numbers_render_without_fraction() {
+        assert_eq!(Json::Num(4.0).render(), "4");
+        assert_eq!(Json::Num(4.5).render(), "4.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn negative_zero_round_trips_bit_exactly() {
+        assert_eq!(Json::Num(-0.0).render(), "-0");
+        let back = Json::parse("-0").unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+        // Positive zero stays positive.
+        let zero = Json::parse(&Json::Num(0.0).render())
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(zero.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn shortest_roundtrip_floats_are_bit_exact() {
+        for v in [
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e-300,
+            -2.2250738585072014e-308,
+            0.1 + 0.2,
+            std::f64::consts::PI,
+        ] {
+            let back = Json::parse(&Json::Num(v).render())
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v:e}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "\"open",
+            "{\"a\":1}x",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # cellsync_wire — shared wire format for the cellsync serving stack
+//!
+//! The workspace is dependency-free by construction (the build
+//! environment is offline), so its JSON lives here: a minimal value tree
+//! with a strict parser and a deterministic writer ([`json`], promoted
+//! from the bench crate's `BENCH.json` emitter), plus the typed payloads
+//! of the deconvolution service ([`payload`]): fit requests and
+//! responses, structured error envelopes with stable machine-readable
+//! codes, and `/stats` snapshots.
+//!
+//! Two properties matter for serving and are tested here:
+//!
+//! * **Bit-exact numeric round trips.** Floats render with shortest
+//!   round-trip formatting, negative zero keeps its sign, so a fit
+//!   result that crosses the wire decodes to the same bits the library
+//!   produced.
+//! * **Strict, located decode errors.** Decoders reject missing fields,
+//!   wrong types, and non-finite numbers, reporting the JSON path of
+//!   the first violation (`$.series[3]`) — the wire counterpart of the
+//!   QP corpus parser's line-numbered errors.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod json;
+pub mod payload;
+
+pub use json::{Json, JsonError};
+pub use payload::{
+    BandWire, BootstrapWire, EndpointStatsWire, ErrorWire, FitRequestWire, FitResponseWire,
+    StatsWire, WireError,
+};

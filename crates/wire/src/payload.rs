@@ -1,0 +1,730 @@
+//! Typed serving payloads: fit requests, fit responses, structured
+//! errors, and server statistics.
+//!
+//! Each payload is a plain-old-data struct with a deterministic
+//! [`Json`] encoding (`to_json`/`encode`) and a strict decoder
+//! (`from_json`/`decode`). Decoders reject shape errors, missing fields,
+//! and — everywhere a measurement or coefficient travels — non-finite
+//! numbers, reporting the failing location as a JSON path
+//! (`$.series[3]`), the wire counterpart of the QP corpus parser's
+//! line-numbered errors.
+//!
+//! The encodings round-trip bit-exactly ([`crate::json`] renders floats
+//! with shortest round-trip formatting and keeps negative zero's sign),
+//! which is what lets the serving layer promise responses bit-identical
+//! to direct library calls.
+
+use std::fmt;
+
+use crate::json::{Json, JsonError};
+
+/// Seeds and counters travel as JSON numbers (IEEE doubles), so only
+/// integers up to 2⁵³ survive the trip exactly; decoders reject larger
+/// values rather than round silently.
+pub const MAX_EXACT_INT: u64 = 1 << 53;
+
+/// A wire-format failure: either the text is not JSON at all, or the
+/// JSON does not match the payload schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Malformed JSON text (byte-offset-located).
+    Parse(JsonError),
+    /// Well-formed JSON that violates the payload schema. `path` is a
+    /// JSON path to the offending value (e.g. `$.series[3]`).
+    Decode {
+        /// JSON path to the offending value.
+        path: String,
+        /// What was wrong there.
+        message: &'static str,
+    },
+}
+
+impl WireError {
+    fn decode(path: impl Into<String>, message: &'static str) -> WireError {
+        WireError::Decode {
+            path: path.into(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Parse(e) => write!(f, "wire parse error: {e}"),
+            WireError::Decode { path, message } => {
+                write!(f, "wire decode error at {path}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Parse(e) => Some(e),
+            WireError::Decode { .. } => None,
+        }
+    }
+}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError::Parse(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decode helpers (shared by every payload).
+// ---------------------------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &'static str, path: &str) -> Result<&'a Json, WireError> {
+    match obj {
+        Json::Obj(_) => obj
+            .get(key)
+            .ok_or_else(|| WireError::decode(format!("{path}.{key}"), "missing required field")),
+        _ => Err(WireError::decode(path, "expected an object")),
+    }
+}
+
+fn finite_f64(value: &Json, path: &str) -> Result<f64, WireError> {
+    match value {
+        Json::Num(v) if v.is_finite() => Ok(*v),
+        Json::Num(_) => Err(WireError::decode(path, "number must be finite")),
+        _ => Err(WireError::decode(path, "expected a number")),
+    }
+}
+
+fn exact_u64(value: &Json, path: &str) -> Result<u64, WireError> {
+    let v = finite_f64(value, path)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(WireError::decode(path, "expected a non-negative integer"));
+    }
+    if v > MAX_EXACT_INT as f64 {
+        return Err(WireError::decode(
+            path,
+            "integer exceeds 2^53 (inexact in JSON)",
+        ));
+    }
+    Ok(v as u64)
+}
+
+fn exact_usize(value: &Json, path: &str) -> Result<usize, WireError> {
+    usize::try_from(exact_u64(value, path)?)
+        .map_err(|_| WireError::decode(path, "integer exceeds usize"))
+}
+
+fn string(value: &Json, path: &str) -> Result<String, WireError> {
+    value
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| WireError::decode(path, "expected a string"))
+}
+
+fn f64_array(value: &Json, path: &str) -> Result<Vec<f64>, WireError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| WireError::decode(path, "expected an array of numbers"))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| finite_f64(item, &format!("{path}[{i}]")))
+        .collect()
+}
+
+fn f64_array_json(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+// ---------------------------------------------------------------------
+// Fit request.
+// ---------------------------------------------------------------------
+
+/// Bootstrap options riding on a fit request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapWire {
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+    /// Phase-grid resolution of the returned band.
+    pub grid: usize,
+    /// RNG seed for the replicate noise streams.
+    pub seed: u64,
+}
+
+/// A deconvolution fit request: one series against a named, server-side
+/// prepared (kernel, config) family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitRequestWire {
+    /// Name of the engine family (kernel + config) to fit against.
+    pub family: String,
+    /// Population measurements `G(t_m)`.
+    pub series: Vec<f64>,
+    /// Optional per-measurement standard deviations σₘ.
+    pub sigmas: Option<Vec<f64>>,
+    /// Optional λ override (skips the family's λ selection).
+    pub lambda: Option<f64>,
+    /// Optional bootstrap band request.
+    pub bootstrap: Option<BootstrapWire>,
+}
+
+impl FitRequestWire {
+    /// Encodes the request as a [`Json`] object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("family".to_string(), Json::Str(self.family.clone())),
+            ("series".to_string(), f64_array_json(&self.series)),
+        ];
+        if let Some(sigmas) = &self.sigmas {
+            pairs.push(("sigmas".to_string(), f64_array_json(sigmas)));
+        }
+        if let Some(lambda) = self.lambda {
+            pairs.push(("lambda".to_string(), Json::Num(lambda)));
+        }
+        if let Some(b) = &self.bootstrap {
+            pairs.push((
+                "bootstrap".to_string(),
+                Json::Obj(vec![
+                    ("replicates".to_string(), Json::Num(b.replicates as f64)),
+                    ("grid".to_string(), Json::Num(b.grid as f64)),
+                    ("seed".to_string(), Json::Num(b.seed as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Renders the request as compact JSON text.
+    pub fn encode(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Decodes a request from a parsed [`Json`] value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Decode`] with the JSON path of the first
+    /// violation (missing field, wrong type, non-finite number).
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let family = string(field(value, "family", "$")?, "$.family")?;
+        let series = f64_array(field(value, "series", "$")?, "$.series")?;
+        let sigmas = match value.get("sigmas") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(f64_array(v, "$.sigmas")?),
+        };
+        let lambda = match value.get("lambda") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(finite_f64(v, "$.lambda")?),
+        };
+        let bootstrap = match value.get("bootstrap") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(BootstrapWire {
+                replicates: exact_usize(
+                    field(b, "replicates", "$.bootstrap")?,
+                    "$.bootstrap.replicates",
+                )?,
+                grid: exact_usize(field(b, "grid", "$.bootstrap")?, "$.bootstrap.grid")?,
+                seed: exact_u64(field(b, "seed", "$.bootstrap")?, "$.bootstrap.seed")?,
+            }),
+        };
+        Ok(FitRequestWire {
+            family,
+            series,
+            sigmas,
+            lambda,
+            bootstrap,
+        })
+    }
+
+    /// Parses and decodes a request from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Parse`] for malformed JSON, [`WireError::Decode`]
+    /// for schema violations.
+    pub fn decode(text: &str) -> Result<Self, WireError> {
+        FitRequestWire::from_json(&Json::parse(text)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fit response.
+// ---------------------------------------------------------------------
+
+/// A bootstrap uncertainty band riding on a fit response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandWire {
+    /// Per-phase replicate mean (uniform grid).
+    pub mean: Vec<f64>,
+    /// Per-phase replicate standard deviation.
+    pub std: Vec<f64>,
+    /// Number of replicates behind the band.
+    pub replicates: usize,
+}
+
+/// A successful deconvolution fit, on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResponseWire {
+    /// Fitted spline coefficients α.
+    pub alpha: Vec<f64>,
+    /// Selected (or overridden) smoothing parameter λ.
+    pub lambda: f64,
+    /// Model-predicted measurements `Ĝ(t_m)`.
+    pub predicted: Vec<f64>,
+    /// Weighted sum of squared residuals.
+    pub weighted_sse: f64,
+    /// Bootstrap band, when the request asked for one.
+    pub band: Option<BandWire>,
+}
+
+impl FitResponseWire {
+    /// Encodes the response as a [`Json`] object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("alpha".to_string(), f64_array_json(&self.alpha)),
+            ("lambda".to_string(), Json::Num(self.lambda)),
+            ("predicted".to_string(), f64_array_json(&self.predicted)),
+            ("weighted_sse".to_string(), Json::Num(self.weighted_sse)),
+        ];
+        if let Some(band) = &self.band {
+            pairs.push((
+                "band".to_string(),
+                Json::Obj(vec![
+                    ("mean".to_string(), f64_array_json(&band.mean)),
+                    ("std".to_string(), f64_array_json(&band.std)),
+                    ("replicates".to_string(), Json::Num(band.replicates as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Renders the response as compact JSON text.
+    pub fn encode(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Decodes a response from a parsed [`Json`] value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Decode`] with the JSON path of the first
+    /// violation.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let alpha = f64_array(field(value, "alpha", "$")?, "$.alpha")?;
+        let lambda = finite_f64(field(value, "lambda", "$")?, "$.lambda")?;
+        let predicted = f64_array(field(value, "predicted", "$")?, "$.predicted")?;
+        let weighted_sse = finite_f64(field(value, "weighted_sse", "$")?, "$.weighted_sse")?;
+        let band = match value.get("band") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(BandWire {
+                mean: f64_array(field(b, "mean", "$.band")?, "$.band.mean")?,
+                std: f64_array(field(b, "std", "$.band")?, "$.band.std")?,
+                replicates: exact_usize(field(b, "replicates", "$.band")?, "$.band.replicates")?,
+            }),
+        };
+        Ok(FitResponseWire {
+            alpha,
+            lambda,
+            predicted,
+            weighted_sse,
+            band,
+        })
+    }
+
+    /// Parses and decodes a response from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Parse`] for malformed JSON, [`WireError::Decode`]
+    /// for schema violations.
+    pub fn decode(text: &str) -> Result<Self, WireError> {
+        FitResponseWire::from_json(&Json::parse(text)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structured errors.
+// ---------------------------------------------------------------------
+
+/// A structured error, on the wire: a stable machine-readable code plus
+/// a human-readable message. Codes come from
+/// `cellsync::DeconvError::code()` and the server's own routing codes
+/// (`parse_error`, `unknown_family`, `not_found`, `method_not_allowed`,
+/// `shutting_down`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorWire {
+    /// Stable machine-readable error code (snake_case).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ErrorWire {
+    /// Builds an error payload.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        ErrorWire {
+            code: code.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Encodes as `{"error":{"code":...,"message":...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "error".to_string(),
+            Json::Obj(vec![
+                ("code".to_string(), Json::Str(self.code.clone())),
+                ("message".to_string(), Json::Str(self.message.clone())),
+            ]),
+        )])
+    }
+
+    /// Renders the error as compact JSON text.
+    pub fn encode(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Decodes an error envelope from a parsed [`Json`] value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Decode`] when the envelope shape is wrong.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let inner = field(value, "error", "$")?;
+        Ok(ErrorWire {
+            code: string(field(inner, "code", "$.error")?, "$.error.code")?,
+            message: string(field(inner, "message", "$.error")?, "$.error.message")?,
+        })
+    }
+
+    /// Parses and decodes an error envelope from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Parse`] for malformed JSON, [`WireError::Decode`]
+    /// for schema violations.
+    pub fn decode(text: &str) -> Result<Self, WireError> {
+        ErrorWire::from_json(&Json::parse(text)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server statistics.
+// ---------------------------------------------------------------------
+
+/// Per-endpoint counters in a stats snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointStatsWire {
+    /// Endpoint name (e.g. `fit`, `stats`).
+    pub name: String,
+    /// Requests served (including failures).
+    pub requests: u64,
+    /// Requests that returned an error payload.
+    pub errors: u64,
+    /// Approximate median service latency, microseconds.
+    pub p50_us: u64,
+    /// Approximate 99th-percentile service latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// A `/stats` snapshot: endpoint counters, engine-cache counters, and
+/// batching behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsWire {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Per-endpoint counters.
+    pub endpoints: Vec<EndpointStatsWire>,
+    /// Engine-cache hits.
+    pub cache_hits: u64,
+    /// Engine-cache misses (cold builds).
+    pub cache_misses: u64,
+    /// Engines evicted from the cache.
+    pub cache_evictions: u64,
+    /// Engines currently cached.
+    pub cache_entries: u64,
+    /// Cache capacity.
+    pub cache_capacity: u64,
+    /// Batches dispatched by the coalescing queue.
+    pub batches: u64,
+    /// Fit jobs that went through the queue.
+    pub batched_requests: u64,
+    /// Largest batch dispatched.
+    pub max_batch: u64,
+}
+
+impl StatsWire {
+    /// Schema identifier embedded in the encoding.
+    pub const SCHEMA: &'static str = "cellsync-serve-stats/1";
+
+    /// Encodes the snapshot as a [`Json`] object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(Self::SCHEMA.to_string())),
+            ("uptime_ms".to_string(), Json::Num(self.uptime_ms as f64)),
+            (
+                "endpoints".to_string(),
+                Json::Arr(
+                    self.endpoints
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("name".to_string(), Json::Str(e.name.clone())),
+                                ("requests".to_string(), Json::Num(e.requests as f64)),
+                                ("errors".to_string(), Json::Num(e.errors as f64)),
+                                ("p50_us".to_string(), Json::Num(e.p50_us as f64)),
+                                ("p99_us".to_string(), Json::Num(e.p99_us as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cache".to_string(),
+                Json::Obj(vec![
+                    ("hits".to_string(), Json::Num(self.cache_hits as f64)),
+                    ("misses".to_string(), Json::Num(self.cache_misses as f64)),
+                    (
+                        "evictions".to_string(),
+                        Json::Num(self.cache_evictions as f64),
+                    ),
+                    ("entries".to_string(), Json::Num(self.cache_entries as f64)),
+                    (
+                        "capacity".to_string(),
+                        Json::Num(self.cache_capacity as f64),
+                    ),
+                ]),
+            ),
+            (
+                "batch".to_string(),
+                Json::Obj(vec![
+                    ("batches".to_string(), Json::Num(self.batches as f64)),
+                    (
+                        "batched_requests".to_string(),
+                        Json::Num(self.batched_requests as f64),
+                    ),
+                    ("max_batch".to_string(), Json::Num(self.max_batch as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Renders the snapshot as compact JSON text.
+    pub fn encode(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Decodes a snapshot from a parsed [`Json`] value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Decode`] with the JSON path of the first
+    /// violation (including an unknown `schema`).
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let schema = string(field(value, "schema", "$")?, "$.schema")?;
+        if schema != Self::SCHEMA {
+            return Err(WireError::decode("$.schema", "unknown stats schema"));
+        }
+        let uptime_ms = exact_u64(field(value, "uptime_ms", "$")?, "$.uptime_ms")?;
+        let endpoints_json = field(value, "endpoints", "$")?
+            .as_array()
+            .ok_or_else(|| WireError::decode("$.endpoints", "expected an array"))?;
+        let mut endpoints = Vec::with_capacity(endpoints_json.len());
+        for (i, e) in endpoints_json.iter().enumerate() {
+            let path = format!("$.endpoints[{i}]");
+            endpoints.push(EndpointStatsWire {
+                name: string(field(e, "name", &path)?, &format!("{path}.name"))?,
+                requests: exact_u64(field(e, "requests", &path)?, &format!("{path}.requests"))?,
+                errors: exact_u64(field(e, "errors", &path)?, &format!("{path}.errors"))?,
+                p50_us: exact_u64(field(e, "p50_us", &path)?, &format!("{path}.p50_us"))?,
+                p99_us: exact_u64(field(e, "p99_us", &path)?, &format!("{path}.p99_us"))?,
+            });
+        }
+        let cache = field(value, "cache", "$")?;
+        let batch = field(value, "batch", "$")?;
+        Ok(StatsWire {
+            uptime_ms,
+            endpoints,
+            cache_hits: exact_u64(field(cache, "hits", "$.cache")?, "$.cache.hits")?,
+            cache_misses: exact_u64(field(cache, "misses", "$.cache")?, "$.cache.misses")?,
+            cache_evictions: exact_u64(field(cache, "evictions", "$.cache")?, "$.cache.evictions")?,
+            cache_entries: exact_u64(field(cache, "entries", "$.cache")?, "$.cache.entries")?,
+            cache_capacity: exact_u64(field(cache, "capacity", "$.cache")?, "$.cache.capacity")?,
+            batches: exact_u64(field(batch, "batches", "$.batch")?, "$.batch.batches")?,
+            batched_requests: exact_u64(
+                field(batch, "batched_requests", "$.batch")?,
+                "$.batch.batched_requests",
+            )?,
+            max_batch: exact_u64(field(batch, "max_batch", "$.batch")?, "$.batch.max_batch")?,
+        })
+    }
+
+    /// Parses and decodes a snapshot from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Parse`] for malformed JSON, [`WireError::Decode`]
+    /// for schema violations.
+    pub fn decode(text: &str) -> Result<Self, WireError> {
+        StatsWire::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> FitRequestWire {
+        FitRequestWire {
+            family: "lv-quick".to_string(),
+            series: vec![1.0, 2.5, -0.0, 4.0],
+            sigmas: Some(vec![0.1, 0.2, 0.3, 0.4]),
+            lambda: Some(1e-4),
+            bootstrap: Some(BootstrapWire {
+                replicates: 20,
+                grid: 50,
+                seed: 7,
+            }),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = request();
+        assert_eq!(FitRequestWire::decode(&req.encode()).unwrap(), req);
+        // Minimal form: no optional fields.
+        let minimal = FitRequestWire {
+            family: "f".to_string(),
+            series: vec![1.0],
+            sigmas: None,
+            lambda: None,
+            bootstrap: None,
+        };
+        let text = minimal.encode();
+        assert!(!text.contains("sigmas"));
+        assert_eq!(FitRequestWire::decode(&text).unwrap(), minimal);
+    }
+
+    #[test]
+    fn response_round_trips_bit_exactly() {
+        let resp = FitResponseWire {
+            alpha: vec![0.1 + 0.2, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE],
+            lambda: 2.5e-4,
+            predicted: vec![1.0, 2.0],
+            weighted_sse: 1e-12,
+            band: Some(BandWire {
+                mean: vec![1.0, 2.0],
+                std: vec![0.0, 0.5],
+                replicates: 9,
+            }),
+        };
+        let back = FitResponseWire::decode(&resp.encode()).unwrap();
+        for (a, b) in resp.alpha.iter().zip(&back.alpha) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn rejects_nan_and_infinity() {
+        // NaN renders as null, which the decoder rejects with the path.
+        let bad = FitResponseWire {
+            alpha: vec![f64::NAN],
+            lambda: 1.0,
+            predicted: vec![],
+            weighted_sse: 0.0,
+            band: None,
+        };
+        let err = FitResponseWire::decode(&bad.encode()).unwrap_err();
+        assert!(matches!(err, WireError::Decode { ref path, .. } if path == "$.alpha[0]"));
+        // Numeric overflow parses to infinity, also rejected.
+        let err = FitRequestWire::decode(r#"{"family":"f","series":[1e999]}"#).unwrap_err();
+        assert!(
+            matches!(err, WireError::Decode { ref path, message }
+                if path == "$.series[0]" && message.contains("finite")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn decode_errors_carry_json_paths() {
+        let cases: Vec<(&str, &str)> = vec![
+            (r#"{"series":[1]}"#, "$.family"),
+            (r#"{"family":"f"}"#, "$.series"),
+            (r#"{"family":7,"series":[1]}"#, "$.family"),
+            (r#"{"family":"f","series":"x"}"#, "$.series"),
+            (
+                r#"{"family":"f","series":[1],"sigmas":[1,"x"]}"#,
+                "$.sigmas[1]",
+            ),
+            (
+                r#"{"family":"f","series":[1],"bootstrap":{"grid":2,"seed":0}}"#,
+                "$.bootstrap.replicates",
+            ),
+            (
+                r#"{"family":"f","series":[1],"bootstrap":{"replicates":1.5,"grid":2,"seed":0}}"#,
+                "$.bootstrap.replicates",
+            ),
+        ];
+        for (text, want_path) in cases {
+            match FitRequestWire::decode(text).unwrap_err() {
+                WireError::Decode { path, .. } => assert_eq!(path, want_path, "input {text}"),
+                other => panic!("expected decode error for {text}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_a_parse_error_with_offset() {
+        let text = r#"{"family":"f","series":[1.0,"#;
+        match FitRequestWire::decode(text).unwrap_err() {
+            WireError::Parse(e) => assert_eq!(e.offset, text.len()),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn seeds_beyond_2_53_are_rejected() {
+        let text = r#"{"family":"f","series":[1],"bootstrap":{"replicates":1,"grid":2,"seed":9007199254740994}}"#;
+        let err = FitRequestWire::decode(text).unwrap_err();
+        assert!(
+            matches!(err, WireError::Decode { ref path, .. } if path == "$.bootstrap.seed"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_envelope_round_trips() {
+        let e = ErrorWire::new("length_mismatch", "expected 12, got 5");
+        let text = e.encode();
+        assert!(text.starts_with(r#"{"error":{"code":"length_mismatch""#));
+        assert_eq!(ErrorWire::decode(&text).unwrap(), e);
+        assert!(ErrorWire::decode(r#"{"code":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn stats_round_trip_and_schema_check() {
+        let stats = StatsWire {
+            uptime_ms: 1234,
+            endpoints: vec![EndpointStatsWire {
+                name: "fit".to_string(),
+                requests: 100,
+                errors: 2,
+                p50_us: 800,
+                p99_us: 9000,
+            }],
+            cache_hits: 97,
+            cache_misses: 3,
+            cache_evictions: 1,
+            cache_entries: 2,
+            cache_capacity: 8,
+            batches: 40,
+            batched_requests: 100,
+            max_batch: 12,
+        };
+        let text = stats.encode();
+        assert_eq!(StatsWire::decode(&text).unwrap(), stats);
+        let wrong_schema = text.replace(StatsWire::SCHEMA, "bogus/9");
+        assert!(StatsWire::decode(&wrong_schema).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based round-trip tests for the wire payloads.
+//!
+//! The serving layer's bit-identity guarantee rests on these: any
+//! payload built from finite numbers must encode → parse → decode back
+//! to the identical value (bit-exact floats included), and any payload
+//! containing a non-finite number must be rejected with a located error
+//! rather than silently corrupted.
+
+use cellsync_wire::{
+    BandWire, BootstrapWire, ErrorWire, FitRequestWire, FitResponseWire, Json, StatsWire, WireError,
+};
+use proptest::prelude::*;
+
+/// Wide-range finite floats, mixing magnitudes and signs (including
+/// values whose decimal rendering needs the full shortest-round-trip
+/// treatment).
+fn wide_f64() -> impl Strategy<Value = f64> {
+    (-1.0..1.0f64, -300.0..300.0f64).prop_map(|(mantissa, exp10)| {
+        let v = mantissa * 10f64.powf(exp10 / 10.0);
+        if v.is_finite() {
+            v
+        } else {
+            mantissa
+        }
+    })
+}
+
+fn f64_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(wide_f64(), max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fit_request_round_trips(
+        series in f64_vec(24),
+        sigma_scale in 0.01..10.0f64,
+        with_sigmas in 0..2u8,
+        lambda in 1e-9..1e2f64,
+        with_lambda in 0..2u8,
+        reps in 1usize..64,
+        grid in 2usize..128,
+        seed in 0u64..(1 << 53),
+        with_boot in 0..2u8,
+    ) {
+        let req = FitRequestWire {
+            family: "prop-family".to_string(),
+            sigmas: (with_sigmas == 1)
+                .then(|| series.iter().map(|v| sigma_scale + v.abs()).collect()),
+            lambda: (with_lambda == 1).then_some(lambda),
+            bootstrap: (with_boot == 1).then_some(BootstrapWire {
+                replicates: reps,
+                grid,
+                seed,
+            }),
+            series,
+        };
+        let back = FitRequestWire::decode(&req.encode()).expect("round trip");
+        prop_assert_eq!(&back, &req);
+        // Bit-exactness, not just PartialEq (which -0.0 == 0.0 would pass).
+        for (a, b) in req.series.iter().zip(&back.series) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fit_response_round_trips_bit_exactly(
+        alpha in f64_vec(24),
+        predicted in f64_vec(16),
+        lambda in 1e-9..1e3f64,
+        sse in 0.0..1e6f64,
+        band_mean in f64_vec(12),
+        with_band in 0..2u8,
+        replicates in 1usize..200,
+    ) {
+        let resp = FitResponseWire {
+            band: (with_band == 1).then(|| BandWire {
+                std: band_mean.iter().map(|v| v.abs()).collect(),
+                mean: band_mean.clone(),
+                replicates,
+            }),
+            alpha,
+            lambda,
+            predicted,
+            weighted_sse: sse,
+        };
+        let back = FitResponseWire::decode(&resp.encode()).expect("round trip");
+        for (a, b) in resp.alpha.iter().zip(&back.alpha) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in resp.predicted.iter().zip(&back.predicted) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn non_finite_values_never_survive_decode(
+        prefix in f64_vec(6),
+        kind in 0..3u8,
+    ) {
+        // A non-finite number anywhere in a series must yield a Decode
+        // error naming the exact element, never a mangled payload.
+        let bad = match kind { 0 => f64::NAN, 1 => f64::INFINITY, _ => f64::NEG_INFINITY };
+        let idx = prefix.len();
+        let mut series = prefix;
+        series.push(bad);
+        let req = FitRequestWire {
+            family: "f".to_string(),
+            series,
+            sigmas: None,
+            lambda: None,
+            bootstrap: None,
+        };
+        match FitRequestWire::decode(&req.encode()) {
+            Err(WireError::Decode { path, .. }) => {
+                prop_assert_eq!(path, format!("$.series[{}]", idx));
+            }
+            other => prop_assert!(false, "expected located decode error, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn truncated_request_text_is_always_rejected(
+        series in f64_vec(8),
+        cut_fraction in 0.05..0.95f64,
+    ) {
+        let req = FitRequestWire {
+            family: "truncation-check".to_string(),
+            series,
+            sigmas: None,
+            lambda: None,
+            bootstrap: None,
+        };
+        let text = req.encode();
+        let mut cut = (text.len() as f64 * cut_fraction) as usize;
+        // Stay on a char boundary (ASCII here, but be safe) and strictly
+        // inside the text.
+        while cut > 0 && !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assume!(cut > 0 && cut < text.len());
+        prop_assert!(
+            FitRequestWire::decode(&text[..cut]).is_err(),
+            "accepted truncated input {:?}",
+            &text[..cut]
+        );
+    }
+
+    #[test]
+    fn stats_round_trips(
+        uptime in 0u64..(1 << 50),
+        counts in prop::collection::vec(0u64..(1 << 40), 8),
+        n_endpoints in 0usize..4,
+    ) {
+        let endpoints = (0..n_endpoints)
+            .map(|i| cellsync_wire::EndpointStatsWire {
+                name: format!("endpoint-{i}"),
+                requests: counts[i % counts.len()],
+                errors: counts[(i + 1) % counts.len()] % 7,
+                p50_us: counts[(i + 2) % counts.len()] % 100_000,
+                p99_us: counts[(i + 3) % counts.len()] % 1_000_000,
+            })
+            .collect();
+        let stats = StatsWire {
+            uptime_ms: uptime,
+            endpoints,
+            cache_hits: counts[0],
+            cache_misses: counts[1],
+            cache_evictions: counts[2],
+            cache_entries: counts[3] % 64,
+            cache_capacity: 64,
+            batches: counts[4],
+            batched_requests: counts[5],
+            max_batch: counts[6],
+        };
+        prop_assert_eq!(StatsWire::decode(&stats.encode()).unwrap(), stats);
+    }
+
+    #[test]
+    fn error_envelope_round_trips(code_idx in 0usize..6, detail in 0u64..1000) {
+        let codes = [
+            "length_mismatch",
+            "invalid_config",
+            "unknown_family",
+            "parse_error",
+            "not_found",
+            "shutting_down",
+        ];
+        let e = ErrorWire::new(codes[code_idx], format!("detail {detail}: \"quoted\"\n"));
+        prop_assert_eq!(ErrorWire::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn json_numbers_round_trip_bit_exactly(v in wide_f64()) {
+        let back = Json::parse(&Json::Num(v).render()).unwrap().as_f64().unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+}
