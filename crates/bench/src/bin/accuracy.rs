@@ -9,8 +9,8 @@
 //! counterpart of `perf`'s `BENCH.json`.
 //!
 //! ```text
-//! accuracy [--quick|--full] [--threads N] [--out PATH]
-//!          [--baseline PATH] [--gate-pct PCT]
+//! accuracy [--quick|--full] [--matrix scenarios|mixtures|all]
+//!          [--threads N] [--out PATH] [--baseline PATH] [--gate-pct PCT]
 //! ```
 //!
 //! * `--quick` (default): the 14-cell CI matrix (paper anchor +
@@ -18,28 +18,39 @@
 //!   populations.
 //! * `--full`: the complete 98-cell cross product at paper-sized
 //!   populations — real trajectory points.
+//! * `--matrix`: which matrices to run — the single-population
+//!   `scenarios` matrix, the K-component `mixtures` matrix (always the
+//!   7-cell quick set; mode only scales the population), or `all`
+//!   (default). Anchors and baseline gates apply only to the sections
+//!   that ran.
 //! * `--threads N`: worker-pool width for the matrix fan-out (default:
 //!   all cores). Outcomes are bit-identical at any width.
-//! * `--baseline PATH`: compare per-scenario NRMSE against a previous
-//!   `ACCURACY.json` and exit non-zero if any scenario regressed by more
+//! * `--baseline PATH`: compare per-scenario NRMSE (and per-mixture-cell
+//!   component NRMSE / fraction error) against a previous
+//!   `ACCURACY.json` and exit non-zero if any cell regressed by more
 //!   than `--gate-pct` percent (default 25) — the CI quality gate.
 //!
-//! Independent of the baseline gate, the run always enforces the paper
-//! anchor: the `lv-clean-paper-uniform-matched` scenario must reproduce
-//! fig2-level NRMSE (≤ 0.02, vs the paper's reported 0.012/0.006).
+//! Independent of the baseline gate, the run always enforces the
+//! absolute anchors for the sections it ran: the
+//! `lv-clean-paper-uniform-matched` scenario must reproduce fig2-level
+//! NRMSE (≤ 0.02, vs the paper's reported 0.012/0.006), and the mixture
+//! anchors of [`cellsync_bench::scenarios::check_mixture_anchors`] must
+//! hold.
 
 use std::time::Instant;
 
 use cellsync::scenario::ScenarioRunConfig;
 use cellsync_bench::scenarios::{
-    accuracy_document, check_paper_anchor, full_matrix, gate_against_baseline, quick_matrix,
-    run_matrix,
+    accuracy_document, check_mixture_anchors, check_paper_anchor, full_matrix,
+    gate_against_baseline, gate_mixtures_against_baseline, mixture_quick_matrix, quick_matrix,
+    run_matrix, run_mixture_matrix,
 };
 use cellsync_runtime::Pool;
 
 #[derive(Debug, Clone)]
 struct Config {
     mode: &'static str,
+    matrix: &'static str,
     threads: usize,
     out: String,
     baseline: Option<String>,
@@ -48,8 +59,8 @@ struct Config {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: accuracy [--quick|--full] [--threads N] [--out PATH] [--baseline PATH] \
-         [--gate-pct PCT]"
+        "usage: accuracy [--quick|--full] [--matrix scenarios|mixtures|all] [--threads N] \
+         [--out PATH] [--baseline PATH] [--gate-pct PCT]"
     );
     std::process::exit(2);
 }
@@ -57,6 +68,7 @@ fn usage() -> ! {
 fn parse_args() -> Config {
     let mut config = Config {
         mode: "quick",
+        matrix: "all",
         threads: Pool::available_parallelism(),
         out: "ACCURACY.json".to_string(),
         baseline: None,
@@ -67,6 +79,14 @@ fn parse_args() -> Config {
         match arg.as_str() {
             "--quick" => config.mode = "quick",
             "--full" => config.mode = "full",
+            "--matrix" => {
+                config.matrix = match args.next().unwrap_or_else(|| usage()).as_str() {
+                    "scenarios" => "scenarios",
+                    "mixtures" => "mixtures",
+                    "all" => "all",
+                    _ => usage(),
+                }
+            }
             "--threads" => {
                 let raw = args.next().unwrap_or_else(|| usage());
                 match raw.parse::<usize>() {
@@ -91,35 +111,72 @@ fn parse_args() -> Config {
 
 fn main() {
     let config = parse_args();
+    let run_scenarios = config.matrix != "mixtures";
+    let run_mixtures = config.matrix != "scenarios";
     let (specs, run_config) = match config.mode {
         "full" => (full_matrix(), ScenarioRunConfig::full()),
         _ => (quick_matrix(), ScenarioRunConfig::quick()),
     };
+    let mixture_specs = if run_mixtures {
+        mixture_quick_matrix()
+    } else {
+        Vec::new()
+    };
     eprintln!(
-        "accuracy: mode={} scenarios={} cells={} threads={}",
+        "accuracy: mode={} matrix={} scenarios={} mixtures={} cells={} threads={}",
         config.mode,
-        specs.len(),
+        config.matrix,
+        if run_scenarios { specs.len() } else { 0 },
+        mixture_specs.len(),
         run_config.cells,
         config.threads
     );
 
     let start = Instant::now();
-    let outcomes = match run_matrix(&specs, &run_config, config.threads) {
-        Ok(outcomes) => outcomes,
+    let outcomes = if run_scenarios {
+        match run_matrix(&specs, &run_config, config.threads) {
+            Ok(outcomes) => outcomes,
+            Err(e) => {
+                eprintln!("accuracy: scenario run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    let mixtures = match run_mixture_matrix(&mixture_specs, &run_config, config.threads) {
+        Ok(mixtures) => mixtures,
         Err(e) => {
-            eprintln!("accuracy: scenario run failed: {e}");
+            eprintln!("accuracy: mixture run failed: {e}");
             std::process::exit(1);
         }
     };
     eprintln!(
-        "accuracy: ran {} scenarios in {:.1} s",
+        "accuracy: ran {} scenarios + {} mixture cells in {:.1} s",
         outcomes.len(),
+        mixtures.len(),
         start.elapsed().as_secs_f64()
     );
     for o in &outcomes {
         eprintln!(
             "accuracy: {:<44} nrmse {:.4}  phase_err {:.3}  coverage {:.2}  ({} times)",
             o.name, o.nrmse, o.phase_error, o.coverage, o.n_times
+        );
+    }
+    for m in &mixtures {
+        eprintln!(
+            "accuracy: {:<44} comp_nrmse {:.4}  frac_err {:.4}  residual {:.4}  \
+             ({} sweeps{})",
+            m.name,
+            m.max_component_nrmse,
+            m.max_fraction_error,
+            m.residual_rel,
+            m.sweeps,
+            match m.rare_detected {
+                Some(true) => ", rare detected",
+                Some(false) => ", rare MISSED",
+                None => "",
+            }
         );
     }
 
@@ -129,6 +186,7 @@ fn main() {
         .unwrap_or(0.0);
     let doc = accuracy_document(
         &outcomes,
+        &mixtures,
         config.mode,
         &run_config,
         unix_secs,
@@ -137,13 +195,26 @@ fn main() {
     std::fs::write(&config.out, doc.render() + "\n").expect("writable output path");
     println!("wrote {}", config.out);
 
-    // The paper anchor is enforced unconditionally: regressing the fig2
-    // reproduction is a failure even without a baseline to diff against.
-    if let Err(msg) = check_paper_anchor(&doc) {
-        eprintln!("accuracy: {msg}");
-        std::process::exit(1);
+    // The absolute anchors are enforced unconditionally for every
+    // section that ran: regressing the fig2 reproduction (or losing
+    // mixture component recovery) is a failure even without a baseline
+    // to diff against.
+    if run_scenarios {
+        if let Err(msg) = check_paper_anchor(&doc) {
+            eprintln!("accuracy: {msg}");
+            std::process::exit(1);
+        }
+        println!("paper anchor: fig2-level NRMSE holds");
     }
-    println!("paper anchor: fig2-level NRMSE holds");
+    if run_mixtures {
+        if let Err(msg) = check_mixture_anchors(&doc) {
+            eprintln!("accuracy: {msg}");
+            std::process::exit(1);
+        }
+        println!(
+            "mixture anchors: component recovery, rare detection, and contaminant residual hold"
+        );
+    }
 
     if let Some(baseline_path) = &config.baseline {
         let text = match std::fs::read_to_string(baseline_path) {
@@ -153,26 +224,38 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match gate_against_baseline(&doc, &text, config.gate_pct) {
-            Ok(regressed) if regressed.is_empty() => {
-                println!(
-                    "gate: all scenarios within {:.0} % of baseline",
-                    config.gate_pct
-                );
+        let mut regressed = Vec::new();
+        if run_scenarios {
+            match gate_against_baseline(&doc, &text, config.gate_pct) {
+                Ok(r) => regressed.extend(r),
+                Err(msg) => {
+                    eprintln!("accuracy: {msg}");
+                    std::process::exit(1);
+                }
             }
-            Ok(regressed) => {
-                eprintln!(
-                    "accuracy: {} scenario(s) regressed more than {:.0} %: {}",
-                    regressed.len(),
-                    config.gate_pct,
-                    regressed.join(", ")
-                );
-                std::process::exit(1);
+        }
+        if run_mixtures {
+            match gate_mixtures_against_baseline(&doc, &text, config.gate_pct) {
+                Ok(r) => regressed.extend(r),
+                Err(msg) => {
+                    eprintln!("accuracy: {msg}");
+                    std::process::exit(1);
+                }
             }
-            Err(msg) => {
-                eprintln!("accuracy: {msg}");
-                std::process::exit(1);
-            }
+        }
+        if regressed.is_empty() {
+            println!(
+                "gate: all cells within {:.0} % of baseline",
+                config.gate_pct
+            );
+        } else {
+            eprintln!(
+                "accuracy: {} cell(s) regressed more than {:.0} %: {}",
+                regressed.len(),
+                config.gate_pct,
+                regressed.join(", ")
+            );
+            std::process::exit(1);
         }
     }
 }

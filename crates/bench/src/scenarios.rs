@@ -10,10 +10,21 @@
 //! Determinism contract: a matrix's outcomes are bit-identical at any
 //! thread count *and* under any permutation of the cell order, because
 //! each cell derives its RNG stream from its own name
-//! ([`ScenarioSpec::seed`]) and the pool collects results in index order.
+//! ([`ScenarioSpec::seed`], [`MixtureScenarioSpec::seed`]) and the pool
+//! collects results in index order.
+//!
+//! Alongside the single-population matrix lives the mixture matrix
+//! ([`mixture_quick_matrix`]): K-component compositions (balanced,
+//! three-type, rare-fraction, unknown-component) scored on
+//! component-recovery NRMSE and fraction error, serialized into the
+//! same document under a `mixtures` array and gated by
+//! [`gate_mixtures_against_baseline`] plus the absolute anchors of
+//! [`check_mixture_anchors`].
 
+use cellsync::mixture::MixtureMethod;
 use cellsync::scenario::{
-    KernelTreatment, NoiseSpec, ScenarioOutcome, ScenarioRunConfig, ScenarioSpec, TruthSpec,
+    KernelTreatment, MixtureComposition, MixtureOutcome, MixtureScenarioSpec, NoiseSpec,
+    ScenarioOutcome, ScenarioRunConfig, ScenarioSpec, TruthSpec,
 };
 use cellsync::DeconvError;
 use cellsync_popsim::{DesyncLevel, SamplingSchedule};
@@ -28,6 +39,16 @@ pub const BASE_SEED: u64 = 2011;
 /// The NRMSE ceiling the paper-anchor scenario must stay under — "fig2
 /// level" (the paper reports 0.012/0.006 for the two LV components).
 pub const PAPER_SCENARIO_MAX_NRMSE: f64 = 0.02;
+
+/// The component-recovery NRMSE ceiling for the balanced two-type
+/// mixture anchor cell (`mix-balanced2-clean-alt`): both components
+/// must be recovered to within 5 % range-normalized error.
+pub const MIXTURE_BALANCED_MAX_NRMSE: f64 = 0.05;
+
+/// The fraction-estimation ceiling for the rare-component anchor cell
+/// (`mix-rare5-clean-alt`): the worst absolute mixing-fraction error
+/// must stay within two percentage points.
+pub const MIXTURE_RARE_MAX_FRACTION_ERROR: f64 = 0.02;
 
 /// The noise cells the matrices sweep (labels: clean, additive,
 /// heteroscedastic, outliers).
@@ -191,12 +212,68 @@ pub fn run_matrix(
         })
 }
 
+/// The CI mixture matrix: every composition once under clean noise with
+/// the alternating solver (the anchor cells), plus the joint solver and
+/// a noisy cell on the balanced composition — 7 cells named
+/// `mix-composition-noise-method`.
+pub fn mixture_quick_matrix() -> Vec<MixtureScenarioSpec> {
+    let alt = |composition| MixtureScenarioSpec {
+        composition,
+        noise: NoiseSpec::Clean,
+        method: MixtureMethod::Alternating,
+    };
+    vec![
+        // The anchor cell (gated at MIXTURE_BALANCED_MAX_NRMSE).
+        alt(MixtureComposition::Balanced2),
+        // Solver axis: the joint stacked-design QP on the same cell.
+        MixtureScenarioSpec {
+            method: MixtureMethod::Joint,
+            ..alt(MixtureComposition::Balanced2)
+        },
+        // Compositional axis: three-type, rare-fraction, and
+        // unknown-component cells.
+        alt(MixtureComposition::Three),
+        alt(MixtureComposition::Rare5),
+        alt(MixtureComposition::Rare1),
+        alt(MixtureComposition::Unknown),
+        // Noise axis: fig3-level heteroscedastic noise on the anchor.
+        MixtureScenarioSpec {
+            noise: NoiseSpec::Heteroscedastic { fraction: 0.10 },
+            ..alt(MixtureComposition::Balanced2)
+        },
+    ]
+}
+
+/// Runs a mixture matrix over a worker pool, returning outcomes in spec
+/// order — the mixture counterpart of [`run_matrix`], with the same
+/// determinism contract (name-hashed seeds, index-ordered collection).
+///
+/// # Errors
+///
+/// Returns [`DeconvError::Series`] naming the lowest-indexed failing
+/// cell (a failing *component* inside a cell surfaces as
+/// `Series { index: cell, source: Component { index: component, .. } }`).
+pub fn run_mixture_matrix(
+    specs: &[MixtureScenarioSpec],
+    config: &ScenarioRunConfig,
+    threads: usize,
+) -> Result<Vec<MixtureOutcome>, DeconvError> {
+    Pool::new(threads)
+        .try_par_map_indexed(specs.len(), |i| specs[i].run(config, BASE_SEED))
+        .map_err(|(index, source)| DeconvError::Series {
+            index,
+            source: Box::new(source),
+        })
+}
+
 /// Assembles the schema-stable `ACCURACY.json` document
 /// ([`crate::stamp::ACCURACY_SCHEMA`]): run metadata — including the
-/// git commit of the measured tree — one entry per scenario, and the
-/// aggregate summary the trajectory plots track.
+/// git commit of the measured tree — one entry per scenario, one per
+/// mixture cell (empty array when the mixture matrix did not run), and
+/// the aggregate summary the trajectory plots track.
 pub fn accuracy_document(
     outcomes: &[ScenarioOutcome],
+    mixtures: &[MixtureOutcome],
     mode: &str,
     config: &ScenarioRunConfig,
     unix_secs: f64,
@@ -217,6 +294,47 @@ pub fn accuracy_document(
                 ("phase_error".into(), Json::Num(o.phase_error)),
                 ("coverage".into(), Json::Num(o.coverage)),
                 ("lambda".into(), Json::Num(o.lambda)),
+            ])
+        })
+        .collect();
+    let mixture_entries: Vec<Json> = mixtures
+        .iter()
+        .map(|m| {
+            let components: Vec<Json> = m
+                .components
+                .iter()
+                .map(|c| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(c.name.clone())),
+                        ("fraction_true".into(), Json::Num(c.fraction_true)),
+                        ("fraction_est".into(), Json::Num(c.fraction_est)),
+                        ("nrmse".into(), Json::Num(c.nrmse)),
+                        ("lambda".into(), Json::Num(c.lambda)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(m.name.clone())),
+                ("composition".into(), Json::Str(m.composition.into())),
+                ("noise".into(), Json::Str(m.noise.into())),
+                ("method".into(), Json::Str(m.method.into())),
+                ("n_times".into(), Json::Num(m.n_times as f64)),
+                (
+                    "max_component_nrmse".into(),
+                    Json::Num(m.max_component_nrmse),
+                ),
+                (
+                    "mean_component_nrmse".into(),
+                    Json::Num(m.mean_component_nrmse),
+                ),
+                ("max_fraction_error".into(), Json::Num(m.max_fraction_error)),
+                (
+                    "rare_detected".into(),
+                    m.rare_detected.map_or(Json::Null, Json::Bool),
+                ),
+                ("residual_rel".into(), Json::Num(m.residual_rel)),
+                ("sweeps".into(), Json::Num(m.sweeps as f64)),
+                ("components".into(), Json::Arr(components)),
             ])
         })
         .collect();
@@ -241,6 +359,7 @@ pub fn accuracy_document(
         ("cells".into(), Json::Num(config.cells as f64)),
         ("n_boot".into(), Json::Num(config.n_boot as f64)),
         ("scenarios".into(), Json::Arr(scenarios)),
+        ("mixtures".into(), Json::Arr(mixture_entries)),
         (
             "summary".into(),
             Json::Obj(vec![
@@ -311,15 +430,7 @@ pub fn gate_against_baseline(
     baseline_text: &str,
     gate_pct: f64,
 ) -> Result<Vec<String>, String> {
-    let baseline = Json::parse(baseline_text).map_err(|e| format!("unreadable baseline: {e}"))?;
-    let base_mode = baseline.get("mode").and_then(Json::as_str).unwrap_or("?");
-    let cur_mode = current.get("mode").and_then(Json::as_str).unwrap_or("?");
-    if base_mode != cur_mode {
-        return Err(format!(
-            "baseline mode '{base_mode}' does not match current mode '{cur_mode}' — \
-             regenerate the baseline in the same mode"
-        ));
-    }
+    let baseline = parse_matched_baseline(current, baseline_text)?;
     let base_scenarios = baseline
         .get("scenarios")
         .and_then(Json::as_array)
@@ -374,6 +485,193 @@ pub fn gate_against_baseline(
             println!(
                 "gate: {name}: MISSING from current run (renamed/removed scenario — refresh \
                  the baseline)"
+            );
+            regressed.push(format!("{name} (missing)"));
+        }
+    }
+    Ok(regressed)
+}
+
+/// Parses a baseline document and rejects a run-mode mismatch — shared
+/// by the scenario and mixture gates so both refuse a quick-vs-full
+/// comparison the same way.
+fn parse_matched_baseline(current: &Json, baseline_text: &str) -> Result<Json, String> {
+    let baseline = Json::parse(baseline_text).map_err(|e| format!("unreadable baseline: {e}"))?;
+    let base_mode = baseline.get("mode").and_then(Json::as_str).unwrap_or("?");
+    let cur_mode = current.get("mode").and_then(Json::as_str).unwrap_or("?");
+    if base_mode != cur_mode {
+        return Err(format!(
+            "baseline mode '{base_mode}' does not match current mode '{cur_mode}' — \
+             regenerate the baseline in the same mode"
+        ));
+    }
+    Ok(baseline)
+}
+
+/// Checks the absolute mixture anchors on an `ACCURACY.json` document:
+///
+/// * `mix-balanced2-clean-alt` recovers both components within
+///   [`MIXTURE_BALANCED_MAX_NRMSE`];
+/// * `mix-rare5-clean-alt` detects its rare component and keeps the
+///   worst fraction error within [`MIXTURE_RARE_MAX_FRACTION_ERROR`];
+/// * `mix-unknown-clean-alt` degrades gracefully — the fit completed
+///   (the cell is present with finite metrics) while its combined
+///   residual is elevated above the fully-modeled balanced cell's,
+///   which is how an unmodeled contaminant should read.
+///
+/// # Errors
+///
+/// Returns a description of the violation (or of a malformed document).
+pub fn check_mixture_anchors(doc: &Json) -> Result<(), String> {
+    let mixtures = doc
+        .get("mixtures")
+        .and_then(Json::as_array)
+        .ok_or("document has no mixtures array")?;
+    let cell = |name: &str| -> Result<&Json, String> {
+        mixtures
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+            .ok_or_else(|| format!("mixture anchor cell '{name}' missing from the run"))
+    };
+    let num = |entry: &Json, field: &str| -> Result<f64, String> {
+        entry
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("mixture entry has no {field}"))
+    };
+
+    let balanced = cell("mix-balanced2-clean-alt")?;
+    let balanced_nrmse = num(balanced, "max_component_nrmse")?;
+    // Negated forms throughout so NaN metrics fail the anchor.
+    if !(balanced_nrmse <= MIXTURE_BALANCED_MAX_NRMSE) {
+        return Err(format!(
+            "balanced mixture anchor component NRMSE {balanced_nrmse:.4} exceeds the ceiling \
+             {MIXTURE_BALANCED_MAX_NRMSE}"
+        ));
+    }
+
+    let rare = cell("mix-rare5-clean-alt")?;
+    if rare.get("rare_detected").and_then(Json::as_bool) != Some(true) {
+        return Err("rare mixture anchor failed to detect its 5 % component".into());
+    }
+    let rare_fraction_error = num(rare, "max_fraction_error")?;
+    if !(rare_fraction_error <= MIXTURE_RARE_MAX_FRACTION_ERROR) {
+        return Err(format!(
+            "rare mixture anchor fraction error {rare_fraction_error:.4} exceeds the ceiling \
+             {MIXTURE_RARE_MAX_FRACTION_ERROR}"
+        ));
+    }
+
+    let unknown = cell("mix-unknown-clean-alt")?;
+    let unknown_nrmse = num(unknown, "max_component_nrmse")?;
+    if !unknown_nrmse.is_finite() {
+        return Err(format!(
+            "unknown-component anchor produced a non-finite component NRMSE {unknown_nrmse}"
+        ));
+    }
+    let unknown_residual = num(unknown, "residual_rel")?;
+    let balanced_residual = num(balanced, "residual_rel")?;
+    if !(unknown_residual > balanced_residual) {
+        return Err(format!(
+            "unknown-component anchor residual {unknown_residual:.3e} is not elevated above the \
+             fully-modeled balanced cell's {balanced_residual:.3e} — the contaminant should \
+             leave unexplained signal"
+        ));
+    }
+    Ok(())
+}
+
+/// Compares per-cell mixture metrics against a baseline `ACCURACY.json`
+/// — the mixture counterpart of [`gate_against_baseline`]. A cell
+/// regresses when its worst component NRMSE or worst fraction error
+/// grows more than `gate_pct` percent past baseline (plus a small
+/// absolute slack so near-zero baselines don't gate on floating-point
+/// dust), or when a rare component the baseline detected goes
+/// undetected. Baseline cells missing from the current run regress too.
+///
+/// # Errors
+///
+/// Returns a description of a malformed/mismatched baseline.
+pub fn gate_mixtures_against_baseline(
+    current: &Json,
+    baseline_text: &str,
+    gate_pct: f64,
+) -> Result<Vec<String>, String> {
+    let baseline = parse_matched_baseline(current, baseline_text)?;
+    let base_cells = baseline
+        .get("mixtures")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no mixtures array (regenerate it with the mixture matrix)")?;
+    let cur_cells = current
+        .get("mixtures")
+        .and_then(Json::as_array)
+        .ok_or("current run has no mixtures array")?;
+    let nrmse_slack = 0.01 * MIXTURE_BALANCED_MAX_NRMSE;
+    let fraction_slack = 0.01 * MIXTURE_RARE_MAX_FRACTION_ERROR;
+    let mut regressed = Vec::new();
+    for cur in cur_cells {
+        let name = cur
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("mixture entry without name")?;
+        let Some(base) = base_cells
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            println!("gate: {name}: no baseline entry, skipped");
+            continue;
+        };
+        let metric = |entry: &Json, field: &str| -> Result<f64, String> {
+            entry
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("mixture entry '{name}' without {field}"))
+        };
+        let mut cell_regressed = false;
+        for (field, slack) in [
+            ("max_component_nrmse", nrmse_slack),
+            ("max_fraction_error", fraction_slack),
+        ] {
+            let cur_v = metric(cur, field)?;
+            let base_v = metric(base, field)?;
+            let limit = base_v * (1.0 + gate_pct / 100.0) + slack;
+            let delta_pct = (cur_v / base_v.max(1e-12) - 1.0) * 100.0;
+            // Negated form: a NaN metric must gate as regressed.
+            if !(cur_v <= limit) {
+                println!(
+                    "gate: {name}: REGRESSED {field} {cur_v:.4} vs baseline {base_v:.4} \
+                     ({delta_pct:+.1} %)"
+                );
+                cell_regressed = true;
+            } else {
+                println!(
+                    "gate: {name}: ok {field} {cur_v:.4} vs baseline {base_v:.4} \
+                     ({delta_pct:+.1} %)"
+                );
+            }
+        }
+        if base.get("rare_detected").and_then(Json::as_bool) == Some(true)
+            && cur.get("rare_detected").and_then(Json::as_bool) != Some(true)
+        {
+            println!("gate: {name}: REGRESSED rare component no longer detected");
+            cell_regressed = true;
+        }
+        if cell_regressed {
+            regressed.push(name.to_string());
+        }
+    }
+    for base in base_cells {
+        let name = base
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("baseline mixture entry without name")?;
+        let still_present = cur_cells
+            .iter()
+            .any(|m| m.get("name").and_then(Json::as_str) == Some(name));
+        if !still_present {
+            println!(
+                "gate: {name}: MISSING from current run (renamed/removed mixture cell — \
+                 refresh the baseline)"
             );
             regressed.push(format!("{name} (missing)"));
         }
@@ -449,9 +747,9 @@ mod tests {
             },
         ];
         let config = ScenarioRunConfig::quick();
-        let doc = accuracy_document(&outcomes, "quick", &config, 0.0, 1);
+        let doc = accuracy_document(&outcomes, &[], "quick", &config, 0.0, 1);
         let text = doc.render();
-        assert!(text.starts_with("{\"schema\":\"cellsync-accuracy/2\""));
+        assert!(text.starts_with("{\"schema\":\"cellsync-accuracy/3\""));
         assert!(
             doc.get("git_commit").and_then(Json::as_str).is_some(),
             "document must carry the measured commit"
@@ -469,7 +767,7 @@ mod tests {
         // A 50 % NRMSE regression on one scenario trips the gate.
         let mut worse = outcomes.clone();
         worse[1].nrmse *= 1.5;
-        let worse_doc = accuracy_document(&worse, "quick", &config, 0.0, 1);
+        let worse_doc = accuracy_document(&worse, &[], "quick", &config, 0.0, 1);
         let tripped = gate_against_baseline(&worse_doc, &text, 25.0).unwrap();
         assert_eq!(
             tripped,
@@ -477,7 +775,7 @@ mod tests {
         );
 
         // Dropping a baseline scenario also trips the gate.
-        let partial_doc = accuracy_document(&outcomes[..1], "quick", &config, 0.0, 1);
+        let partial_doc = accuracy_document(&outcomes[..1], &[], "quick", &config, 0.0, 1);
         let missing = gate_against_baseline(&partial_doc, &text, 25.0).unwrap();
         assert_eq!(
             missing,
@@ -485,7 +783,7 @@ mod tests {
         );
 
         // Mode mismatch is a hard error, not a pass.
-        let full_doc = accuracy_document(&outcomes, "full", &config, 0.0, 1);
+        let full_doc = accuracy_document(&outcomes, &[], "full", &config, 0.0, 1);
         assert!(gate_against_baseline(&full_doc, &text, 25.0).is_err());
     }
 
@@ -508,9 +806,9 @@ mod tests {
             alpha: vec![0.5, 1.0, 0.5],
         }];
         let config = ScenarioRunConfig::quick();
-        let baseline_text = accuracy_document(&outcomes, "quick", &config, 0.0, 1).render();
+        let baseline_text = accuracy_document(&outcomes, &[], "quick", &config, 0.0, 1).render();
         outcomes[0].nrmse = f64::NAN;
-        let nan_doc = accuracy_document(&outcomes, "quick", &config, 0.0, 1);
+        let nan_doc = accuracy_document(&outcomes, &[], "quick", &config, 0.0, 1);
         assert!(
             check_paper_anchor(&nan_doc).is_err(),
             "NaN passed the anchor"
@@ -535,10 +833,10 @@ mod tests {
             lambda: 1e-5,
             alpha: vec![0.5, 1.0, 0.5],
         }];
-        let doc = accuracy_document(&bad, "quick", &ScenarioRunConfig::quick(), 0.0, 1);
+        let doc = accuracy_document(&bad, &[], "quick", &ScenarioRunConfig::quick(), 0.0, 1);
         assert!(check_paper_anchor(&doc).is_err());
         // Missing anchor is also a failure.
-        let empty = accuracy_document(&[], "quick", &ScenarioRunConfig::quick(), 0.0, 1);
+        let empty = accuracy_document(&[], &[], "quick", &ScenarioRunConfig::quick(), 0.0, 1);
         assert!(check_paper_anchor(&empty).is_err());
     }
 
@@ -560,6 +858,224 @@ mod tests {
         let b = ScenarioSpec::sparse_sampling();
         let fwd = run_matrix(&[a, b], &config, 2).unwrap();
         let rev = run_matrix(&[b, a], &config, 2).unwrap();
+        assert_eq!(fwd[0], rev[1]);
+        assert_eq!(fwd[1], rev[0]);
+    }
+
+    #[test]
+    fn mixture_quick_matrix_covers_every_composition_uniquely() {
+        let specs = mixture_quick_matrix();
+        assert_eq!(specs.len(), 7);
+        let mut names: Vec<String> = specs.iter().map(MixtureScenarioSpec::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate mixture cell names");
+        for comp in MixtureComposition::ALL {
+            assert!(
+                specs.iter().any(|s| s.composition == comp),
+                "composition {} missing from the quick matrix",
+                comp.label()
+            );
+        }
+        // The three anchor cells are present by name.
+        for anchor in [
+            "mix-balanced2-clean-alt",
+            "mix-rare5-clean-alt",
+            "mix-unknown-clean-alt",
+        ] {
+            assert!(names.iter().any(|n| n == anchor), "{anchor} missing");
+        }
+    }
+
+    #[test]
+    fn all_matrix_cell_names_hash_to_distinct_seeds() {
+        // The determinism contract keys every cell's RNG stream off a
+        // hash of its name; a collision would silently correlate two
+        // cells' draws. Sweep every name the harness can run — quick,
+        // full, and mixture — against the shared base seed.
+        let mut names: Vec<String> = Vec::new();
+        let mut seeds = std::collections::BTreeSet::new();
+        for spec in quick_matrix().iter().chain(full_matrix().iter()) {
+            names.push(spec.name());
+            seeds.insert(spec.seed(BASE_SEED));
+        }
+        for spec in &mixture_quick_matrix() {
+            names.push(spec.name());
+            seeds.insert(spec.seed(BASE_SEED));
+        }
+        names.sort();
+        names.dedup();
+        assert_eq!(
+            seeds.len(),
+            names.len(),
+            "two matrix cell names hash to the same RNG seed"
+        );
+    }
+
+    /// A hand-built mixture outcome for document/gate tests (metrics
+    /// chosen to satisfy every anchor unless a test perturbs them).
+    fn mix_outcome(
+        name: &str,
+        composition: &'static str,
+        rare_detected: Option<bool>,
+        residual_rel: f64,
+    ) -> MixtureOutcome {
+        MixtureOutcome {
+            name: name.into(),
+            composition,
+            noise: "clean",
+            method: "alt",
+            n_times: 19,
+            components: vec![cellsync::scenario::MixtureComponentScore {
+                name: "lv".into(),
+                fraction_true: 0.5,
+                fraction_est: 0.505,
+                nrmse: 0.02,
+                lambda: 1e-5,
+                alpha: vec![0.5, 1.0, 0.5],
+            }],
+            max_component_nrmse: 0.02,
+            mean_component_nrmse: 0.015,
+            max_fraction_error: 0.005,
+            rare_detected,
+            residual_rel,
+            sweeps: 40,
+        }
+    }
+
+    #[test]
+    fn mixture_document_anchors_and_gate_round_trip() {
+        let mixtures = vec![
+            mix_outcome("mix-balanced2-clean-alt", "balanced2", None, 0.01),
+            mix_outcome("mix-rare5-clean-alt", "rare5", Some(true), 0.012),
+            mix_outcome("mix-unknown-clean-alt", "unknown", Some(true), 0.25),
+        ];
+        let config = ScenarioRunConfig::quick();
+        let doc = accuracy_document(&[], &mixtures, "quick", &config, 0.0, 1);
+        let text = doc.render();
+        // The document round-trips, including the Bool/Null
+        // rare_detected field.
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert!(check_mixture_anchors(&doc).is_ok());
+
+        // Identical run gates clean.
+        assert_eq!(
+            gate_mixtures_against_baseline(&doc, &text, 25.0).unwrap(),
+            Vec::<String>::new()
+        );
+
+        // A 50 % component-NRMSE regression trips the gate.
+        let mut worse = mixtures.clone();
+        worse[0].max_component_nrmse *= 1.5;
+        let worse_doc = accuracy_document(&[], &worse, "quick", &config, 0.0, 1);
+        assert_eq!(
+            gate_mixtures_against_baseline(&worse_doc, &text, 25.0).unwrap(),
+            vec!["mix-balanced2-clean-alt".to_string()]
+        );
+
+        // Losing rare-component detection trips the gate even with flat
+        // metrics.
+        let mut undetected = mixtures.clone();
+        undetected[1].rare_detected = Some(false);
+        let undet_doc = accuracy_document(&[], &undetected, "quick", &config, 0.0, 1);
+        assert_eq!(
+            gate_mixtures_against_baseline(&undet_doc, &text, 25.0).unwrap(),
+            vec!["mix-rare5-clean-alt".to_string()]
+        );
+
+        // A NaN metric gates as regressed, never as a pass.
+        let mut nan = mixtures.clone();
+        nan[2].max_fraction_error = f64::NAN;
+        let nan_doc = accuracy_document(&[], &nan, "quick", &config, 0.0, 1);
+        assert_eq!(
+            gate_mixtures_against_baseline(&nan_doc, &text, 25.0).unwrap(),
+            vec!["mix-unknown-clean-alt".to_string()]
+        );
+
+        // Dropping a baseline cell trips the gate.
+        let partial_doc = accuracy_document(&[], &mixtures[..2], "quick", &config, 0.0, 1);
+        assert_eq!(
+            gate_mixtures_against_baseline(&partial_doc, &text, 25.0).unwrap(),
+            vec!["mix-unknown-clean-alt (missing)".to_string()]
+        );
+
+        // Mode mismatch is a hard error, not a pass.
+        let full_doc = accuracy_document(&[], &mixtures, "full", &config, 0.0, 1);
+        assert!(gate_mixtures_against_baseline(&full_doc, &text, 25.0).is_err());
+    }
+
+    #[test]
+    fn mixture_anchor_check_rejects_violations() {
+        let good = vec![
+            mix_outcome("mix-balanced2-clean-alt", "balanced2", None, 0.01),
+            mix_outcome("mix-rare5-clean-alt", "rare5", Some(true), 0.012),
+            mix_outcome("mix-unknown-clean-alt", "unknown", Some(true), 0.25),
+        ];
+        let config = ScenarioRunConfig::quick();
+
+        // Balanced recovery past the ceiling fails.
+        let mut bad = good.clone();
+        bad[0].max_component_nrmse = 2.0 * MIXTURE_BALANCED_MAX_NRMSE;
+        let doc = accuracy_document(&[], &bad, "quick", &config, 0.0, 1);
+        assert!(check_mixture_anchors(&doc).is_err());
+
+        // An undetected rare component fails.
+        let mut bad = good.clone();
+        bad[1].rare_detected = Some(false);
+        let doc = accuracy_document(&[], &bad, "quick", &config, 0.0, 1);
+        assert!(check_mixture_anchors(&doc).is_err());
+
+        // Rare fraction error past the ceiling fails.
+        let mut bad = good.clone();
+        bad[1].max_fraction_error = 2.0 * MIXTURE_RARE_MAX_FRACTION_ERROR;
+        let doc = accuracy_document(&[], &bad, "quick", &config, 0.0, 1);
+        assert!(check_mixture_anchors(&doc).is_err());
+
+        // An unknown-component residual *below* the fully-modeled cell's
+        // means the contaminant check lost its teeth — that fails too.
+        let mut bad = good.clone();
+        bad[2].residual_rel = 0.001;
+        let doc = accuracy_document(&[], &bad, "quick", &config, 0.0, 1);
+        assert!(check_mixture_anchors(&doc).is_err());
+
+        // NaN metrics fail rather than pass.
+        let mut bad = good.clone();
+        bad[0].max_component_nrmse = f64::NAN;
+        let doc = accuracy_document(&[], &bad, "quick", &config, 0.0, 1);
+        assert!(check_mixture_anchors(&doc).is_err());
+
+        // A missing anchor cell fails.
+        let doc = accuracy_document(&[], &good[..2], "quick", &config, 0.0, 1);
+        assert!(check_mixture_anchors(&doc).is_err());
+    }
+
+    #[test]
+    fn run_mixture_matrix_is_order_insensitive_on_a_small_slice() {
+        // Debug-mode sized, like the single-population slice above; the
+        // full mixture-matrix permutation/thread sweep lives in
+        // tests/determinism.rs.
+        let config = ScenarioRunConfig {
+            cells: 300,
+            kernel_bins: 30,
+            horizon: 150.0,
+            basis_size: 10,
+            gcv_points: 5,
+            n_boot: 3,
+            boot_grid: 20,
+            profile_grid: 100,
+        };
+        let a = MixtureScenarioSpec {
+            composition: MixtureComposition::Balanced2,
+            noise: NoiseSpec::Clean,
+            method: MixtureMethod::Alternating,
+        };
+        let b = MixtureScenarioSpec {
+            composition: MixtureComposition::Rare5,
+            ..a
+        };
+        let fwd = run_mixture_matrix(&[a, b], &config, 2).unwrap();
+        let rev = run_mixture_matrix(&[b, a], &config, 2).unwrap();
         assert_eq!(fwd[0], rev[1]);
         assert_eq!(fwd[1], rev[0]);
     }

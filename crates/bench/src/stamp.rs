@@ -15,8 +15,9 @@ use crate::json::Json;
 /// Schema tag of `BENCH.json` (v2 added `git_commit`).
 pub const PERF_SCHEMA: &str = "cellsync-perf/2";
 
-/// Schema tag of `ACCURACY.json` (v2 added `git_commit`).
-pub const ACCURACY_SCHEMA: &str = "cellsync-accuracy/2";
+/// Schema tag of `ACCURACY.json` (v2 added `git_commit`; v3 added the
+/// `mixtures` array of K-component mixture-cell scores).
+pub const ACCURACY_SCHEMA: &str = "cellsync-accuracy/3";
 
 /// Schema tag of the append-only perf history log.
 pub const HISTORY_SCHEMA: &str = "cellsync-perf-history/1";

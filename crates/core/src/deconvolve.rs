@@ -214,6 +214,30 @@ impl Deconvolver {
         self.config.ridge().max(1e-12)
     }
 
+    /// Crate-internal views for the joint mixture solver
+    /// ([`crate::mixture`]), which stacks per-component designs and
+    /// penalty blocks into one QP instead of going through this engine's
+    /// own solve path.
+    pub(crate) fn design_ref(&self) -> &Matrix {
+        &self.design
+    }
+
+    pub(crate) fn omega_ref(&self) -> &Matrix {
+        &self.omega
+    }
+
+    pub(crate) fn equality_ref(&self) -> Option<&(Matrix, Vector)> {
+        self.equality.as_ref()
+    }
+
+    pub(crate) fn positivity_ref(&self) -> Option<&(Matrix, Vector)> {
+        self.positivity.as_ref()
+    }
+
+    pub(crate) fn ridge_effective(&self) -> f64 {
+        self.ridge_eff()
+    }
+
     /// Turns `h` (holding `BᵀB` on entry) into the QP Hessian
     /// `H = 2(BᵀB + λΩ + εI)`, symmetrized — the single site for the
     /// scale/ridge convention, shared by the per-fit solve and the
@@ -1053,6 +1077,27 @@ impl BootstrapBand {
 }
 
 impl DeconvolutionResult {
+    /// Crate-internal constructor for fits assembled outside the engine's
+    /// own solve path (the joint mixture solver stacks K components into
+    /// one QP and splits the solution back into per-component results).
+    /// Such fits carry no λ-selection trace.
+    pub(crate) fn from_parts(
+        alpha: Vector,
+        basis: NaturalSplineBasis,
+        lambda: f64,
+        predicted: Vec<f64>,
+        weighted_sse: f64,
+    ) -> Self {
+        DeconvolutionResult {
+            alpha,
+            basis,
+            lambda,
+            predicted,
+            weighted_sse,
+            selection_scores: Vec::new(),
+        }
+    }
+
     /// The fitted spline coefficients `α` (knot values of the profile).
     pub fn alpha(&self) -> &[f64] {
         self.alpha.as_slice()

@@ -39,6 +39,27 @@ pub enum DeconvError {
         /// The failure itself.
         source: Box<DeconvError>,
     },
+    /// One component of a mixture fit failed
+    /// ([`crate::mixture::MixtureDeconvolver::fit`]). Mirrors
+    /// [`DeconvError::Series`]: `index` identifies the failing component
+    /// *in the request's component order* so a poisoned component in a
+    /// K-way fit is debuggable without refitting components one at a
+    /// time; the code reported is that of the underlying failure.
+    Component {
+        /// Zero-based index of the failing component within the request.
+        index: usize,
+        /// The failure itself.
+        source: Box<DeconvError>,
+    },
+    /// The alternating mixture solver exhausted its sweep budget without
+    /// meeting the convergence tolerance
+    /// ([`crate::mixture::MixtureFitOptions`]).
+    MixtureNotConverged {
+        /// Sweeps performed (the configured cap).
+        sweeps: usize,
+        /// The last relative coefficient change observed.
+        delta: f64,
+    },
     /// Linear-algebra substrate failure.
     Linalg(cellsync_linalg::LinalgError),
     /// Numerics substrate failure.
@@ -71,6 +92,8 @@ impl DeconvError {
             DeconvError::TooFewMeasurements { .. } => "too_few_measurements",
             DeconvError::InvalidPhase(_) => "invalid_phase",
             DeconvError::Series { source, .. } => source.code(),
+            DeconvError::Component { source, .. } => source.code(),
+            DeconvError::MixtureNotConverged { .. } => "mixture_not_converged",
             DeconvError::Linalg(_) => "linalg",
             DeconvError::Numerics(_) => "numerics",
             DeconvError::Stats(_) => "stats",
@@ -108,6 +131,14 @@ impl fmt::Display for DeconvError {
             DeconvError::Series { index, source } => {
                 write!(f, "batch item {index} failed: {source}")
             }
+            DeconvError::Component { index, source } => {
+                write!(f, "mixture component {index} failed: {source}")
+            }
+            DeconvError::MixtureNotConverged { sweeps, delta } => write!(
+                f,
+                "alternating mixture fit did not converge after {sweeps} sweeps \
+                 (last relative change {delta:.3e}; raise max_sweeps or loosen tol)"
+            ),
             DeconvError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             DeconvError::Numerics(e) => write!(f, "numerics failure: {e}"),
             DeconvError::Stats(e) => write!(f, "statistics failure: {e}"),
@@ -130,6 +161,7 @@ impl Error for DeconvError {
             DeconvError::Opt(e) => Some(e),
             DeconvError::Ode(e) => Some(e),
             DeconvError::Series { source, .. } => Some(source.as_ref()),
+            DeconvError::Component { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -182,15 +214,26 @@ mod tests {
                 index: 17,
                 source: Box::new(DeconvError::InvalidPhase(2.0)),
             },
+            DeconvError::Component {
+                index: 2,
+                source: Box::new(DeconvError::InvalidConfig("bad lambda")),
+            },
+            DeconvError::MixtureNotConverged {
+                sweeps: 40,
+                delta: 1e-3,
+            },
         ];
         for e in &errs {
             assert!(!e.to_string().is_empty());
         }
         assert!(Error::source(&errs[4]).is_some());
         assert!(Error::source(&errs[0]).is_none());
-        let series = &errs[errs.len() - 1];
+        let series = &errs[errs.len() - 3];
         assert!(series.to_string().contains("batch item 17"));
         assert!(Error::source(series).is_some());
+        let component = &errs[errs.len() - 2];
+        assert!(component.to_string().contains("mixture component 2"));
+        assert!(Error::source(component).is_some());
     }
 
     #[test]
@@ -226,17 +269,32 @@ mod tests {
             ),
             (cellsync_opt::OptError::InvalidArgument("y").into(), "opt"),
             (cellsync_ode::OdeError::InvalidStep(0.0).into(), "ode"),
+            (
+                DeconvError::MixtureNotConverged {
+                    sweeps: 40,
+                    delta: 1e-3,
+                },
+                "mixture_not_converged",
+            ),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (e, expected) in &errs {
             assert_eq!(e.code(), *expected);
             assert!(seen.insert(*expected), "duplicate code {expected}");
         }
-        // Series errors surface the code of their root cause.
+        // Series and Component errors surface the code of their root cause.
         let nested = DeconvError::Series {
             index: 3,
             source: Box::new(DeconvError::InvalidPhase(2.0)),
         };
         assert_eq!(nested.code(), "invalid_phase");
+        let comp = DeconvError::Component {
+            index: 1,
+            source: Box::new(DeconvError::MixtureNotConverged {
+                sweeps: 8,
+                delta: 0.5,
+            }),
+        };
+        assert_eq!(comp.code(), "mixture_not_converged");
     }
 }

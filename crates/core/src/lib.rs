@@ -54,7 +54,13 @@
 //!   parameters from deconvolved vs raw population data.
 //! * [`scenario`] — the accuracy harness's scenario space: noise ×
 //!   desynchronization × sampling × kernel-mismatch specifications run
-//!   end to end and scored (NRMSE, phase error, band coverage).
+//!   end to end and scored (NRMSE, phase error, band coverage), plus
+//!   the K-component mixture cells (balanced, rare-fraction,
+//!   unknown-component compositions).
+//! * [`mixture`] — K-component mixture fits: alternating per-component
+//!   residual refits or a joint stacked-design QP against K reference
+//!   kernels, returning per-component profiles, estimated mixing
+//!   fractions, and a convergence trace.
 //!
 //! ## Quickstart
 //!
@@ -98,6 +104,7 @@ pub mod constraints;
 mod deconvolve;
 mod error;
 mod forward;
+pub mod mixture;
 pub mod paramfit;
 mod profile;
 mod request;

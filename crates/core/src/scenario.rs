@@ -23,19 +23,34 @@
 //! quality metrics the CI accuracy gate tracks: NRMSE against the truth,
 //! circular peak-phase error, and bootstrap-band coverage.
 //!
+//! The compositional axis lives alongside it: [`MixtureScenarioSpec`]
+//! cells mix several catalog cell types (balanced, three-way, rare
+//! 1 %/5 % fractions, and an unmodeled contaminant) into one bulk signal
+//! and score the K-component fit ([`crate::mixture`]) on per-component
+//! recovery NRMSE, fraction-estimation error, and rare-component
+//! detection.
+//!
 //! Everything is deterministic in `(spec, config, base_seed)`: the
-//! per-scenario RNG stream is derived by hashing the scenario *name*, so a
-//! matrix of scenarios produces bit-identical outcomes regardless of the
-//! order — or the thread count — it is run with.
+//! per-scenario RNG stream is derived by hashing the scenario *name*
+//! (FNV-1a of the name XOR the base seed — never the cell's matrix
+//! position), so a matrix of scenarios produces bit-identical outcomes
+//! regardless of the order — or the thread count — it is run with.
+//! Distinctness of the streams is a property of the names; the bench
+//! crate's matrix tests assert all cell names (single-population and
+//! mixture) hash to distinct streams.
 
 use cellsync_ode::models::LotkaVolterra;
 use cellsync_popsim::{
-    DesyncLevel, InitialCondition, KernelEstimator, PhaseKernel, Population, SamplingSchedule,
+    CellCycleParams, DesyncLevel, InitialCondition, KernelEstimator, MixtureComponentSpec,
+    MixtureSpec, PhaseKernel, Population, SamplingSchedule,
 };
 use cellsync_stats::noise::NoiseModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::mixture::{
+    MixtureComponent, MixtureDeconvolver, MixtureFitOptions, MixtureFitRequest, MixtureMethod,
+};
 use crate::synthetic::{ftsz_profile, lotka_volterra_truth};
 use crate::{
     DeconvolutionConfig, Deconvolver, ForwardModel, LambdaSelection, PhaseProfile, Result,
@@ -465,6 +480,373 @@ impl ScenarioSpec {
     }
 }
 
+/// The fixed cell-type catalog behind the mixture scenarios. Each entry
+/// is a named cell type: its cycle-parameter distribution (the kernel
+/// side) and its ground-truth synchronous profile (the signal side).
+///
+/// * `"lv"` — the paper's Caulobacter parameters with the LV x₁ truth:
+///   the anchor type every composition contains.
+/// * `"ftsz"` — the 2009 legacy transition phase (`μ_sst = 0.25`) with a
+///   faster 110-minute cycle and the ftsZ-like delayed-onset truth.
+/// * `"bump"` — a slow 200-minute cycle with an early transition
+///   (`μ_sst = 0.10`) and a late-phase Gaussian-bump truth.
+/// * `"contam"` — the unmodeled contaminant: a broad, fast-cycling type
+///   (doubled CVs, 90-minute cycle) with a linear-ramp truth. Only the
+///   unknown-component composition injects it, and the fit side never
+///   receives its kernel.
+fn mixture_catalog_params(name: &str) -> Result<CellCycleParams> {
+    Ok(match name {
+        "lv" => CellCycleParams::caulobacter()?,
+        "ftsz" => CellCycleParams::new(CellCycleParams::MU_SST_LEGACY, 0.13, 110.0, 0.12)?,
+        "bump" => CellCycleParams::new(0.10, 0.13, 200.0, 0.12)?,
+        "contam" => CellCycleParams::new(0.30, 0.26, 90.0, 0.24)?,
+        _ => {
+            return Err(crate::DeconvError::InvalidConfig(
+                "unknown mixture cell type",
+            ))
+        }
+    })
+}
+
+/// The catalog entry's ground-truth profile, normalized to unit mean so
+/// mixing fractions are *signal-mass* shares — the convention under
+/// which the fit's mass-based fraction estimates
+/// ([`crate::mixture::ComponentFit::fraction`]) recover the generating
+/// πₖ directly.
+fn mixture_catalog_truth(name: &str) -> Result<PhaseProfile> {
+    let raw = match name {
+        "lv" => TruthSpec::LotkaVolterraX1.profile()?,
+        "ftsz" => TruthSpec::Ftsz.profile()?,
+        "bump" => PhaseProfile::from_fn(400, |phi| {
+            let z = (phi - 0.7) / 0.12;
+            0.6 + 1.8 * (-z * z).exp()
+        })?,
+        "contam" => PhaseProfile::from_fn(400, |phi| 0.9 + 1.1 * phi)?,
+        _ => {
+            return Err(crate::DeconvError::InvalidConfig(
+                "unknown mixture cell type",
+            ))
+        }
+    };
+    let mean = raw.values().iter().sum::<f64>() / raw.values().len() as f64;
+    PhaseProfile::from_samples(raw.values().iter().map(|v| v / mean).collect())
+}
+
+/// The compositional axis of the mixture scenarios: which cell types are
+/// mixed and at what fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MixtureComposition {
+    /// Two types at 50/50 — the baseline compositional cell.
+    Balanced2,
+    /// Three types at 50/30/20.
+    Three,
+    /// A 5 % rare component — at the fraction the related work treats as
+    /// the rare-population detection floor.
+    Rare5,
+    /// A 1 % rare component — below the floor; detection here is
+    /// recorded, not gated.
+    Rare1,
+    /// A 15 % unmodeled contaminant alongside two modeled types: the fit
+    /// receives no reference kernel for it and must degrade gracefully
+    /// (elevated residual, not failure).
+    Unknown,
+}
+
+impl MixtureComposition {
+    /// Every composition, in matrix order.
+    pub const ALL: [MixtureComposition; 5] = [
+        MixtureComposition::Balanced2,
+        MixtureComposition::Three,
+        MixtureComposition::Rare5,
+        MixtureComposition::Rare1,
+        MixtureComposition::Unknown,
+    ];
+
+    /// Stable lowercase label used in scenario names and `ACCURACY.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            MixtureComposition::Balanced2 => "balanced2",
+            MixtureComposition::Three => "three",
+            MixtureComposition::Rare5 => "rare5",
+            MixtureComposition::Rare1 => "rare1",
+            MixtureComposition::Unknown => "unknown",
+        }
+    }
+
+    /// The composition's generating [`MixtureSpec`]: catalog types with
+    /// this composition's fractions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-construction errors (none in practice).
+    pub fn spec(self) -> Result<MixtureSpec> {
+        let comp = |name: &str, fraction: f64| -> Result<MixtureComponentSpec> {
+            Ok(MixtureComponentSpec::new(
+                name,
+                mixture_catalog_params(name)?,
+                fraction,
+            )?)
+        };
+        let components = match self {
+            MixtureComposition::Balanced2 => vec![comp("lv", 0.5)?, comp("ftsz", 0.5)?],
+            MixtureComposition::Three => {
+                vec![comp("lv", 0.5)?, comp("ftsz", 0.3)?, comp("bump", 0.2)?]
+            }
+            MixtureComposition::Rare5 => vec![comp("lv", 0.95)?, comp("ftsz", 0.05)?],
+            MixtureComposition::Rare1 => vec![comp("lv", 0.99)?, comp("ftsz", 0.01)?],
+            MixtureComposition::Unknown => vec![
+                comp("lv", 0.45)?,
+                comp("ftsz", 0.40)?,
+                comp("contam", 0.15)?.contaminant(),
+            ],
+        };
+        Ok(MixtureSpec::new(components)?)
+    }
+
+    /// The modeled fraction below which a component counts as *rare*
+    /// (the related work's detection-floor convention).
+    pub const RARE_THRESHOLD: f64 = 0.05;
+}
+
+/// One cell of the mixture scenario matrix: a composition, a noise
+/// model, and which mixture solver fits it.
+///
+/// Sampling is fixed to the paper's uniform 19-point schedule and the
+/// kernel side is always matched (each modeled component is fit with
+/// the kernel estimated from its own generating parameters) — the
+/// compositional axes are the point; the noise/sampling/kernel stress
+/// axes already have their own matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixtureScenarioSpec {
+    /// Which cell types are mixed, at what fractions.
+    pub composition: MixtureComposition,
+    /// Measurement-noise model.
+    pub noise: NoiseSpec,
+    /// Mixture solver under test.
+    pub method: MixtureMethod,
+}
+
+/// One modeled component's scores within a [`MixtureOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureComponentScore {
+    /// Component name (catalog type).
+    pub name: String,
+    /// Generating fraction, renormalized over the *modeled* components
+    /// (identical to the raw fraction except in unknown-component
+    /// cells, where the contaminant's share is excluded — fraction
+    /// estimates can only ever split the modeled mass).
+    pub fraction_true: f64,
+    /// The fit's estimated fraction.
+    pub fraction_est: f64,
+    /// NRMSE of the recovered contribution `ĥ_k` against the true
+    /// contribution `πₖ·f_k` (range-normalized, like the single-
+    /// population NRMSE metric).
+    pub nrmse: f64,
+    /// The component's smoothing parameter.
+    pub lambda: f64,
+    /// The component's spline coefficients (for golden tests; not
+    /// serialized into `ACCURACY.json`).
+    pub alpha: Vec<f64>,
+}
+
+/// The scored result of running one mixture scenario cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureOutcome {
+    /// The cell's stable name (`mix-composition-noise-method`).
+    pub name: String,
+    /// Composition axis label.
+    pub composition: &'static str,
+    /// Noise axis label.
+    pub noise: &'static str,
+    /// Solver axis label.
+    pub method: &'static str,
+    /// Measurement count.
+    pub n_times: usize,
+    /// Per-component scores, in the composition's modeled order.
+    pub components: Vec<MixtureComponentScore>,
+    /// Worst per-component recovery NRMSE — the gated headline metric.
+    pub max_component_nrmse: f64,
+    /// Mean per-component recovery NRMSE.
+    pub mean_component_nrmse: f64,
+    /// Worst absolute fraction-estimation error.
+    pub max_fraction_error: f64,
+    /// Whether the rare component (modeled fraction ≤ 5 %) was detected
+    /// — its estimated fraction reaching at least half its true value.
+    /// `None` when the composition has no rare component.
+    pub rare_detected: Option<bool>,
+    /// Relative weighted residual of the combined model — elevated in
+    /// unknown-component cells, where part of the signal has no kernel.
+    pub residual_rel: f64,
+    /// Sweeps the solver ran (1 for joint fits).
+    pub sweeps: usize,
+}
+
+impl MixtureScenarioSpec {
+    /// The cell's stable name: `mix-` plus the three axis labels.
+    pub fn name(&self) -> String {
+        format!(
+            "mix-{}-{}-{}",
+            self.composition.label(),
+            self.noise.label(),
+            self.method.label()
+        )
+    }
+
+    /// The cell's RNG seed for a given base seed — name-hashed exactly
+    /// like [`ScenarioSpec::seed`], sharing the single-population
+    /// matrix's namespace (the `mix-` prefix keeps the names disjoint).
+    pub fn seed(&self, base_seed: u64) -> u64 {
+        base_seed ^ fnv1a(self.name().as_bytes())
+    }
+
+    /// Runs the mixture cell end to end and scores component recovery.
+    ///
+    /// Pipeline: simulate one pure reference culture per component and
+    /// estimate its kernel → forward-convolve each component's unit-mean
+    /// truth and mix at the composition's fractions → corrupt → fit the
+    /// modeled components ([`MixtureDeconvolver`]) → score per-component
+    /// contribution NRMSE, fraction error, rare-component detection, and
+    /// the combined residual. Single-threaded throughout, like
+    /// [`ScenarioSpec::run`]: matrix cells are the unit of parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, kernel-estimation, and mixture-fit errors.
+    pub fn run(&self, config: &ScenarioRunConfig, base_seed: u64) -> Result<MixtureOutcome> {
+        let seed = self.seed(base_seed);
+        // Denser sampling than the single-population protocol: K
+        // components multiply the unknowns against one bulk series, and
+        // the mass split between similar kernels rides on a handful of
+        // low-information directions, so the mixture cells buy
+        // conditioning with time points instead of cells.
+        let sampling = SamplingSchedule::Uniform { n: 49 };
+        let times = sampling.times(config.horizon, seed.wrapping_add(1))?;
+        let spec = self.composition.spec()?;
+        let kernels: Vec<(String, cellsync_popsim::PhaseKernel)> = spec
+            .simulate_kernels(
+                config.cells,
+                config.kernel_bins,
+                config.horizon,
+                &times,
+                seed.wrapping_add(2),
+            )?
+            .into_iter()
+            // Volume-scale every kernel: a mixture's bulk signal weights
+            // each type by that type's own volume growth, and the
+            // per-row-normalized Q erases exactly the growth handle that
+            // identifies the mixing-fraction split (see
+            // [`cellsync_popsim::PhaseKernel::volume_scaled`]). Both the
+            // synthetic bulk below and the fit-side reference kernels use
+            // the scaled view, matching how a real mixed culture is
+            // measured.
+            .map(|(name, kernel)| Ok((name, kernel.volume_scaled()?)))
+            .collect::<Result<_>>()?;
+
+        // Mix: Σₖ πₖ · predict(Q_k, f̃_k), over every component including
+        // any contaminant.
+        let mut clean = vec![0.0; times.len()];
+        for (c, (name, kernel)) in spec.components().iter().zip(&kernels) {
+            debug_assert_eq!(c.name(), name);
+            let truth = mixture_catalog_truth(name)?;
+            let contribution = ForwardModel::new(kernel.clone()).predict(&truth)?;
+            for (acc, v) in clean.iter_mut().zip(&contribution) {
+                *acc += c.fraction() * v;
+            }
+        }
+
+        let noise = self.noise.model();
+        let mut noise_rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+        let noisy = noise.apply(&clean, &mut noise_rng)?;
+        let sigmas = match self.noise {
+            // Same repeatability floor as ScenarioSpec::run.
+            NoiseSpec::Clean => {
+                let scale = clean.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+                vec![0.01 * scale.max(1e-6); clean.len()]
+            }
+            _ => noise.sigmas(&clean)?,
+        };
+
+        let deconv_config = DeconvolutionConfig::builder()
+            .basis_size(config.basis_size)
+            .positivity(true)
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: -8.0,
+                log10_max: 1.0,
+                points: config.gcv_points,
+            })
+            .build()?;
+        let components: Vec<MixtureComponent> = spec
+            .modeled()
+            .map(|c| {
+                let kernel = kernels
+                    .iter()
+                    .find(|(name, _)| name == c.name())
+                    .expect("kernel simulated for every component")
+                    .1
+                    .clone();
+                MixtureComponent::new(c.name(), kernel)
+            })
+            .collect::<Result<_>>()?;
+        let engine = MixtureDeconvolver::new(components, deconv_config)?;
+        let request = MixtureFitRequest::new(noisy)
+            .with_sigmas(sigmas)
+            .with_options(MixtureFitOptions::default().with_method(self.method));
+        let fit = engine.fit(&request)?;
+
+        // Score: each modeled component against its true contribution,
+        // with fractions renormalized over the modeled share.
+        let modeled_total: f64 = spec.modeled().map(|c| c.fraction()).sum();
+        let mut scores = Vec::new();
+        let mut rare_detected = None;
+        for c in spec.modeled() {
+            let fit_c = fit
+                .component(c.name())
+                .expect("fit returns every modeled component");
+            let truth = mixture_catalog_truth(c.name())?;
+            let contribution = PhaseProfile::from_samples(
+                truth.values().iter().map(|v| c.fraction() * v).collect(),
+            )?;
+            let recovered = fit_c.result().profile(config.profile_grid)?;
+            let nrmse = contribution.nrmse(&recovered)?;
+            let fraction_true = c.fraction() / modeled_total;
+            let fraction_est = fit_c.fraction();
+            if c.fraction() <= MixtureComposition::RARE_THRESHOLD {
+                rare_detected = Some(fraction_est >= 0.5 * fraction_true);
+            }
+            scores.push(MixtureComponentScore {
+                name: c.name().to_string(),
+                fraction_true,
+                fraction_est,
+                nrmse,
+                lambda: fit_c.result().lambda(),
+                alpha: fit_c.result().alpha().to_vec(),
+            });
+        }
+        let max_component_nrmse = scores.iter().fold(0.0_f64, |m, s| m.max(s.nrmse));
+        let mean_component_nrmse =
+            scores.iter().map(|s| s.nrmse).sum::<f64>() / scores.len() as f64;
+        let max_fraction_error = scores.iter().fold(0.0_f64, |m, s| {
+            m.max((s.fraction_est - s.fraction_true).abs())
+        });
+
+        Ok(MixtureOutcome {
+            name: self.name(),
+            composition: self.composition.label(),
+            noise: self.noise.label(),
+            method: self.method.label(),
+            n_times: times.len(),
+            components: scores,
+            max_component_nrmse,
+            mean_component_nrmse,
+            max_fraction_error,
+            rare_detected,
+            residual_rel: fit.residual_rel(),
+            sweeps: fit.sweeps(),
+        })
+    }
+}
+
 /// Simulates a population under `params` and estimates its kernel at
 /// `times` — single-threaded (see [`ScenarioSpec::run`] on parallelism).
 fn estimate_kernel(
@@ -578,6 +960,91 @@ mod tests {
             out.n_times
         );
         assert_eq!(out.sampling, "dropout");
+    }
+
+    #[test]
+    fn mixture_names_and_seeds_are_stable() {
+        let spec = MixtureScenarioSpec {
+            composition: MixtureComposition::Balanced2,
+            noise: NoiseSpec::Clean,
+            method: MixtureMethod::Alternating,
+        };
+        assert_eq!(spec.name(), "mix-balanced2-clean-alt");
+        let joint = MixtureScenarioSpec {
+            method: MixtureMethod::Joint,
+            ..spec
+        };
+        assert_eq!(joint.name(), "mix-balanced2-clean-joint");
+        assert_ne!(spec.seed(42), joint.seed(42));
+        assert_eq!(spec.seed(42), spec.seed(42));
+        // The mix- prefix keeps mixture cells out of the single-
+        // population namespace.
+        assert_ne!(spec.seed(42), ScenarioSpec::paper().seed(42));
+    }
+
+    #[test]
+    fn compositions_validate_and_label() {
+        for comp in MixtureComposition::ALL {
+            let spec = comp.spec().unwrap();
+            let sum: f64 = spec.components().iter().map(|c| c.fraction()).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{}: sum {sum}", comp.label());
+            assert!(spec.modeled().count() >= 1);
+        }
+        assert_eq!(
+            MixtureComposition::Unknown
+                .spec()
+                .unwrap()
+                .contaminants()
+                .count(),
+            1
+        );
+        assert_eq!(
+            MixtureComposition::Balanced2
+                .spec()
+                .unwrap()
+                .contaminants()
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn mixture_run_scores_and_reruns_identically() {
+        let spec = MixtureScenarioSpec {
+            composition: MixtureComposition::Balanced2,
+            noise: NoiseSpec::Clean,
+            method: MixtureMethod::Alternating,
+        };
+        let out = spec.run(&tiny(), 7).unwrap();
+        assert_eq!(out.name, "mix-balanced2-clean-alt");
+        assert_eq!(out.components.len(), 2);
+        assert!(out.max_component_nrmse.is_finite());
+        assert!(out.max_fraction_error.is_finite());
+        assert!(out.rare_detected.is_none());
+        assert!(out.sweeps >= 1);
+        let est_sum: f64 = out.components.iter().map(|c| c.fraction_est).sum();
+        assert!((est_sum - 1.0).abs() < 1e-9, "fractions sum to {est_sum}");
+        let again = spec.run(&tiny(), 7).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn unknown_component_cell_reports_rare_and_contaminant_correctly() {
+        let spec = MixtureScenarioSpec {
+            composition: MixtureComposition::Rare5,
+            noise: NoiseSpec::Clean,
+            method: MixtureMethod::Alternating,
+        };
+        let out = spec.run(&tiny(), 3).unwrap();
+        assert!(out.rare_detected.is_some());
+        // The contaminant never appears among the scored components.
+        let unknown = MixtureScenarioSpec {
+            composition: MixtureComposition::Unknown,
+            ..spec
+        };
+        let u = unknown.run(&tiny(), 3).unwrap();
+        assert!(u.components.iter().all(|c| c.name != "contam"));
+        assert_eq!(u.components.len(), 2);
     }
 
     #[test]

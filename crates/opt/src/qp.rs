@@ -386,6 +386,10 @@ pub struct QpWorkspace {
     /// working set changes — the standard guard against degenerate
     /// zero-step cycling. Cleared on every working-set change.
     dependent: Vec<usize>,
+    /// Interior-point rescue solver for solves whose active-set walk
+    /// cycles (see [`QpWorkspace::solve`]). Defaults to empty buffers, so
+    /// callers that never hit the degenerate regime pay nothing.
+    ipm: crate::ipm::IpmWorkspace,
 }
 
 impl QpWorkspace {
@@ -431,8 +435,12 @@ impl QpWorkspace {
     /// * [`OptError::NotConvex`] when `H` is not positive definite (or the
     ///   working system degenerates beyond the full-refactor fallback).
     /// * [`OptError::IterationLimit`] if the active-set loop fails to
-    ///   terminate (degenerate cycling; not observed on the deconvolution
-    ///   problems).
+    ///   terminate (degenerate cycling) **and** the interior-point rescue
+    ///   solve also exhausts its budget. An exhausted active-set walk —
+    ///   observed on ill-conditioned mixture residual fits, where the
+    ///   working-set factor degenerates and multiplier signs become
+    ///   noise — is retried on the algorithmically independent
+    ///   [`crate::IpmWorkspace`] backend before erroring.
     pub fn solve(&mut self, problem: &QpProblem<'_>) -> Result<QpSolution> {
         let n = problem.dim();
         let tol = problem.tolerance;
@@ -615,10 +623,19 @@ impl QpWorkspace {
                 }
             }
         }
-        Err(OptError::IterationLimit {
-            iterations: problem.max_iterations,
-            residual: f64::NAN,
-        })
+        // Budget exhausted: degenerate cycling. Near a rank-deficient
+        // vertex the working-set factor goes ill-conditioned, the
+        // multiplier signs that drive drop decisions become noise, and
+        // the add/drop walk revisits vertices forever — more iterations
+        // cannot help. Hand the problem to the algorithmically
+        // independent interior-point backend, which follows the central
+        // path instead of walking vertices and therefore cannot cycle;
+        // the differential corpus suite pins the two backends to 1e-8
+        // agreement on problems both solve, so the rescue preserves
+        // answers. The IPM ignores warm hints and caches nothing, so the
+        // workspace's cross-solve state is untouched; a problem the IPM
+        // also rejects surfaces its structured error.
+        self.ipm.solve(problem)
     }
 
     /// Sizes the per-solve buffers (allocating only on a dimension

@@ -139,6 +139,62 @@ impl PhaseKernel {
         self.convolve(ti, |phi| phi)
     }
 
+    /// Returns the volume-weighted variant of this kernel: row `t` of
+    /// `q` becomes `Q̃(φ,t)/V(t₀)`, so it integrates to the population's
+    /// relative volume growth `V(t)/V(t₀)` instead of to 1.
+    ///
+    /// The per-volume-normalized `Q` describes the *average* cell, which
+    /// is the right view for a single synchronized culture — the paper's
+    /// eq. 3 divides the bulk signal by total volume. For a **mixture**
+    /// of cell types, though, each type's share of the bulk signal grows
+    /// with that type's own volume curve, and per-row normalization
+    /// erases exactly that handle: with every row integrating to 1, a
+    /// flat (phase-constant) piece of any component's profile produces
+    /// the same constant bulk contribution regardless of which component
+    /// carries it, so the mixing-fraction split along that direction is
+    /// unidentifiable. Volume scaling restores it — types with different
+    /// cycle lengths grow at different exponential rates, so even the
+    /// flat parts of their profiles trace distinct growth curves in the
+    /// bulk. [`crate::MixtureSpec::simulate_kernels`] callers fitting
+    /// mixtures should fit against volume-scaled kernels and mix
+    /// synthetic bulks with them for the same reason.
+    ///
+    /// `q_tilde`, `total_volume`, and `counts` are passed through
+    /// unchanged; only the normalized view is rescaled, and the
+    /// operation is idempotent-free (scaling an already-scaled kernel
+    /// rescales again) — keep the original around if both views are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::InvalidParameter`] when the population
+    /// volume at the first measurement time is not strictly positive
+    /// (an extinct or empty population has no growth reference).
+    pub fn volume_scaled(&self) -> Result<PhaseKernel> {
+        let v0 = self.total_volume.first().copied().unwrap_or(0.0);
+        if !(v0 > 0.0) || !v0.is_finite() {
+            return Err(PopsimError::InvalidParameter {
+                name: "initial total volume",
+                value: v0,
+            });
+        }
+        let bins = self.phi_centers.len();
+        let mut q = Matrix::zeros(self.times.len(), bins);
+        for i in 0..self.times.len() {
+            for b in 0..bins {
+                q[(i, b)] = self.q_tilde[(i, b)] / v0;
+            }
+        }
+        Ok(PhaseKernel {
+            phi_centers: self.phi_centers.clone(),
+            times: self.times.clone(),
+            q,
+            q_tilde: self.q_tilde.clone(),
+            total_volume: self.total_volume.clone(),
+            counts: self.counts.clone(),
+        })
+    }
+
     /// Resamples the kernel at new measurement times by linear
     /// interpolation of each phase bin's density in `t`, renormalizing
     /// every interpolated row to unit integral.
@@ -516,6 +572,35 @@ mod tests {
             .estimate(&pop, &times)
             .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn volume_scaled_rows_integrate_to_relative_volume_growth() {
+        let pop = population(2000, 300.0, 8);
+        let k = KernelEstimator::new(30)
+            .unwrap()
+            .estimate(&pop, &[0.0, 150.0, 300.0])
+            .unwrap();
+        let vs = k.volume_scaled().unwrap();
+        // Row integrals equal V(t)/V(t₀): 1 at t₀, growing afterwards.
+        let v0 = k.total_volume(0).unwrap();
+        for ti in 0..3 {
+            let expected = k.total_volume(ti).unwrap() / v0;
+            assert!(
+                (vs.integral(ti).unwrap() - expected).abs() < 1e-9,
+                "t index {ti}"
+            );
+        }
+        assert!((vs.integral(0).unwrap() - 1.0).abs() < 1e-9);
+        assert!(vs.integral(2).unwrap() > vs.integral(1).unwrap());
+        // Everything except the normalization is carried over verbatim.
+        assert_eq!(vs.times(), k.times());
+        assert_eq!(vs.phi_centers(), k.phi_centers());
+        assert_eq!(vs.q_tilde(), k.q_tilde());
+        for ti in 0..3 {
+            assert_eq!(vs.total_volume(ti).unwrap(), k.total_volume(ti).unwrap());
+            assert_eq!(vs.count(ti).unwrap(), k.count(ti).unwrap());
+        }
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   fractional volume density `Q(φ, t)`.
 //! * [`celltype`] — the SW/STE/STEPD/STLPD morphological classifier behind
 //!   the Fig. 4 reproduction.
+//! * [`MixtureSpec`] — K-component mixtures: named cell types with their
+//!   own cycle parameters and fractions, each simulated as a pure
+//!   reference culture to estimate its component kernel.
 //! * [`DesyncLevel`] / [`SamplingSchedule`] — desynchronization presets
 //!   and measurement-schedule generators: the population and protocol axes
 //!   of the accuracy scenario matrix.
@@ -57,6 +60,7 @@ pub mod celltype;
 mod desync;
 mod error;
 mod kernel;
+mod mixture;
 mod params;
 mod population;
 pub mod schedule;
@@ -68,6 +72,7 @@ pub use celltype::{CellType, CellTypeThresholds};
 pub use desync::DesyncLevel;
 pub use error::PopsimError;
 pub use kernel::{KernelEstimator, PhaseKernel};
+pub use mixture::{MixtureComponentSpec, MixtureSpec};
 pub use params::{CellCycleParams, Theta};
 pub use population::{InitialCondition, Population};
 pub use schedule::SamplingSchedule;

@@ -1,0 +1,330 @@
+//! K-component mixture populations: several cell types with distinct
+//! cycle parameters contributing to one bulk signal.
+//!
+//! The paper's model is a single synchronizing population, but the
+//! deconvolution-survey literature is dominated by *compositional*
+//! questions: a bulk measurement is a fraction-weighted sum of several
+//! cell types, each with its own cycle-parameter distribution — and
+//! possibly an *unmodeled* contaminant no reference kernel explains.
+//! This module is the generation side of that workload: it describes a
+//! mixture as a list of named components ([`MixtureComponentSpec`]) and
+//! simulates one pure reference culture per component to estimate its
+//! phase kernel `Q_k(φ, t)` ([`MixtureSpec::simulate_kernels`]).
+//!
+//! Components are *named*, and every per-component RNG stream is derived
+//! by hashing the component name (never its list position), so mixtures
+//! are reproducible under component reordering — the same contract the
+//! scenario matrix keeps for cell names.
+//!
+//! # Example
+//!
+//! ```
+//! use cellsync_popsim::{CellCycleParams, MixtureComponentSpec, MixtureSpec};
+//!
+//! # fn main() -> Result<(), cellsync_popsim::PopsimError> {
+//! let spec = MixtureSpec::new(vec![
+//!     MixtureComponentSpec::new("wt", CellCycleParams::caulobacter()?, 0.95)?,
+//!     MixtureComponentSpec::new("mut", CellCycleParams::caulobacter_legacy()?, 0.05)?,
+//! ])?;
+//! assert_eq!(spec.components().len(), 2);
+//! let kernels = spec.simulate_kernels(300, 32, 160.0, &[0.0, 80.0, 160.0], 7)?;
+//! assert_eq!(kernels.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, PopsimError, Population,
+    Result,
+};
+
+/// FNV-1a over a component name — the same stable, dependency-free hash
+/// the scenario matrix uses, so per-component streams depend on the
+/// *name*, never the component's position in the list.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One named component of a mixture: a cell type's cycle parameters and
+/// its fraction of the bulk signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureComponentSpec {
+    name: String,
+    params: CellCycleParams,
+    fraction: f64,
+    contaminant: bool,
+}
+
+impl MixtureComponentSpec {
+    /// Builds a component from a non-empty name, its cycle parameters,
+    /// and its mixing fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::EmptyConfiguration`] for an empty name and
+    /// [`PopsimError::InvalidParameter`] when `fraction` is not in
+    /// `(0, 1]` — a zero-fraction component is a specification bug, not
+    /// a degenerate mixture.
+    pub fn new(name: impl Into<String>, params: CellCycleParams, fraction: f64) -> Result<Self> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(PopsimError::EmptyConfiguration("mixture component name"));
+        }
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(PopsimError::InvalidParameter {
+                name: "fraction",
+                value: fraction,
+            });
+        }
+        Ok(MixtureComponentSpec {
+            name,
+            params,
+            fraction,
+            contaminant: false,
+        })
+    }
+
+    /// Marks this component as an *unmodeled contaminant*: it contributes
+    /// to the generated bulk signal, but the fit side is expected to
+    /// exclude it from the reference-kernel set (no `Q_k` is handed to
+    /// the deconvolver). This is the "unknown component" stress of the
+    /// deconvolution surveys.
+    #[must_use]
+    pub fn contaminant(mut self) -> Self {
+        self.contaminant = true;
+        self
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component's cycle parameters.
+    pub fn params(&self) -> &CellCycleParams {
+        &self.params
+    }
+
+    /// The component's mixing fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Whether the component is an unmodeled contaminant.
+    pub fn is_contaminant(&self) -> bool {
+        self.contaminant
+    }
+}
+
+/// A validated K-component mixture: named components whose fractions sum
+/// to one, at least one of which is modeled (non-contaminant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureSpec {
+    components: Vec<MixtureComponentSpec>,
+}
+
+impl MixtureSpec {
+    /// Tolerance on `Σ fractions = 1`.
+    const FRACTION_SUM_TOL: f64 = 1e-9;
+
+    /// Builds a mixture from its components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopsimError::EmptyConfiguration`] when the list is
+    /// empty, contains a duplicate name, or every component is a
+    /// contaminant; [`PopsimError::InvalidParameter`] when the fractions
+    /// do not sum to one (within `1e-9`).
+    pub fn new(components: Vec<MixtureComponentSpec>) -> Result<Self> {
+        if components.is_empty() {
+            return Err(PopsimError::EmptyConfiguration("mixture components"));
+        }
+        for (i, c) in components.iter().enumerate() {
+            if components[..i].iter().any(|p| p.name == c.name) {
+                return Err(PopsimError::EmptyConfiguration(
+                    "duplicate mixture component name",
+                ));
+            }
+        }
+        if components.iter().all(|c| c.contaminant) {
+            return Err(PopsimError::EmptyConfiguration(
+                "mixture with no modeled component",
+            ));
+        }
+        let sum: f64 = components.iter().map(|c| c.fraction).sum();
+        if !((sum - 1.0).abs() <= Self::FRACTION_SUM_TOL) {
+            return Err(PopsimError::InvalidParameter {
+                name: "fraction_sum",
+                value: sum,
+            });
+        }
+        Ok(MixtureSpec { components })
+    }
+
+    /// All components, in specification order.
+    pub fn components(&self) -> &[MixtureComponentSpec] {
+        &self.components
+    }
+
+    /// The modeled (non-contaminant) components, in specification order.
+    pub fn modeled(&self) -> impl Iterator<Item = &MixtureComponentSpec> {
+        self.components.iter().filter(|c| !c.contaminant)
+    }
+
+    /// The unmodeled contaminant components, in specification order.
+    pub fn contaminants(&self) -> impl Iterator<Item = &MixtureComponentSpec> {
+        self.components.iter().filter(|c| c.contaminant)
+    }
+
+    /// The RNG seed of one component's reference-culture simulation: the
+    /// base seed XOR the FNV-1a hash of the component *name*. Position in
+    /// the component list never enters, so reordering a mixture's
+    /// components reproduces the same kernels bit for bit.
+    pub fn component_seed(base_seed: u64, name: &str) -> u64 {
+        base_seed ^ fnv1a(name.as_bytes())
+    }
+
+    /// Simulates one pure reference culture per component (modeled *and*
+    /// contaminant, in specification order) and estimates each component's
+    /// phase kernel at `times`.
+    ///
+    /// Every component gets a full `cells`-sized synchronized culture —
+    /// the kernel is a property of the cell *type*, estimated from a pure
+    /// reference population, not from the component's share of the mixed
+    /// culture. Estimation is single-threaded for the same reason the
+    /// scenario pipeline's is: callers parallelize over cells of a
+    /// matrix, and outcomes must not depend on scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and kernel-estimation errors.
+    pub fn simulate_kernels(
+        &self,
+        cells: usize,
+        bins: usize,
+        horizon: f64,
+        times: &[f64],
+        base_seed: u64,
+    ) -> Result<Vec<(String, PhaseKernel)>> {
+        self.components
+            .iter()
+            .map(|c| {
+                let mut rng = StdRng::seed_from_u64(Self::component_seed(base_seed, &c.name));
+                let pop = Population::synchronized(
+                    cells,
+                    &c.params,
+                    InitialCondition::UniformSwarmer,
+                    &mut rng,
+                )?
+                .simulate_until(horizon)?;
+                let kernel = KernelEstimator::new(bins)?
+                    .with_threads(1)
+                    .estimate(&pop, times)?;
+                Ok((c.name.clone(), kernel))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(name: &str, fraction: f64) -> MixtureComponentSpec {
+        MixtureComponentSpec::new(name, CellCycleParams::caulobacter().unwrap(), fraction).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_and_bad_fractions() {
+        assert!(matches!(
+            MixtureSpec::new(vec![]),
+            Err(PopsimError::EmptyConfiguration(_))
+        ));
+        assert!(matches!(
+            MixtureSpec::new(vec![comp("a", 0.5), comp("a", 0.5)]),
+            Err(PopsimError::EmptyConfiguration(_))
+        ));
+        assert!(matches!(
+            MixtureSpec::new(vec![comp("a", 0.5), comp("b", 0.4)]),
+            Err(PopsimError::InvalidParameter {
+                name: "fraction_sum",
+                ..
+            })
+        ));
+        // Zero fraction is rejected at the component level.
+        assert!(matches!(
+            MixtureComponentSpec::new("a", CellCycleParams::caulobacter().unwrap(), 0.0),
+            Err(PopsimError::InvalidParameter {
+                name: "fraction",
+                ..
+            })
+        ));
+        assert!(
+            MixtureComponentSpec::new("a", CellCycleParams::caulobacter().unwrap(), f64::NAN)
+                .is_err()
+        );
+        assert!(
+            MixtureComponentSpec::new("", CellCycleParams::caulobacter().unwrap(), 1.0).is_err()
+        );
+    }
+
+    #[test]
+    fn all_contaminant_rejected() {
+        assert!(matches!(
+            MixtureSpec::new(vec![comp("x", 1.0).contaminant()]),
+            Err(PopsimError::EmptyConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn modeled_and_contaminant_partition() {
+        let spec = MixtureSpec::new(vec![
+            comp("a", 0.6),
+            comp("x", 0.1).contaminant(),
+            comp("b", 0.3),
+        ])
+        .unwrap();
+        let modeled: Vec<_> = spec.modeled().map(|c| c.name()).collect();
+        let contam: Vec<_> = spec.contaminants().map(|c| c.name()).collect();
+        assert_eq!(modeled, ["a", "b"]);
+        assert_eq!(contam, ["x"]);
+    }
+
+    #[test]
+    fn component_seeds_are_name_hashed() {
+        assert_ne!(
+            MixtureSpec::component_seed(7, "a"),
+            MixtureSpec::component_seed(7, "b")
+        );
+        assert_eq!(
+            MixtureSpec::component_seed(7, "a"),
+            MixtureSpec::component_seed(7, "a")
+        );
+        assert_ne!(
+            MixtureSpec::component_seed(7, "a"),
+            MixtureSpec::component_seed(8, "a")
+        );
+    }
+
+    #[test]
+    fn kernels_are_order_independent() {
+        let ab = MixtureSpec::new(vec![comp("a", 0.5), comp("b", 0.5)]).unwrap();
+        let ba = MixtureSpec::new(vec![comp("b", 0.5), comp("a", 0.5)]).unwrap();
+        let times = [0.0, 60.0, 120.0];
+        let k_ab = ab.simulate_kernels(200, 24, 130.0, &times, 3).unwrap();
+        let k_ba = ba.simulate_kernels(200, 24, 130.0, &times, 3).unwrap();
+        let find = |ks: &[(String, PhaseKernel)], n: &str| {
+            ks.iter().find(|(name, _)| name == n).unwrap().1.clone()
+        };
+        assert_eq!(find(&k_ab, "a"), find(&k_ba, "a"));
+        assert_eq!(find(&k_ab, "b"), find(&k_ba, "b"));
+    }
+}

@@ -7,9 +7,12 @@
 //! slots, and all randomness is drawn from per-index RNG streams), and
 //! this suite pins the guarantee at the API surface.
 
+use cellsync::mixture::{MixtureComponent, MixtureDeconvolver, MixtureFitRequest};
 use cellsync::scenario::ScenarioRunConfig;
 use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, LambdaSelection, PhaseProfile};
-use cellsync_bench::scenarios::{quick_matrix, run_matrix};
+use cellsync_bench::scenarios::{
+    mixture_quick_matrix, quick_matrix, run_matrix, run_mixture_matrix,
+};
 use cellsync_popsim::{
     CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
 };
@@ -151,6 +154,130 @@ fn scenario_matrix_bit_identical_across_thread_counts_and_order() {
             *outcome,
             reference[specs.len() - 1 - i],
             "permuted cell {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn mixture_fit_bit_identical_under_component_permutation() {
+    // The mixture engine's sweep/block order is canonical (sorted by
+    // component name), so the *order of the component list* must not
+    // change a single bit of any per-component result. Two distinct
+    // kernels over a shared protocol, fit as [a, b] and as [b, a].
+    let params_a = CellCycleParams::caulobacter().expect("valid defaults");
+    let params_b = CellCycleParams::new(0.25, 0.13, 110.0, 0.12).expect("valid variant");
+    let times: Vec<f64> = (0..12).map(|i| i as f64 * 150.0 / 11.0).collect();
+    let kernel = |params: &CellCycleParams, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop =
+            Population::synchronized(1_000, params, InitialCondition::UniformSwarmer, &mut rng)
+                .expect("non-empty")
+                .simulate_until(150.0)
+                .expect("finite horizon");
+        KernelEstimator::new(32)
+            .expect("bins")
+            .with_threads(1)
+            .estimate(&pop, &times)
+            .expect("valid protocol")
+    };
+    let q_a = kernel(&params_a, 11);
+    let q_b = kernel(&params_b, 12);
+
+    // A bulk series with signal for both components.
+    let truth_a = PhaseProfile::from_fn(200, |phi| 1.0 + (2.0 * std::f64::consts::PI * phi).sin())
+        .expect("valid profile");
+    let truth_b =
+        PhaseProfile::from_fn(200, |phi| 0.5 + 2.0 * (-((phi - 0.7) / 0.15).powi(2)).exp())
+            .expect("valid profile");
+    let ga = ForwardModel::new(q_a.clone())
+        .predict(&truth_a)
+        .expect("predicts");
+    let gb = ForwardModel::new(q_b.clone())
+        .predict(&truth_b)
+        .expect("predicts");
+    let bulk: Vec<f64> = ga.iter().zip(&gb).map(|(a, b)| 0.6 * a + 0.4 * b).collect();
+
+    let config = DeconvolutionConfig::builder()
+        .basis_size(12)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 7,
+        })
+        .build()
+        .expect("valid config");
+    let fwd_engine = MixtureDeconvolver::new(
+        vec![
+            MixtureComponent::new("a", q_a.clone()).expect("named"),
+            MixtureComponent::new("b", q_b.clone()).expect("named"),
+        ],
+        config.clone(),
+    )
+    .expect("valid engine");
+    let rev_engine = MixtureDeconvolver::new(
+        vec![
+            MixtureComponent::new("b", q_b).expect("named"),
+            MixtureComponent::new("a", q_a).expect("named"),
+        ],
+        config,
+    )
+    .expect("valid engine");
+
+    let request = MixtureFitRequest::new(bulk);
+    let fwd = fwd_engine.fit(&request).expect("fits");
+    let rev = rev_engine.fit(&request).expect("fits");
+
+    assert_eq!(fwd.sweeps(), rev.sweeps());
+    assert_eq!(fwd.trace(), rev.trace());
+    assert_eq!(fwd.residual_rel(), rev.residual_rel());
+    for name in ["a", "b"] {
+        let f = fwd.component(name).expect("component present");
+        let r = rev.component(name).expect("component present");
+        // Bit-identical per-component results, keyed by name.
+        assert_eq!(f.fraction(), r.fraction(), "component {name}");
+        assert_eq!(f.result().alpha(), r.result().alpha(), "component {name}");
+        assert_eq!(f.result().lambda(), r.result().lambda(), "component {name}");
+        assert_eq!(
+            f.result().predicted(),
+            r.result().predicted(),
+            "component {name}"
+        );
+    }
+}
+
+#[test]
+fn mixture_matrix_bit_identical_across_thread_counts_and_order() {
+    // The full quick mixture matrix (the one `accuracy --matrix
+    // mixtures` gates) at a debug-friendly workload size, under the same
+    // contract as the single-population matrix above: bit-identical at
+    // any pool width and under any permutation of the cell order.
+    let config = ScenarioRunConfig {
+        cells: 400,
+        kernel_bins: 32,
+        horizon: 160.0,
+        basis_size: 12,
+        gcv_points: 5,
+        n_boot: 3,
+        boot_grid: 20,
+        profile_grid: 100,
+    };
+    let specs = mixture_quick_matrix();
+    let reference = run_mixture_matrix(&specs, &config, 1).expect("matrix runs");
+    assert_eq!(reference.len(), specs.len());
+    for threads in [2, 4] {
+        let outcomes = run_mixture_matrix(&specs, &config, threads).expect("matrix runs");
+        // MixtureOutcome's PartialEq compares every float exactly,
+        // including each component's alpha vector.
+        assert_eq!(outcomes, reference, "threads = {threads}");
+    }
+    let reversed: Vec<_> = specs.iter().rev().copied().collect();
+    let rev_outcomes = run_mixture_matrix(&reversed, &config, 2).expect("matrix runs");
+    for (i, outcome) in rev_outcomes.iter().enumerate() {
+        assert_eq!(
+            *outcome,
+            reference[specs.len() - 1 - i],
+            "permuted mixture cell {i} diverged"
         );
     }
 }

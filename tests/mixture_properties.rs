@@ -1,0 +1,431 @@
+//! Property and edge-case suite for K-component mixture fits.
+//!
+//! Properties: over random mixing fractions, a clean two- or three-way
+//! mixture of known components must hand the dominant component the
+//! largest estimated fraction and land every estimate near its
+//! generating value. Degenerate requests — K = 1, duplicate kernels,
+//! invalid component specs, sweep-budget exhaustion, a poisoned
+//! component mid-set — must return structured [`DeconvError`]s (or exact
+//! single-fit fallbacks), never spin or panic.
+
+use std::sync::OnceLock;
+
+use cellsync::mixture::{
+    MixtureComponent, MixtureDeconvolver, MixtureFitOptions, MixtureFitRequest, MixtureMethod,
+};
+use cellsync::{
+    DeconvError, DeconvolutionConfig, Deconvolver, FitRequest, ForwardModel, LambdaSelection,
+    PhaseProfile,
+};
+use cellsync_popsim::{
+    CellCycleParams, InitialCondition, KernelEstimator, MixtureComponentSpec, MixtureSpec,
+    PhaseKernel, PopsimError, Population,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shared measurement protocol for every kernel in the suite. Dense
+/// enough that a K = 3 stack (3 × basis-14 coefficients) stays
+/// overdetermined — with fewer rows than unknowns the mass split rides
+/// entirely on the penalty and the fraction properties test the prior,
+/// not the fit — and long enough (200 min) that even the slowest
+/// catalog cycle (190 min) completes: a component whose late phases
+/// the protocol never observes carries unconstrained tail mass, and
+/// its fraction estimate is penalty extrapolation, not recovery.
+fn protocol_times() -> Vec<f64> {
+    (0..37).map(|i| i as f64 * 200.0 / 36.0).collect()
+}
+
+/// Simulates one reference kernel over the shared protocol —
+/// volume-scaled, like every mixture consumer: the per-row-normalized
+/// kernel view erases the growth-rate handle that identifies the mass
+/// split between components (see `PhaseKernel::volume_scaled`).
+fn build_kernel(params: &CellCycleParams, seed: u64) -> PhaseKernel {
+    let times = protocol_times();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pop = Population::synchronized(1_200, params, InitialCondition::UniformSwarmer, &mut rng)
+        .expect("non-empty")
+        .simulate_until(200.0)
+        .expect("finite horizon");
+    KernelEstimator::new(40)
+        .expect("bins")
+        .with_threads(1)
+        .estimate(&pop, &times)
+        .expect("valid protocol")
+        .volume_scaled()
+        .expect("positive initial volume")
+}
+
+/// Three distinct reference kernels (different cycle-time statistics)
+/// over the shared protocol, simulated once per process.
+fn kernels() -> &'static [PhaseKernel; 3] {
+    static KERNELS: OnceLock<[PhaseKernel; 3]> = OnceLock::new();
+    KERNELS.get_or_init(|| {
+        let a = CellCycleParams::caulobacter().expect("valid defaults");
+        let b = CellCycleParams::new(0.25, 0.13, 115.0, 0.12).expect("valid variant");
+        let c = CellCycleParams::new(0.10, 0.20, 190.0, 0.18).expect("valid variant");
+        [
+            build_kernel(&a, 21),
+            build_kernel(&b, 22),
+            build_kernel(&c, 23),
+        ]
+    })
+}
+
+/// Unit-mean component truths — distinct shapes so the mixture is well
+/// identified; unit mean so generating fractions equal mass shares,
+/// which is what the fit's mass-based fraction estimates recover.
+fn truths() -> [PhaseProfile; 3] {
+    let normalize = |p: PhaseProfile| {
+        let mean = p.values().iter().sum::<f64>() / p.values().len() as f64;
+        PhaseProfile::from_samples(p.values().iter().map(|v| v / mean).collect())
+            .expect("valid profile")
+    };
+    [
+        normalize(
+            PhaseProfile::from_fn(200, |phi| {
+                1.0 + 0.8 * (2.0 * std::f64::consts::PI * phi).sin()
+            })
+            .expect("valid profile"),
+        ),
+        normalize(
+            PhaseProfile::from_fn(200, |phi| 0.4 + 2.0 * (-((phi - 0.7) / 0.12).powi(2)).exp())
+                .expect("valid profile"),
+        ),
+        normalize(PhaseProfile::from_fn(200, |phi| 0.6 + 1.2 * phi).expect("valid profile")),
+    ]
+}
+
+/// Fixed-λ config: the property sweep is about mass attribution, not λ
+/// selection, and fixed λ keeps each case to cheap sweeps.
+fn fixed_lambda_config() -> DeconvolutionConfig {
+    DeconvolutionConfig::builder()
+        .basis_size(14)
+        .positivity(true)
+        .lambda(1e-3)
+        .build()
+        .expect("valid config")
+}
+
+/// GCV config for the degenerate-input tests that exercise λ selection.
+fn gcv_config() -> DeconvolutionConfig {
+    DeconvolutionConfig::builder()
+        .basis_size(14)
+        .positivity(true)
+        .lambda_selection(LambdaSelection::Gcv {
+            log10_min: -8.0,
+            log10_max: 1.0,
+            points: 5,
+        })
+        .build()
+        .expect("valid config")
+}
+
+/// Mixes the first `k` components at `fractions` into a clean bulk
+/// series.
+fn mix_bulk(fractions: &[f64]) -> Vec<f64> {
+    let qs = kernels();
+    let fs = truths();
+    let mut bulk = vec![0.0; protocol_times().len()];
+    for (i, &pi) in fractions.iter().enumerate() {
+        let g = ForwardModel::new(qs[i].clone())
+            .predict(&fs[i])
+            .expect("predicts");
+        for (acc, v) in bulk.iter_mut().zip(&g) {
+            *acc += pi * v;
+        }
+    }
+    bulk
+}
+
+fn engine_for(k: usize) -> MixtureDeconvolver {
+    let qs = kernels();
+    let names = ["a", "b", "c"];
+    let components: Vec<MixtureComponent> = (0..k)
+        .map(|i| MixtureComponent::new(names[i], qs[i].clone()).expect("named"))
+        .collect();
+    MixtureDeconvolver::new(components, fixed_lambda_config()).expect("valid engine")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random K ∈ {2, 3} mixtures with fractions summing to one: the fit
+    /// attributes the most mass to the dominant component and lands
+    /// every fraction near its generating value.
+    #[test]
+    fn random_mixtures_recover_the_dominant_component(
+        k in 2usize..=3,
+        raw in prop::collection::vec(0.2f64..1.0, 3),
+        dominant in 0usize..3,
+    ) {
+        let dominant = dominant % k;
+        // Normalize to Σπ = 1 and tilt toward the chosen dominant
+        // component so dominance is unambiguous (≥ 1.5× any other).
+        let mut fractions: Vec<f64> = raw[..k].to_vec();
+        fractions[dominant] = raw[..k].iter().cloned().fold(0.0, f64::max) * 1.8;
+        let total: f64 = fractions.iter().sum();
+        for f in &mut fractions {
+            *f /= total;
+        }
+
+        let engine = engine_for(k);
+        let fit = engine
+            .fit(&MixtureFitRequest::new(mix_bulk(&fractions)))
+            .expect("clean mixture fits");
+
+        let names = ["a", "b", "c"];
+        let estimates: Vec<f64> = (0..k)
+            .map(|i| fit.component(names[i]).expect("component present").fraction())
+            .collect();
+        let est_sum: f64 = estimates.iter().sum();
+        prop_assert!((est_sum - 1.0).abs() < 1e-9, "fractions sum to {est_sum}");
+        let argmax = (0..k)
+            .max_by(|&i, &j| estimates[i].total_cmp(&estimates[j]))
+            .expect("non-empty");
+        prop_assert_eq!(
+            argmax, dominant,
+            "dominant component misattributed: est {:?} vs true {:?}",
+            estimates, fractions
+        );
+        for i in 0..k {
+            prop_assert!(
+                (estimates[i] - fractions[i]).abs() < 0.15,
+                "component {} fraction {:.3} strayed from generating {:.3}",
+                names[i], estimates[i], fractions[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn four_component_mixture_converges_from_a_cold_start() {
+    // K = 4 exceeds the joint stacked-design cap, so the alternating
+    // solver gets no joint seed: this is the only path that exercises
+    // the cold-start block-coordinate descent and its Aitken
+    // acceleration end to end. It must converge within the default
+    // budget to a self-consistent, well-formed split. Attribution
+    // accuracy is deliberately NOT asserted here: with near-collinear
+    // kernels the objective has a nearly flat valley along the
+    // mass-split direction, and a cold-started descent parks at a
+    // path-dependent point in it — that is exactly why K ≤ 3 fits are
+    // seeded from the joint solution (whose cells the property test
+    // above holds to fraction accuracy).
+    let qs = kernels();
+    let d_params = CellCycleParams::new(0.18, 0.16, 140.0, 0.15).expect("valid variant");
+    let d_kernel = build_kernel(&d_params, 24);
+    let d_truth = {
+        let p = PhaseProfile::from_fn(200, |phi| {
+            1.0 + 0.7 * (4.0 * std::f64::consts::PI * phi).cos()
+        })
+        .expect("valid profile");
+        let mean = p.values().iter().sum::<f64>() / p.values().len() as f64;
+        PhaseProfile::from_samples(p.values().iter().map(|v| v / mean).collect())
+            .expect("valid profile")
+    };
+
+    let fractions = [0.46, 0.22, 0.2, 0.12];
+    let mut bulk = mix_bulk(&fractions[..3]);
+    let g = ForwardModel::new(d_kernel.clone())
+        .predict(&d_truth)
+        .expect("predicts");
+    for (acc, v) in bulk.iter_mut().zip(&g) {
+        *acc += fractions[3] * v;
+    }
+
+    let qs4 = [qs[0].clone(), qs[1].clone(), qs[2].clone(), d_kernel];
+    let names = ["a", "b", "c", "d"];
+    let components: Vec<MixtureComponent> = names
+        .iter()
+        .zip(&qs4)
+        .map(|(n, q)| MixtureComponent::new(*n, q.clone()).expect("named"))
+        .collect();
+    let engine =
+        MixtureDeconvolver::new(components.clone(), fixed_lambda_config()).expect("valid engine");
+
+    // The joint method refuses K = 4 outright …
+    let err = engine
+        .fit(
+            &MixtureFitRequest::new(bulk.clone())
+                .with_options(MixtureFitOptions::default().with_method(MixtureMethod::Joint)),
+        )
+        .expect_err("joint caps at K = 3");
+    assert_eq!(err.code(), "invalid_config");
+
+    // … while the alternating default runs cold and converges.
+    let fit = engine
+        .fit(&MixtureFitRequest::new(bulk))
+        .expect("cold-start alternating fit converges");
+    assert!(
+        fit.sweeps() > 1,
+        "a cold start cannot converge on its first sweep"
+    );
+    assert!(!fit.trace().is_empty());
+    let estimates: Vec<f64> = names
+        .iter()
+        .map(|n| fit.component(n).expect("component present").fraction())
+        .collect();
+    let sum: f64 = estimates.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+    for (name, est) in names.iter().zip(&estimates) {
+        assert!(
+            (0.0..=1.0).contains(est),
+            "component {name} fraction {est} outside [0, 1]"
+        );
+    }
+    // The converged point must actually explain the bulk: whatever
+    // point in the valley the descent parked at, the summed forward
+    // predictions have to reproduce the observations.
+    assert!(
+        fit.residual_rel() < 5e-2,
+        "cold-start fit left residual {:.3e}",
+        fit.residual_rel()
+    );
+}
+
+#[test]
+fn single_component_mixture_is_bit_identical_to_plain_fit() {
+    // K = 1 must not pay (or perturb) anything: the mixture fit
+    // delegates to the component engine and reproduces the plain
+    // single-population fit bit for bit, with fraction 1.
+    let q = kernels()[0].clone();
+    let bulk = mix_bulk(&[1.0]);
+    let sigmas = vec![0.05; bulk.len()];
+
+    let plain = Deconvolver::new(q.clone(), gcv_config())
+        .expect("valid engine")
+        .fit_request(&FitRequest::new(bulk.clone()).with_sigmas(sigmas.clone()))
+        .expect("fits")
+        .into_result();
+
+    let engine = MixtureDeconvolver::new(
+        vec![MixtureComponent::new("only", q).expect("named")],
+        gcv_config(),
+    )
+    .expect("valid engine");
+    let fit = engine
+        .fit(&MixtureFitRequest::new(bulk).with_sigmas(sigmas))
+        .expect("fits");
+
+    assert_eq!(fit.components().len(), 1);
+    assert_eq!(fit.sweeps(), 1);
+    assert!(fit.trace().is_empty());
+    let only = fit.component("only").expect("component present");
+    assert_eq!(only.fraction(), 1.0);
+    assert_eq!(only.result().alpha(), plain.alpha());
+    assert_eq!(only.result().lambda(), plain.lambda());
+    assert_eq!(only.result().predicted(), plain.predicted());
+}
+
+#[test]
+fn duplicate_kernels_are_rejected_as_unidentifiable() {
+    // Two bit-identical kernels would let the alternating solver shuttle
+    // mass forever; construction must refuse, not spin.
+    let q = kernels()[0].clone();
+    let err = MixtureDeconvolver::new(
+        vec![
+            MixtureComponent::new("a", q.clone()).expect("named"),
+            MixtureComponent::new("b", q).expect("named"),
+        ],
+        fixed_lambda_config(),
+    )
+    .expect_err("duplicate kernels must be rejected");
+    assert_eq!(err.code(), "invalid_config");
+}
+
+#[test]
+fn empty_component_list_is_rejected() {
+    let err = MixtureDeconvolver::new(Vec::new(), fixed_lambda_config())
+        .expect_err("empty mixtures must be rejected");
+    assert_eq!(err.code(), "invalid_config");
+}
+
+#[test]
+fn zero_and_unnormalized_fractions_are_structured_popsim_errors() {
+    let params = CellCycleParams::caulobacter().expect("valid defaults");
+    // A zero fraction is rejected at the component-spec level.
+    let err =
+        MixtureComponentSpec::new("dead", params, 0.0).expect_err("zero fraction must be rejected");
+    assert!(matches!(
+        err,
+        PopsimError::InvalidParameter {
+            name: "fraction",
+            ..
+        }
+    ));
+    // Fractions that do not sum to one are rejected at the mixture-spec
+    // level.
+    let lone = MixtureComponentSpec::new("half", params, 0.5).expect("valid component");
+    let err = MixtureSpec::new(vec![lone]).expect_err("sum must be one");
+    assert!(matches!(
+        err,
+        PopsimError::InvalidParameter {
+            name: "fraction_sum",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn exhausted_sweep_budget_is_a_stable_coded_error() {
+    // An unreachable tolerance with a tiny budget must cap out with the
+    // structured non-convergence error — the serving layer's stable
+    // `mixture_not_converged` code — not loop.
+    let engine = engine_for(2);
+    let request = MixtureFitRequest::new(mix_bulk(&[0.6, 0.4])).with_options(
+        MixtureFitOptions::default()
+            .with_method(MixtureMethod::Alternating)
+            .with_max_sweeps(2)
+            .with_tol(0.0),
+    );
+    let err = engine.fit(&request).expect_err("budget must cap");
+    assert_eq!(err.code(), "mixture_not_converged");
+    match err {
+        DeconvError::MixtureNotConverged { sweeps, delta } => {
+            assert_eq!(sweeps, 2);
+            assert!(delta > 0.0);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn poisoned_component_reports_its_request_index() {
+    // A NaN λ override on the *second* component must surface as
+    // Component { index: 1 } (specification order), mirroring how batch
+    // fits report Series { index } — and the wire code must be the
+    // underlying failure's.
+    let qs = kernels();
+    let engine = MixtureDeconvolver::new(
+        vec![
+            MixtureComponent::new("good", qs[0].clone()).expect("named"),
+            MixtureComponent::new("bad", qs[1].clone())
+                .expect("named")
+                .with_lambda(f64::NAN),
+        ],
+        fixed_lambda_config(),
+    )
+    .expect("override validation is deferred to fit time");
+    let err = engine
+        .fit(&MixtureFitRequest::new(mix_bulk(&[0.6, 0.4])))
+        .expect_err("poisoned component must fail the fit");
+    match &err {
+        DeconvError::Component { index, source } => {
+            assert_eq!(*index, 1, "index is the request position");
+            assert_eq!(source.code(), "invalid_config");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert_eq!(err.code(), "invalid_config");
+    assert!(err.to_string().contains("mixture component 1"));
+}
+
+#[test]
+fn mismatched_series_length_is_rejected() {
+    let engine = engine_for(2);
+    let err = engine
+        .fit(&MixtureFitRequest::new(vec![1.0; 4]))
+        .expect_err("length mismatch must be rejected");
+    assert_eq!(err.code(), "length_mismatch");
+}
