@@ -1,11 +1,12 @@
 //! `perf` — the machine-readable performance harness.
 //!
-//! Times the workspace's ten hot computational kernels (dense Cholesky
+//! Times the workspace's twelve hot computational kernels (dense Cholesky
 //! solve, spline-basis assembly/evaluation, active-set QP, RK4 ODE
 //! integration, Monte-Carlo kernel estimation, blocked weighted-Gram
 //! assembly, the cold collocation-constrained QP on both the active-set
-//! and interior-point backends, the λ-path GCV fit, and the
-//! warm-started shared-Hessian QP pattern) plus the end-to-end
+//! and interior-point backends, banded Cholesky factor+solve and sparse
+//! banded Gram assembly at genome-scale basis sizes, the λ-path GCV
+//! fit, and the warm-started shared-Hessian QP pattern) plus the end-to-end
 //! genome-wide batch deconvolution (wall time, per-gene throughput, and
 //! thread-count scaling at 1/2/4 workers), and writes the results as a
 //! schema-stable `BENCH.json` — the repo's perf trajectory format.
@@ -43,7 +44,7 @@ use cellsync::{DeconvolutionConfig, Deconvolver, LambdaSelection};
 use cellsync_bench::experiments::synthetic_genome;
 use cellsync_bench::json::Json;
 use cellsync_bench::stamp;
-use cellsync_linalg::{Matrix, Vector};
+use cellsync_linalg::{BandedMatrix, Matrix, SparseRowMatrix, Vector};
 use cellsync_ode::models::LotkaVolterra;
 use cellsync_ode::period::rescale_lotka_volterra;
 use cellsync_ode::solver::Rk4;
@@ -372,6 +373,75 @@ fn measure_kernels(config: &Config, population: &Population, times: &[f64]) -> V
     });
     kernels.push(kernel_entry("qp_ipm_cold_18x101x6", reps, median, min));
 
+    // 9. Banded Cholesky factor+solve at the genome-scale basis size the
+    // Woodbury path pays per λ evaluation: n = 512, bandwidth 4. The
+    // committed baseline median for this name was measured through the
+    // pre-optimization dense path (512×512 dense Cholesky on the same
+    // system), so the gate records the O(n³) → O(n·b²) win.
+    let mut sb = BandedMatrix::zeros(512, 4).expect("bandwidth < dim");
+    for i in 0..512 {
+        sb.set(i, i, 8.0 + (i as f64 * 0.29).sin().abs())
+            .expect("in band");
+        for off in 1..=4usize.min(511 - i) {
+            sb.set(i, i + off, 0.8 / off as f64).expect("in band");
+        }
+    }
+    let rhs512 = Vector::from_fn(512, |i| (i as f64 * 0.17).cos());
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..8 {
+            let chol = sb.cholesky().expect("spd band");
+            let mut x = rhs512.as_slice().to_vec();
+            chol.solve_slice_in_place(&mut x);
+            std::hint::black_box(x);
+        }
+    });
+    kernels.push(kernel_entry("banded_chol_512x4", reps, median, min));
+
+    // 10. Sparse banded Gram assembly at the genome-scale collocation
+    // shape: 10 000 rows × 512 B-spline columns, 4 nonzeros per row
+    // (cubic local support). The committed baseline median was measured
+    // through the pre-optimization dense path (dense 10 000×512
+    // `weighted_gram_into` on the same system).
+    let nnz_rows: Vec<(usize, [f64; 4])> = (0..10_000)
+        .map(|r| {
+            let start = (r * 509) / 10_000;
+            let t = r as f64 / 9_999.0;
+            (
+                start,
+                [
+                    0.2 + 0.1 * (t * 3.0).sin(),
+                    0.6 + 0.2 * (t * 5.0).cos(),
+                    0.6 - 0.2 * (t * 5.0).cos(),
+                    0.2 - 0.1 * (t * 3.0).sin(),
+                ],
+            )
+        })
+        .collect();
+    let triplets: Vec<(usize, usize, f64)> = nnz_rows
+        .iter()
+        .enumerate()
+        .flat_map(|(r, (start, vals))| {
+            vals.iter()
+                .enumerate()
+                .map(move |(k, &v)| (r, start + k, v))
+        })
+        .collect();
+    let colloc_sparse =
+        SparseRowMatrix::from_triplets(10_000, 512, &triplets).expect("valid triplets");
+    let weights10k: Vec<f64> = (0..10_000)
+        .map(|i| 1.0 + 0.5 * (i as f64 * 0.013).sin())
+        .collect();
+    let mut gram_band = BandedMatrix::zeros(512, 3).expect("bandwidth < dim");
+    let (median, min) = time_reps(reps, || {
+        for _ in 0..2 {
+            colloc_sparse
+                .weighted_gram_banded_into(Some(weights10k.as_slice()), &mut gram_band)
+                .expect("support fits band");
+            std::hint::black_box(&gram_band);
+        }
+    });
+    kernels.push(kernel_entry("gram_banded_10k", reps, median, min));
+
     kernels
 }
 
@@ -671,6 +741,16 @@ fn main() {
             "threads_available".into(),
             Json::Num(Pool::available_parallelism() as f64),
         ),
+        (
+            "host_note".into(),
+            Json::Str(if Pool::available_parallelism() == 1 {
+                "single-CPU container: batch thread-scaling ratios reflect \
+                 oversubscription overhead, not parallel speedup"
+                    .into()
+            } else {
+                format!("host exposes {} CPUs", Pool::available_parallelism())
+            }),
+        ),
         ("kernels".into(), Json::Arr(kernels)),
         ("batch".into(), batch),
     ]);
@@ -712,6 +792,14 @@ fn main() {
             ("git_commit".into(), Json::Str(git_commit)),
             ("unix_time_secs".into(), Json::Num(unix_secs)),
             ("mode".into(), Json::Str(config.mode.into())),
+            // Per-entry thread count: history entries from different
+            // machines (1-CPU CI container vs a wide dev box) are only
+            // comparable within the same width, so every entry carries
+            // its own.
+            (
+                "threads_available".into(),
+                Json::Num(Pool::available_parallelism() as f64),
+            ),
             ("kernels".into(), Json::Arr(medians)),
             ("batch_wall_ms_1t".into(), Json::Num(batch_1t)),
         ]);

@@ -131,6 +131,36 @@ impl Default for LambdaSelection {
     }
 }
 
+/// Which linear-algebra path the engine solves on.
+///
+/// The dense path is the paper's original formulation (cardinal natural
+/// basis, dense normal equations, O(n³)); the banded path switches to the
+/// locally supported B-spline basis and the O(n·b²) banded/Woodbury
+/// solver — the two agree to solver precision (pinned by the differential
+/// suite), so `Auto` is purely a performance dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SolveStrategy {
+    /// Pick by `basis_size`: bases of at least
+    /// [`SolveStrategy::BANDED_THRESHOLD`] functions run banded (unless
+    /// the selection requires dense assembly), smaller bases run dense.
+    #[default]
+    Auto,
+    /// Always dense, regardless of size (the paper's cardinal basis).
+    Dense,
+    /// Require the banded B-spline path; configurations the banded path
+    /// cannot serve (small bases, k-fold selection) are rejected at
+    /// build time.
+    Banded,
+}
+
+impl SolveStrategy {
+    /// Basis size at which `Auto` switches to the banded B-spline path.
+    /// Below this the dense O(n³) factor is already cheap and the paper's
+    /// cardinal basis is kept bit-for-bit.
+    pub const BANDED_THRESHOLD: usize = 128;
+}
+
 /// Configuration of the constrained spline deconvolution (paper §2.3, §3).
 ///
 /// Build with [`DeconvolutionConfig::builder`]:
@@ -158,13 +188,14 @@ pub struct DeconvolutionConfig {
     positivity_grid: usize,
     lambda: LambdaSelection,
     ridge: f64,
+    strategy: SolveStrategy,
 }
 
 impl DeconvolutionConfig {
     /// Starts a builder with the defaults: 24 basis functions, positivity
     /// on, division constraints off (they encode Caulobacter-specific
     /// biology; enable them for Caulobacter data), GCV λ selection,
-    /// 101-point positivity grid, ridge 10⁻⁹.
+    /// 101-point positivity grid, ridge 10⁻⁹, automatic solver strategy.
     pub fn builder() -> DeconvolutionConfigBuilder {
         DeconvolutionConfigBuilder::default()
     }
@@ -205,6 +236,11 @@ impl DeconvolutionConfig {
     pub fn ridge(&self) -> f64 {
         self.ridge
     }
+
+    /// The solver-path strategy (dense vs. banded dispatch).
+    pub fn strategy(&self) -> SolveStrategy {
+        self.strategy
+    }
 }
 
 impl Default for DeconvolutionConfig {
@@ -225,6 +261,7 @@ pub struct DeconvolutionConfigBuilder {
     positivity_grid: usize,
     lambda: LambdaSelection,
     ridge: f64,
+    strategy: SolveStrategy,
 }
 
 impl Default for DeconvolutionConfigBuilder {
@@ -237,6 +274,7 @@ impl Default for DeconvolutionConfigBuilder {
             positivity_grid: 101,
             lambda: LambdaSelection::default_gcv(),
             ridge: 1e-9,
+            strategy: SolveStrategy::Auto,
         }
     }
 }
@@ -298,6 +336,13 @@ impl DeconvolutionConfigBuilder {
         self
     }
 
+    /// Sets the solver-path strategy (see [`SolveStrategy`]).
+    #[must_use]
+    pub fn strategy(mut self, strategy: SolveStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -318,6 +363,18 @@ impl DeconvolutionConfigBuilder {
             ));
         }
         self.lambda.validate()?;
+        if self.strategy == SolveStrategy::Banded {
+            if self.basis_size < SolveStrategy::BANDED_THRESHOLD {
+                return Err(DeconvError::InvalidConfig(
+                    "banded strategy requires basis_size >= 128 (use Auto or Dense below)",
+                ));
+            }
+            if matches!(self.lambda, LambdaSelection::KFold { .. }) {
+                return Err(DeconvError::InvalidConfig(
+                    "banded strategy does not support k-fold selection (fold designs are dense)",
+                ));
+            }
+        }
         Ok(DeconvolutionConfig {
             basis_size: self.basis_size,
             positivity: self.positivity,
@@ -326,6 +383,7 @@ impl DeconvolutionConfigBuilder {
             positivity_grid: self.positivity_grid,
             lambda: self.lambda,
             ridge: self.ridge,
+            strategy: self.strategy,
         })
     }
 }
@@ -342,6 +400,55 @@ mod tests {
         assert!(!c.conservation());
         assert!(!c.rate_continuity());
         assert!(matches!(c.lambda(), LambdaSelection::Gcv { .. }));
+        assert_eq!(c.strategy(), SolveStrategy::Auto);
+    }
+
+    #[test]
+    fn banded_strategy_requires_large_basis() {
+        // Below the threshold the cardinal natural basis is global —
+        // there is no banded structure to exploit.
+        assert!(DeconvolutionConfig::builder()
+            .basis_size(SolveStrategy::BANDED_THRESHOLD - 1)
+            .strategy(SolveStrategy::Banded)
+            .build()
+            .is_err());
+        assert!(DeconvolutionConfig::builder()
+            .basis_size(SolveStrategy::BANDED_THRESHOLD)
+            .strategy(SolveStrategy::Banded)
+            .build()
+            .is_ok());
+        // Auto and Dense are valid at any size.
+        for strategy in [SolveStrategy::Auto, SolveStrategy::Dense] {
+            assert!(DeconvolutionConfig::builder()
+                .basis_size(12)
+                .strategy(strategy)
+                .build()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn banded_strategy_rejects_kfold() {
+        let kfold = LambdaSelection::KFold {
+            folds: 4,
+            log10_min: -4.0,
+            log10_max: 0.0,
+            points: 5,
+            seed: 0,
+        };
+        assert!(DeconvolutionConfig::builder()
+            .basis_size(SolveStrategy::BANDED_THRESHOLD)
+            .strategy(SolveStrategy::Banded)
+            .lambda_selection(kfold.clone())
+            .build()
+            .is_err());
+        // Auto quietly keeps the dense path instead.
+        assert!(DeconvolutionConfig::builder()
+            .basis_size(SolveStrategy::BANDED_THRESHOLD)
+            .strategy(SolveStrategy::Auto)
+            .lambda_selection(kfold)
+            .build()
+            .is_ok());
     }
 
     #[test]

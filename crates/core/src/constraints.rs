@@ -23,7 +23,7 @@
 
 use cellsync_numerics::quadrature::GaussLegendre;
 use cellsync_popsim::{CellCycleParams, VolumeModel};
-use cellsync_spline::NaturalSplineBasis;
+use cellsync_spline::SplineBasis;
 
 use crate::Result;
 
@@ -35,7 +35,7 @@ const GL_POINTS: usize = 16;
 /// extra panels resolve the Gaussian density).
 const PANELS_PER_INTERVAL: usize = 4;
 
-fn integrate_over_basis<F: Fn(f64) -> f64>(basis: &NaturalSplineBasis, f: F) -> Result<f64> {
+fn integrate_over_basis<F: Fn(f64) -> f64>(basis: &SplineBasis, f: F) -> Result<f64> {
     let rule = GaussLegendre::new(GL_POINTS)?;
     let knots = basis.knots();
     let mut total = 0.0;
@@ -85,10 +85,7 @@ pub fn beta_zero(params: &CellCycleParams) -> Result<f64> {
 /// # Errors
 ///
 /// Propagates quadrature errors (none in practice).
-pub fn rna_conservation_row(
-    basis: &NaturalSplineBasis,
-    params: &CellCycleParams,
-) -> Result<Vec<f64>> {
+pub fn rna_conservation_row(basis: &SplineBasis, params: &CellCycleParams) -> Result<Vec<f64>> {
     let n = basis.len();
     let mut row = Vec::with_capacity(n);
     for i in 0..n {
@@ -111,10 +108,7 @@ pub fn rna_conservation_row(
 /// # Errors
 ///
 /// Propagates quadrature errors (none in practice).
-pub fn rate_continuity_row(
-    basis: &NaturalSplineBasis,
-    params: &CellCycleParams,
-) -> Result<Vec<f64>> {
+pub fn rate_continuity_row(basis: &SplineBasis, params: &CellCycleParams) -> Result<Vec<f64>> {
     let b0 = beta_zero(params)?;
     let n = basis.len();
     let mut row = Vec::with_capacity(n);
@@ -182,9 +176,11 @@ where
 mod tests {
     use super::*;
 
-    fn setup() -> (NaturalSplineBasis, CellCycleParams) {
+    fn setup() -> (SplineBasis, CellCycleParams) {
         (
-            NaturalSplineBasis::uniform(12, 0.0, 1.0).unwrap(),
+            cellsync_spline::NaturalSplineBasis::uniform(12, 0.0, 1.0)
+                .unwrap()
+                .into(),
             CellCycleParams::caulobacter().unwrap(),
         )
     }
@@ -270,7 +266,9 @@ mod tests {
 
     #[test]
     fn legacy_mu_sst_shifts_rows() {
-        let basis = NaturalSplineBasis::uniform(12, 0.0, 1.0).unwrap();
+        let basis: SplineBasis = cellsync_spline::NaturalSplineBasis::uniform(12, 0.0, 1.0)
+            .unwrap()
+            .into();
         let updated = CellCycleParams::caulobacter().unwrap();
         let legacy = CellCycleParams::caulobacter_legacy().unwrap();
         let r_new = rna_conservation_row(&basis, &updated).unwrap();

@@ -4,11 +4,12 @@ use cellsync_linalg::{CholeskyDecomposition, Matrix, Vector};
 use cellsync_opt::{QpInstance, QpProblem, QpWorkspace};
 use cellsync_popsim::{CellCycleParams, PhaseKernel};
 use cellsync_runtime::Pool;
-use cellsync_spline::NaturalSplineBasis;
+use cellsync_spline::{BSplineBasis, NaturalSplineBasis, SplineBasis};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::LambdaSelection;
+use crate::banded::{self, BandedOperators};
+use crate::config::{LambdaSelection, SolveStrategy};
 use crate::request::{BootstrapSpec, FitRequest, FitResponse};
 use crate::solver::{ReducedOperators, SpectralPath};
 use crate::{
@@ -42,21 +43,27 @@ use crate::{
 pub struct Deconvolver {
     forward: ForwardModel,
     config: DeconvolutionConfig,
-    basis: NaturalSplineBasis,
+    basis: SplineBasis,
     /// Design matrix `A[m, i] = ∫Q(φ,tₘ)ψᵢ(φ)dφ`.
     design: Matrix,
-    /// Roughness Gram matrix `Ω`.
+    /// Roughness Gram matrix `Ω` (dense; always kept — the mixture,
+    /// bootstrap, k-fold, and positivity-fallback paths assemble dense).
     omega: Matrix,
     /// Stacked equality rows (0–2 rows) with their zero right-hand side.
     equality: Option<(Matrix, Vector)>,
     /// Positivity collocation matrix with its zero right-hand side.
     positivity: Option<(Matrix, Vector)>,
-    /// Equality-nullspace-reduced design and penalty.
-    ops: ReducedOperators,
+    /// Equality-nullspace-reduced design and penalty. Built only by
+    /// dense-path GCV engines — the only consumers of the reduction.
+    ops: Option<ReducedOperators>,
     /// Factor-once spectral decomposition for unit weights (weighted fits
     /// build their own, once per fit, reused across the whole λ path).
-    /// Only GCV selection reads it, so only GCV engines build it.
+    /// Only dense-path GCV engines build (or read) it.
     spectral_unit: Option<SpectralPath>,
+    /// Banded-path operators (banded Ω, sparse positivity rows). `Some`
+    /// exactly when the engine executes fits on the Woodbury banded path
+    /// ([`crate::banded`]).
+    banded: Option<BandedOperators>,
     /// The λ grid of the configured selection, computed once.
     lambda_grid: Vec<f64>,
     /// Unit weights, kept so `sigmas: None` fits never allocate them.
@@ -69,7 +76,7 @@ pub struct Deconvolver {
 #[derive(Debug, Clone)]
 pub struct DeconvolutionResult {
     alpha: Vector,
-    basis: NaturalSplineBasis,
+    basis: SplineBasis,
     lambda: f64,
     predicted: Vec<f64>,
     weighted_sse: f64,
@@ -120,7 +127,17 @@ impl Deconvolver {
                 basis: config.basis_size(),
             });
         }
-        let basis = NaturalSplineBasis::uniform(config.basis_size(), 0.0, 1.0)?;
+        // Basis kind is a pure function of size, never of the strategy:
+        // the paper's cardinal natural basis below the banded threshold,
+        // the locally supported B-spline basis at or above it. Strategy
+        // only picks the execution path, so `Dense` and `Banded` engines
+        // at the same size solve the *same* problem (the differential
+        // suite relies on this).
+        let basis: SplineBasis = if config.basis_size() >= SolveStrategy::BANDED_THRESHOLD {
+            BSplineBasis::uniform(config.basis_size(), 0.0, 1.0)?.into()
+        } else {
+            NaturalSplineBasis::uniform(config.basis_size(), 0.0, 1.0)?.into()
+        };
         let forward = ForwardModel::new(kernel);
         let design = forward.design_matrix(&basis)?;
         let omega = basis.penalty_matrix();
@@ -152,13 +169,48 @@ impl Deconvolver {
             None
         };
 
-        let ops = ReducedOperators::new(&design, &omega, equality.as_ref().map(|(e, _)| e))?;
-        let ridge = config.ridge().max(1e-12);
-        let unit_weights = vec![1.0; forward.num_measurements()];
-        let spectral_unit = if matches!(config.lambda(), LambdaSelection::Gcv { .. }) {
-            Some(SpectralPath::new(&ops, &unit_weights, ridge)?)
+        // Execution path: banded iff the basis has local support and the
+        // strategy/selection permit it. K-fold stays dense (fold designs
+        // are row subsets with no Woodbury structure).
+        let kfold = matches!(config.lambda(), LambdaSelection::KFold { .. });
+        let banded_exec = match config.strategy() {
+            SolveStrategy::Dense => false,
+            SolveStrategy::Banded => true, // build() validated size + selection
+            SolveStrategy::Auto => basis.is_local() && !kfold,
+        };
+        let banded = if banded_exec {
+            let omega_banded = basis.penalty_banded().ok_or(DeconvError::InvalidConfig(
+                "banded path needs a local basis",
+            ))?;
+            let positivity_sparse = match (&basis, &positivity) {
+                (SplineBasis::BSpline(b), Some((_, rhs))) => {
+                    let grid: Vec<f64> = (0..config.positivity_grid())
+                        .map(|i| i as f64 / (config.positivity_grid() - 1) as f64)
+                        .collect();
+                    Some((b.collocation_sparse(&grid)?, rhs.clone()))
+                }
+                _ => None,
+            };
+            Some(BandedOperators {
+                omega: omega_banded,
+                positivity: positivity_sparse,
+            })
         } else {
             None
+        };
+
+        let ridge = config.ridge().max(1e-12);
+        let unit_weights = vec![1.0; forward.num_measurements()];
+        // The nullspace reduction and the spectral decomposition only
+        // serve the dense GCV scan — skip the O(n³) setup everywhere
+        // else (fixed-λ engines, k-fold engines, the banded path).
+        let gcv = matches!(config.lambda(), LambdaSelection::Gcv { .. });
+        let (ops, spectral_unit) = if gcv && !banded_exec {
+            let ops = ReducedOperators::new(&design, &omega, equality.as_ref().map(|(e, _)| e))?;
+            let spectral = SpectralPath::new(&ops, &unit_weights, ridge)?;
+            (Some(ops), Some(spectral))
+        } else {
+            (None, None)
         };
         let lambda_grid = config.lambda().lambda_grid();
 
@@ -172,6 +224,7 @@ impl Deconvolver {
             positivity,
             ops,
             spectral_unit,
+            banded,
             lambda_grid,
             unit_weights,
             pool: Pool::default(),
@@ -193,8 +246,11 @@ impl Deconvolver {
         self.pool.threads()
     }
 
-    /// The spline basis the profile estimate lives in.
-    pub fn basis(&self) -> &NaturalSplineBasis {
+    /// The spline basis the profile estimate lives in: the paper's
+    /// cardinal natural basis below
+    /// [`SolveStrategy::BANDED_THRESHOLD`], the locally supported
+    /// B-spline basis at or above it.
+    pub fn basis(&self) -> &SplineBasis {
         &self.basis
     }
 
@@ -480,7 +536,12 @@ impl Deconvolver {
             workspace.weights.clear();
             workspace.weights.extend(s.iter().map(|s| 1.0 / s));
         }
-        workspace.ensure(m, self.basis.len(), self.ops.reduced_dim());
+        let reduced = self.ops.as_ref().map_or(0, ReducedOperators::reduced_dim);
+        workspace.ensure(m, self.basis.len(), reduced);
+
+        if self.banded.is_some() {
+            return self.fit_banded(workspace, g, unit, lambda_override);
+        }
 
         let (lambda, scores) = match lambda_override {
             Some(l) => (l, Vec::new()),
@@ -515,6 +576,77 @@ impl Deconvolver {
             .iter()
             .zip(g)
             .zip(weights)
+            .map(|((p, gv), w)| ((p - gv) * w).powi(2))
+            .sum();
+        Ok(DeconvolutionResult {
+            alpha,
+            basis: self.basis.clone(),
+            lambda,
+            predicted,
+            weighted_sse,
+            selection_scores: scores,
+        })
+    }
+
+    /// The banded-path fit body: Woodbury λ selection and solve
+    /// ([`crate::banded`]), plus a dense active-set fallback for the
+    /// fits where positivity actually binds.
+    fn fit_banded(
+        &self,
+        workspace: &mut FitWorkspace,
+        g: &[f64],
+        unit: bool,
+        lambda_override: Option<f64>,
+    ) -> Result<DeconvolutionResult> {
+        let bops = self.banded.as_ref().expect("caller checked");
+        // Weights are copied out of the workspace because the positivity
+        // fallback below needs the workspace mutably; m is tiny.
+        let weights: Vec<f64> = if unit {
+            self.unit_weights.clone()
+        } else {
+            workspace.weights.clone()
+        };
+        let eq = self.equality.as_ref().map(|(e, _)| e);
+        let ridge = self.ridge_eff();
+        let (lambda, scores) = match lambda_override {
+            Some(l) => (l, Vec::new()),
+            None => match self.config.lambda() {
+                LambdaSelection::Fixed(l) => (*l, Vec::new()),
+                LambdaSelection::Gcv { .. } => banded::gcv_lambda(
+                    &self.design,
+                    &weights,
+                    g,
+                    eq,
+                    &bops.omega,
+                    ridge,
+                    &self.lambda_grid,
+                )?,
+                LambdaSelection::KFold { .. } => {
+                    return Err(DeconvError::InvalidConfig(
+                        "banded path does not support k-fold selection",
+                    ))
+                }
+            },
+        };
+        let sol = banded::evaluate(&self.design, &weights, g, eq, &bops.omega, lambda, ridge)?;
+        let mut alpha = sol.alpha;
+        if let Some((p, _)) = &bops.positivity {
+            let pa = p.matvec(&alpha)?;
+            let tol = 1e-9 * (1.0 + alpha.norm_inf());
+            if pa.iter().any(|&v| v < -tol) {
+                // Positivity binds: the equality-constrained minimizer is
+                // infeasible, so it is NOT the QP optimum — solve the full
+                // active-set QP at the selected λ. (When it is feasible,
+                // convexity makes it the optimum with zero inequality
+                // multipliers, and the QP is skipped entirely.)
+                alpha = self.solve_constrained_full(workspace, g, unit, lambda, Some(alpha))?;
+            }
+        }
+        let predicted = self.design.matvec(&alpha)?.into_vec();
+        let weighted_sse: f64 = predicted
+            .iter()
+            .zip(g)
+            .zip(&weights)
             .map(|((p, gv), w)| ((p - gv) * w).powi(2))
             .sum();
         Ok(DeconvolutionResult {
@@ -778,7 +910,11 @@ impl Deconvolver {
         };
         let FitWorkspace { zproj, d, beta, .. } = workspace;
         path.reduced_solution(zproj, lambda, d, beta)?;
-        let alpha = match &self.ops.z {
+        let ops = self
+            .ops
+            .as_ref()
+            .expect("dense GCV engines build the reduction");
+        let alpha = match &ops.z {
             Some(z) => z.matvec(beta)?,
             None => beta.clone(),
         };
@@ -793,9 +929,13 @@ impl Deconvolver {
         g: &[f64],
         unit: bool,
     ) -> Result<(f64, Vec<(f64, f64)>)> {
+        let ops = self
+            .ops
+            .as_ref()
+            .expect("dense GCV engines build the reduction");
         if !unit {
             workspace.spectral = Some(SpectralPath::new(
-                &self.ops,
+                ops,
                 &workspace.weights,
                 self.ridge_eff(),
             )?);
@@ -819,14 +959,11 @@ impl Deconvolver {
         } else {
             spectral.as_ref().expect("built above")
         };
-        path.project_series(&self.ops, weights, g, w2g, rhs_r, zproj)?;
+        path.project_series(ops, weights, g, w2g, rhs_r, zproj)?;
 
         let mut scores = Vec::with_capacity(self.lambda_grid.len() + 1);
         for &l in &self.lambda_grid {
-            scores.push((
-                l,
-                path.gcv_score(&self.ops, weights, g, zproj, l, d, beta, u)?,
-            ));
+            scores.push((l, path.gcv_score(ops, weights, g, zproj, l, d, beta, u)?));
         }
         // GCV is known to undersmooth: when the basis is rich
         // relative to the measurement count the score can dip
@@ -850,7 +987,7 @@ impl Deconvolver {
             let hi = scores[best_idx + 1].0.log10();
             match cellsync_opt::golden_section(
                 |log_l| {
-                    path.gcv_score(&self.ops, weights, g, zproj, 10f64.powf(log_l), d, beta, u)
+                    path.gcv_score(ops, weights, g, zproj, 10f64.powf(log_l), d, beta, u)
                         .unwrap_or(f64::INFINITY)
                 },
                 lo,
@@ -1038,7 +1175,12 @@ impl Deconvolver {
             problem = problem.with_equalities(e, rhs)?;
         }
         if let Some((p, rhs)) = &self.positivity {
-            problem = problem.with_inequalities(p, rhs)?;
+            // Banded engines hand the QP the sparse-row collocation block
+            // (≤ 4 nnz per row) instead of the dense copy.
+            problem = match self.banded.as_ref().and_then(|b| b.positivity.as_ref()) {
+                Some((sp, srhs)) => problem.with_inequalities_sparse(sp, srhs)?,
+                None => problem.with_inequalities(p, rhs)?,
+            };
         }
         Ok(qp.solve(&problem)?.x)
     }
@@ -1083,7 +1225,7 @@ impl DeconvolutionResult {
     /// Such fits carry no λ-selection trace.
     pub(crate) fn from_parts(
         alpha: Vector,
-        basis: NaturalSplineBasis,
+        basis: SplineBasis,
         lambda: f64,
         predicted: Vec<f64>,
         weighted_sse: f64,

@@ -2,7 +2,7 @@
 
 use cellsync_linalg::Matrix;
 use cellsync_popsim::PhaseKernel;
-use cellsync_spline::NaturalSplineBasis;
+use cellsync_spline::SplineBasis;
 
 use crate::{PhaseProfile, Result};
 
@@ -93,7 +93,7 @@ impl ForwardModel {
     /// # Errors
     ///
     /// Propagates kernel indexing errors (none in practice).
-    pub fn design_matrix(&self, basis: &NaturalSplineBasis) -> Result<Matrix> {
+    pub fn design_matrix(&self, basis: &SplineBasis) -> Result<Matrix> {
         let m = self.num_measurements();
         let n = basis.len();
         let centers = self.kernel.phi_centers();
@@ -166,7 +166,9 @@ mod tests {
     fn design_matrix_consistent_with_predict() {
         // A·α must equal predict(f_α) when f_α is the spline combination.
         let fm = forward(3);
-        let basis = cellsync_spline::NaturalSplineBasis::uniform(10, 0.0, 1.0).unwrap();
+        let basis: SplineBasis = cellsync_spline::NaturalSplineBasis::uniform(10, 0.0, 1.0)
+            .unwrap()
+            .into();
         let alpha: Vec<f64> = (0..10).map(|i| 1.0 + (i as f64 * 0.8).sin()).collect();
         let a = fm.design_matrix(&basis).unwrap();
         let g_design = a.matvec(&Vector::from_slice(&alpha)).unwrap();
@@ -187,7 +189,9 @@ mod tests {
     fn design_rows_sum_to_one() {
         // Σᵢ A[m,i] = ∫Q·Σψᵢ = ∫Q·1 = 1 (partition of unity).
         let fm = forward(4);
-        let basis = cellsync_spline::NaturalSplineBasis::uniform(8, 0.0, 1.0).unwrap();
+        let basis: SplineBasis = cellsync_spline::NaturalSplineBasis::uniform(8, 0.0, 1.0)
+            .unwrap()
+            .into();
         let a = fm.design_matrix(&basis).unwrap();
         for m in 0..a.rows() {
             let s: f64 = a.row(m).iter().sum();

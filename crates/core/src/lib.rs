@@ -99,6 +99,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod banded;
 mod config;
 pub mod constraints;
 mod deconvolve;
@@ -113,7 +114,7 @@ pub mod session;
 mod solver;
 pub mod synthetic;
 
-pub use config::{DeconvolutionConfig, DeconvolutionConfigBuilder, LambdaSelection};
+pub use config::{DeconvolutionConfig, DeconvolutionConfigBuilder, LambdaSelection, SolveStrategy};
 pub use deconvolve::{BootstrapBand, DeconvolutionResult, Deconvolver};
 pub use error::DeconvError;
 pub use forward::ForwardModel;

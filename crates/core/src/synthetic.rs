@@ -134,9 +134,10 @@ pub fn project_onto_constraints(
     // satisfy RNA conservation by inventing expression at birth, which
     // would erase delayed-onset features (the whole point of Fig. 5).
     let pin0: Vec<f64> = (0..n).map(|i| basis.eval(i, 0.0)).collect();
+    let sbasis: cellsync_spline::SplineBasis = basis.clone().into();
     let eq_rows = [
-        constraints::rna_conservation_row(&basis, params)?,
-        constraints::rate_continuity_row(&basis, params)?,
+        constraints::rna_conservation_row(&sbasis, params)?,
+        constraints::rate_continuity_row(&sbasis, params)?,
         pin0,
     ];
     let refs: Vec<&[f64]> = eq_rows.iter().map(|r| r.as_slice()).collect();

@@ -101,6 +101,18 @@ impl CholeskyDecomposition {
         Ok(())
     }
 
+    /// Builds a dense decomposition from a banded factor by expanding
+    /// the packed band into dense lower-triangular storage. This is how
+    /// a banded Hessian enters dense consumers (the whitened active-set
+    /// QP whitens arbitrary constraint rows against `L`): factoring
+    /// costs the banded `O(n·b²)` instead of the dense `O(n³)`, and only
+    /// the expansion pays `O(n²)`.
+    pub fn from_banded(factor: &crate::BandedCholesky) -> Self {
+        CholeskyDecomposition {
+            l: factor.to_dense_factor(),
+        }
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.l.rows()
@@ -530,11 +542,17 @@ impl IncrementalCholesky {
         if m == self.cap {
             self.reserve((self.cap * 2).max(4));
         }
-        // Forward-substitute L·l_new = s into scratch.
+        // Forward-substitute L·l_new = s into scratch. A leading run of
+        // zeros in `s` (the common case when bordering a banded matrix:
+        // the new row only couples to the last `bandwidth` columns)
+        // propagates as zeros through the substitution, so skip straight
+        // past it — the append then costs O(b²) instead of O(m²).
+        let start = s.iter().position(|&v| v != 0.0).unwrap_or(m);
+        self.scratch[..start].fill(0.0);
         let mut norm_sq = 0.0;
-        for (i, &si) in s.iter().enumerate() {
+        for (i, &si) in s.iter().enumerate().skip(start) {
             let mut sum = si;
-            for j in 0..i {
+            for j in start..i {
                 sum -= self.l[i * self.cap + j] * self.scratch[j];
             }
             let v = sum / self.l[i * self.cap + i];

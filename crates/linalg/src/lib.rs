@@ -29,6 +29,16 @@
 //! allocating.
 //! * [`Tridiagonal`] — Thomas-algorithm solver (used by the natural-spline
 //!   interpolation in `cellsync-spline`).
+//! * [`BandedMatrix`] / [`BandedCholesky`] — symmetric band storage
+//!   (LAPACK-style packed rows) with an O(n·b²) Cholesky factor/solve; the
+//!   genome-scale path for locally supported B-spline bases.
+//! * [`SparseRowMatrix`] — compressed sparse rows for collocation constraint
+//!   blocks, with a banded Gram assembly that exploits local support.
+//!
+//! The hot inner loops (rank-4 `syrk` panels, banded factor/solve updates)
+//! run through explicitly 4-lane chunked kernels behind the `simd` cargo
+//! feature; the scalar fallback is the default and the two variants are
+//! bit-identical (see `kernels`).
 //!
 //! # Example
 //!
@@ -48,16 +58,20 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod banded;
 mod cholesky;
 mod eigen;
 mod error;
 mod geigen;
+mod kernels;
 mod lu;
 mod matrix;
 mod qr;
+mod sparse;
 mod tridiagonal;
 mod vector;
 
+pub use banded::{BandedCholesky, BandedMatrix};
 pub use cholesky::{CholeskyDecomposition, IncrementalCholesky};
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
@@ -65,6 +79,7 @@ pub use geigen::GeneralizedSymmetricEigen;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use qr::QrDecomposition;
+pub use sparse::SparseRowMatrix;
 pub use tridiagonal::Tridiagonal;
 pub use vector::Vector;
 

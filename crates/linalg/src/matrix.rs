@@ -3,9 +3,10 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+use crate::kernels;
 use crate::{
-    CholeskyDecomposition, LinalgError, LuDecomposition, QrDecomposition, Result, SymmetricEigen,
-    Vector,
+    BandedMatrix, CholeskyDecomposition, LinalgError, LuDecomposition, QrDecomposition, Result,
+    SymmetricEigen, Vector,
 };
 
 /// A dense, row-major matrix of `f64` values.
@@ -345,6 +346,83 @@ impl Matrix {
         Ok(())
     }
 
+    /// Writes the Gram product `selfᵀ·self` into a banded matrix,
+    /// exploiting row-local support: when every row's nonzeros span at
+    /// most `out.bandwidth() + 1` consecutive columns (a local-support
+    /// spline design evaluated at scattered points), the Gram matrix is
+    /// banded and assembly costs `O(rows·b²)` instead of `O(rows·n²)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] when `out.dim() != cols` or some
+    /// row's support spans more than the band allows — the result would
+    /// silently drop mass, so it is an error, not a truncation.
+    pub fn gram_banded_into(&self, out: &mut BandedMatrix) -> Result<()> {
+        self.banded_syrk(None, out)
+    }
+
+    /// Writes the weighted Gram product `selfᵀ·W²·self` into a banded
+    /// matrix (see [`Matrix::gram_banded_into`] for the support
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Matrix::gram_banded_into`], plus a weight-length
+    /// mismatch.
+    pub fn weighted_gram_banded_into(&self, weights: &[f64], out: &mut BandedMatrix) -> Result<()> {
+        if weights.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.rows, 1),
+                right: (weights.len(), 1),
+                op: "weighted_gram_banded_into",
+            });
+        }
+        self.banded_syrk(Some(weights), out)
+    }
+
+    /// The shared core of the banded Gram kernels: per row, locate the
+    /// contiguous nonzero support, then fold the `O(b²)` outer product
+    /// of that segment into the band.
+    fn banded_syrk(&self, weights: Option<&[f64]>, out: &mut BandedMatrix) -> Result<()> {
+        if out.dim() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.cols, self.cols),
+                right: (out.dim(), out.dim()),
+                op: "banded gram",
+            });
+        }
+        out.fill_zero();
+        for i in 0..self.rows {
+            let ci = weights.map_or(1.0, |w| w[i] * w[i]);
+            if ci == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            let Some(first) = row.iter().position(|&v| v != 0.0) else {
+                continue;
+            };
+            let last = self.cols - 1 - row.iter().rev().position(|&v| v != 0.0).expect("nonzero");
+            if last - first > out.bandwidth() {
+                return Err(LinalgError::ShapeMismatch {
+                    left: (last - first, 0),
+                    right: (out.bandwidth(), 0),
+                    op: "banded gram row support",
+                });
+            }
+            let seg = &row[first..=last];
+            for (a, &va) in seg.iter().enumerate() {
+                let ra = ci * va;
+                if ra == 0.0 {
+                    continue;
+                }
+                for (b, &vb) in seg.iter().enumerate().skip(a) {
+                    out.add_at(first + a, first + b, ra * vb)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The shared `syrk`-style core of [`Matrix::gram_into`] and
     /// [`Matrix::weighted_gram_into`]: accumulates
     /// `Σᵢ cᵢ·rowᵢᵀ·rowᵢ` (with `cᵢ = wᵢ²` or `1`) into the **upper**
@@ -379,23 +457,12 @@ impl Matrix {
                 &self.data[(i + 3) * n..(i + 4) * n],
             );
             for a in 0..n {
-                let (a0, a1, a2, a3) = (c0 * r0[a], c1 * r1[a], c2 * r2[a], c3 * r3[a]);
+                let coeffs = [c0 * r0[a], c1 * r1[a], c2 * r2[a], c3 * r3[a]];
                 let orow = &mut out.data[a * n + a..(a + 1) * n];
-                for ((((o, &b0), &b1), &b2), &b3) in orow
-                    .iter_mut()
-                    .zip(&r0[a..])
-                    .zip(&r1[a..])
-                    .zip(&r2[a..])
-                    .zip(&r3[a..])
-                {
-                    // Ascending-row addition order — see the doc comment.
-                    let mut acc = *o;
-                    acc += a0 * b0;
-                    acc += a1 * b1;
-                    acc += a2 * b2;
-                    acc += a3 * b3;
-                    *o = acc;
-                }
+                // Ascending-row addition order inside each element — see
+                // the doc comment; the kernel preserves it whether the
+                // `simd` feature selects the chunked variant or not.
+                kernels::panel4(orow, coeffs, &r0[a..], &r1[a..], &r2[a..], &r3[a..]);
             }
             i += 4;
         }

@@ -4,7 +4,7 @@
 //! factorization residuals, orthogonality, and solver consistency across
 //! independent code paths (LU vs Cholesky vs QR).
 
-use cellsync_linalg::{Matrix, Vector};
+use cellsync_linalg::{BandedMatrix, Matrix, SparseRowMatrix, Vector};
 use proptest::prelude::*;
 
 /// Strategy: a square matrix with entries in [-10, 10].
@@ -16,6 +16,65 @@ fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
 /// Strategy: a vector with entries in [-10, 10].
 fn vector(n: usize) -> impl Strategy<Value = Vector> {
     prop::collection::vec(-10.0..10.0f64, n).prop_map(Vector::from)
+}
+
+/// Strategy: `(n, bandwidth, band entries, rhs)` for a random symmetric
+/// banded SPD system — dimensions 1..=24, bandwidth anywhere in
+/// `0..n`, entries in [-3, 3] made SPD by diagonal dominance.
+fn banded_spd_system() -> impl Strategy<Value = (BandedMatrix, Vector)> {
+    (1usize..=24)
+        .prop_flat_map(|n| (Just(n), 0..n))
+        .prop_flat_map(|(n, b)| {
+            (
+                Just((n, b)),
+                prop::collection::vec(-3.0..3.0f64, n * (b + 1)),
+                prop::collection::vec(-10.0..10.0f64, n),
+            )
+        })
+        .prop_map(|((n, b), entries, rhs)| {
+            let mut m = BandedMatrix::zeros(n, b).expect("valid shape");
+            let mut it = entries.into_iter();
+            for i in 0..n {
+                for j in i.saturating_sub(b)..=i {
+                    let v = it.next().expect("sized entries");
+                    m.set(i, j, v).expect("in band");
+                }
+            }
+            // Diagonal dominance over a full band row makes it SPD.
+            for i in 0..n {
+                let d = m.get(i, i).abs() + 3.0 * (2 * b + 1) as f64 + 1.0;
+                m.set(i, i, d).expect("diagonal");
+            }
+            (m, Vector::from(rhs))
+        })
+}
+
+/// Strategy: a design matrix whose rows have contiguous local support of
+/// width ≤ `b + 1` (the B-spline shape), plus per-row weights.
+fn local_support_design() -> impl Strategy<Value = (Matrix, Vec<f64>, usize)> {
+    (2usize..=16, 0usize..=5, 1usize..=24)
+        .prop_flat_map(|(n, b, rows)| {
+            let width = (b + 1).min(n);
+            (
+                Just((n, b)),
+                prop::collection::vec(
+                    (0usize..n, prop::collection::vec(-2.0..2.0f64, width)),
+                    rows,
+                ),
+                prop::collection::vec(0.0..2.0f64, rows),
+            )
+        })
+        .prop_map(|((n, b), specs, weights)| {
+            let rows = specs.len();
+            let mut a = Matrix::zeros(rows, n);
+            for (r, (start, vals)) in specs.into_iter().enumerate() {
+                let start = start.min(n - vals.len());
+                for (k, v) in vals.into_iter().enumerate() {
+                    a[(r, start + k)] = v;
+                }
+            }
+            (a, weights, b)
+        })
 }
 
 /// Makes an SPD matrix from an arbitrary square one: `AᵀA + n·I`.
@@ -167,6 +226,78 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn banded_cholesky_matches_dense(sys in banded_spd_system()) {
+        // The O(n·b²) banded factor and solve must agree with the dense
+        // reference path entry-for-entry and solution-for-solution.
+        let (m, rhs) = sys;
+        let dense = m.to_dense();
+        let bf = m.cholesky().expect("diagonally dominant");
+        let df = dense.cholesky().expect("same matrix, dense path");
+        let n = m.dim();
+        for i in 0..n {
+            for j in i.saturating_sub(m.bandwidth())..=i {
+                prop_assert!(
+                    (bf.factor_entry(i, j) - df.factor()[(i, j)]).abs() <= 1e-10,
+                    "L[({}, {})]: banded {} vs dense {}",
+                    i, j, bf.factor_entry(i, j), df.factor()[(i, j)]
+                );
+            }
+        }
+        let xb = bf.solve(&rhs).expect("shapes");
+        let xd = df.solve(&rhs).expect("shapes");
+        prop_assert!((&xb - &xd).norm_inf() <= 1e-10 * (1.0 + xd.norm_inf()));
+    }
+
+    #[test]
+    fn banded_gram_matches_dense(design in local_support_design()) {
+        // Sparsity-aware Gram assembly over locally supported rows must
+        // reproduce the dense weighted_gram_into to 1e-10, for both the
+        // dense-storage input and the CSR input.
+        let (a, weights, b) = design;
+        let n = a.cols();
+        let mut dense = Matrix::zeros(n, n);
+        a.weighted_gram_into(&weights, &mut dense).expect("shapes");
+        let mut banded = BandedMatrix::zeros(n, b.min(n - 1)).expect("valid shape");
+        a.weighted_gram_banded_into(&weights, &mut banded).expect("support fits band");
+        let mut from_csr = BandedMatrix::zeros(n, b.min(n - 1)).expect("valid shape");
+        let csr = SparseRowMatrix::from_dense(&a).expect("finite");
+        csr.weighted_gram_banded_into(Some(&weights), &mut from_csr).expect("support fits band");
+        for i in 0..n {
+            for j in i.saturating_sub(banded.bandwidth())..=i {
+                prop_assert!(
+                    (banded.get(i, j) - dense[(i, j)]).abs() <= 1e-10,
+                    "G[({}, {})]: banded {} vs dense {}", i, j, banded.get(i, j), dense[(i, j)]
+                );
+                prop_assert!(
+                    (from_csr.get(i, j) - dense[(i, j)]).abs() <= 1e-10,
+                    "G[({}, {})]: csr {} vs dense {}", i, j, from_csr.get(i, j), dense[(i, j)]
+                );
+            }
+        }
+        // Everything outside the band must be exactly zero in the dense
+        // reference too (local support guarantees it).
+        for i in 0..n {
+            for j in 0..i.saturating_sub(banded.bandwidth()) {
+                prop_assert!(dense[(i, j)].abs() <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_refactor_matches_fresh(sys in banded_spd_system(), shift in 0.0..5.0f64) {
+        // In-place refactor of a shifted matrix equals a fresh factor —
+        // the λ-sweep reuse pattern.
+        let (mut m, rhs) = sys;
+        let mut factor = m.cholesky().expect("spd");
+        m.add_diagonal(shift);
+        factor.refactor(&m).expect("still spd");
+        let fresh = m.cholesky().expect("still spd");
+        let xa = factor.solve(&rhs).expect("shapes");
+        let xb = fresh.solve(&rhs).expect("shapes");
+        prop_assert!((&xa - &xb).norm_inf() <= 1e-12 * (1.0 + xb.norm_inf()));
     }
 
     #[test]

@@ -8,9 +8,95 @@
 //! owned builder ([`QuadraticProgram`]) remains as a thin convenience
 //! wrapper for one-shot solves.
 
-use cellsync_linalg::{CholeskyDecomposition, Matrix, Vector};
+use cellsync_linalg::{BandedMatrix, CholeskyDecomposition, Matrix, SparseRowMatrix, Vector};
 
 use crate::{OptError, Result};
+
+/// The Hessian backing a [`QpProblem`]: dense, or banded with an
+/// internally densified copy serving the O(n²) iteration kernels while
+/// the factorization itself runs banded (O(n·b²) instead of O(n³)).
+#[derive(Debug, Clone)]
+enum HessianRef<'a> {
+    Dense(&'a Matrix),
+    Banded {
+        src: &'a BandedMatrix,
+        dense: Matrix,
+    },
+}
+
+impl HessianRef<'_> {
+    /// Dense view (borrowed caller matrix, or the densified band copy).
+    fn dense(&self) -> &Matrix {
+        match self {
+            HessianRef::Dense(h) => h,
+            HessianRef::Banded { dense, .. } => dense,
+        }
+    }
+
+    /// The banded source, when the problem was built over one.
+    fn banded(&self) -> Option<&BandedMatrix> {
+        match self {
+            HessianRef::Dense(_) => None,
+            HessianRef::Banded { src, .. } => Some(src),
+        }
+    }
+}
+
+/// The inequality block of a [`QpProblem`]: dense rows, or sparse
+/// collocation rows (≤ a handful of nonzeros each). The sparse form
+/// keeps a densified copy for zero-copy row slices in the working-set
+/// factor, but routes the per-iteration matvecs (`A·x`, `A·p` over all
+/// rows) through the sparse storage — O(nnz) instead of O(rows·n).
+#[derive(Debug, Clone)]
+enum IneqRef<'a> {
+    Dense(&'a Matrix, &'a Vector),
+    Sparse {
+        src: &'a SparseRowMatrix,
+        dense: Matrix,
+        rhs: &'a Vector,
+    },
+}
+
+impl IneqRef<'_> {
+    fn rows(&self) -> usize {
+        match self {
+            IneqRef::Dense(a, _) => a.rows(),
+            IneqRef::Sparse { src, .. } => src.rows(),
+        }
+    }
+
+    fn rhs(&self) -> &Vector {
+        match self {
+            IneqRef::Dense(_, b) => b,
+            IneqRef::Sparse { rhs, .. } => rhs,
+        }
+    }
+
+    fn dense(&self) -> &Matrix {
+        match self {
+            IneqRef::Dense(a, _) => a,
+            IneqRef::Sparse { dense, .. } => dense,
+        }
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        self.dense().row(i)
+    }
+
+    fn matvec_into(&self, x: &Vector, out: &mut Vector) -> Result<()> {
+        match self {
+            IneqRef::Dense(a, _) => a.matvec_into(x, out)?,
+            IneqRef::Sparse { src, .. } => src.matvec_into(x, out)?,
+        }
+        Ok(())
+    }
+
+    fn matvec(&self, x: &Vector) -> Result<Vector> {
+        let mut out = Vector::zeros(self.rows());
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+}
 
 /// A borrowed view of a convex quadratic program
 ///
@@ -51,10 +137,10 @@ use crate::{OptError, Result};
 /// ```
 #[derive(Debug, Clone)]
 pub struct QpProblem<'a> {
-    h: &'a Matrix,
+    h: HessianRef<'a>,
     c: &'a Vector,
     eq: Option<(&'a Matrix, &'a Vector)>,
-    ineq: Option<(&'a Matrix, &'a Vector)>,
+    ineq: Option<IneqRef<'a>>,
     start: Option<&'a Vector>,
     max_iterations: usize,
     tolerance: f64,
@@ -101,7 +187,41 @@ impl<'a> QpProblem<'a> {
         }
         let n = h.rows();
         Ok(QpProblem {
-            h,
+            h: HessianRef::Dense(h),
+            c,
+            eq: None,
+            ineq: None,
+            start: None,
+            max_iterations: 100 * (n + 10),
+            tolerance: 1e-10,
+        })
+    }
+
+    /// Creates an unconstrained QP view over a **banded** symmetric
+    /// Hessian. The Hessian factorization then runs through the banded
+    /// Cholesky (O(n·b²)); the solver's O(n²) iteration kernels read an
+    /// internally densified copy built here, so construction costs one
+    /// O(n²) expansion.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::DimensionMismatch`] when `c.len() != H.dim()`.
+    /// * [`OptError::InvalidArgument`] for non-finite entries.
+    pub fn new_banded(h: &'a BandedMatrix, c: &'a Vector) -> Result<Self> {
+        let dense = h.to_dense();
+        if !dense.is_finite() || !c.is_finite() {
+            return Err(OptError::InvalidArgument("entries must be finite"));
+        }
+        if c.len() != h.dim() {
+            return Err(OptError::DimensionMismatch {
+                what: "linear term",
+                expected: h.dim(),
+                got: c.len(),
+            });
+        }
+        let n = h.dim();
+        Ok(QpProblem {
+            h: HessianRef::Banded { src: h, dense },
             c,
             eq: None,
             ineq: None,
@@ -155,7 +275,42 @@ impl<'a> QpProblem<'a> {
                 got: b_rhs.len(),
             });
         }
-        self.ineq = Some((a_mat, b_rhs));
+        self.ineq = Some(IneqRef::Dense(a_mat, b_rhs));
+        Ok(self)
+    }
+
+    /// Adds inequality constraints `A x ≥ b` from sparse-row storage
+    /// (e.g. the collocation rows of a locally supported spline basis,
+    /// ≤ 4 nonzeros per row). The per-iteration matvecs run sparse; the
+    /// working-set factor reads a densified copy built here.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::DimensionMismatch`] for inconsistent shapes.
+    pub fn with_inequalities_sparse(
+        mut self,
+        a_mat: &'a SparseRowMatrix,
+        b_rhs: &'a Vector,
+    ) -> Result<Self> {
+        if a_mat.cols() != self.dim() {
+            return Err(OptError::DimensionMismatch {
+                what: "inequality matrix columns",
+                expected: self.dim(),
+                got: a_mat.cols(),
+            });
+        }
+        if a_mat.rows() != b_rhs.len() {
+            return Err(OptError::DimensionMismatch {
+                what: "inequality rhs",
+                expected: a_mat.rows(),
+                got: b_rhs.len(),
+            });
+        }
+        self.ineq = Some(IneqRef::Sparse {
+            src: a_mat,
+            dense: a_mat.to_dense(),
+            rhs: b_rhs,
+        });
         Ok(self)
     }
 
@@ -186,12 +341,19 @@ impl<'a> QpProblem<'a> {
 
     /// Problem dimension.
     pub fn dim(&self) -> usize {
-        self.h.rows()
+        self.h.dense().rows()
     }
 
-    /// The Hessian `H` (crate-internal: shared with the IPM backend).
-    pub(crate) fn hessian(&self) -> &'a Matrix {
-        self.h
+    /// The Hessian `H` as a dense view (crate-internal: shared with the
+    /// IPM backend; for banded problems this is the densified copy).
+    pub(crate) fn hessian(&self) -> &Matrix {
+        self.h.dense()
+    }
+
+    /// The banded Hessian source, when the problem was built with
+    /// [`QpProblem::new_banded`].
+    pub(crate) fn hessian_banded(&self) -> Option<&BandedMatrix> {
+        self.h.banded()
     }
 
     /// The linear term `c`.
@@ -204,9 +366,9 @@ impl<'a> QpProblem<'a> {
         self.eq
     }
 
-    /// The inequality block `(A, b)`, if any.
-    pub(crate) fn inequalities(&self) -> Option<(&'a Matrix, &'a Vector)> {
-        self.ineq
+    /// The inequality block `(A, b)` as dense views, if any.
+    pub(crate) fn inequalities(&self) -> Option<(&Matrix, &Vector)> {
+        self.ineq.as_ref().map(|iq| (iq.dense(), iq.rhs()))
     }
 
     /// The iteration budget.
@@ -222,8 +384,9 @@ impl<'a> QpProblem<'a> {
                 return Ok(false);
             }
         }
-        if let Some((a_mat, b_rhs)) = &self.ineq {
-            let ax = a_mat.matvec(x)?;
+        if let Some(iq) = &self.ineq {
+            let ax = iq.matvec(x)?;
+            let b_rhs = iq.rhs();
             for i in 0..b_rhs.len() {
                 if ax[i] < b_rhs[i] - tol {
                     return Ok(false);
@@ -448,15 +611,25 @@ impl QpWorkspace {
             self.hessian_factor = None;
         }
         if self.hessian_factor.is_none() {
-            self.hessian_factor = Some(
-                problem
-                    .h
+            // Banded Hessians factor through the O(n·b²) banded Cholesky
+            // and are re-wrapped as a dense decomposition (whose solves
+            // skip the structural leading zeros); dense Hessians take the
+            // usual O(n³) factorization.
+            let factor = match problem.h.banded() {
+                Some(hb) => hb
                     .cholesky()
+                    .map(|f| CholeskyDecomposition::from_banded(&f))
                     .map_err(|_| OptError::NotConvex("hessian is not positive definite".into()))?,
-            );
+                None => {
+                    problem.h.dense().cholesky().map_err(|_| {
+                        OptError::NotConvex("hessian is not positive definite".into())
+                    })?
+                }
+            };
+            self.hessian_factor = Some(factor);
         }
         let n_eq = problem.eq.as_ref().map_or(0, |(m, _)| m.rows());
-        let n_ineq = problem.ineq.as_ref().map_or(0, |(m, _)| m.rows());
+        let n_ineq = problem.ineq.as_ref().map_or(0, IneqRef::rows);
         self.ensure(n, n_ineq);
 
         // Whitened objective center u₀ = −L⁻¹c, fixed for the whole
@@ -584,9 +757,10 @@ impl QpWorkspace {
                 // Line search to the nearest blocking constraint.
                 let mut alpha = 1.0;
                 let mut blocking: Option<usize> = None;
-                if let Some((a_mat, b_rhs)) = &problem.ineq {
-                    a_mat.matvec_into(&self.step, &mut self.ap)?;
-                    a_mat.matvec_into(&self.x, &mut self.ax)?;
+                if let Some(iq) = &problem.ineq {
+                    iq.matvec_into(&self.step, &mut self.ap)?;
+                    iq.matvec_into(&self.x, &mut self.ax)?;
+                    let b_rhs = iq.rhs();
                     for i in 0..n_ineq {
                         if self.working.contains(&i) || self.dependent.contains(&i) {
                             continue;
@@ -605,12 +779,7 @@ impl QpWorkspace {
                 }
                 if let Some(bi) = blocking {
                     let full = self.eq_keep.len() + self.working.len() >= n;
-                    let row = problem
-                        .ineq
-                        .as_ref()
-                        .expect("blocking row exists")
-                        .0
-                        .row(bi);
+                    let row = problem.ineq.as_ref().expect("blocking row exists").row(bi);
                     if !full && self.push_row(row)? {
                         self.working.push(bi);
                         self.dependent.clear();
@@ -722,7 +891,7 @@ impl QpWorkspace {
     /// guarded incremental append (dependent rows are dropped, exactly
     /// like the old explicit rank check, but incrementally).
     fn seed_working_from_hint(&mut self, problem: &QpProblem<'_>) -> Result<()> {
-        let Some((a_mat, b_rhs)) = &problem.ineq else {
+        let Some(iq) = &problem.ineq else {
             return Ok(());
         };
         self.warm_idx.clear();
@@ -732,16 +901,16 @@ impl QpWorkspace {
         if self.warm_idx.is_empty() {
             return Ok(());
         }
-        a_mat.matvec_into(&self.x, &mut self.ax)?;
+        iq.matvec_into(&self.x, &mut self.ax)?;
         let scale = 1.0 + self.x.norm_inf();
         let n = problem.dim();
         for k in 0..self.warm_idx.len() {
             let i = self.warm_idx[k];
-            if i < a_mat.rows()
-                && (self.ax[i] - b_rhs[i]).abs() <= Self::WARM_ACTIVITY_TOL * scale
+            if i < iq.rows()
+                && (self.ax[i] - iq.rhs()[i]).abs() <= Self::WARM_ACTIVITY_TOL * scale
                 && self.eq_keep.len() + self.working.len() < n
                 && !self.working.contains(&i)
-                && self.push_row(a_mat.row(i))?
+                && self.push_row(iq.row(i))?
             {
                 self.working.push(i);
             }
@@ -756,8 +925,8 @@ impl QpWorkspace {
             let (e_mat, _) = problem.eq.as_ref().expect("equality rows retained");
             e_mat.row(self.eq_keep[r])
         } else {
-            let (a_mat, _) = problem.ineq.as_ref().expect("working rows exist");
-            a_mat.row(self.working[r - self.eq_keep.len()])
+            let iq = problem.ineq.as_ref().expect("working rows exist");
+            iq.row(self.working[r - self.eq_keep.len()])
         }
     }
 
@@ -767,8 +936,8 @@ impl QpWorkspace {
             let (_, e_rhs) = problem.eq.as_ref().expect("equality rows retained");
             e_rhs[self.eq_keep[r]]
         } else {
-            let (_, b_rhs) = problem.ineq.as_ref().expect("working rows exist");
-            b_rhs[self.working[r - self.eq_keep.len()]]
+            let iq = problem.ineq.as_ref().expect("working rows exist");
+            iq.rhs()[self.working[r - self.eq_keep.len()]]
         }
     }
 
@@ -904,7 +1073,7 @@ impl QpWorkspace {
         }
         let work = std::mem::take(&mut self.working);
         for i in work {
-            let row = problem.ineq.as_ref().expect("working rows exist").0.row(i);
+            let row = problem.ineq.as_ref().expect("working rows exist").row(i);
             if self.push_row(row)? {
                 self.working.push(i);
             }
@@ -919,7 +1088,7 @@ impl QpWorkspace {
         let n = problem.dim();
         let m_w = self.m_rows;
         // r₁ = −(H·x + c) + A_Wᵀλ into `resid`.
-        problem.h.matvec_into(&self.x, &mut self.resid)?;
+        problem.h.dense().matvec_into(&self.x, &mut self.resid)?;
         for (r, &ci) in self.resid.as_mut_slice().iter_mut().zip(problem.c.iter()) {
             *r = -(*r + ci);
         }
@@ -991,7 +1160,7 @@ impl QpWorkspace {
             }
         }
         // Objective from the refined point, through reused buffers.
-        problem.h.matvec_into(&self.x, &mut self.resid)?;
+        problem.h.dense().matvec_into(&self.x, &mut self.resid)?;
         let objective = 0.5 * dot(self.x.as_slice(), self.resid.as_slice())
             + dot(problem.c.as_slice(), self.x.as_slice());
         Ok(QpSolution {
@@ -1640,5 +1809,130 @@ mod tests {
         let c3 = Vector::from_slice(&[-1.0, -1.0]);
         let s3 = ws.solve(&QpProblem::new(&h3, &c3).unwrap()).unwrap();
         assert!((s3.x[0] - 1.0).abs() < 1e-10);
+    }
+
+    /// A strictly diagonally dominant banded SPD test Hessian with its
+    /// dense mirror, plus a gradient with mixed signs so positivity binds.
+    fn banded_spd(n: usize, bw: usize) -> (BandedMatrix, Matrix, Vector) {
+        let mut hb = BandedMatrix::zeros(n, bw).unwrap();
+        for i in 0..n {
+            hb.set(i, i, 4.0 + (i as f64 * 0.29).sin().abs()).unwrap();
+            for off in 1..=bw.min(n - 1 - i) {
+                hb.set(i, i + off, 0.8 / off as f64).unwrap();
+            }
+        }
+        let dense = hb.to_dense();
+        let c = Vector::from_fn(n, |i| ((i * 5 % 7) as f64) - 3.0);
+        (hb, dense, c)
+    }
+
+    #[test]
+    fn banded_hessian_matches_dense_active_set() {
+        let n = 40;
+        let (hb, hd, c) = banded_spd(n, 3);
+        let a = Matrix::identity(n);
+        let b = Vector::zeros(n);
+        let dense_sol = QpWorkspace::new()
+            .solve(&QpProblem::new(&hd, &c).unwrap())
+            .unwrap();
+        let banded_sol = QpWorkspace::new()
+            .solve(&QpProblem::new_banded(&hb, &c).unwrap())
+            .unwrap();
+        assert!((&dense_sol.x - &banded_sol.x).norm2() < 1e-9);
+        // With positivity constraints too.
+        let dense_pos = QpWorkspace::new()
+            .solve(
+                &QpProblem::new(&hd, &c)
+                    .unwrap()
+                    .with_inequalities(&a, &b)
+                    .unwrap(),
+            )
+            .unwrap();
+        let banded_pos = QpWorkspace::new()
+            .solve(
+                &QpProblem::new_banded(&hb, &c)
+                    .unwrap()
+                    .with_inequalities(&a, &b)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!((&dense_pos.x - &banded_pos.x).norm2() < 1e-9);
+        assert_eq!(dense_pos.active_set, banded_pos.active_set);
+    }
+
+    #[test]
+    fn banded_hessian_matches_dense_ipm() {
+        let n = 32;
+        let (hb, hd, c) = banded_spd(n, 2);
+        let a = Matrix::identity(n);
+        let b = Vector::zeros(n);
+        let dense_sol = crate::IpmWorkspace::new()
+            .solve(
+                &QpProblem::new(&hd, &c)
+                    .unwrap()
+                    .with_inequalities(&a, &b)
+                    .unwrap(),
+            )
+            .unwrap();
+        let banded_sol = crate::IpmWorkspace::new()
+            .solve(
+                &QpProblem::new_banded(&hb, &c)
+                    .unwrap()
+                    .with_inequalities(&a, &b)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(
+            (&dense_sol.x - &banded_sol.x).norm2() < 1e-7,
+            "dense {} vs banded {}",
+            dense_sol.x,
+            banded_sol.x
+        );
+    }
+
+    #[test]
+    fn sparse_inequalities_match_dense() {
+        let n = 24;
+        let (hb, hd, c) = banded_spd(n, 3);
+        let a_dense = Matrix::identity(n);
+        let a_sparse = SparseRowMatrix::from_dense(&a_dense).unwrap();
+        let b = Vector::zeros(n);
+        let dense_sol = QpWorkspace::new()
+            .solve(
+                &QpProblem::new(&hd, &c)
+                    .unwrap()
+                    .with_inequalities(&a_dense, &b)
+                    .unwrap(),
+            )
+            .unwrap();
+        let sparse_sol = QpWorkspace::new()
+            .solve(
+                &QpProblem::new_banded(&hb, &c)
+                    .unwrap()
+                    .with_inequalities_sparse(&a_sparse, &b)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!((&dense_sol.x - &sparse_sol.x).norm2() < 1e-9);
+        assert_eq!(dense_sol.active_set, sparse_sol.active_set);
+    }
+
+    #[test]
+    fn banded_problem_validation() {
+        let (hb, _, c) = banded_spd(8, 2);
+        // Length mismatch rejected.
+        assert!(QpProblem::new_banded(&hb, &Vector::zeros(7)).is_err());
+        // Sparse inequality column mismatch rejected.
+        let wide = SparseRowMatrix::from_dense(&Matrix::identity(9)).unwrap();
+        assert!(QpProblem::new_banded(&hb, &c)
+            .unwrap()
+            .with_inequalities_sparse(&wide, &Vector::zeros(9))
+            .is_err());
+        // Sparse inequality rhs length mismatch rejected.
+        let ok = SparseRowMatrix::from_dense(&Matrix::identity(8)).unwrap();
+        assert!(QpProblem::new_banded(&hb, &c)
+            .unwrap()
+            .with_inequalities_sparse(&ok, &Vector::zeros(5))
+            .is_err());
     }
 }

@@ -17,6 +17,12 @@
 //!   matrices, and the **exact** roughness Gram matrix
 //!   `Ω᷒ᵢⱼ = ∫ψᵢ''ψⱼ''dφ` (second derivatives of cubic splines are piecewise
 //!   linear, so the integral has a closed form — no quadrature error).
+//! * [`BSplineBasis`] — clamped cubic B-splines with **local support**
+//!   (each function lives on four knot spans), whose penalty Gram is a
+//!   bandwidth-3 [`cellsync_linalg::BandedMatrix`] — the basis behind the
+//!   O(n·b²) banded solver path for genome-scale `basis_size`.
+//! * [`SplineBasis`] — the enum the deconvolution engine dispatches on,
+//!   delegating the shared evaluation surface to either variant.
 //!
 //! # Example
 //!
@@ -37,10 +43,12 @@
 #![deny(unsafe_code)]
 
 mod basis;
+mod bspline;
 mod cubic;
 mod error;
 
 pub use basis::NaturalSplineBasis;
+pub use bspline::{BSplineBasis, SplineBasis};
 pub use cubic::CubicSpline;
 pub use error::SplineError;
 

@@ -1,0 +1,231 @@
+//! Banded-path differential suite: the Woodbury banded engine must
+//! reproduce the dense engine on the same problem.
+//!
+//! Basis kind is a pure function of `basis_size` (B-splines at or above
+//! [`SolveStrategy::BANDED_THRESHOLD`]), so a `Dense`-strategy engine
+//! and a `Banded`-strategy engine at the same size solve the *identical*
+//! optimization problem — only the execution path differs. That makes
+//! exact differential testing possible: fixed-λ fits must agree to
+//! 1e-8, GCV selection must land on the same λ, and the positivity
+//! fallback must route through the same QP.
+
+use std::sync::OnceLock;
+
+use cellsync::{DeconvolutionConfig, Deconvolver, LambdaSelection, PhaseProfile, SolveStrategy};
+use cellsync_popsim::{
+    CellCycleParams, InitialCondition, KernelEstimator, PhaseKernel, Population,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper-protocol anchor kernel: a 2000-cell synchronized culture
+/// observed at 13 uniform times over one 150-minute cycle.
+fn anchor_kernel() -> &'static PhaseKernel {
+    static KERNEL: OnceLock<PhaseKernel> = OnceLock::new();
+    KERNEL.get_or_init(|| {
+        let params = CellCycleParams::caulobacter().expect("valid defaults");
+        let mut rng = StdRng::seed_from_u64(42);
+        let pop =
+            Population::synchronized(2_000, &params, InitialCondition::UniformSwarmer, &mut rng)
+                .expect("non-empty")
+                .simulate_until(150.0)
+                .expect("finite horizon");
+        let times: Vec<f64> = (0..13).map(|i| 150.0 * i as f64 / 12.0).collect();
+        KernelEstimator::new(64)
+            .expect("bins")
+            .estimate(&pop, &times)
+            .expect("valid protocol")
+    })
+}
+
+fn config(basis: usize, strategy: SolveStrategy, lambda: LambdaSelection) -> DeconvolutionConfig {
+    DeconvolutionConfig::builder()
+        .basis_size(basis)
+        .positivity(true)
+        .lambda_selection(lambda)
+        .strategy(strategy)
+        .build()
+        .expect("valid config")
+}
+
+/// A strictly positive smooth truth: the unconstrained minimizer stays
+/// feasible, so the banded convexity shortcut applies.
+fn positive_series() -> Vec<f64> {
+    let truth = PhaseProfile::from_fn(200, |phi| {
+        2.0 + 0.8 * (2.0 * std::f64::consts::PI * phi).sin()
+            + 0.3 * (4.0 * std::f64::consts::PI * phi).cos()
+    })
+    .expect("valid profile");
+    cellsync::ForwardModel::new(anchor_kernel().clone())
+        .predict(&truth)
+        .expect("predicts")
+}
+
+fn max_coef_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn banded_matches_dense_at_500_knots_fixed_lambda() {
+    // The acceptance anchor: a genome-scale 500-knot single-gene fit
+    // through the banded path must match the dense path to 1e-8.
+    let g = positive_series();
+    let sel = LambdaSelection::Fixed(1e-3);
+    let dense = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(500, SolveStrategy::Dense, sel.clone()),
+    )
+    .expect("dense engine");
+    let banded = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(500, SolveStrategy::Banded, sel),
+    )
+    .expect("banded engine");
+
+    let fd = dense.fit(&g, None).expect("dense fit");
+    let fb = banded.fit(&g, None).expect("banded fit");
+    assert_eq!(fd.lambda(), fb.lambda());
+    let scale = 1.0 + fd.alpha().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let diff = max_coef_diff(fd.alpha(), fb.alpha());
+    assert!(
+        diff <= 1e-8 * scale,
+        "500-knot coefficient divergence {diff:e} (scale {scale:e})"
+    );
+    // The fitted profiles agree pointwise too.
+    let pd = fd.profile(300).expect("profile");
+    let pb = fb.profile(300).expect("profile");
+    assert!(pd.rmse(&pb).expect("same length") <= 1e-8 * scale);
+}
+
+#[test]
+fn banded_gcv_matches_dense_spectral_at_threshold() {
+    // At the 128-knot threshold both engines run full GCV selection:
+    // the banded grid/refinement must land on the dense spectral path's
+    // λ and coefficients.
+    let g = positive_series();
+    let sel = LambdaSelection::Gcv {
+        log10_min: -6.0,
+        log10_max: 0.0,
+        points: 7,
+    };
+    let dense = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(128, SolveStrategy::Dense, sel.clone()),
+    )
+    .expect("dense engine");
+    let banded = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(128, SolveStrategy::Banded, sel),
+    )
+    .expect("banded engine");
+
+    let fd = dense.fit(&g, None).expect("dense fit");
+    let fb = banded.fit(&g, None).expect("banded fit");
+    let rel = (fd.lambda() - fb.lambda()).abs() / fd.lambda().abs().max(f64::MIN_POSITIVE);
+    assert!(
+        rel <= 1e-6,
+        "GCV λ divergence: dense {} vs banded {} (rel {rel:e})",
+        fd.lambda(),
+        fb.lambda()
+    );
+    let scale = 1.0 + fd.alpha().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let diff = max_coef_diff(fd.alpha(), fb.alpha());
+    assert!(diff <= 1e-6 * scale, "coefficient divergence {diff:e}");
+}
+
+#[test]
+fn auto_strategy_is_banded_above_threshold() {
+    // Auto + GCV at 128 knots takes the banded path — bit-identical to
+    // an explicit Banded-strategy engine.
+    let g = positive_series();
+    let sel = LambdaSelection::Gcv {
+        log10_min: -6.0,
+        log10_max: 0.0,
+        points: 5,
+    };
+    let auto = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(128, SolveStrategy::Auto, sel.clone()),
+    )
+    .expect("auto engine");
+    let banded = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(128, SolveStrategy::Banded, sel),
+    )
+    .expect("banded engine");
+    let fa = auto.fit(&g, None).expect("auto fit");
+    let fb = banded.fit(&g, None).expect("banded fit");
+    assert_eq!(fa.lambda(), fb.lambda());
+    assert_eq!(fa.alpha(), fb.alpha());
+}
+
+#[test]
+fn auto_strategy_with_kfold_stays_dense() {
+    // K-fold designs are row subsets with no Woodbury structure: Auto
+    // must quietly keep the dense path (an explicit Banded + KFold
+    // config is rejected at build time, covered by config tests).
+    let g = positive_series();
+    let sel = LambdaSelection::KFold {
+        folds: 4,
+        log10_min: -6.0,
+        log10_max: 0.0,
+        points: 4,
+        seed: 7,
+    };
+    let auto = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(128, SolveStrategy::Auto, sel),
+    )
+    .expect("auto engine");
+    let fit = auto.fit(&g, None).expect("kfold fit stays dense");
+    assert!(fit.lambda().is_finite() && fit.lambda() > 0.0);
+}
+
+#[test]
+fn banded_positivity_fallback_matches_dense() {
+    // A truth that dives to zero with an undersmoothing λ forces the
+    // unconstrained minimizer negative: the banded path must detect the
+    // violation and fall back to the same constrained QP the dense path
+    // solves.
+    let truth = PhaseProfile::from_fn(200, |phi| {
+        let d = (phi - 0.5).abs();
+        if d < 0.18 {
+            0.0
+        } else {
+            3.0 * (d - 0.18) / 0.32
+        }
+    })
+    .expect("valid profile");
+    let g = cellsync::ForwardModel::new(anchor_kernel().clone())
+        .predict(&truth)
+        .expect("predicts");
+    let sel = LambdaSelection::Fixed(1e-6);
+    let dense = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(128, SolveStrategy::Dense, sel.clone()),
+    )
+    .expect("dense engine");
+    let banded = Deconvolver::new(
+        anchor_kernel().clone(),
+        config(128, SolveStrategy::Banded, sel),
+    )
+    .expect("banded engine");
+
+    let fd = dense.fit(&g, None).expect("dense fit");
+    let fb = banded.fit(&g, None).expect("banded fit");
+    // Both enforce positivity on the collocation grid.
+    let grid: Vec<f64> = (0..101).map(|i| i as f64 / 100.0).collect();
+    let pb = fb.profile(grid.len()).expect("profile");
+    for i in 0..grid.len() {
+        assert!(pb.values()[i] >= -1e-7, "positivity violated at {i}");
+    }
+    let scale = 1.0 + fd.alpha().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let diff = max_coef_diff(fd.alpha(), fb.alpha());
+    assert!(
+        diff <= 1e-7 * scale,
+        "fallback coefficient divergence {diff:e}"
+    );
+}

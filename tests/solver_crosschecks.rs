@@ -6,7 +6,7 @@
 
 use std::path::PathBuf;
 
-use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, PhaseProfile};
+use cellsync::{DeconvolutionConfig, Deconvolver, ForwardModel, LambdaSelection, PhaseProfile};
 use cellsync_linalg::{Matrix, Vector};
 use cellsync_opt::{
     IpmWorkspace, Nnls, OptError, ProjectedGradient, QpBackend, QpInstance, QpProblem, QpWorkspace,
@@ -40,7 +40,9 @@ fn deconv_qp_pieces(
     lambda: f64,
 ) -> (Matrix, Vector, NaturalSplineBasis) {
     let basis = NaturalSplineBasis::uniform(12, 0.0, 1.0).unwrap();
-    let a = ForwardModel::new(k.clone()).design_matrix(&basis).unwrap();
+    let a = ForwardModel::new(k.clone())
+        .design_matrix(&basis.clone().into())
+        .unwrap();
     let omega = basis.penalty_matrix();
     let mut h = a.gram();
     for i in 0..basis.len() {
@@ -90,7 +92,9 @@ fn qp_matches_nnls_on_unregularized_problem() {
     let truth = PhaseProfile::from_fn(200, |phi| (1.0 - phi) * 2.0 + 0.5).unwrap();
     let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
     let basis = NaturalSplineBasis::uniform(10, 0.0, 1.0).unwrap();
-    let a = ForwardModel::new(k).design_matrix(&basis).unwrap();
+    let a = ForwardModel::new(k)
+        .design_matrix(&basis.clone().into())
+        .unwrap();
     let y = Vector::from_slice(&g);
 
     let x_nnls = Nnls::new().solve(&a, &y).unwrap();
@@ -1091,6 +1095,95 @@ fn harvested_instances() -> Vec<QpInstance> {
     )
     .unwrap();
     out.push(deconv.harvest_qp(&g, None, "harvest-lowreg-14").unwrap());
+
+    // 6–8. Genome-scale shapes harvested through the banded Woodbury
+    // path (basis ≥ BANDED_THRESHOLD → B-splines + banded execution):
+    // the QP the positivity fallback solves at production basis sizes.
+    // `harvest_qp` densifies after the fit, so the committed instances
+    // exercise both backends at n ≥ 128.
+
+    // 6. GCV-selected λ, positivity only, at the banded threshold.
+    // Deterministic noise keeps the GCV minimum in the grid interior —
+    // noise-free series drive λ to the floor and leave the reassembled
+    // Hessian numerically indefinite at n = 128.
+    let k = kernel(16);
+    let truth = PhaseProfile::from_fn(200, |phi| {
+        (1.8 * (2.0 * std::f64::consts::PI * phi).sin() - 0.4).max(0.0)
+    })
+    .unwrap();
+    let g: Vec<f64> = ForwardModel::new(k.clone())
+        .predict(&truth)
+        .unwrap()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v + 0.05 * (i as f64 * 1.9).sin())
+        .collect();
+    let deconv = Deconvolver::new(
+        k,
+        DeconvolutionConfig::builder()
+            .basis_size(128)
+            .positivity_grid(101)
+            .lambda_selection(LambdaSelection::Gcv {
+                log10_min: -5.0,
+                log10_max: 0.0,
+                points: 7,
+            })
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    out.push(
+        deconv
+            .harvest_qp(&g, None, "harvest-banded-gcv-128")
+            .unwrap(),
+    );
+
+    // 7. Fixed λ with the conservation equality through the banded
+    // equality (range-space) block.
+    let k = kernel(17);
+    let truth =
+        PhaseProfile::from_fn(200, |phi| (2.5 * (0.5 - (phi - 0.4).abs())).max(0.0)).unwrap();
+    let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+    let deconv = Deconvolver::new(
+        k,
+        DeconvolutionConfig::builder()
+            .basis_size(144)
+            .positivity_grid(81)
+            .conservation(true)
+            .lambda(1e-4)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    out.push(
+        deconv
+            .harvest_qp(&g, None, "harvest-banded-cons-144")
+            .unwrap(),
+    );
+
+    // 8. Heteroscedastic weights on the richest committed basis.
+    let k = kernel(18);
+    let truth = PhaseProfile::from_fn(200, |phi| {
+        ((4.0 * std::f64::consts::PI * phi).cos() * 1.2 - 0.2).max(0.0)
+    })
+    .unwrap();
+    let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+    let sigmas: Vec<f64> = (0..g.len()).map(|i| 0.4 + 0.08 * i as f64).collect();
+    let deconv = Deconvolver::new(
+        k,
+        DeconvolutionConfig::builder()
+            .basis_size(160)
+            .positivity_grid(101)
+            .lambda(1e-5)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    out.push(
+        deconv
+            .harvest_qp(&g, Some(&sigmas), "harvest-banded-weighted-160")
+            .unwrap(),
+    );
 
     out
 }
