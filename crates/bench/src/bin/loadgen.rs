@@ -3,15 +3,16 @@
 //! Spawns an in-process [`cellsync_serve::Server`] (or targets a running
 //! one via `--addr`), fires a mixed-family fit workload at configurable
 //! concurrency over persistent keep-alive connections, and writes
-//! throughput (genes/s), exact client-side latency percentiles, and the
-//! server's cache/batch counters into a `cellsync-serve-bench/1`
-//! `BENCH.json` document.
+//! throughput (genes/s), exact client-side latency percentiles, a
+//! per-error-code breakdown, and the server's cache/batch/resilience
+//! counters into a `cellsync-serve-bench/2` `BENCH.json` document.
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency N]
 //!         [--families a,b,c] [--out PATH] [--min-hit-rate F] [--verify]
 //!         [--full] [--seed N] [--series-len N]
 //!         [--linger-us N] [--max-batch N] [--cache-cap N]
+//!         [--chaos] [--fault-rate PCT]
 //! ```
 //!
 //! * Default mode builds the quick in-process registry (400 cells, 32
@@ -25,10 +26,19 @@
 //! * `--min-hit-rate F` exits non-zero when the server's engine-cache
 //!   hit rate `hits / (hits + misses)` falls below `F` — the CI gate for
 //!   the repeated-key workload.
+//! * `--chaos` turns the run into the deterministic chaos harness: a
+//!   seeded [`cellsync_serve::FaultPlan`] injects faults (malformed
+//!   payloads, slow writes, drop-after-send, fits against a poisoned
+//!   panicking family) into `--fault-rate`% of requests. The run fails
+//!   unless the server survives (post-run `/healthz` + graceful
+//!   shutdown), every request resolves to success or a structured
+//!   error envelope, and every *clean* response is bit-identical to a
+//!   direct library fit (`--chaos` implies `--verify`, so it is
+//!   in-process only).
 //!
-//! Exit status is non-zero on any request error, any verification
-//! mismatch, or a missed hit-rate gate, so CI can treat the binary as a
-//! smoke test.
+//! Exit status is non-zero on any unexpected request outcome, any
+//! verification mismatch, or a missed hit-rate gate, so CI can treat
+//! the binary as a smoke test.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -38,11 +48,16 @@ use std::time::{Duration, Instant};
 use cellsync::{Deconvolver, FitRequest};
 use cellsync_bench::json::Json;
 use cellsync_bench::stamp;
-use cellsync_serve::{Client, FamilyRegistry, Server, ServerConfig};
+use cellsync_serve::{Client, FamilyRegistry, Fault, FaultPlan, Server, ServerConfig};
 use cellsync_wire::{ErrorWire, FitRequestWire, FitResponseWire, StatsWire};
 
 /// Schema tag of the serving benchmark document.
-const SCHEMA: &str = "cellsync-serve-bench/1";
+const SCHEMA: &str = "cellsync-serve-bench/2";
+
+/// The slow-write fault's mid-body pause. Longer than the server's
+/// 250 ms socket-timeout poll (so the stall is observed) and far
+/// shorter than its stall budget (so the request must still succeed).
+const SLOW_WRITE_PAUSE: Duration = Duration::from_millis(400);
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -59,6 +74,8 @@ struct Args {
     linger_us: u64,
     max_batch: usize,
     cache_cap: usize,
+    chaos: bool,
+    fault_rate: u8,
 }
 
 impl Default for Args {
@@ -77,6 +94,8 @@ impl Default for Args {
             linger_us: 2_000,
             max_batch: 64,
             cache_cap: 8,
+            chaos: false,
+            fault_rate: 20,
         }
     }
 }
@@ -84,7 +103,8 @@ impl Default for Args {
 fn usage() -> String {
     "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] \
      [--families a,b,c] [--out PATH] [--min-hit-rate F] [--verify] [--full] \
-     [--seed N] [--series-len N] [--linger-us N] [--max-batch N] [--cache-cap N]"
+     [--seed N] [--series-len N] [--linger-us N] [--max-batch N] [--cache-cap N] \
+     [--chaos] [--fault-rate PCT]"
         .to_string()
 }
 
@@ -124,12 +144,25 @@ fn parse_args() -> Result<Args, String> {
             "--linger-us" => args.linger_us = parse(&value("--linger-us")?, "--linger-us")?,
             "--max-batch" => args.max_batch = parse(&value("--max-batch")?, "--max-batch")?,
             "--cache-cap" => args.cache_cap = parse(&value("--cache-cap")?, "--cache-cap")?,
+            "--chaos" => args.chaos = true,
+            "--fault-rate" => args.fault_rate = parse(&value("--fault-rate")?, "--fault-rate")?,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag '{other}': {}", usage())),
         }
     }
     if args.requests == 0 || args.concurrency == 0 || args.families.is_empty() {
         return Err("--requests, --concurrency, and --families must be non-empty".to_string());
+    }
+    if args.chaos {
+        if args.addr.is_some() {
+            return Err(
+                "--chaos needs the in-process poisoned family and registry; it cannot be \
+                 combined with --addr"
+                    .to_string(),
+            );
+        }
+        // Clean-request bit-identity is part of the chaos contract.
+        args.verify = true;
     }
     if args.verify && args.addr.is_some() {
         return Err(
@@ -153,29 +186,88 @@ fn series_for(index: usize, len: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-fn wire_request(index: usize, families: &[String], len: usize, seed: u64) -> FitRequestWire {
+fn wire_request_for(family: &str, index: usize, len: usize, seed: u64) -> FitRequestWire {
     FitRequestWire {
-        family: families[index % families.len()].clone(),
+        family: family.to_string(),
         series: series_for(index, len, seed),
         sigmas: None,
         lambda: None,
         bootstrap: None,
+        deadline_ms: None,
     }
+}
+
+fn wire_request(index: usize, families: &[String], len: usize, seed: u64) -> FitRequestWire {
+    wire_request_for(&families[index % families.len()], index, len, seed)
 }
 
 #[derive(Default)]
 struct WorkerOut {
     latencies_us: Vec<u64>,
+    /// Successful (200) fits, whether or not their bodies are kept.
+    ok: u64,
     /// `(request index, response body)` pairs kept for `--verify`.
     responses: Vec<(usize, String)>,
-    errors: u64,
-    first_error: Option<String>,
+    /// Structured error envelopes by wire code (every non-200 with a
+    /// decodable envelope lands here, expected or not).
+    codes: HashMap<String, u64>,
+    /// Drop-after-send faults: the response was abandoned by design.
+    dropped: u64,
+    /// Outcomes the run did not owe: unexpected statuses/codes,
+    /// transport failures, undecodable error bodies.
+    unexpected: u64,
+    first_unexpected: Option<String>,
+}
+
+impl WorkerOut {
+    /// Books a 200: count it, and keep the body for verification when
+    /// asked (`ok` must not depend on `--verify` — a plain run still
+    /// has to account for every success).
+    fn book_ok(&mut self, index: usize, response: String, verify: bool) {
+        self.ok += 1;
+        if verify {
+            self.responses.push((index, response));
+        }
+    }
+
+    fn note_code(&mut self, code: &str) {
+        *self.codes.entry(code.to_string()).or_insert(0) += 1;
+    }
+
+    fn note_unexpected(&mut self, detail: String) {
+        self.unexpected += 1;
+        if self.first_unexpected.is_none() {
+            self.first_unexpected = Some(detail);
+        }
+    }
+
+    /// Books a non-200 response: tally its structured code, and flag it
+    /// if it has none or was not owed.
+    fn book_error(&mut self, index: usize, status: u16, body: &str, owed: &[&str]) {
+        match ErrorWire::decode(body) {
+            Ok(envelope) => {
+                self.note_code(&envelope.code);
+                if !owed.contains(&envelope.code.as_str()) {
+                    self.note_unexpected(format!(
+                        "request {index}: HTTP {status}: {} ({})",
+                        envelope.message, envelope.code
+                    ));
+                }
+            }
+            Err(_) => {
+                self.note_unexpected(format!(
+                    "request {index}: HTTP {status} without a structured error envelope: {body}"
+                ));
+            }
+        }
+    }
 }
 
 fn run_worker(
     addr: &str,
     args: &Args,
     series_len: usize,
+    plan: Option<&FaultPlan>,
     next: &AtomicUsize,
 ) -> Result<WorkerOut, String> {
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -188,24 +280,76 @@ fn run_worker(
         if index >= args.requests {
             return Ok(out);
         }
-        let body = wire_request(index, &args.families, series_len, args.seed).encode();
-        let start = Instant::now();
-        let (status, response) = client
-            .post("/fit", &body)
-            .map_err(|e| format!("request {index}: {e}"))?;
-        let elapsed = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        out.latencies_us.push(elapsed);
-        if status == 200 {
-            if args.verify {
-                out.responses.push((index, response));
+        let fault = plan.and_then(|p| p.fault_for(index as u64));
+        match fault {
+            None => {
+                let body = wire_request(index, &args.families, series_len, args.seed).encode();
+                let start = Instant::now();
+                let (status, response) = client
+                    .post("/fit", &body)
+                    .map_err(|e| format!("request {index}: {e}"))?;
+                let elapsed = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                out.latencies_us.push(elapsed);
+                if status == 200 {
+                    out.book_ok(index, response, args.verify);
+                } else {
+                    out.book_error(index, status, &response, &[]);
+                }
             }
-        } else {
-            out.errors += 1;
-            if out.first_error.is_none() {
-                let detail = ErrorWire::decode(&response)
-                    .map(|e| format!("{} ({})", e.message, e.code))
-                    .unwrap_or(response);
-                out.first_error = Some(format!("request {index}: HTTP {status}: {detail}"));
+            Some(Fault::SlowWrite) => {
+                // Slow-but-honest request on this keep-alive
+                // connection: the server must answer it exactly like a
+                // fast one, so it joins the verification set.
+                let body = wire_request(index, &args.families, series_len, args.seed).encode();
+                match client.request_slowly("POST", "/fit", &body, SLOW_WRITE_PAUSE) {
+                    Ok((200, response)) => out.book_ok(index, response, args.verify),
+                    Ok((status, response)) => out.book_error(index, status, &response, &[]),
+                    Err(e) => out.note_unexpected(format!("slow request {index}: {e}")),
+                }
+            }
+            Some(Fault::MalformedBody) => {
+                // Garbage on a throwaway connection; owed a structured
+                // 400 parse_error (the server closes the connection
+                // after it — framing is unrecoverable).
+                match Client::connect(addr) {
+                    Ok(mut throwaway) => match throwaway.raw_roundtrip(b"%%not-http%%\r\n\r\n") {
+                        Ok((400, response)) => {
+                            out.book_error(index, 400, &response, &["parse_error"]);
+                        }
+                        Ok((status, response)) => {
+                            out.book_error(index, status, &response, &[]);
+                        }
+                        Err(e) => out.note_unexpected(format!("malformed request {index}: {e}")),
+                    },
+                    Err(e) => out.note_unexpected(format!("malformed connect {index}: {e}")),
+                }
+            }
+            Some(Fault::DropAfterSend) => {
+                // Fire a real fit and vanish: the server owes nothing
+                // but survival (checked at the end of the run).
+                let body = wire_request(index, &args.families, series_len, args.seed).encode();
+                match Client::connect(addr) {
+                    Ok(mut throwaway) => {
+                        if let Err(e) = throwaway.send_only("POST", "/fit", &body) {
+                            out.note_unexpected(format!("drop request {index}: {e}"));
+                        } else {
+                            out.dropped += 1;
+                        }
+                    }
+                    Err(e) => out.note_unexpected(format!("drop connect {index}: {e}")),
+                }
+            }
+            Some(Fault::PanicFamily) => {
+                // A fit against the poisoned family; owed a structured
+                // 500 internal_panic on a surviving connection.
+                let body = wire_request_for("poisoned", index, series_len, args.seed).encode();
+                match client.post("/fit", &body) {
+                    Ok((500, response)) => {
+                        out.book_error(index, 500, &response, &["internal_panic"]);
+                    }
+                    Ok((status, response)) => out.book_error(index, status, &response, &[]),
+                    Err(e) => out.note_unexpected(format!("poisoned request {index}: {e}")),
+                }
             }
         }
     }
@@ -281,8 +425,30 @@ fn fetch_stats(addr: &str) -> Result<StatsWire, String> {
     StatsWire::decode(&body).map_err(|e| format!("stats decode: {e}"))
 }
 
+/// Silences the panic hook for the chaos harness's own injected
+/// panics (the poisoned family) so a chaos run's stderr stays
+/// readable; genuine panics still print.
+fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("poisoned family fit"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
+    let plan = args
+        .chaos
+        .then(|| FaultPlan::new(args.seed, args.fault_rate));
+    if args.chaos {
+        quiet_injected_panics();
+    }
 
     // In-process by default: build the registry, start the server on an
     // ephemeral port. With --addr, drive the external server instead.
@@ -299,8 +465,11 @@ fn run() -> Result<bool, String> {
             eprintln!(
                 "loadgen: starting in-process server ({cells} cells, {bins} bins, {times} times)"
             );
-            let built = FamilyRegistry::standard(cells, bins, times, basis, args.seed)
+            let mut built = FamilyRegistry::standard(cells, bins, times, basis, args.seed)
                 .map_err(|e| format!("registry: {e}"))?;
+            if args.chaos && !built.insert_poisoned_clone("fixed", "poisoned") {
+                return Err("registry has no 'fixed' family to poison".to_string());
+            }
             let server = Server::start(
                 built.clone(),
                 ServerConfig {
@@ -308,6 +477,7 @@ fn run() -> Result<bool, String> {
                     linger: Duration::from_micros(args.linger_us),
                     max_batch: args.max_batch,
                     cache_capacity: args.cache_cap,
+                    ..ServerConfig::default()
                 },
             )
             .map_err(|e| format!("server start: {e}"))?;
@@ -328,17 +498,26 @@ fn run() -> Result<bool, String> {
     });
 
     eprintln!(
-        "loadgen: {} requests x {} workers -> {addr} (families: {})",
+        "loadgen: {} requests x {} workers -> {addr} (families: {}{})",
         args.requests,
         args.concurrency,
-        args.families.join(",")
+        args.families.join(","),
+        if let Some(plan) = &plan {
+            format!(
+                ", chaos: {} planned faults at {}%",
+                plan.planned_faults(args.requests as u64),
+                plan.rate_pct()
+            )
+        } else {
+            String::new()
+        }
     );
     let next = AtomicUsize::new(0);
     let started = Instant::now();
     let mut workers: Vec<Result<WorkerOut, String>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.concurrency)
-            .map(|_| scope.spawn(|| run_worker(&addr, &args, series_len, &next)))
+            .map(|_| scope.spawn(|| run_worker(&addr, &args, series_len, plan.as_ref(), &next)))
             .collect();
         for handle in handles {
             workers.push(handle.join().expect("worker panicked"));
@@ -347,23 +526,31 @@ fn run() -> Result<bool, String> {
     let wall = started.elapsed();
 
     let mut latencies = Vec::with_capacity(args.requests);
+    let mut ok_responses = 0u64;
     let mut responses = Vec::new();
-    let mut errors = 0u64;
-    let mut first_error = None;
+    let mut codes: HashMap<String, u64> = HashMap::new();
+    let mut dropped = 0u64;
+    let mut unexpected = 0u64;
+    let mut first_unexpected = None;
     for worker in workers {
         let out = worker?;
         latencies.extend(out.latencies_us);
+        ok_responses += out.ok;
         responses.extend(out.responses);
-        errors += out.errors;
-        if first_error.is_none() {
-            first_error = out.first_error;
+        for (code, count) in out.codes {
+            *codes.entry(code).or_insert(0) += count;
+        }
+        dropped += out.dropped;
+        unexpected += out.unexpected;
+        if first_unexpected.is_none() {
+            first_unexpected = out.first_unexpected;
         }
     }
     latencies.sort_unstable();
-    let completed = latencies.len();
+    let structured_errors: u64 = codes.values().sum();
     let wall_s = wall.as_secs_f64();
     let genes_per_s = if wall_s > 0.0 {
-        completed as f64 / wall_s
+        latencies.len() as f64 / wall_s
     } else {
         0.0
     };
@@ -379,6 +566,8 @@ fn run() -> Result<bool, String> {
         0
     };
 
+    // Survival probe: after the whole run (including every injected
+    // fault) the server must still answer.
     let stats = fetch_stats(&addr)?;
     let lookups = stats.cache_hits + stats.cache_misses;
     let hit_rate = if lookups > 0 {
@@ -387,18 +576,28 @@ fn run() -> Result<bool, String> {
         0.0
     };
 
+    let mut shutdown_clean = true;
     if let Some(server) = in_process {
         server.shutdown();
         server.join();
+        shutdown_clean = true;
     }
 
-    let doc = Json::Obj(vec![
+    let mut code_fields: Vec<(String, Json)> = codes
+        .iter()
+        .map(|(code, count)| (code.clone(), Json::Num(*count as f64)))
+        .collect();
+    code_fields.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut doc_fields = vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("git_commit".into(), Json::Str(stamp::git_commit())),
         (
             "mode".into(),
             Json::Str(if args.addr.is_some() {
                 "external".into()
+            } else if args.chaos {
+                "in-process-chaos".into()
             } else if args.full {
                 "in-process-full".into()
             } else {
@@ -406,14 +605,20 @@ fn run() -> Result<bool, String> {
             }),
         ),
         ("requests".into(), Json::Num(args.requests as f64)),
-        ("completed".into(), Json::Num(completed as f64)),
+        ("ok".into(), Json::Num(ok_responses as f64)),
+        (
+            "structured_errors".into(),
+            Json::Num(structured_errors as f64),
+        ),
+        ("errors_by_code".into(), Json::Obj(code_fields)),
+        ("dropped_by_design".into(), Json::Num(dropped as f64)),
+        ("unexpected".into(), Json::Num(unexpected as f64)),
         ("concurrency".into(), Json::Num(args.concurrency as f64)),
         (
             "families".into(),
             Json::Arr(args.families.iter().map(|f| Json::Str(f.clone())).collect()),
         ),
         ("series_len".into(), Json::Num(series_len as f64)),
-        ("errors".into(), Json::Num(errors as f64)),
         ("verified".into(), Json::Bool(args.verify)),
         ("verify_mismatches".into(), Json::Num(mismatches as f64)),
         ("wall_s".into(), Json::Num(wall_s)),
@@ -443,33 +648,63 @@ fn run() -> Result<bool, String> {
                     Json::Num(stats.batched_requests as f64),
                 ),
                 ("max_batch".into(), Json::Num(stats.max_batch as f64)),
+                ("shed".into(), Json::Num(stats.shed as f64)),
+                (
+                    "deadline_exceeded".into(),
+                    Json::Num(stats.deadline_exceeded as f64),
+                ),
+                (
+                    "expired_in_queue".into(),
+                    Json::Num(stats.expired_in_queue as f64),
+                ),
+                (
+                    "panics_caught".into(),
+                    Json::Num(stats.panics_caught as f64),
+                ),
             ]),
         ),
-    ]);
+    ];
+    if let Some(plan) = &plan {
+        doc_fields.push((
+            "chaos".into(),
+            Json::Obj(vec![
+                ("seed".into(), Json::Num(plan.seed() as f64)),
+                ("fault_rate_pct".into(), Json::Num(plan.rate_pct() as f64)),
+                (
+                    "planned_faults".into(),
+                    Json::Num(plan.planned_faults(args.requests as u64) as f64),
+                ),
+            ]),
+        ));
+    }
+    let doc = Json::Obj(doc_fields);
     std::fs::write(&args.out, doc.render() + "\n").map_err(|e| format!("{}: {e}", args.out))?;
 
     println!(
-        "loadgen: {completed}/{} ok in {wall_s:.2}s -> {genes_per_s:.0} genes/s \
+        "loadgen: {ok_responses} ok / {structured_errors} structured errors / {dropped} dropped \
+         / {unexpected} unexpected of {} in {wall_s:.2}s -> {genes_per_s:.0} genes/s \
          (p50 {p50}us, p99 {p99}us), cache hit rate {:.1}% over {lookups} lookups, \
-         {} batches (max {})",
+         {} batches (max {}), {} panics caught",
         args.requests,
         100.0 * hit_rate,
         stats.batches,
         stats.max_batch,
+        stats.panics_caught,
     );
     println!("wrote {}", args.out);
 
     let mut ok = true;
-    if errors > 0 {
+    if unexpected > 0 {
         eprintln!(
-            "loadgen: FAIL: {errors} request errors ({})",
-            first_error.as_deref().unwrap_or("no detail captured")
+            "loadgen: FAIL: {unexpected} unexpected outcomes ({})",
+            first_unexpected.as_deref().unwrap_or("no detail captured")
         );
         ok = false;
     }
-    if completed != args.requests {
+    let resolved = ok_responses + structured_errors + dropped + unexpected;
+    if resolved != args.requests as u64 {
         eprintln!(
-            "loadgen: FAIL: only {completed} of {} requests completed",
+            "loadgen: FAIL: only {resolved} of {} requests accounted for",
             args.requests
         );
         ok = false;
@@ -490,6 +725,27 @@ fn run() -> Result<bool, String> {
                 hit_rate
             );
             ok = false;
+        }
+    }
+    if let Some(plan) = &plan {
+        if !shutdown_clean {
+            eprintln!("loadgen: FAIL: server did not shut down cleanly after chaos");
+            ok = false;
+        }
+        let expected_panics = (0..args.requests as u64)
+            .filter(|&i| plan.fault_for(i) == Some(Fault::PanicFamily))
+            .count() as u64;
+        if expected_panics > 0 && stats.panics_caught == 0 {
+            eprintln!("loadgen: FAIL: {expected_panics} panics were injected but none were caught");
+            ok = false;
+        }
+        if ok {
+            println!(
+                "loadgen: chaos run survived: {} faults injected, {} panics caught, \
+                 server answered /stats and shut down cleanly",
+                plan.planned_faults(args.requests as u64),
+                stats.panics_caught,
+            );
         }
     }
     Ok(ok)

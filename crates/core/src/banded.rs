@@ -57,8 +57,9 @@
 //! back to the dense active-set QP for that single fit.
 
 use cellsync_linalg::{BandedMatrix, CholeskyDecomposition, Matrix, SparseRowMatrix, Vector};
+use cellsync_runtime::CancelToken;
 
-use crate::Result;
+use crate::{DeconvError, Result};
 
 /// Precomputed banded-path structures, built once per engine alongside
 /// the dense operators (which remain the source of truth for the
@@ -341,10 +342,14 @@ pub(crate) fn gcv_lambda(
     omega: &BandedMatrix,
     ridge: f64,
     lambda_grid: &[f64],
+    cancel: Option<&CancelToken>,
 ) -> Result<(f64, Vec<(f64, f64)>)> {
     let m = design.rows();
     let mut scores = Vec::with_capacity(lambda_grid.len() + 1);
     for &l in lambda_grid {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(DeconvError::DeadlineExceeded);
+        }
         let sol = evaluate(design, weights, g, equality, omega, l, ridge)?;
         scores.push((l, gcv_score(&sol, m)));
     }

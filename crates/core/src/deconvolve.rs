@@ -3,7 +3,7 @@
 use cellsync_linalg::{CholeskyDecomposition, Matrix, Vector};
 use cellsync_opt::{QpInstance, QpProblem, QpWorkspace};
 use cellsync_popsim::{CellCycleParams, PhaseKernel};
-use cellsync_runtime::Pool;
+use cellsync_runtime::{CancelToken, Pool};
 use cellsync_spline::{BSplineBasis, NaturalSplineBasis, SplineBasis};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -94,6 +94,18 @@ struct BootScratch {
     resampled: Vec<f64>,
     w2g: Vector,
     c: Vector,
+}
+
+/// The engine's cooperative cancellation poll: errors with
+/// [`DeconvError::DeadlineExceeded`] once the request's token has fired.
+/// Call sites sit at outer-loop boundaries (per λ-grid point, per
+/// bootstrap replicate, per constrained solve), so a fired deadline is
+/// noticed within one loop body, never mid-kernel.
+fn check_cancel(cancel: Option<&CancelToken>) -> Result<()> {
+    match cancel {
+        Some(token) if token.is_cancelled() => Err(DeconvError::DeadlineExceeded),
+        _ => Ok(()),
+    }
 }
 
 impl Deconvolver {
@@ -415,7 +427,7 @@ impl Deconvolver {
         sigmas: Option<&[f64]>,
     ) -> Result<DeconvolutionResult> {
         self.validate_series(g, sigmas)?;
-        self.fit_validated(workspace, g, sigmas, None)
+        self.fit_validated(workspace, g, sigmas, None, None)
     }
 
     /// Runs one owned [`FitRequest`] through the engine, allocating a
@@ -449,14 +461,16 @@ impl Deconvolver {
         let g = request.series();
         let sigmas = request.sigmas();
         let lambda_override = request.lambda_override();
+        let cancel = request.cancel();
         match request.bootstrap() {
             None => {
-                let result = self.fit_validated(workspace, g, sigmas, lambda_override)?;
+                let result = self.fit_validated(workspace, g, sigmas, lambda_override, cancel)?;
                 Ok(FitResponse::new(result, None))
             }
             Some(spec) => {
                 let sigmas = sigmas.expect("validate_request: bootstrap requires sigmas");
-                let band = self.bootstrap_validated(workspace, g, sigmas, spec, lambda_override)?;
+                let band =
+                    self.bootstrap_validated(workspace, g, sigmas, spec, lambda_override, cancel)?;
                 Ok(FitResponse::new(band.point.clone(), Some(band)))
             }
         }
@@ -529,7 +543,9 @@ impl Deconvolver {
         g: &[f64],
         sigmas: Option<&[f64]>,
         lambda_override: Option<f64>,
+        cancel: Option<&CancelToken>,
     ) -> Result<DeconvolutionResult> {
+        check_cancel(cancel)?;
         let m = self.forward.num_measurements();
         let unit = sigmas.is_none();
         if let Some(s) = sigmas {
@@ -540,16 +556,16 @@ impl Deconvolver {
         workspace.ensure(m, self.basis.len(), reduced);
 
         if self.banded.is_some() {
-            return self.fit_banded(workspace, g, unit, lambda_override);
+            return self.fit_banded(workspace, g, unit, lambda_override, cancel);
         }
 
         let (lambda, scores) = match lambda_override {
             Some(l) => (l, Vec::new()),
             None => match self.config.lambda() {
                 LambdaSelection::Fixed(l) => (*l, Vec::new()),
-                LambdaSelection::Gcv { .. } => self.gcv_lambda(workspace, g, unit)?,
+                LambdaSelection::Gcv { .. } => self.gcv_lambda(workspace, g, unit, cancel)?,
                 LambdaSelection::KFold { folds, seed, .. } => {
-                    self.kfold_lambda(workspace, g, unit, *folds, *seed)?
+                    self.kfold_lambda(workspace, g, unit, *folds, *seed, cancel)?
                 }
             },
         };
@@ -565,7 +581,7 @@ impl Deconvolver {
         } else {
             self.spectral_warm_hint(workspace, unit, lambda)?
         };
-        let alpha = self.solve_constrained_full(workspace, g, unit, lambda, hint)?;
+        let alpha = self.solve_constrained_full(workspace, g, unit, lambda, hint, cancel)?;
         let predicted = self.design.matvec(&alpha)?.into_vec();
         let weights: &[f64] = if unit {
             &self.unit_weights
@@ -597,6 +613,7 @@ impl Deconvolver {
         g: &[f64],
         unit: bool,
         lambda_override: Option<f64>,
+        cancel: Option<&CancelToken>,
     ) -> Result<DeconvolutionResult> {
         let bops = self.banded.as_ref().expect("caller checked");
         // Weights are copied out of the workspace because the positivity
@@ -620,6 +637,7 @@ impl Deconvolver {
                     &bops.omega,
                     ridge,
                     &self.lambda_grid,
+                    cancel,
                 )?,
                 LambdaSelection::KFold { .. } => {
                     return Err(DeconvError::InvalidConfig(
@@ -639,7 +657,8 @@ impl Deconvolver {
                 // active-set QP at the selected λ. (When it is feasible,
                 // convexity makes it the optimum with zero inequality
                 // multipliers, and the QP is skipped entirely.)
-                alpha = self.solve_constrained_full(workspace, g, unit, lambda, Some(alpha))?;
+                alpha =
+                    self.solve_constrained_full(workspace, g, unit, lambda, Some(alpha), cancel)?;
             }
         }
         let predicted = self.design.matvec(&alpha)?.into_vec();
@@ -746,11 +765,12 @@ impl Deconvolver {
         sigmas: &[f64],
         spec: &BootstrapSpec,
         lambda_override: Option<f64>,
+        cancel: Option<&CancelToken>,
     ) -> Result<BootstrapBand> {
         let n_boot = spec.replicates();
         let n_grid = spec.grid();
         let seed = spec.seed();
-        let point = self.fit_validated(workspace, g, Some(sigmas), lambda_override)?;
+        let point = self.fit_validated(workspace, g, Some(sigmas), lambda_override, cancel)?;
         let lambda = point.lambda();
         let n = self.basis.len();
         let m = g.len();
@@ -803,6 +823,7 @@ impl Deconvolver {
                     },
                     |scratch, i| {
                         use cellsync_stats::dist::ContinuousDistribution as _;
+                        check_cancel(cancel)?;
                         let mut rng = StdRng::seed_from_u64(seed ^ i as u64);
                         for ((r, &v), &s) in scratch.resampled.iter_mut().zip(g).zip(sigmas) {
                             *r = v + s * normal.sample(&mut rng);
@@ -835,6 +856,9 @@ impl Deconvolver {
                             x
                         } else {
                             let mut problem = QpProblem::new(h, &scratch.c)?;
+                            if let Some(token) = cancel {
+                                problem = problem.with_cancel(token.clone());
+                            }
                             if let Some((e, rhs)) = &self.equality {
                                 problem = problem.with_equalities(e, rhs)?;
                             }
@@ -928,6 +952,7 @@ impl Deconvolver {
         workspace: &mut FitWorkspace,
         g: &[f64],
         unit: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<(f64, Vec<(f64, f64)>)> {
         let ops = self
             .ops
@@ -963,6 +988,7 @@ impl Deconvolver {
 
         let mut scores = Vec::with_capacity(self.lambda_grid.len() + 1);
         for &l in &self.lambda_grid {
+            check_cancel(cancel)?;
             scores.push((l, path.gcv_score(ops, weights, g, zproj, l, d, beta, u)?));
         }
         // GCV is known to undersmooth: when the basis is rich
@@ -1013,6 +1039,7 @@ impl Deconvolver {
     /// weighted squared error. The fold designs differ per fold, so this
     /// path stays dense — it reuses the workspace's assembly buffers but
     /// factors per (fold, λ).
+    #[allow(clippy::too_many_arguments)]
     fn kfold_lambda(
         &self,
         workspace: &mut FitWorkspace,
@@ -1020,6 +1047,7 @@ impl Deconvolver {
         unit: bool,
         folds: usize,
         seed: u64,
+        cancel: Option<&CancelToken>,
     ) -> Result<(f64, Vec<(f64, f64)>)> {
         let m = self.forward.num_measurements();
         // Weighted design and data: B = W·A, y = W·g (cloned out of the
@@ -1034,7 +1062,11 @@ impl Deconvolver {
 
         let mut scores = Vec::with_capacity(self.lambda_grid.len());
         for &l in &self.lambda_grid {
-            scores.push((l, self.kfold_score(workspace, &b, &y, l, folds, seed)?));
+            check_cancel(cancel)?;
+            scores.push((
+                l,
+                self.kfold_score(workspace, &b, &y, l, folds, seed, cancel)?,
+            ));
         }
         let best = scores
             .iter()
@@ -1046,6 +1078,7 @@ impl Deconvolver {
 
     /// Mean held-out weighted squared error of the constrained fit at one
     /// λ.
+    #[allow(clippy::too_many_arguments)]
     fn kfold_score(
         &self,
         workspace: &mut FitWorkspace,
@@ -1054,6 +1087,7 @@ impl Deconvolver {
         lambda: f64,
         folds: usize,
         seed: u64,
+        cancel: Option<&CancelToken>,
     ) -> Result<f64> {
         let m = b.rows();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -1065,7 +1099,7 @@ impl Deconvolver {
                 b[(fold.train[r], c)]
             });
             let yt = Vector::from_fn(fold.train.len(), |r| y[fold.train[r]]);
-            let alpha = self.solve_constrained_dense(workspace, &bt, &yt, lambda)?;
+            let alpha = self.solve_constrained_dense(workspace, &bt, &yt, lambda, cancel)?;
             for &v in &fold.validation {
                 let pred = Vector::from_slice(b.row(v)).dot(&alpha)?;
                 total += (pred - y[v]).powi(2);
@@ -1078,6 +1112,7 @@ impl Deconvolver {
     /// Solves the constrained QP at `lambda` for the engine's own design
     /// and the given data, assembling `BᵀB`/`Bᵀy` straight from the
     /// unweighted design (the weighted design is never materialized).
+    #[allow(clippy::too_many_arguments)]
     fn solve_constrained_full(
         &self,
         workspace: &mut FitWorkspace,
@@ -1085,6 +1120,7 @@ impl Deconvolver {
         unit: bool,
         lambda: f64,
         hint: Option<Vector>,
+        cancel: Option<&CancelToken>,
     ) -> Result<Vector> {
         let n = self.basis.len();
         if workspace.h.shape() != (n, n) {
@@ -1105,7 +1141,7 @@ impl Deconvolver {
             }
             self.design.tr_matvec_into(w2g, c)?;
         }
-        self.solve_assembled(workspace, lambda, hint)
+        self.solve_assembled(workspace, lambda, hint, cancel)
     }
 
     /// Solves the constrained QP at `lambda` for an explicit weighted
@@ -1117,6 +1153,7 @@ impl Deconvolver {
         b: &Matrix,
         y: &Vector,
         lambda: f64,
+        cancel: Option<&CancelToken>,
     ) -> Result<Vector> {
         let n = self.basis.len();
         if workspace.h.shape() != (n, n) {
@@ -1124,7 +1161,7 @@ impl Deconvolver {
         }
         b.gram_into(&mut workspace.h)?;
         b.tr_matvec_into(y, &mut workspace.c)?;
-        self.solve_assembled(workspace, lambda, None)
+        self.solve_assembled(workspace, lambda, None, cancel)
     }
 
     /// Core constrained solve: expects `workspace.h = BᵀB` and
@@ -1137,7 +1174,9 @@ impl Deconvolver {
         workspace: &mut FitWorkspace,
         lambda: f64,
         hint: Option<Vector>,
+        cancel: Option<&CancelToken>,
     ) -> Result<Vector> {
+        check_cancel(cancel)?;
         let n = self.basis.len();
         self.assemble_hessian(&mut workspace.h, lambda)?;
         for v in workspace.c.as_mut_slice() {
@@ -1171,6 +1210,9 @@ impl Deconvolver {
             None => qp.clear_warm_start(),
         }
         let mut problem = QpProblem::new(&*h, &*c)?;
+        if let Some(token) = cancel {
+            problem = problem.with_cancel(token.clone());
+        }
         if let Some((e, rhs)) = &self.equality {
             problem = problem.with_equalities(e, rhs)?;
         }
@@ -1961,5 +2003,44 @@ mod tests {
         assert!(matches!(r, Err(DeconvError::InvalidConfig(_))));
         let r = d.fit_request(&FitRequest::new(g.clone()).with_sigmas(vec![0.0; 12]));
         assert!(matches!(r, Err(DeconvError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn cancelled_request_returns_deadline_exceeded() {
+        let k = kernel(31, 12);
+        let truth = smooth_truth();
+        let g = ForwardModel::new(k.clone()).predict(&truth).unwrap();
+        let sigmas = vec![0.05; g.len()];
+        let config = DeconvolutionConfig::builder()
+            .basis_size(10)
+            .lambda_selection(LambdaSelection::default_gcv())
+            .build()
+            .unwrap();
+        let d = Deconvolver::new(k, config).unwrap();
+
+        // A pre-fired token aborts before any work: plain fit, λ
+        // override, and bootstrap all surface the deadline error.
+        let fired = crate::CancelToken::new();
+        fired.cancel();
+        for request in [
+            FitRequest::new(g.clone()),
+            FitRequest::new(g.clone()).with_lambda(1e-3),
+            FitRequest::new(g.clone())
+                .with_sigmas(sigmas.clone())
+                .with_bootstrap(BootstrapSpec::new(8, 25, 7)),
+        ] {
+            let r = d.fit_request(&request.with_cancel(fired.clone()));
+            assert!(matches!(r, Err(DeconvError::DeadlineExceeded)), "{r:?}");
+        }
+
+        // A live token changes nothing: results stay bit-identical to a
+        // token-free fit.
+        let live = crate::CancelToken::after(std::time::Duration::from_secs(3600));
+        let with_token = d
+            .fit_request(&FitRequest::new(g.clone()).with_cancel(live))
+            .unwrap();
+        let without = d.fit_request(&FitRequest::new(g.clone())).unwrap();
+        assert_eq!(with_token.result().alpha(), without.result().alpha());
+        assert_eq!(with_token.result().lambda(), without.result().lambda());
     }
 }

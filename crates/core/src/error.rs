@@ -70,6 +70,12 @@ pub enum DeconvError {
     Spline(cellsync_spline::SplineError),
     /// Population-simulation substrate failure.
     Popsim(cellsync_popsim::PopsimError),
+    /// The fit's deadline expired (or its cancellation token fired)
+    /// before the solve completed. Raised cooperatively: the engine polls
+    /// the request's [`crate::CancelToken`] between λ-grid points,
+    /// bootstrap replicates, and QP outer iterations, so partially
+    /// completed work is abandoned at the next poll, never mid-kernel.
+    DeadlineExceeded,
     /// Optimization substrate failure.
     Opt(cellsync_opt::OptError),
     /// ODE substrate failure.
@@ -99,6 +105,7 @@ impl DeconvError {
             DeconvError::Stats(_) => "stats",
             DeconvError::Spline(_) => "spline",
             DeconvError::Popsim(_) => "popsim",
+            DeconvError::DeadlineExceeded => "deadline_exceeded",
             DeconvError::Opt(_) => "opt",
             DeconvError::Ode(_) => "ode",
         }
@@ -144,6 +151,9 @@ impl fmt::Display for DeconvError {
             DeconvError::Stats(e) => write!(f, "statistics failure: {e}"),
             DeconvError::Spline(e) => write!(f, "spline failure: {e}"),
             DeconvError::Popsim(e) => write!(f, "population simulation failure: {e}"),
+            DeconvError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the fit completed")
+            }
             DeconvError::Opt(e) => write!(f, "optimization failure: {e}"),
             DeconvError::Ode(e) => write!(f, "ode failure: {e}"),
         }
@@ -182,8 +192,20 @@ impl_from!(Numerics, cellsync_numerics::NumericsError);
 impl_from!(Stats, cellsync_stats::StatsError);
 impl_from!(Spline, cellsync_spline::SplineError);
 impl_from!(Popsim, cellsync_popsim::PopsimError);
-impl_from!(Opt, cellsync_opt::OptError);
 impl_from!(Ode, cellsync_ode::OdeError);
+
+/// `Opt` errors convert manually (not via `impl_from!`): a cancelled
+/// solve surfaces as [`DeconvError::DeadlineExceeded`] so the stable
+/// `deadline_exceeded` code reaches the wire regardless of which solver
+/// layer noticed the expired budget first.
+impl From<cellsync_opt::OptError> for DeconvError {
+    fn from(e: cellsync_opt::OptError) -> Self {
+        match e {
+            cellsync_opt::OptError::Cancelled => DeconvError::DeadlineExceeded,
+            other => DeconvError::Opt(other),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -203,6 +225,7 @@ mod tests {
                 basis: 24,
             },
             DeconvError::InvalidPhase(1.5),
+            DeconvError::DeadlineExceeded,
             cellsync_linalg::LinalgError::Singular.into(),
             cellsync_numerics::NumericsError::InvalidArgument("x").into(),
             cellsync_stats::StatsError::EmptySample.into(),
@@ -226,7 +249,7 @@ mod tests {
         for e in &errs {
             assert!(!e.to_string().is_empty());
         }
-        assert!(Error::source(&errs[4]).is_some());
+        assert!(Error::source(&errs[5]).is_some());
         assert!(Error::source(&errs[0]).is_none());
         let series = &errs[errs.len() - 3];
         assert!(series.to_string().contains("batch item 17"));
@@ -268,6 +291,7 @@ mod tests {
                 "popsim",
             ),
             (cellsync_opt::OptError::InvalidArgument("y").into(), "opt"),
+            (DeconvError::DeadlineExceeded, "deadline_exceeded"),
             (cellsync_ode::OdeError::InvalidStep(0.0).into(), "ode"),
             (
                 DeconvError::MixtureNotConverged {
@@ -296,5 +320,10 @@ mod tests {
             }),
         };
         assert_eq!(comp.code(), "mixture_not_converged");
+        // A cancelled optimizer solve converts straight to the deadline
+        // variant, never hiding behind the generic "opt" code.
+        let cancelled: DeconvError = cellsync_opt::OptError::Cancelled.into();
+        assert_eq!(cancelled, DeconvError::DeadlineExceeded);
+        assert_eq!(cancelled.code(), "deadline_exceeded");
     }
 }

@@ -114,6 +114,7 @@ pub mod session;
 mod solver;
 pub mod synthetic;
 
+pub use cellsync_runtime::CancelToken;
 pub use config::{DeconvolutionConfig, DeconvolutionConfigBuilder, LambdaSelection, SolveStrategy};
 pub use deconvolve::{BootstrapBand, DeconvolutionResult, Deconvolver};
 pub use error::DeconvError;

@@ -9,7 +9,7 @@
 //! to, so input validation lives in exactly one place
 //! (`Deconvolver::validate_request`).
 
-use crate::{BootstrapBand, DeconvolutionResult};
+use crate::{BootstrapBand, CancelToken, DeconvolutionResult};
 
 /// Bootstrap options riding on a [`FitRequest`]: how many replicates,
 /// the band's phase-grid resolution, and the RNG seed.
@@ -60,6 +60,7 @@ pub struct FitRequest {
     sigmas: Option<Vec<f64>>,
     lambda_override: Option<f64>,
     bootstrap: Option<BootstrapSpec>,
+    cancel: Option<CancelToken>,
 }
 
 impl FitRequest {
@@ -70,6 +71,7 @@ impl FitRequest {
             sigmas: None,
             lambda_override: None,
             bootstrap: None,
+            cancel: None,
         }
     }
 
@@ -96,6 +98,21 @@ impl FitRequest {
     pub fn with_bootstrap(mut self, spec: BootstrapSpec) -> Self {
         self.bootstrap = Some(spec);
         self
+    }
+
+    /// Attaches a cooperative cancellation token (typically deadline-
+    /// backed). The engine polls it between λ-grid points, bootstrap
+    /// replicates, and QP outer iterations; once it fires, the fit
+    /// returns [`crate::DeconvError::DeadlineExceeded`] at the next poll.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The measurements.

@@ -162,7 +162,7 @@ impl std::fmt::Debug for EngineKey {
 }
 
 /// A point-in-time snapshot of [`EngineCache`] counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups that found a prepared engine.
     pub hits: u64,

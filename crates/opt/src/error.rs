@@ -32,6 +32,11 @@ pub enum OptError {
     Linalg(cellsync_linalg::LinalgError),
     /// Generic invalid argument.
     InvalidArgument(&'static str),
+    /// The solve was cancelled cooperatively — its
+    /// [`cellsync_runtime::CancelToken`] fired (explicit cancellation or
+    /// an expired deadline) between outer iterations. Partial iterates
+    /// are discarded; the workspace stays reusable.
+    Cancelled,
     /// A QP corpus document failed to parse (see [`crate::QpInstance`]).
     Corpus {
         /// 1-based line number of the offending line (0 for end-of-file).
@@ -67,6 +72,7 @@ impl fmt::Display for OptError {
             }
             OptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             OptError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            OptError::Cancelled => write!(f, "solve cancelled before convergence"),
             OptError::Corpus { line, message } => {
                 if *line == 0 {
                     write!(f, "corpus parse error at end of input: {message}")
@@ -113,6 +119,7 @@ mod tests {
             },
             OptError::Linalg(cellsync_linalg::LinalgError::Singular),
             OptError::InvalidArgument("x"),
+            OptError::Cancelled,
             OptError::Corpus {
                 line: 3,
                 message: "test".into(),

@@ -239,6 +239,7 @@ impl IpmWorkspace {
         let mut iterations = 0;
         let mut converged = false;
         while iterations < MAX_ITERATIONS.min(problem.iteration_budget()) {
+            problem.check_cancel()?;
             self.residuals(problem)?;
             mu = self.complementarity_gap();
             let x_norm = self.x.norm_inf();

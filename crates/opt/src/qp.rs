@@ -9,6 +9,7 @@
 //! wrapper for one-shot solves.
 
 use cellsync_linalg::{BandedMatrix, CholeskyDecomposition, Matrix, SparseRowMatrix, Vector};
+use cellsync_runtime::CancelToken;
 
 use crate::{OptError, Result};
 
@@ -144,6 +145,7 @@ pub struct QpProblem<'a> {
     start: Option<&'a Vector>,
     max_iterations: usize,
     tolerance: f64,
+    cancel: Option<CancelToken>,
 }
 
 /// The result of a successful QP solve.
@@ -194,6 +196,7 @@ impl<'a> QpProblem<'a> {
             start: None,
             max_iterations: 100 * (n + 10),
             tolerance: 1e-10,
+            cancel: None,
         })
     }
 
@@ -228,6 +231,7 @@ impl<'a> QpProblem<'a> {
             start: None,
             max_iterations: 100 * (n + 10),
             tolerance: 1e-10,
+            cancel: None,
         })
     }
 
@@ -337,6 +341,25 @@ impl<'a> QpProblem<'a> {
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
         self
+    }
+
+    /// Attaches a cooperative cancellation token. Both backends poll it
+    /// once per outer iteration and abandon the solve with
+    /// [`OptError::Cancelled`] when it fires; a cancelled solve leaves the
+    /// workspace reusable.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Errors with [`OptError::Cancelled`] when the attached token (if
+    /// any) has fired. Polled by both backends between outer iterations.
+    pub(crate) fn check_cancel(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(OptError::Cancelled),
+            _ => Ok(()),
+        }
     }
 
     /// Problem dimension.
@@ -666,6 +689,7 @@ impl QpWorkspace {
         }
 
         for iteration in 0..problem.max_iterations {
+            problem.check_cancel()?;
             let m_w = self.m_rows;
 
             // Whitened working-set minimizer: u_W = u₀ + Q·g with

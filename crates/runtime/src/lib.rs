@@ -38,7 +38,37 @@
 
 #![deny(missing_docs)]
 
+pub mod cancel;
+
+pub use cancel::CancelToken;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f`, converting a panic into `Err` with the panic payload
+/// rendered as a string — the panic-isolation wrapper for job runners
+/// that must survive a poisoned work item (a serving dispatcher, a batch
+/// worker). The closure is treated as unwind-safe: callers hand in work
+/// over shared *immutable* engine state plus locals owned by the
+/// closure, which a panic cannot leave half-mutated.
+///
+/// ```
+/// let ok = cellsync_runtime::catch_panic(|| 2 + 2);
+/// assert_eq!(ok, Ok(4));
+/// let err = cellsync_runtime::catch_panic(|| -> i32 { panic!("boom") });
+/// assert_eq!(err, Err("boom".to_string()));
+/// ```
+pub fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }),
+    }
+}
 
 /// A scoped worker pool of a fixed width.
 ///

@@ -16,21 +16,87 @@
 //! options (λ override, bootstrap) fit individually through the same
 //! validated request path, and a poisoned batch (one bad series) falls
 //! back to individual fits so neighbors are unaffected.
+//!
+//! The queue is also the server's resilience floor:
+//!
+//! * **Bounded.** [`BatchQueue::submit`] rejects with
+//!   [`SubmitError::Full`] once `capacity` jobs are queued, so a stalled
+//!   dispatcher translates into load shedding at admission instead of
+//!   unbounded memory growth.
+//! * **Deadline-aware.** A job whose [`cellsync::CancelToken`] has
+//!   already fired by drain time is answered
+//!   [`cellsync::DeconvError::DeadlineExceeded`] without fitting
+//!   (counted as `expired_in_queue`).
+//! * **Panic-isolated.** Every fit runs under
+//!   [`cellsync_runtime::catch_panic`]; a panicking batch falls back to
+//!   individual fits, a panicking individual fit resolves to
+//!   [`JobError::Panic`] (wire code `internal_panic`), and the
+//!   dispatcher thread survives either way. Mutex poisoning is
+//!   recovered with [`PoisonError::into_inner`] — the queue state is a
+//!   plain `VecDeque` plus a flag, valid at every await point.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use cellsync::{
     BootstrapBand, DeconvError, DeconvolutionResult, Deconvolver, FitRequest, FitResponse,
     FitWorkspace,
 };
+use cellsync_runtime::catch_panic;
+
+/// Why a fit job failed: a structured engine error, or a panic caught
+/// at the isolation boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The engine returned a structured error.
+    Fit(DeconvError),
+    /// The fit panicked; the payload is the rendered panic message. The
+    /// worker and the connection both survive — only this job fails.
+    Panic(String),
+}
+
+impl JobError {
+    /// The stable wire code for this failure (`internal_panic` for
+    /// caught panics, otherwise the engine error's own code).
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobError::Fit(e) => e.code(),
+            JobError::Panic(_) => "internal_panic",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Fit(e) => e.fmt(f),
+            JobError::Panic(msg) => write!(f, "fit worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Fit(e) => Some(e),
+            JobError::Panic(_) => None,
+        }
+    }
+}
+
+impl From<DeconvError> for JobError {
+    fn from(e: DeconvError) -> Self {
+        JobError::Fit(e)
+    }
+}
 
 /// What a fit job resolves to: the point fit plus the optional
 /// bootstrap band (the owned parts of a [`FitResponse`]).
-pub type JobResult = Result<(DeconvolutionResult, Option<BootstrapBand>), DeconvError>;
+pub type JobResult = Result<(DeconvolutionResult, Option<BootstrapBand>), JobError>;
 
 /// One queued fit job: the prepared engine it runs on, the validated-on
 /// -arrival request, and the channel the result goes back on.
@@ -42,6 +108,58 @@ pub struct Job {
     /// Where the result is sent (send failures are ignored — the client
     /// may have disconnected).
     pub reply: Sender<JobResult>,
+    /// Test-only fault injection: a poisoned job panics inside the fit
+    /// path (within the catch boundary), exercising panic isolation
+    /// end to end. Set by the server for the chaos harness's poisoned
+    /// family; never set for real workloads.
+    pub poison: bool,
+}
+
+impl Job {
+    /// Builds a normal (non-poisoned) job.
+    pub fn new(engine: Arc<Deconvolver>, request: FitRequest, reply: Sender<JobResult>) -> Self {
+        Job {
+            engine,
+            request,
+            reply,
+            poison: false,
+        }
+    }
+}
+
+/// Why [`BatchQueue::submit`] rejected a job; the job rides back to the
+/// caller so its reply channel can still be answered.
+pub enum SubmitError {
+    /// The queue has been closed (server shutting down).
+    Closed(Job),
+    /// The queue is at capacity (server overloaded; shed the request).
+    Full(Job),
+}
+
+impl SubmitError {
+    /// Recovers the rejected job.
+    pub fn into_job(self) -> Job {
+        match self {
+            SubmitError::Closed(job) | SubmitError::Full(job) => job,
+        }
+    }
+
+    /// Whether the rejection was a capacity shed (as opposed to
+    /// shutdown).
+    pub fn is_full(&self) -> bool {
+        matches!(self, SubmitError::Full(_))
+    }
+}
+
+impl fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The carried Job holds channels and an engine Arc — print the
+        // variant only.
+        f.write_str(match self {
+            SubmitError::Closed(_) => "SubmitError::Closed",
+            SubmitError::Full(_) => "SubmitError::Full",
+        })
+    }
 }
 
 /// Batch-queue counters for `/stats`.
@@ -53,6 +171,13 @@ pub struct BatchCounters {
     pub batched_requests: u64,
     /// Largest batch dispatched.
     pub max_batch: u64,
+    /// Jobs rejected at submit because the queue was at capacity.
+    pub shed: u64,
+    /// Jobs whose deadline had already fired by drain time (answered
+    /// `deadline_exceeded` without fitting).
+    pub expired_in_queue: u64,
+    /// Panics caught at the fit isolation boundary.
+    pub panics_caught: u64,
 }
 
 struct QueueState {
@@ -68,15 +193,20 @@ pub struct BatchQueue {
     arrived: Condvar,
     linger: Duration,
     max_batch: usize,
+    capacity: usize,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch_seen: AtomicU64,
+    shed: AtomicU64,
+    expired_in_queue: AtomicU64,
+    panics_caught: AtomicU64,
 }
 
 impl BatchQueue {
     /// Creates a queue that holds jobs up to `linger` to coalesce them,
-    /// dispatching at most `max_batch` jobs per batch.
-    pub fn new(linger: Duration, max_batch: usize) -> Self {
+    /// dispatching at most `max_batch` jobs per batch and holding at
+    /// most `capacity` queued jobs (submissions beyond that are shed).
+    pub fn new(linger: Duration, max_batch: usize, capacity: usize) -> Self {
         BatchQueue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -85,22 +215,35 @@ impl BatchQueue {
             arrived: Condvar::new(),
             linger,
             max_batch: max_batch.max(1),
+            capacity: capacity.max(1),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             max_batch_seen: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired_in_queue: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
         }
     }
 
-    /// Enqueues a job. Returns the job back as `Err` if the queue has
-    /// been closed (the caller should answer "shutting down").
+    /// Enqueues a job.
     ///
     /// # Errors
     ///
-    /// `Err(job)` when the queue is closed.
-    pub fn submit(&self, job: Job) -> Result<(), Job> {
-        let mut state = self.state.lock().expect("batch queue poisoned");
+    /// [`SubmitError::Closed`] when the queue has been closed (the
+    /// caller should answer "shutting down"); [`SubmitError::Full`]
+    /// when `capacity` jobs are already queued (the caller should shed
+    /// with `503` + `Retry-After`). Either way the job rides back so
+    /// its reply channel stays answerable — that round trip is the
+    /// point of the large `Err` variant.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if !state.open {
-            return Err(job);
+            return Err(SubmitError::Closed(job));
+        }
+        if state.jobs.len() >= self.capacity {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Full(job));
         }
         state.jobs.push_back(job);
         self.arrived.notify_all();
@@ -110,9 +253,23 @@ impl BatchQueue {
     /// Closes the queue: no new jobs are accepted; the dispatcher
     /// drains what is already queued and then returns.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("batch queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.open = false;
         self.arrived.notify_all();
+    }
+
+    /// Jobs currently queued (admitted, not yet drained).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len()
+    }
+
+    /// The queue's capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Snapshots the batch counters.
@@ -121,6 +278,9 @@ impl BatchQueue {
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             max_batch: self.max_batch_seen.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired_in_queue: self.expired_in_queue.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
         }
     }
 
@@ -129,12 +289,15 @@ impl BatchQueue {
     pub fn run_dispatcher(&self) {
         loop {
             let batch = {
-                let mut state = self.state.lock().expect("batch queue poisoned");
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
                 while state.jobs.is_empty() {
                     if !state.open {
                         return;
                     }
-                    state = self.arrived.wait(state).expect("batch queue poisoned");
+                    state = self
+                        .arrived
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 // Linger, anchored at this round's first job: give
                 // same-engine neighbors a window to arrive.
@@ -147,7 +310,7 @@ impl BatchQueue {
                     let (next, timeout) = self
                         .arrived
                         .wait_timeout(state, deadline - now)
-                        .expect("batch queue poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                     state = next;
                     if timeout.timed_out() {
                         break;
@@ -156,13 +319,10 @@ impl BatchQueue {
                 // Drain every job sharing the front job's engine (Arc
                 // pointer identity — the cache guarantees one Arc per
                 // key), preserving arrival order for the rest.
-                let anchor = Arc::as_ptr(
-                    &state
-                        .jobs
-                        .front()
-                        .expect("loop guarantees non-empty")
-                        .engine,
-                );
+                let Some(front) = state.jobs.front() else {
+                    continue;
+                };
+                let anchor = Arc::as_ptr(&front.engine);
                 let mut taken = Vec::new();
                 let mut rest = VecDeque::with_capacity(state.jobs.len());
                 for job in state.jobs.drain(..) {
@@ -183,6 +343,29 @@ impl BatchQueue {
         if batch.is_empty() {
             return;
         }
+        // Deadline-expired jobs are answered without fitting: queueing
+        // time counts against the budget, and a dead client is not
+        // worth an engine slot.
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            let expired = job
+                .request
+                .cancel()
+                .is_some_and(cellsync::CancelToken::is_cancelled);
+            if expired {
+                self.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+                let _ = job
+                    .reply
+                    .send(Err(JobError::Fit(DeconvError::DeadlineExceeded)));
+            } else {
+                live.push(job);
+            }
+        }
+        let batch = live;
+        if batch.is_empty() {
+            return;
+        }
+
         let n = batch.len() as u64;
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests.fetch_add(n, Ordering::Relaxed);
@@ -202,15 +385,29 @@ impl BatchQueue {
 
         let mut results: Vec<Option<JobResult>> = (0..batch.len()).map(|_| None).collect();
         if plain.len() >= 2 {
+            let poisoned = plain.iter().any(|&i| batch[i].poison);
             let series: Vec<(&[f64], Option<&[f64]>)> = plain
                 .iter()
                 .map(|&i| (batch[i].request.series(), batch[i].request.sigmas()))
                 .collect();
-            // A failed batch (one poisoned series) falls through to the
-            // individual path, which isolates the failure to its job.
-            if let Ok(fits) = engine.fit_many(&series) {
-                for (&i, fit) in plain.iter().zip(fits) {
-                    results[i] = Some(Ok((fit, None)));
+            // A failed or panicking batch (one poisoned series) falls
+            // through to the individual path, which isolates the
+            // failure to its job while its peers still succeed.
+            let attempt = catch_panic(|| {
+                if poisoned {
+                    panic!("poisoned family fit");
+                }
+                engine.fit_many(&series)
+            });
+            match attempt {
+                Ok(Ok(fits)) => {
+                    for (&i, fit) in plain.iter().zip(fits) {
+                        results[i] = Some(Ok((fit, None)));
+                    }
+                }
+                Ok(Err(_)) => {}
+                Err(_) => {
+                    self.panics_caught.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -219,9 +416,24 @@ impl BatchQueue {
         for (job, slot) in batch.into_iter().zip(results) {
             let outcome = match slot {
                 Some(result) => result,
-                None => engine
-                    .fit_request_with(&mut workspace, &job.request)
-                    .map(FitResponse::into_parts),
+                None => {
+                    let attempt = catch_panic(|| {
+                        if job.poison {
+                            panic!("poisoned family fit");
+                        }
+                        job.engine.fit_request_with(&mut workspace, &job.request)
+                    });
+                    match attempt {
+                        Ok(fit) => fit.map(FitResponse::into_parts).map_err(JobError::Fit),
+                        Err(message) => {
+                            self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                            // The workspace may have been left mid-fit;
+                            // start the next job from a fresh one.
+                            workspace = FitWorkspace::new();
+                            Err(JobError::Panic(message))
+                        }
+                    }
+                }
             };
             let _ = job.reply.send(outcome);
         }
@@ -232,12 +444,12 @@ impl BatchQueue {
 mod tests {
     use super::*;
     use crate::family::FamilyRegistry;
-    use cellsync::{BootstrapSpec, ForwardModel, PhaseProfile};
+    use cellsync::{BootstrapSpec, CancelToken, ForwardModel, PhaseProfile};
     use std::sync::mpsc;
 
     fn run_jobs(
         queue: &Arc<BatchQueue>,
-        jobs: Vec<(Arc<Deconvolver>, FitRequest)>,
+        jobs: Vec<(Arc<Deconvolver>, FitRequest, bool)>,
     ) -> Vec<JobResult> {
         let dispatcher = {
             let queue = Arc::clone(queue);
@@ -245,15 +457,11 @@ mod tests {
         };
         let receivers: Vec<mpsc::Receiver<JobResult>> = jobs
             .into_iter()
-            .map(|(engine, request)| {
+            .map(|(engine, request, poison)| {
                 let (tx, rx) = mpsc::channel();
-                queue
-                    .submit(Job {
-                        engine,
-                        request,
-                        reply: tx,
-                    })
-                    .unwrap_or_else(|_| panic!("queue closed"));
+                let mut job = Job::new(engine, request, tx);
+                job.poison = poison;
+                queue.submit(job).expect("queue open and below capacity");
                 rx
             })
             .collect();
@@ -278,17 +486,17 @@ mod tests {
         let engine = Arc::new(family.build_engine().unwrap());
         let g = test_series(&registry);
 
-        let queue = Arc::new(BatchQueue::new(Duration::from_millis(100), 64));
+        let queue = Arc::new(BatchQueue::new(Duration::from_millis(100), 64, 1024));
         let jobs: Vec<_> = (0..4)
             .map(|i| {
                 let mut series = g.clone();
                 series[0] += i as f64 * 0.01;
-                (Arc::clone(&engine), FitRequest::new(series))
+                (Arc::clone(&engine), FitRequest::new(series), false)
             })
             .collect();
         let expected: Vec<Vec<f64>> = jobs
             .iter()
-            .map(|(e, r)| e.fit_request(r).unwrap().result().alpha().to_vec())
+            .map(|(e, r, _)| e.fit_request(r).unwrap().result().alpha().to_vec())
             .collect();
 
         let results = run_jobs(&queue, jobs);
@@ -301,6 +509,7 @@ mod tests {
         assert_eq!(counters.batched_requests, 4);
         assert_eq!(counters.batches, 1, "jobs did not coalesce: {counters:?}");
         assert_eq!(counters.max_batch, 4);
+        assert_eq!(counters.panics_caught, 0);
     }
 
     #[test]
@@ -310,22 +519,92 @@ mod tests {
         let engine = Arc::new(family.build_engine().unwrap());
         let g = test_series(&registry);
 
-        let queue = Arc::new(BatchQueue::new(Duration::from_millis(100), 64));
+        let queue = Arc::new(BatchQueue::new(Duration::from_millis(100), 64, 1024));
         let jobs = vec![
-            (Arc::clone(&engine), FitRequest::new(g.clone())),
+            (Arc::clone(&engine), FitRequest::new(g.clone()), false),
             (
                 Arc::clone(&engine),
                 FitRequest::new(vec![f64::NAN; g.len()]),
+                false,
             ),
-            (Arc::clone(&engine), FitRequest::new(g.clone())),
+            (Arc::clone(&engine), FitRequest::new(g.clone()), false),
         ];
         let results = run_jobs(&queue, jobs);
         assert!(results[0].is_ok());
         assert!(matches!(
             results[1],
-            Err(DeconvError::InvalidConfig("measurements must be finite"))
+            Err(JobError::Fit(DeconvError::InvalidConfig(
+                "measurements must be finite"
+            )))
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_peers_refit() {
+        let registry = FamilyRegistry::quick(9).unwrap();
+        let family = registry.get("fixed").unwrap();
+        let engine = Arc::new(family.build_engine().unwrap());
+        let g = test_series(&registry);
+        let want = engine
+            .fit_request(&FitRequest::new(g.clone()))
+            .unwrap()
+            .result()
+            .alpha()
+            .to_vec();
+
+        let queue = Arc::new(BatchQueue::new(Duration::from_millis(100), 64, 1024));
+        let jobs = vec![
+            (Arc::clone(&engine), FitRequest::new(g.clone()), false),
+            (Arc::clone(&engine), FitRequest::new(g.clone()), true),
+            (Arc::clone(&engine), FitRequest::new(g.clone()), false),
+        ];
+        let results = run_jobs(&queue, jobs);
+
+        // The peers of the panicking job still succeed, bit-identical
+        // to a direct fit; the panicking job resolves to a structured
+        // internal_panic instead of killing the dispatcher.
+        let (fit, _) = results[0].as_ref().unwrap();
+        assert_eq!(fit.alpha(), &want[..]);
+        let (fit, _) = results[2].as_ref().unwrap();
+        assert_eq!(fit.alpha(), &want[..]);
+        match &results[1] {
+            Err(err @ JobError::Panic(message)) => {
+                assert_eq!(err.code(), "internal_panic");
+                assert!(message.contains("poisoned family fit"), "{message}");
+            }
+            other => panic!("expected Panic, got {other:?}"),
+        }
+        // One caught batch panic (fallback trigger) + one caught
+        // individual panic.
+        assert_eq!(queue.counters().panics_caught, 2);
+    }
+
+    #[test]
+    fn expired_job_short_circuits_without_fitting() {
+        let registry = FamilyRegistry::quick(10).unwrap();
+        let family = registry.get("fixed").unwrap();
+        let engine = Arc::new(family.build_engine().unwrap());
+        let g = test_series(&registry);
+
+        let expired = CancelToken::new();
+        expired.cancel();
+        let queue = Arc::new(BatchQueue::new(Duration::from_millis(20), 64, 1024));
+        let jobs = vec![
+            (Arc::clone(&engine), FitRequest::new(g.clone()), false),
+            (
+                Arc::clone(&engine),
+                FitRequest::new(g.clone()).with_cancel(expired),
+                false,
+            ),
+        ];
+        let results = run_jobs(&queue, jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(JobError::Fit(DeconvError::DeadlineExceeded))
+        ));
+        assert_eq!(queue.counters().expired_in_queue, 1);
     }
 
     #[test]
@@ -343,11 +622,11 @@ mod tests {
         let want_override = engine.fit_request(&override_req).unwrap();
         let want_boot = engine.fit_request(&boot_req).unwrap();
 
-        let queue = Arc::new(BatchQueue::new(Duration::from_millis(50), 64));
+        let queue = Arc::new(BatchQueue::new(Duration::from_millis(50), 64, 1024));
         let jobs = vec![
-            (Arc::clone(&engine), override_req),
-            (Arc::clone(&engine), boot_req),
-            (Arc::clone(&engine), FitRequest::new(g.clone())),
+            (Arc::clone(&engine), override_req, false),
+            (Arc::clone(&engine), boot_req, false),
+            (Arc::clone(&engine), FitRequest::new(g.clone()), false),
         ];
         let results = run_jobs(&queue, jobs);
 
@@ -363,16 +642,43 @@ mod tests {
 
     #[test]
     fn closed_queue_rejects_jobs() {
-        let queue = BatchQueue::new(Duration::from_millis(1), 4);
+        let queue = BatchQueue::new(Duration::from_millis(1), 4, 8);
         queue.close();
         let registry = FamilyRegistry::quick(8).unwrap();
         let engine = Arc::new(registry.get("fixed").unwrap().build_engine().unwrap());
         let (tx, _rx) = mpsc::channel();
-        let job = Job {
-            engine,
-            request: FitRequest::new(vec![1.0]),
-            reply: tx,
-        };
-        assert!(queue.submit(job).is_err());
+        let job = Job::new(engine, FitRequest::new(vec![1.0]), tx);
+        match queue.submit(job) {
+            Err(err) => assert!(!err.is_full()),
+            Ok(()) => panic!("closed queue accepted a job"),
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_job_returned() {
+        let queue = BatchQueue::new(Duration::from_millis(1), 4, 1);
+        let registry = FamilyRegistry::quick(11).unwrap();
+        let engine = Arc::new(registry.get("fixed").unwrap().build_engine().unwrap());
+        let (tx, _rx) = mpsc::channel();
+        queue
+            .submit(Job::new(
+                Arc::clone(&engine),
+                FitRequest::new(vec![1.0]),
+                tx.clone(),
+            ))
+            .expect("first job fits in capacity");
+        // No dispatcher is draining, so the second submit must shed.
+        let job = Job::new(engine, FitRequest::new(vec![2.0]), tx);
+        match queue.submit(job) {
+            Err(err) => {
+                assert!(err.is_full());
+                let job = err.into_job();
+                assert_eq!(job.request.series(), &[2.0]);
+            }
+            Ok(()) => panic!("over-capacity queue accepted a job"),
+        }
+        assert_eq!(queue.counters().shed, 1);
+        assert_eq!(queue.depth(), 1);
+        assert_eq!(queue.capacity(), 1);
     }
 }

@@ -8,8 +8,14 @@
 //! ```text
 //! served [--addr HOST:PORT] [--cells N] [--bins N] [--times N]
 //!        [--basis N] [--seed N] [--linger-us N] [--max-batch N]
-//!        [--cache-cap N] [--quick]
+//!        [--cache-cap N] [--quick] [--deadline-ms N] [--max-inflight N]
+//!        [--queue-cap N] [--poisoned-family]
 //! ```
+//!
+//! `--deadline-ms 0` disables the server-side deadline cap.
+//! `--poisoned-family` registers a `poisoned` clone of `fixed` whose
+//! fits panic inside the isolation boundary — the chaos harness's
+//! fault target; never enable it on a real deployment.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -26,10 +32,15 @@ struct Args {
     linger_us: u64,
     max_batch: usize,
     cache_cap: usize,
+    deadline_ms: u64,
+    max_inflight: usize,
+    queue_cap: usize,
+    poisoned_family: bool,
 }
 
 impl Default for Args {
     fn default() -> Self {
+        let defaults = ServerConfig::default();
         Args {
             addr: "127.0.0.1:8466".to_string(),
             cells: 20_000,
@@ -40,6 +51,12 @@ impl Default for Args {
             linger_us: 2_000,
             max_batch: 64,
             cache_cap: 8,
+            deadline_ms: defaults
+                .default_deadline
+                .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+            max_inflight: defaults.max_inflight,
+            queue_cap: defaults.queue_capacity,
+            poisoned_family: false,
         }
     }
 }
@@ -59,6 +76,12 @@ fn parse_args() -> Result<Args, String> {
             "--linger-us" => args.linger_us = parse(&value("--linger-us")?, "--linger-us")?,
             "--max-batch" => args.max_batch = parse(&value("--max-batch")?, "--max-batch")?,
             "--cache-cap" => args.cache_cap = parse(&value("--cache-cap")?, "--cache-cap")?,
+            "--deadline-ms" => args.deadline_ms = parse(&value("--deadline-ms")?, "--deadline-ms")?,
+            "--max-inflight" => {
+                args.max_inflight = parse(&value("--max-inflight")?, "--max-inflight")?;
+            }
+            "--queue-cap" => args.queue_cap = parse(&value("--queue-cap")?, "--queue-cap")?,
+            "--poisoned-family" => args.poisoned_family = true,
             "--quick" => {
                 args.cells = 400;
                 args.bins = 32;
@@ -69,7 +92,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: served [--addr HOST:PORT] [--cells N] [--bins N] [--times N] \
                      [--basis N] [--seed N] [--linger-us N] [--max-batch N] [--cache-cap N] \
-                     [--quick]"
+                     [--quick] [--deadline-ms N] [--max-inflight N] [--queue-cap N] \
+                     [--poisoned-family]"
                         .to_string(),
                 )
             }
@@ -97,7 +121,7 @@ fn main() -> ExitCode {
         "served: simulating kernel ({} cells, {} bins, {} times)...",
         args.cells, args.bins, args.times
     );
-    let registry =
+    let mut registry =
         match FamilyRegistry::standard(args.cells, args.bins, args.times, args.basis, args.seed) {
             Ok(registry) => registry,
             Err(e) => {
@@ -105,6 +129,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+    if args.poisoned_family {
+        registry.insert_poisoned_clone("fixed", "poisoned");
+        eprintln!("served: WARNING: poisoned fault-injection family enabled");
+    }
     let families = registry.names().join(", ");
 
     let config = ServerConfig {
@@ -112,6 +140,10 @@ fn main() -> ExitCode {
         linger: Duration::from_micros(args.linger_us),
         max_batch: args.max_batch,
         cache_capacity: args.cache_cap,
+        default_deadline: (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms)),
+        max_inflight: args.max_inflight,
+        queue_capacity: args.queue_cap,
+        ..ServerConfig::default()
     };
     let server = match Server::start(registry, config) {
         Ok(server) => server,

@@ -1,11 +1,24 @@
-//! A minimal blocking keep-alive client for the serving API, used by
-//! the end-to-end tests and the `loadgen` benchmark driver.
+//! Blocking keep-alive clients for the serving API: the plain
+//! [`Client`] used by the end-to-end tests and the `loadgen` driver,
+//! and the [`RetryingClient`] that layers deterministic, seeded
+//! exponential backoff with decorrelated jitter on top of it.
+//!
+//! The retry layer only retries outcomes that are safe to repeat:
+//! connect failures, responses that never *started* arriving
+//! ([`crate::http::HttpError::Timeout`] with `started == false`, or a
+//! clean close before any response byte), and `503 overloaded` sheds —
+//! fits are deterministic and side-effect-free, so re-sending one of
+//! these cannot double-apply anything. A response that stalls
+//! *mid-body* is never retried: the first copy may still land.
 
-use std::io::{self, BufReader};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
-use crate::http::{self, HttpError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::http::{self, HttpError, HttpResponse};
 
 /// One persistent connection to a cellsync server.
 pub struct Client {
@@ -17,6 +30,13 @@ fn to_io(e: HttpError) -> io::Error {
     match e {
         HttpError::Io(io) => io,
         HttpError::Closed => io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"),
+        HttpError::Timeout { started: false } => io::Error::new(
+            io::ErrorKind::TimedOut,
+            "response timed out before any byte",
+        ),
+        HttpError::Timeout { started: true } => {
+            io::Error::new(io::ErrorKind::TimedOut, "response timed out mid-message")
+        }
         HttpError::Malformed(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
     }
 }
@@ -50,7 +70,77 @@ impl Client {
     ///
     /// Propagates transport failures and malformed responses.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let response = self.request_http(method, path, body).map_err(to_io)?;
+        Ok((response.status, response.body))
+    }
+
+    /// [`Client::request`] with the full typed error and response
+    /// (status, body, `Retry-After`) — what the retry layer needs to
+    /// classify failures.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`HttpError`] classes.
+    pub fn request_http(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<HttpResponse, HttpError> {
         http::write_request(&mut self.stream, method, path, body)?;
+        http::read_response(&mut self.reader)
+    }
+
+    /// Sends one request without reading the response — the
+    /// drop-after-send fault of the chaos harness (the caller then
+    /// drops the client, abandoning the in-flight response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_only(&mut self, method: &str, path: &str, body: &str) -> io::Result<()> {
+        http::write_request(&mut self.stream, method, path, body)
+    }
+
+    /// Sends a request with the body split in two writes separated by
+    /// `pause` — the slow-write fault of the chaos harness — then reads
+    /// the response normally. A correct server (patient read policy)
+    /// answers this identically to a fast request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed responses.
+    pub fn request_slowly(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        pause: Duration,
+    ) -> io::Result<(u16, String)> {
+        let split = body.len() / 2;
+        let header = format!(
+            "{method} {path} HTTP/1.1\r\nHost: cellsync\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(header.as_bytes())?;
+        self.stream.write_all(&body.as_bytes()[..split])?;
+        self.stream.flush()?;
+        std::thread::sleep(pause);
+        self.stream.write_all(&body.as_bytes()[split..])?;
+        self.stream.flush()?;
+        let response = http::read_response(&mut self.reader).map_err(to_io)?;
+        Ok((response.status, response.body))
+    }
+
+    /// Writes raw bytes on the connection — the malformed-payload fault
+    /// of the chaos harness — then reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed responses.
+    pub fn raw_roundtrip(&mut self, bytes: &[u8]) -> io::Result<(u16, String)> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
         let response = http::read_response(&mut self.reader).map_err(to_io)?;
         Ok((response.status, response.body))
     }
@@ -71,5 +161,278 @@ impl Client {
     /// Same as [`Client::request`].
     pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
         self.request("GET", path, "")
+    }
+}
+
+/// Retry tuning: exponential backoff with decorrelated jitter, bounded
+/// by an attempt count and a wall-clock retry budget. The jitter
+/// stream is seeded, so a given policy produces the same backoff
+/// schedule run after run — chaos runs stay reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Smallest backoff sleep.
+    pub base: Duration,
+    /// Largest backoff sleep.
+    pub cap: Duration,
+    /// Total wall-clock budget across all backoff sleeps; once spent,
+    /// the last outcome is returned as-is.
+    pub budget: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            budget: Duration::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff schedule this policy produces: sleep
+    /// `k` is drawn uniformly from `[base, 3·sleep_{k−1}]` (decorrelated
+    /// jitter, Brooker-style), clamped to `[base, cap]`. `Retry-After`
+    /// from an overload shed can only *raise* an individual sleep at
+    /// run time; it never perturbs the stream, so two runs against the
+    /// same fault plan back off identically.
+    pub fn backoff_schedule(&self, sleeps: usize) -> Vec<Duration> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut schedule = Vec::with_capacity(sleeps);
+        let mut prev = self.base;
+        for _ in 0..sleeps {
+            let high = (prev * 3).max(self.base);
+            let span = high.saturating_sub(self.base);
+            let jittered = self.base + span.mul_f64(rng.gen::<f64>());
+            let sleep = jittered.clamp(self.base, self.cap);
+            schedule.push(sleep);
+            prev = sleep;
+        }
+        schedule
+    }
+}
+
+/// What one attempt resolved to, internally.
+enum Attempt {
+    Done(HttpResponse),
+    /// Retryable failure; `retry_after` floors the next sleep.
+    Retry {
+        error: io::Error,
+        response: Option<HttpResponse>,
+        retry_after: Option<u64>,
+    },
+    Fatal(io::Error),
+}
+
+/// A [`Client`] wrapped in the [`RetryPolicy`]: reconnects and retries
+/// idempotent failures (connect errors, never-started responses,
+/// `503 overloaded`), honoring `Retry-After` as a floor on the next
+/// backoff sleep.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rng: StdRng,
+    prev_sleep: Duration,
+    read_timeout: Option<Duration>,
+    conn: Option<Client>,
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Creates the client; the connection is opened lazily on the first
+    /// request (and reopened after any transport failure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-resolution failures.
+    pub fn new(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+        read_timeout: Option<Duration>,
+    ) -> io::Result<RetryingClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let rng = StdRng::seed_from_u64(policy.seed);
+        let prev_sleep = policy.base;
+        Ok(RetryingClient {
+            addr,
+            policy,
+            rng,
+            prev_sleep,
+            read_timeout,
+            conn: None,
+            retries: 0,
+        })
+    }
+
+    /// Retries performed so far (attempts beyond the first, across all
+    /// requests).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn next_backoff(&mut self, floor: Option<u64>) -> Duration {
+        let high = (self.prev_sleep * 3).max(self.policy.base);
+        let span = high.saturating_sub(self.policy.base);
+        let jittered = self.policy.base + span.mul_f64(self.rng.gen::<f64>());
+        let sleep = jittered.clamp(self.policy.base, self.policy.cap);
+        self.prev_sleep = sleep;
+        // Retry-After floors this sleep without touching the stream.
+        match floor {
+            Some(secs) => sleep.max(Duration::from_secs(secs)),
+            None => sleep,
+        }
+    }
+
+    fn attempt(&mut self, method: &str, path: &str, body: &str) -> Attempt {
+        let conn = match &mut self.conn {
+            Some(conn) => conn,
+            vacant => match Client::connect(self.addr) {
+                Ok(client) => {
+                    if let Some(t) = self.read_timeout {
+                        let _ = client.set_read_timeout(Some(t));
+                    }
+                    vacant.insert(client)
+                }
+                Err(e) => {
+                    return Attempt::Retry {
+                        error: e,
+                        response: None,
+                        retry_after: None,
+                    }
+                }
+            },
+        };
+        match conn.request_http(method, path, body) {
+            Ok(response) if response.status == 503 => {
+                // An overload shed is explicitly retryable; the
+                // connection stays healthy.
+                Attempt::Retry {
+                    error: io::Error::new(io::ErrorKind::ResourceBusy, "server overloaded"),
+                    retry_after: response.retry_after,
+                    response: Some(response),
+                }
+            }
+            Ok(response) => Attempt::Done(response),
+            Err(e) => {
+                // Any transport-level failure invalidates the
+                // connection; whether to retry depends on the class.
+                self.conn = None;
+                match e {
+                    HttpError::Timeout { started: false }
+                    | HttpError::Closed
+                    | HttpError::Io(_) => Attempt::Retry {
+                        error: to_io(e),
+                        response: None,
+                        retry_after: None,
+                    },
+                    HttpError::Timeout { started: true } | HttpError::Malformed(_) => {
+                        Attempt::Fatal(to_io(e))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends one request, retrying under the policy. Returns the final
+    /// `(status, body)` — which may be a `503` if the overload outlived
+    /// every retry.
+    ///
+    /// # Errors
+    ///
+    /// The last transport failure once attempts or the retry budget are
+    /// exhausted, or a non-retryable failure immediately.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let started = Instant::now();
+        let mut attempt_no = 0u32;
+        loop {
+            attempt_no += 1;
+            let (error, response, retry_after) = match self.attempt(method, path, body) {
+                Attempt::Done(response) => return Ok((response.status, response.body)),
+                Attempt::Fatal(e) => return Err(e),
+                Attempt::Retry {
+                    error,
+                    response,
+                    retry_after,
+                } => (error, response, retry_after),
+            };
+            let sleep = self.next_backoff(retry_after);
+            let out_of_attempts = attempt_no >= self.policy.max_attempts;
+            let out_of_budget = started.elapsed() + sleep > self.policy.budget;
+            if out_of_attempts || out_of_budget {
+                return match response {
+                    Some(response) => Ok((response.status, response.body)),
+                    None => Err(error),
+                };
+            }
+            self.retries += 1;
+            std::thread::sleep(sleep);
+        }
+    }
+
+    /// `POST` with a JSON body, retried under the policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RetryingClient::request`].
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    /// `GET` with an empty body, retried under the policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RetryingClient::request`].
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        let a = policy.backoff_schedule(8);
+        let b = policy.backoff_schedule(8);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        for sleep in &a {
+            assert!(*sleep >= policy.base && *sleep <= policy.cap, "{sleep:?}");
+        }
+        let other = RetryPolicy {
+            seed: 43,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(a, other.backoff_schedule(8), "different seeds must jitter");
+    }
+
+    #[test]
+    fn connect_failures_are_retried_then_surfaced() {
+        // A port nothing listens on: every attempt is a connect error.
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            budget: Duration::from_secs(5),
+            seed: 7,
+        };
+        let mut client = RetryingClient::new("127.0.0.1:9", policy, None).unwrap();
+        let err = client.get("/healthz").unwrap_err();
+        assert!(err.kind() == io::ErrorKind::ConnectionRefused || client.retries() == 2);
+        assert_eq!(client.retries(), 2, "3 attempts = 2 retries");
     }
 }

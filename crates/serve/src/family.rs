@@ -23,6 +23,7 @@ pub struct Family {
     kernel: PhaseKernel,
     config: DeconvolutionConfig,
     key: EngineKey,
+    poisoned: bool,
 }
 
 impl Family {
@@ -35,7 +36,26 @@ impl Family {
             kernel,
             config,
             key,
+            poisoned: false,
         }
+    }
+
+    /// Marks this family *poisoned*: fits against it panic inside the
+    /// batch queue's catch boundary instead of running. A deterministic
+    /// fault injector for the chaos harness and the panic-isolation
+    /// tests — the engine key is unchanged, so a poisoned clone of a
+    /// real family shares its cached engine and can land in the same
+    /// batch as clean peers.
+    #[must_use]
+    pub fn into_poisoned(mut self) -> Self {
+        self.poisoned = true;
+        self
+    }
+
+    /// Whether fits against this family are made to panic (test-only
+    /// fault injection).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The family's wire name.
@@ -93,6 +113,20 @@ impl FamilyRegistry {
     /// Looks a family up by wire name.
     pub fn get(&self, name: &str) -> Option<&Family> {
         self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Registers a poisoned clone of `source` under `name` (see
+    /// [`Family::into_poisoned`]). Returns `false` when `source` is not
+    /// registered. The clone keeps `source`'s kernel, config, and
+    /// engine key, so it shares `source`'s cached engine.
+    pub fn insert_poisoned_clone(&mut self, source: &str, name: impl Into<String>) -> bool {
+        let Some(family) = self.get(source).cloned() else {
+            return false;
+        };
+        let mut clone = family.into_poisoned();
+        clone.name = name.into();
+        self.insert(clone);
+        true
     }
 
     /// Registered family names, in registration order.
@@ -200,6 +234,19 @@ mod tests {
         assert_ne!(fixed.key(), smooth.key());
         assert_ne!(gcv.key(), smooth.key());
         assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn poisoned_clone_shares_key_and_flags_poison() {
+        let mut registry = FamilyRegistry::quick(2).unwrap();
+        assert!(registry.insert_poisoned_clone("fixed", "poisoned"));
+        assert!(!registry.insert_poisoned_clone("nope", "ghost"));
+        let fixed = registry.get("fixed").unwrap();
+        let poisoned = registry.get("poisoned").unwrap();
+        assert!(!fixed.is_poisoned());
+        assert!(poisoned.is_poisoned());
+        assert_eq!(fixed.key(), poisoned.key());
+        assert_eq!(registry.names(), vec!["fixed", "gcv", "smooth", "poisoned"]);
     }
 
     #[test]

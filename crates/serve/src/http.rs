@@ -8,9 +8,24 @@
 //! speaks is a small JSON document, and the hand-rolled parser keeps the
 //! crate dependency-free (the same trade the [`cellsync_wire`] JSON
 //! module makes).
+//!
+//! The readers are generic over [`BufRead`] so the parser can be driven
+//! off in-memory buffers in tests (including the fuzzing suite), and
+//! every read distinguishes three failure classes that resilience logic
+//! upstream needs to tell apart:
+//!
+//! * [`HttpError::Timeout`] with `started == false` — the socket timed
+//!   out while *no byte* of the current message had arrived. Safe to
+//!   treat as idle (server keep-alive polling) or to retry (client).
+//! * [`HttpError::Timeout`] with `started == true` — the peer stalled
+//!   mid-message. The message is unrecoverable on this connection.
+//! * [`HttpError::Malformed`] — the bytes violate the protocol
+//!   (structured; never a panic, whatever the input).
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line or header line, bytes.
 const MAX_LINE: usize = 16 * 1024;
@@ -31,14 +46,23 @@ pub struct HttpRequest {
     pub keep_alive: bool,
 }
 
-/// Why reading a request failed.
+/// Why reading a message failed.
 #[derive(Debug)]
 pub enum HttpError {
     /// The peer closed the connection cleanly between requests.
     Closed,
-    /// Transport failure (includes read timeouts).
+    /// Transport failure other than a read timeout.
     Io(io::Error),
-    /// The bytes were not a well-formed HTTP/1.1 request.
+    /// A socket read timed out. `started` tells whether any byte of the
+    /// current message had been consumed — `false` means the message was
+    /// never begun (idle keep-alive socket, or a response that never
+    /// started arriving: safe to retry), `true` means the peer stalled
+    /// mid-message.
+    Timeout {
+        /// Whether part of the message had already arrived.
+        started: bool,
+    },
+    /// The bytes were not a well-formed HTTP/1.1 message.
     Malformed(&'static str),
 }
 
@@ -47,7 +71,9 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::Closed => write!(f, "connection closed"),
             HttpError::Io(e) => write!(f, "http i/o error: {e}"),
-            HttpError::Malformed(msg) => write!(f, "malformed http request: {msg}"),
+            HttpError::Timeout { started: false } => write!(f, "read timed out before any byte"),
+            HttpError::Timeout { started: true } => write!(f, "read timed out mid-message"),
+            HttpError::Malformed(msg) => write!(f, "malformed http message: {msg}"),
         }
     }
 }
@@ -60,62 +86,201 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Whether an I/O error is a read timeout (used by connection loops to
-/// poll a shutdown flag while blocked on an idle keep-alive socket).
+/// Whether an error is a read timeout of either kind.
 pub fn is_timeout(e: &HttpError) -> bool {
-    matches!(
-        e,
-        HttpError::Io(io) if matches!(io.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
-    )
+    matches!(e, HttpError::Timeout { .. })
 }
 
-fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
-    let mut buf = Vec::new();
-    loop {
-        let available = reader.fill_buf()?;
-        if available.is_empty() {
-            if buf.is_empty() {
-                return Ok(None);
-            }
-            break;
-        }
-        match available.iter().position(|&b| b == b'\n') {
-            Some(i) => {
-                buf.extend_from_slice(&available[..=i]);
-                reader.consume(i + 1);
-                break;
-            }
-            None => {
-                let len = available.len();
-                buf.extend_from_slice(available);
-                reader.consume(len);
-            }
-        }
-        if buf.len() > MAX_LINE {
-            return Err(HttpError::Malformed("header line too long"));
+fn is_timeout_kind(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// How a reader behaves when the underlying socket times out.
+///
+/// The default policy surfaces the first timeout as
+/// [`HttpError::Timeout`]; the server's keep-alive loop instead sets
+/// [`ReadPolicy::wait_for_start`], which absorbs idle timeouts (polling
+/// the shutdown flag each time, so a 250 ms socket timeout doubles as
+/// the shutdown poll) and gives a started message a stall budget
+/// ([`ReadPolicy::max_stall`]), bounding slow-loris peers without
+/// corrupting slow-but-honest ones.
+#[derive(Debug, Default)]
+pub struct ReadPolicy<'a> {
+    /// While no byte of the message has arrived: keep waiting across
+    /// timeouts instead of erroring (checking `shutdown` each poll).
+    pub wait_for_start: bool,
+    /// Checked on idle timeouts when `wait_for_start` is set; once true
+    /// the read returns [`HttpError::Closed`].
+    pub shutdown: Option<&'a AtomicBool>,
+    /// Once a message has started, the longest it may take end to end
+    /// before the read fails with `Timeout { started: true }`. `None`
+    /// fails on the first mid-message timeout.
+    pub max_stall: Option<Duration>,
+}
+
+/// Incremental message reader: tracks whether the current message has
+/// started and applies the timeout policy uniformly to header lines and
+/// body bytes.
+struct MessageReader<'a, 'p, R: BufRead> {
+    reader: &'a mut R,
+    policy: &'p ReadPolicy<'p>,
+    started: bool,
+    first_byte_at: Option<Instant>,
+}
+
+enum Step {
+    Eof,
+    Progress {
+        consumed: usize,
+        found_newline: bool,
+    },
+    TimedOut,
+}
+
+impl<'a, 'p, R: BufRead> MessageReader<'a, 'p, R> {
+    fn new(reader: &'a mut R, policy: &'p ReadPolicy<'p>) -> Self {
+        MessageReader {
+            reader,
+            policy,
+            started: false,
+            first_byte_at: None,
         }
     }
-    if buf.len() > MAX_LINE {
-        return Err(HttpError::Malformed("header line too long"));
+
+    fn note_progress(&mut self) {
+        self.started = true;
+        if self.first_byte_at.is_none() {
+            self.first_byte_at = Some(Instant::now());
+        }
     }
-    let mut line =
-        String::from_utf8(buf).map_err(|_| HttpError::Malformed("header is not utf-8"))?;
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
+
+    /// Decides whether a timed-out read retries (`Ok`) or aborts (`Err`).
+    fn on_timeout(&mut self) -> Result<(), HttpError> {
+        if !self.started {
+            if !self.policy.wait_for_start {
+                return Err(HttpError::Timeout { started: false });
+            }
+            if let Some(flag) = self.policy.shutdown {
+                if flag.load(Ordering::Acquire) {
+                    return Err(HttpError::Closed);
+                }
+            }
+            return Ok(());
+        }
+        match (self.policy.max_stall, self.first_byte_at) {
+            (Some(max), Some(t0)) if t0.elapsed() < max => Ok(()),
+            _ => Err(HttpError::Timeout { started: true }),
+        }
     }
-    Ok(Some(line))
+
+    /// Reads one CRLF/LF-terminated line. `Ok(None)` is clean EOF before
+    /// any byte of the line.
+    fn read_line(&mut self) -> Result<Option<String>, HttpError> {
+        let mut buf = Vec::new();
+        loop {
+            let step = match self.reader.fill_buf() {
+                Ok([]) => Step::Eof,
+                Ok(available) => match available.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        buf.extend_from_slice(&available[..=i]);
+                        Step::Progress {
+                            consumed: i + 1,
+                            found_newline: true,
+                        }
+                    }
+                    None => {
+                        let len = available.len();
+                        buf.extend_from_slice(available);
+                        Step::Progress {
+                            consumed: len,
+                            found_newline: false,
+                        }
+                    }
+                },
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_timeout_kind(e.kind()) => Step::TimedOut,
+                Err(e) => return Err(HttpError::Io(e)),
+            };
+            match step {
+                Step::Eof => {
+                    if buf.is_empty() {
+                        return Ok(None);
+                    }
+                    break;
+                }
+                Step::Progress {
+                    consumed,
+                    found_newline,
+                } => {
+                    self.note_progress();
+                    self.reader.consume(consumed);
+                    if buf.len() > MAX_LINE {
+                        return Err(HttpError::Malformed("header line too long"));
+                    }
+                    if found_newline {
+                        break;
+                    }
+                }
+                Step::TimedOut => self.on_timeout()?,
+            }
+        }
+        let mut line =
+            String::from_utf8(buf).map_err(|_| HttpError::Malformed("header is not utf-8"))?;
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Reads exactly `len` body bytes (with timeout retries under the
+    /// policy); a peer that hangs up mid-body is a structured
+    /// `Malformed`, never a panic or a raw I/O error.
+    fn read_body(&mut self, len: usize) -> Result<Vec<u8>, HttpError> {
+        let mut body = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            match self.reader.read(&mut body[filled..]) {
+                Ok(0) => return Err(HttpError::Malformed("connection closed mid-body")),
+                Ok(n) => {
+                    self.note_progress();
+                    filled += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout_kind(e.kind()) => self.on_timeout()?,
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+        Ok(body)
+    }
 }
 
 /// Reads one request off the connection. Returns [`HttpError::Closed`]
 /// when the peer hung up between requests (the normal end of a
-/// keep-alive session).
+/// keep-alive session). The first socket timeout surfaces as
+/// [`HttpError::Timeout`]; use [`read_request_with`] for the server's
+/// patient keep-alive semantics.
 ///
 /// # Errors
 ///
-/// [`HttpError::Io`] on transport failures (including configured read
-/// timeouts) and [`HttpError::Malformed`] for protocol violations.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpError> {
-    let request_line = match read_line(reader)? {
+/// [`HttpError::Io`] on transport failures, [`HttpError::Timeout`] on
+/// socket timeouts, and [`HttpError::Malformed`] for protocol
+/// violations.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, HttpError> {
+    read_request_with(reader, &ReadPolicy::default())
+}
+
+/// [`read_request`] under an explicit timeout [`ReadPolicy`].
+///
+/// # Errors
+///
+/// Same as [`read_request`]; additionally [`HttpError::Closed`] when the
+/// policy's shutdown flag fires while the connection is idle.
+pub fn read_request_with<R: BufRead>(
+    reader: &mut R,
+    policy: &ReadPolicy<'_>,
+) -> Result<HttpRequest, HttpError> {
+    let mut msg = MessageReader::new(reader, policy);
+    let request_line = match msg.read_line()? {
         None => return Err(HttpError::Closed),
         Some(line) => line,
     };
@@ -139,7 +304,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, Ht
     let mut content_length: usize = 0;
 
     loop {
-        let line = match read_line(reader)? {
+        let line = match msg.read_line()? {
             None => return Err(HttpError::Malformed("connection closed mid-headers")),
             Some(line) => line,
         };
@@ -171,8 +336,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, Ht
         }
     }
 
-    let mut body_bytes = vec![0u8; content_length];
-    reader.read_exact(&mut body_bytes)?;
+    let body_bytes = msg.read_body(content_length)?;
     let body =
         String::from_utf8(body_bytes).map_err(|_| HttpError::Malformed("body is not utf-8"))?;
 
@@ -191,15 +355,23 @@ pub struct HttpResponse {
     pub status: u16,
     /// Decoded UTF-8 body ("" when absent).
     pub body: String,
+    /// Parsed `Retry-After` header (seconds), when the server sent one
+    /// (the shed-load contract of `503 overloaded` responses).
+    pub retry_after: Option<u64>,
 }
 
 /// Reads one response off the connection (client side of the protocol).
+/// A timeout before any response byte arrives surfaces as
+/// `Timeout { started: false }` — the signal the retrying client uses to
+/// decide a request may be retried.
 ///
 /// # Errors
 ///
 /// Same classes as [`read_request`].
-pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<HttpResponse, HttpError> {
-    let status_line = match read_line(reader)? {
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<HttpResponse, HttpError> {
+    let policy = ReadPolicy::default();
+    let mut msg = MessageReader::new(reader, &policy);
+    let status_line = match msg.read_line()? {
         None => return Err(HttpError::Closed),
         Some(line) => line,
     };
@@ -217,8 +389,9 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<HttpResponse, 
         .map_err(|_| HttpError::Malformed("bad status code"))?;
 
     let mut content_length: usize = 0;
+    let mut retry_after: Option<u64> = None;
     loop {
-        let line = match read_line(reader)? {
+        let line = match msg.read_line()? {
             None => return Err(HttpError::Malformed("connection closed mid-headers")),
             Some(line) => line,
         };
@@ -226,23 +399,29 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<HttpResponse, 
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad content-length"))?;
                 if content_length > MAX_BODY {
                     return Err(HttpError::Malformed("body too large"));
                 }
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.parse().ok();
             }
         }
     }
 
-    let mut body_bytes = vec![0u8; content_length];
-    reader.read_exact(&mut body_bytes)?;
+    let body_bytes = msg.read_body(content_length)?;
     let body =
         String::from_utf8(body_bytes).map_err(|_| HttpError::Malformed("body is not utf-8"))?;
-    Ok(HttpResponse { status, body })
+    Ok(HttpResponse {
+        status,
+        body,
+        retry_after,
+    })
 }
 
 /// Writes a JSON request and flushes the stream (client side).
@@ -271,13 +450,17 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
-/// Writes a JSON response and flushes the stream.
+/// Writes a JSON response and flushes the stream. `retry_after`, when
+/// set, emits a `Retry-After: <seconds>` header (sent with `503
+/// overloaded` shed responses).
 ///
 /// # Errors
 ///
@@ -287,16 +470,74 @@ pub fn write_response(
     status: u16,
     body: &str,
     keep_alive: bool,
+    retry_after: Option<u64>,
 ) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let header = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{}\r\n",
         status,
         reason(status),
         body.len(),
-        connection
+        connection,
+        retry
     );
     stream.write_all(header.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_complete_request() {
+        let text = "POST /fit HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/fit");
+        assert_eq!(req.body, "body");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_closed() {
+        let err = read_request(&mut Cursor::new(b"" as &[u8])).unwrap_err();
+        assert!(matches!(err, HttpError::Closed));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_not_io() {
+        let text = "POST /fit HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        let err = read_request(&mut Cursor::new(text.as_bytes())).unwrap_err();
+        assert!(
+            matches!(err, HttpError::Malformed("connection closed mid-body")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_without_allocation() {
+        let text = format!(
+            "POST /fit HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            usize::MAX
+        );
+        let err = read_request(&mut Cursor::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn response_parses_retry_after() {
+        let text =
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = read_response(&mut Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(2));
+        assert_eq!(resp.body, "{}");
+    }
 }

@@ -30,17 +30,26 @@
 //! funnels every request through the same validated
 //! [`cellsync::FitRequest`] path the library exposes, and the wire
 //! codec renders floats with shortest round-trip formatting.
+//!
+//! The resilience layer rides on top: per-request deadlines threaded
+//! as [`cellsync::CancelToken`]s into the engine's inner loops,
+//! bounded admission with `503 overloaded` + `Retry-After` shedding,
+//! panic isolation around every fit, a [`client::RetryingClient`] with
+//! seeded decorrelated-jitter backoff, and the [`chaos`] fault plan
+//! that `loadgen --chaos` uses to prove all of it deterministically.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod batch;
+pub mod chaos;
 pub mod client;
 pub mod family;
 pub mod http;
 pub mod server;
 pub mod stats;
 
-pub use client::Client;
+pub use chaos::{Fault, FaultPlan};
+pub use client::{Client, RetryPolicy, RetryingClient};
 pub use family::{Family, FamilyRegistry};
 pub use server::{Server, ServerConfig};

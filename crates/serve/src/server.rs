@@ -14,22 +14,47 @@
 //! `{"error":{"code":...,"message":...}}`; fit-validation codes come
 //! straight from [`cellsync::DeconvError::code`], so a client can match
 //! on the same stable strings the library's typed errors carry.
+//!
+//! ## Resilience
+//!
+//! * **Deadlines.** Every fit runs under a [`cellsync::CancelToken`]:
+//!   the effective budget is the smaller of the request's `deadline_ms`
+//!   and the server's [`ServerConfig::default_deadline`] cap. The
+//!   engine polls the token between λ-grid points, bootstrap
+//!   replicates, and QP iterations; an exceeded budget answers
+//!   `504 deadline_exceeded` (also for jobs whose budget expired while
+//!   queued). Partial work is accounted on `/stats`
+//!   (`deadline_exceeded`, `expired_in_queue`).
+//! * **Load shedding.** Admission is bounded by
+//!   [`ServerConfig::max_inflight`] and the batch queue by
+//!   [`ServerConfig::queue_capacity`]; past either bound the request is
+//!   shed with `503 overloaded` + `Retry-After` instead of queueing
+//!   without bound. Queue depth and shed counts ride `/stats`.
+//! * **Panic isolation.** Fits execute under a catch boundary in the
+//!   batch queue; a panicking fit answers `500 internal_panic` while
+//!   the worker, the batch peers, and this keep-alive connection all
+//!   survive.
+//! * **Slow peers.** A started request gets
+//!   [`ServerConfig::max_stall`] to arrive end to end; a peer that
+//!   stalls longer is answered `408 request_timeout` and disconnected
+//!   (bounding slow-loris), while an *idle* keep-alive socket can sit
+//!   quietly forever.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cellsync::session::EngineCache;
-use cellsync::{BootstrapSpec, DeconvError, FitRequest};
+use cellsync::{BootstrapSpec, CancelToken, FitRequest};
 use cellsync_wire::{BandWire, ErrorWire, FitRequestWire, FitResponseWire};
 
-use crate::batch::{BatchQueue, Job};
+use crate::batch::{BatchQueue, Job, JobError};
 use crate::family::FamilyRegistry;
-use crate::http::{self, HttpError, HttpRequest};
-use crate::stats::{EndpointStats, ServerStats};
+use crate::http::{self, HttpError, HttpRequest, ReadPolicy};
+use crate::stats::{EndpointStats, LoadGauges, ServerStats};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -43,6 +68,22 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Engine-cache capacity (prepared engines kept warm).
     pub cache_capacity: usize,
+    /// Server-side deadline cap on every fit. A request's own
+    /// `deadline_ms` can only tighten it; `None` leaves uncapped fits
+    /// to requests that don't set a deadline.
+    pub default_deadline: Option<Duration>,
+    /// Most fit requests admitted concurrently (decoded and queued or
+    /// executing); beyond this, requests are shed with `503
+    /// overloaded` + `Retry-After`.
+    pub max_inflight: usize,
+    /// Most jobs the batch queue holds; submissions beyond this are
+    /// shed the same way.
+    pub queue_capacity: usize,
+    /// Longest a *started* request may take to arrive end to end
+    /// before the connection is answered `408` and closed.
+    pub max_stall: Duration,
+    /// The `Retry-After` value (seconds) sent with shed responses.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +93,11 @@ impl Default for ServerConfig {
             linger: Duration::from_millis(2),
             max_batch: 64,
             cache_capacity: 8,
+            default_deadline: Some(Duration::from_secs(30)),
+            max_inflight: 256,
+            queue_capacity: 1024,
+            max_stall: Duration::from_secs(10),
+            retry_after_secs: 1,
         }
     }
 }
@@ -63,6 +109,21 @@ struct Shared {
     stats: ServerStats,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    default_deadline: Option<Duration>,
+    max_inflight: u64,
+    retry_after_secs: u64,
+    max_stall: Duration,
+    inflight: AtomicU64,
+}
+
+/// RAII in-flight slot: decrements the gauge however the request path
+/// exits (including panics unwinding through a connection thread).
+struct InflightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Shared {
@@ -72,6 +133,28 @@ impl Shared {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             self.queue.close();
             let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Claims an in-flight slot, or `None` when the server is at its
+    /// admission limit (the caller sheds).
+    fn try_admit(&self) -> Option<InflightGuard<'_>> {
+        let prev = self.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            None
+        } else {
+            Some(InflightGuard(&self.inflight))
+        }
+    }
+
+    /// The effective fit deadline: the tighter of the client's request
+    /// budget and the server's cap.
+    fn effective_deadline(&self, requested_ms: Option<u64>) -> Option<Duration> {
+        let requested = requested_ms.map(Duration::from_millis);
+        match (requested, self.default_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 }
@@ -101,10 +184,15 @@ impl Server {
         let shared = Arc::new(Shared {
             registry,
             cache: EngineCache::new(config.cache_capacity.max(1)),
-            queue: BatchQueue::new(config.linger, config.max_batch),
+            queue: BatchQueue::new(config.linger, config.max_batch, config.queue_capacity),
             stats: ServerStats::new(),
             shutdown: AtomicBool::new(false),
             addr,
+            default_deadline: config.default_deadline,
+            max_inflight: config.max_inflight.max(1) as u64,
+            retry_after_secs: config.retry_after_secs,
+            max_stall: config.max_stall,
+            inflight: AtomicU64::new(0),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -149,7 +237,12 @@ impl Server {
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
         }
-        let handles = std::mem::take(&mut *self.connections.lock().expect("connections poisoned"));
+        let handles = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
         for handle in handles {
             let _ = handle.join();
         }
@@ -175,7 +268,7 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         let shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || handle_connection(stream, &shared));
-        let mut guard = connections.lock().expect("connections poisoned");
+        let mut guard = connections.lock().unwrap_or_else(PoisonError::into_inner);
         // Finished threads' handles are dropped (joining a finished
         // thread is a no-op); live ones are joined at shutdown.
         guard.retain(|h| !h.is_finished());
@@ -183,9 +276,18 @@ fn accept_loop(
     }
 }
 
+/// One routed response.
+struct Routed<'a> {
+    endpoint: &'a EndpointStats,
+    status: u16,
+    body: String,
+    retry_after: Option<u64>,
+    shutdown_after: bool,
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) {
-    // A short read timeout turns idle keep-alive blocking into a
-    // periodic shutdown-flag poll.
+    // A short read timeout turns blocking reads into periodic policy
+    // polls (shutdown flag while idle, stall budget mid-request).
     if stream
         .set_read_timeout(Some(Duration::from_millis(250)))
         .is_err()
@@ -198,86 +300,153 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        match http::read_request(&mut reader) {
+        let policy = ReadPolicy {
+            wait_for_start: true,
+            shutdown: Some(&shared.shutdown),
+            max_stall: Some(shared.max_stall),
+        };
+        match http::read_request_with(&mut reader, &policy) {
             Ok(request) => {
                 let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
                 let start = Instant::now();
-                let (endpoint, status, body, shutdown_after) = route(&request, shared);
-                endpoint.record(start.elapsed(), status >= 400);
-                let write_ok = http::write_response(&mut writer, status, &body, keep_alive).is_ok();
-                if shutdown_after {
+                let routed = route(&request, shared);
+                routed
+                    .endpoint
+                    .record(start.elapsed(), routed.status >= 400);
+                let write_ok = http::write_response(
+                    &mut writer,
+                    routed.status,
+                    &routed.body,
+                    keep_alive,
+                    routed.retry_after,
+                )
+                .is_ok();
+                if routed.shutdown_after {
                     shared.trigger_shutdown();
                 }
                 if !write_ok || !keep_alive {
                     return;
                 }
             }
-            Err(e) if http::is_timeout(&e) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
+            Err(HttpError::Timeout { started: true }) => {
+                // The peer stalled mid-request past the stall budget:
+                // answer and disconnect (the connection's framing is
+                // unrecoverable).
+                let start = Instant::now();
+                let body =
+                    ErrorWire::new("request_timeout", "request did not arrive in time").encode();
+                shared.stats.other.record(start.elapsed(), true);
+                let _ = http::write_response(&mut writer, 408, &body, false, None);
+                return;
             }
             Err(HttpError::Malformed(msg)) => {
                 let start = Instant::now();
                 let body = ErrorWire::new("parse_error", msg).encode();
                 shared.stats.other.record(start.elapsed(), true);
-                let _ = http::write_response(&mut writer, 400, &body, false);
+                let _ = http::write_response(&mut writer, 400, &body, false, None);
                 return;
             }
+            // Closed covers both peer hangup and the shutdown flag
+            // firing while idle; an idle timeout never surfaces under
+            // the patient policy.
             Err(_) => return,
         }
     }
 }
 
-/// Routes one request to `(endpoint counters, status, body,
-/// shutdown-after-response)`.
-fn route<'a>(request: &HttpRequest, shared: &'a Shared) -> (&'a EndpointStats, u16, String, bool) {
+/// Routes one request.
+fn route<'a>(request: &HttpRequest, shared: &'a Shared) -> Routed<'a> {
     let stats = &shared.stats;
+    let plain = |endpoint, status, body| Routed {
+        endpoint,
+        status,
+        body,
+        retry_after: None,
+        shutdown_after: false,
+    };
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/fit") => {
-            let (status, body) = handle_fit(&request.body, shared);
-            (&stats.fit, status, body, false)
+            let (status, body, retry_after) = handle_fit(&request.body, shared);
+            Routed {
+                endpoint: &stats.fit,
+                status,
+                body,
+                retry_after,
+                shutdown_after: false,
+            }
         }
         ("GET", "/stats") => {
-            let snapshot = stats.snapshot(shared.cache.stats(), shared.queue.counters());
-            (&stats.stats, 200, snapshot.encode(), false)
+            let load = LoadGauges {
+                inflight: shared.inflight.load(Ordering::SeqCst),
+                queue_depth: shared.queue.depth() as u64,
+                queue_capacity: shared.queue.capacity() as u64,
+            };
+            let snapshot = stats.snapshot(shared.cache.stats(), shared.queue.counters(), load);
+            plain(&stats.stats, 200, snapshot.encode())
         }
-        ("GET", "/healthz") => (&stats.healthz, 200, r#"{"ok":true}"#.to_string(), false),
-        ("POST", "/shutdown") => (&stats.other, 200, r#"{"ok":true}"#.to_string(), true),
-        (_, "/fit" | "/stats" | "/healthz" | "/shutdown") => (
+        ("GET", "/healthz") => plain(&stats.healthz, 200, r#"{"ok":true}"#.to_string()),
+        ("POST", "/shutdown") => Routed {
+            endpoint: &stats.other,
+            status: 200,
+            body: r#"{"ok":true}"#.to_string(),
+            retry_after: None,
+            shutdown_after: true,
+        },
+        (_, "/fit" | "/stats" | "/healthz" | "/shutdown") => plain(
             &stats.other,
             405,
             ErrorWire::new("method_not_allowed", "wrong method for this endpoint").encode(),
-            false,
         ),
-        _ => (
+        _ => plain(
             &stats.other,
             404,
             ErrorWire::new("not_found", "unknown endpoint").encode(),
-            false,
         ),
     }
 }
 
-/// HTTP status for a fit failure: client-input codes map to 400,
-/// numerical/substrate failures to 500.
-fn status_for(error: &DeconvError) -> u16 {
-    match error.code() {
+/// HTTP status for a stable fit-error code: client-input codes map to
+/// 400, exceeded deadlines to 504, everything else (numerical and
+/// substrate failures, caught panics) to 500.
+fn status_for(code: &str) -> u16 {
+    match code {
         "length_mismatch" | "invalid_config" | "too_few_measurements" | "invalid_phase" => 400,
+        "deadline_exceeded" => 504,
         _ => 500,
     }
 }
 
-fn handle_fit(body: &str, shared: &Shared) -> (u16, String) {
+fn handle_fit(body: &str, shared: &Shared) -> (u16, String, Option<u64>) {
     if shared.shutdown.load(Ordering::SeqCst) {
         return (
             503,
             ErrorWire::new("shutting_down", "server is shutting down").encode(),
+            None,
         );
     }
+    let shed = || {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        (
+            503,
+            ErrorWire::new("overloaded", "server is at capacity; retry later").encode(),
+            Some(shared.retry_after_secs),
+        )
+    };
+    // Admission control: claim an in-flight slot before doing any work
+    // on the request. The guard holds the slot until this function
+    // returns (the reply has been computed).
+    let Some(_slot) = shared.try_admit() else {
+        return shed();
+    };
     let wire = match FitRequestWire::decode(body) {
         Ok(wire) => wire,
-        Err(e) => return (400, ErrorWire::new("parse_error", e.to_string()).encode()),
+        Err(e) => {
+            return (
+                400,
+                ErrorWire::new("parse_error", e.to_string()).encode(),
+                None,
+            )
+        }
     };
     let Some(family) = shared.registry.get(&wire.family) else {
         return (
@@ -287,6 +456,7 @@ fn handle_fit(body: &str, shared: &Shared) -> (u16, String) {
                 format!("unknown engine family '{}'", wire.family),
             )
             .encode(),
+            None,
         );
     };
     let engine = match shared
@@ -296,8 +466,9 @@ fn handle_fit(body: &str, shared: &Shared) -> (u16, String) {
         Ok(engine) => engine,
         Err(e) => {
             return (
-                status_for(&e),
+                status_for(e.code()),
                 ErrorWire::new(e.code(), e.to_string()).encode(),
+                None,
             )
         }
     };
@@ -312,21 +483,29 @@ fn handle_fit(body: &str, shared: &Shared) -> (u16, String) {
     if let Some(b) = wire.bootstrap {
         request = request.with_bootstrap(BootstrapSpec::new(b.replicates, b.grid, b.seed));
     }
+    if let Some(budget) = shared.effective_deadline(wire.deadline_ms) {
+        request = request.with_cancel(CancelToken::after(budget));
+    }
 
     let (reply, result) = mpsc::channel();
-    if shared
-        .queue
-        .submit(Job {
-            engine,
-            request,
-            reply,
-        })
-        .is_err()
-    {
-        return (
-            503,
-            ErrorWire::new("shutting_down", "server is shutting down").encode(),
-        );
+    let mut job = Job::new(engine, request, reply);
+    job.poison = family.is_poisoned();
+    if let Err(rejected) = shared.queue.submit(job) {
+        return if rejected.is_full() {
+            // The queue already counted the shed; only the admission
+            // counter is server-side.
+            (
+                503,
+                ErrorWire::new("overloaded", "server is at capacity; retry later").encode(),
+                Some(shared.retry_after_secs),
+            )
+        } else {
+            (
+                503,
+                ErrorWire::new("shutting_down", "server is shutting down").encode(),
+                None,
+            )
+        };
     }
     match result.recv() {
         Ok(Ok((fit, band))) => {
@@ -341,15 +520,34 @@ fn handle_fit(body: &str, shared: &Shared) -> (u16, String) {
                     replicates: b.replicates,
                 }),
             };
-            (200, response.encode())
+            (200, response.encode(), None)
         }
-        Ok(Err(e)) => (
-            status_for(&e),
-            ErrorWire::new(e.code(), e.to_string()).encode(),
-        ),
+        Ok(Err(e)) => {
+            let code = e.code();
+            if code == "deadline_exceeded" {
+                shared
+                    .stats
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let message = match &e {
+                JobError::Fit(fit) => fit.to_string(),
+                JobError::Panic(_) => {
+                    // Panic payloads are internal detail; the wire gets
+                    // a stable, non-leaky message.
+                    "fit worker panicked; the request was isolated".to_string()
+                }
+            };
+            (
+                status_for(code),
+                ErrorWire::new(code, message).encode(),
+                None,
+            )
+        }
         Err(_) => (
             500,
             ErrorWire::new("internal", "dispatcher dropped the job").encode(),
+            None,
         ),
     }
 }

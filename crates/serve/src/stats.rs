@@ -116,8 +116,21 @@ impl EndpointStats {
     }
 }
 
+/// Point-in-time load gauges the server reads at snapshot time (they
+/// live on the server's admission path, not in these counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadGauges {
+    /// Requests currently admitted and not yet answered.
+    pub inflight: u64,
+    /// Jobs currently in the batch queue.
+    pub queue_depth: u64,
+    /// The batch queue's capacity bound.
+    pub queue_capacity: u64,
+}
+
 /// All serving counters: one [`EndpointStats`] per endpoint plus the
-/// server start time for uptime.
+/// server start time for uptime and the resilience counters the
+/// admission/deadline paths bump.
 #[derive(Debug)]
 pub struct ServerStats {
     start: Instant,
@@ -129,6 +142,13 @@ pub struct ServerStats {
     pub healthz: EndpointStats,
     /// Everything else (unknown routes, bad methods, parse failures).
     pub other: EndpointStats,
+    /// Requests shed at admission (in-flight limit reached). The
+    /// `/stats` `shed` field is this plus the batch queue's own sheds.
+    pub shed: AtomicU64,
+    /// Fits that resolved `deadline_exceeded` (partial work accounted:
+    /// the budget was spent in λ-grid points / replicates / QP
+    /// iterations before the token fired).
+    pub deadline_exceeded: AtomicU64,
 }
 
 impl ServerStats {
@@ -140,12 +160,14 @@ impl ServerStats {
             stats: EndpointStats::new("stats"),
             healthz: EndpointStats::new("healthz"),
             other: EndpointStats::new("other"),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
         }
     }
 
     /// Assembles the `/stats` payload from the endpoint counters plus
-    /// the engine-cache and batch-queue counters.
-    pub fn snapshot(&self, cache: CacheStats, batch: BatchCounters) -> StatsWire {
+    /// the engine-cache, batch-queue, and load-gauge readings.
+    pub fn snapshot(&self, cache: CacheStats, batch: BatchCounters, load: LoadGauges) -> StatsWire {
         StatsWire {
             uptime_ms: u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX),
             endpoints: vec![
@@ -162,6 +184,13 @@ impl ServerStats {
             batches: batch.batches,
             batched_requests: batch.batched_requests,
             max_batch: batch.max_batch,
+            shed: self.shed.load(Ordering::Relaxed) + batch.shed,
+            inflight: load.inflight,
+            queue_depth: load.queue_depth,
+            queue_capacity: load.queue_capacity,
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            expired_in_queue: batch.expired_in_queue,
+            panics_caught: batch.panics_caught,
         }
     }
 }
@@ -218,5 +247,32 @@ mod tests {
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.errors, 1);
         assert!(snap.p50_us >= 10);
+    }
+
+    #[test]
+    fn snapshot_merges_resilience_counters() {
+        let stats = ServerStats::new();
+        stats.shed.fetch_add(2, Ordering::Relaxed);
+        stats.deadline_exceeded.fetch_add(3, Ordering::Relaxed);
+        let batch = BatchCounters {
+            shed: 5,
+            expired_in_queue: 1,
+            panics_caught: 4,
+            ..BatchCounters::default()
+        };
+        let load = LoadGauges {
+            inflight: 7,
+            queue_depth: 9,
+            queue_capacity: 64,
+        };
+        let wire = stats.snapshot(CacheStats::default(), batch, load);
+        // Admission sheds and queue sheds merge into one wire counter.
+        assert_eq!(wire.shed, 7);
+        assert_eq!(wire.inflight, 7);
+        assert_eq!(wire.queue_depth, 9);
+        assert_eq!(wire.queue_capacity, 64);
+        assert_eq!(wire.deadline_exceeded, 3);
+        assert_eq!(wire.expired_in_queue, 1);
+        assert_eq!(wire.panics_caught, 4);
     }
 }

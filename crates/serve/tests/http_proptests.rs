@@ -1,0 +1,178 @@
+//! Property-based fuzzing of the HTTP request parser.
+//!
+//! The resilience contract for `crates/serve/src/http.rs`: whatever
+//! bytes a peer sends — random garbage, truncated requests, oversized
+//! or unparseable Content-Length headers — `read_request` returns a
+//! structured [`HttpError`], never panics, and never fabricates a
+//! request it was not sent. Well-formed requests round-trip exactly.
+
+use std::io::Cursor;
+
+use cellsync_serve::http::{read_request, HttpError};
+use proptest::prelude::*;
+
+/// A string drawn from `charset`, `min..max` characters long.
+fn chars(charset: &'static [u8], min: usize, max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..charset.len(), min..max)
+        .prop_map(|picks| picks.into_iter().map(|i| charset[i] as char).collect())
+}
+
+/// An HTTP token (method or path): visible ASCII without whitespace.
+fn token() -> impl Strategy<Value = String> {
+    chars(
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789/_.-",
+        1,
+        24,
+    )
+}
+
+/// Printable ASCII including spaces — body and garbage-line material.
+fn printable(min: usize, max: usize) -> impl Strategy<Value = String> {
+    chars(
+        b" !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ\
+          [\\]^_`abcdefghijklmnopqrstuvwxyz{|}~",
+        min,
+        max,
+    )
+}
+
+/// A complete well-formed request with the given body.
+fn encode(method: &str, path: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes must resolve to a structured outcome — any error
+    /// variant is acceptable, a panic is not (proptest turns a panic
+    /// into a test failure). I/O errors are impossible over a Cursor,
+    /// and timeouts never fire without a socket, so garbage must land
+    /// on Closed or Malformed unless it happens to spell a request.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..2048)) {
+        match read_request(&mut Cursor::new(&bytes)) {
+            Ok(_) | Err(HttpError::Closed) | Err(HttpError::Malformed(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {}", other),
+        }
+    }
+
+    /// Line-shaped ASCII garbage (the realistic malformed input: text
+    /// protocols pointed at the wrong port) must never panic either.
+    #[test]
+    fn ascii_lines_never_panic(
+        lines in prop::collection::vec(printable(0, 80), 0..8),
+        terminated in 0u8..2,
+    ) {
+        let mut text = lines.join("\r\n");
+        if terminated == 1 {
+            text.push_str("\r\n\r\n");
+        }
+        match read_request(&mut Cursor::new(text.as_bytes())) {
+            Ok(_) | Err(HttpError::Closed) | Err(HttpError::Malformed(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {}", other),
+        }
+    }
+
+    /// Every strict prefix of a valid request is rejected with a
+    /// structured error: empty → Closed, otherwise Malformed — a
+    /// truncated message must never parse as complete (Content-Length
+    /// is written from the full body, so a short read cannot satisfy
+    /// it).
+    #[test]
+    fn truncated_requests_are_rejected(
+        method in token(),
+        path in token(),
+        body in printable(1, 64),
+        cut_fraction in 0.0..1.0f64,
+    ) {
+        let full = encode(&method, &path, &body, true);
+        let cut = ((full.len() as f64 * cut_fraction) as usize).min(full.len() - 1);
+        match read_request(&mut Cursor::new(&full[..cut])) {
+            Err(HttpError::Closed) => prop_assert_eq!(cut, 0, "Closed is only clean EOF"),
+            Err(HttpError::Malformed(_)) => {}
+            Ok(req) => prop_assert!(
+                false,
+                "truncated request parsed as {} {}",
+                req.method,
+                req.path
+            ),
+            Err(other) => prop_assert!(false, "unexpected error class: {}", other),
+        }
+    }
+
+    /// Well-formed requests round-trip exactly: method, path, body, and
+    /// keep-alive survive parsing byte for byte.
+    #[test]
+    fn valid_requests_round_trip(
+        method in token(),
+        path in token(),
+        body in printable(0, 256),
+        keep_alive in 0u8..2,
+    ) {
+        let keep_alive = keep_alive == 1;
+        let bytes = encode(&method, &path, &body, keep_alive);
+        let req = read_request(&mut Cursor::new(&bytes)).expect("valid request parses");
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.path, path);
+        prop_assert_eq!(req.body, body);
+        prop_assert_eq!(req.keep_alive, keep_alive);
+    }
+
+    /// A Content-Length above the 64 MB cap is refused outright — the
+    /// parser must not trust the header enough to allocate for it.
+    #[test]
+    fn oversized_content_length_is_rejected(excess in 1u64..(1 << 30)) {
+        let text = format!(
+            "POST /fit HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            64 * 1024 * 1024 + excess
+        );
+        match read_request(&mut Cursor::new(text.as_bytes())) {
+            Err(HttpError::Malformed(msg)) => prop_assert_eq!(msg, "body too large"),
+            other => prop_assert!(false, "expected 'body too large', got {:?}", other),
+        }
+    }
+
+    /// Unparseable Content-Length values are a structured Malformed,
+    /// whatever junk they contain.
+    #[test]
+    fn bad_content_length_is_rejected(
+        junk in chars(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz +-", 1, 16),
+    ) {
+        prop_assume!(junk.trim().parse::<usize>().is_err());
+        let text = format!("POST /fit HTTP/1.1\r\nContent-Length: {junk}\r\n\r\n");
+        match read_request(&mut Cursor::new(text.as_bytes())) {
+            Err(HttpError::Malformed(msg)) => prop_assert_eq!(msg, "bad content-length"),
+            other => prop_assert!(false, "expected 'bad content-length', got {:?}", other),
+        }
+    }
+}
+
+/// A header line beyond the 16 KB line cap is refused without panicking
+/// (deterministic, so a plain test rather than a property).
+#[test]
+fn overlong_header_line_is_rejected() {
+    let mut text = b"POST /fit HTTP/1.1\r\nX-Padding: ".to_vec();
+    text.extend(std::iter::repeat_n(b'a', 17 * 1024));
+    text.extend_from_slice(b"\r\n\r\n");
+    match read_request(&mut Cursor::new(&text)) {
+        Err(HttpError::Malformed(msg)) => assert_eq!(msg, "header line too long"),
+        other => panic!("expected 'header line too long', got {other:?}"),
+    }
+}
+
+/// A body shorter than its declared Content-Length (peer hung up
+/// mid-body) is a structured Malformed, never a hang or a panic.
+#[test]
+fn short_body_is_rejected() {
+    let text = "POST /fit HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+    match read_request(&mut Cursor::new(text.as_bytes())) {
+        Err(HttpError::Malformed(msg)) => assert_eq!(msg, "connection closed mid-body"),
+        other => panic!("expected 'connection closed mid-body', got {other:?}"),
+    }
+}

@@ -35,6 +35,7 @@ fn fit_body(family: &str, series: &[f64]) -> String {
         sigmas: None,
         lambda: None,
         bootstrap: None,
+        deadline_ms: None,
     }
     .encode()
 }
@@ -88,6 +89,7 @@ fn bootstrap_and_lambda_override_ride_the_wire() {
             grid: 20,
             seed: 9,
         }),
+        deadline_ms: None,
     };
     let (status, body) = client.post("/fit", &request.encode()).unwrap();
     assert_eq!(status, 200, "{body}");
@@ -182,6 +184,7 @@ fn error_paths_use_stable_codes() {
             grid: 10,
             seed: 0,
         }),
+        deadline_ms: None,
     };
     let (status, body) = client.post("/fit", &wire.encode()).unwrap();
     assert_eq!(status, 400);

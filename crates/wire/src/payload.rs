@@ -165,6 +165,10 @@ pub struct FitRequestWire {
     pub lambda: Option<f64>,
     /// Optional bootstrap band request.
     pub bootstrap: Option<BootstrapWire>,
+    /// Optional request deadline in milliseconds. The server clamps it
+    /// to its own cap and cancels the fit cooperatively once it expires
+    /// (`deadline_exceeded` wire code).
+    pub deadline_ms: Option<u64>,
 }
 
 impl FitRequestWire {
@@ -189,6 +193,9 @@ impl FitRequestWire {
                     ("seed".to_string(), Json::Num(b.seed as f64)),
                 ]),
             ));
+        }
+        if let Some(d) = self.deadline_ms {
+            pairs.push(("deadline_ms".to_string(), Json::Num(d as f64)));
         }
         Json::Obj(pairs)
     }
@@ -226,12 +233,17 @@ impl FitRequestWire {
                 seed: exact_u64(field(b, "seed", "$.bootstrap")?, "$.bootstrap.seed")?,
             }),
         };
+        let deadline_ms = match value.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(exact_u64(v, "$.deadline_ms")?),
+        };
         Ok(FitRequestWire {
             family,
             series,
             sigmas,
             lambda,
             bootstrap,
+            deadline_ms,
         })
     }
 
@@ -451,11 +463,27 @@ pub struct StatsWire {
     pub batched_requests: u64,
     /// Largest batch dispatched.
     pub max_batch: u64,
+    /// Fit requests shed with `503 overloaded` (admission or full queue).
+    pub shed: u64,
+    /// Fit requests currently admitted and not yet answered.
+    pub inflight: u64,
+    /// Jobs waiting in the batch queue at snapshot time.
+    pub queue_depth: u64,
+    /// Bound on the batch queue (jobs beyond it are shed).
+    pub queue_capacity: u64,
+    /// Fit requests that returned the `deadline_exceeded` code.
+    pub deadline_exceeded: u64,
+    /// Deadline-exceeded requests whose budget expired while still
+    /// queued (no solver work started); the rest were cancelled mid-fit.
+    pub expired_in_queue: u64,
+    /// Fit-job panics caught and mapped to `internal_panic` responses.
+    pub panics_caught: u64,
 }
 
 impl StatsWire {
-    /// Schema identifier embedded in the encoding.
-    pub const SCHEMA: &'static str = "cellsync-serve-stats/1";
+    /// Schema identifier embedded in the encoding. Version 2 added the
+    /// `resilience` object (shedding, deadlines, panic isolation).
+    pub const SCHEMA: &'static str = "cellsync-serve-stats/2";
 
     /// Encodes the snapshot as a [`Json`] object.
     pub fn to_json(&self) -> Json {
@@ -506,6 +534,33 @@ impl StatsWire {
                     ("max_batch".to_string(), Json::Num(self.max_batch as f64)),
                 ]),
             ),
+            (
+                "resilience".to_string(),
+                Json::Obj(vec![
+                    ("shed".to_string(), Json::Num(self.shed as f64)),
+                    ("inflight".to_string(), Json::Num(self.inflight as f64)),
+                    (
+                        "queue_depth".to_string(),
+                        Json::Num(self.queue_depth as f64),
+                    ),
+                    (
+                        "queue_capacity".to_string(),
+                        Json::Num(self.queue_capacity as f64),
+                    ),
+                    (
+                        "deadline_exceeded".to_string(),
+                        Json::Num(self.deadline_exceeded as f64),
+                    ),
+                    (
+                        "expired_in_queue".to_string(),
+                        Json::Num(self.expired_in_queue as f64),
+                    ),
+                    (
+                        "panics_caught".to_string(),
+                        Json::Num(self.panics_caught as f64),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -542,6 +597,7 @@ impl StatsWire {
         }
         let cache = field(value, "cache", "$")?;
         let batch = field(value, "batch", "$")?;
+        let res = field(value, "resilience", "$")?;
         Ok(StatsWire {
             uptime_ms,
             endpoints,
@@ -556,6 +612,31 @@ impl StatsWire {
                 "$.batch.batched_requests",
             )?,
             max_batch: exact_u64(field(batch, "max_batch", "$.batch")?, "$.batch.max_batch")?,
+            shed: exact_u64(field(res, "shed", "$.resilience")?, "$.resilience.shed")?,
+            inflight: exact_u64(
+                field(res, "inflight", "$.resilience")?,
+                "$.resilience.inflight",
+            )?,
+            queue_depth: exact_u64(
+                field(res, "queue_depth", "$.resilience")?,
+                "$.resilience.queue_depth",
+            )?,
+            queue_capacity: exact_u64(
+                field(res, "queue_capacity", "$.resilience")?,
+                "$.resilience.queue_capacity",
+            )?,
+            deadline_exceeded: exact_u64(
+                field(res, "deadline_exceeded", "$.resilience")?,
+                "$.resilience.deadline_exceeded",
+            )?,
+            expired_in_queue: exact_u64(
+                field(res, "expired_in_queue", "$.resilience")?,
+                "$.resilience.expired_in_queue",
+            )?,
+            panics_caught: exact_u64(
+                field(res, "panics_caught", "$.resilience")?,
+                "$.resilience.panics_caught",
+            )?,
         })
     }
 
@@ -585,6 +666,7 @@ mod tests {
                 grid: 50,
                 seed: 7,
             }),
+            deadline_ms: Some(2500),
         }
     }
 
@@ -599,9 +681,11 @@ mod tests {
             sigmas: None,
             lambda: None,
             bootstrap: None,
+            deadline_ms: None,
         };
         let text = minimal.encode();
         assert!(!text.contains("sigmas"));
+        assert!(!text.contains("deadline_ms"));
         assert_eq!(FitRequestWire::decode(&text).unwrap(), minimal);
     }
 
@@ -665,6 +749,14 @@ mod tests {
                 r#"{"family":"f","series":[1],"bootstrap":{"replicates":1.5,"grid":2,"seed":0}}"#,
                 "$.bootstrap.replicates",
             ),
+            (
+                r#"{"family":"f","series":[1],"deadline_ms":-5}"#,
+                "$.deadline_ms",
+            ),
+            (
+                r#"{"family":"f","series":[1],"deadline_ms":0.5}"#,
+                "$.deadline_ms",
+            ),
         ];
         for (text, want_path) in cases {
             match FitRequestWire::decode(text).unwrap_err() {
@@ -721,6 +813,13 @@ mod tests {
             batches: 40,
             batched_requests: 100,
             max_batch: 12,
+            shed: 5,
+            inflight: 3,
+            queue_depth: 2,
+            queue_capacity: 64,
+            deadline_exceeded: 4,
+            expired_in_queue: 1,
+            panics_caught: 1,
         };
         let text = stats.encode();
         assert_eq!(StatsWire::decode(&text).unwrap(), stats);

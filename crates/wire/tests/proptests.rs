@@ -43,6 +43,8 @@ proptest! {
         grid in 2usize..128,
         seed in 0u64..(1 << 53),
         with_boot in 0..2u8,
+        deadline in 0u64..(1 << 40),
+        with_deadline in 0..2u8,
     ) {
         let req = FitRequestWire {
             family: "prop-family".to_string(),
@@ -54,6 +56,7 @@ proptest! {
                 grid,
                 seed,
             }),
+            deadline_ms: (with_deadline == 1).then_some(deadline),
             series,
         };
         let back = FitRequestWire::decode(&req.encode()).expect("round trip");
@@ -112,6 +115,7 @@ proptest! {
             sigmas: None,
             lambda: None,
             bootstrap: None,
+            deadline_ms: None,
         };
         match FitRequestWire::decode(&req.encode()) {
             Err(WireError::Decode { path, .. }) => {
@@ -132,6 +136,7 @@ proptest! {
             sigmas: None,
             lambda: None,
             bootstrap: None,
+            deadline_ms: None,
         };
         let text = req.encode();
         let mut cut = (text.len() as f64 * cut_fraction) as usize;
@@ -174,12 +179,19 @@ proptest! {
             batches: counts[4],
             batched_requests: counts[5],
             max_batch: counts[6],
+            shed: counts[7] % 1000,
+            inflight: counts[0] % 64,
+            queue_depth: counts[1] % 256,
+            queue_capacity: 256,
+            deadline_exceeded: counts[2] % 1000,
+            expired_in_queue: counts[3] % 1000,
+            panics_caught: counts[4] % 100,
         };
         prop_assert_eq!(StatsWire::decode(&stats.encode()).unwrap(), stats);
     }
 
     #[test]
-    fn error_envelope_round_trips(code_idx in 0usize..6, detail in 0u64..1000) {
+    fn error_envelope_round_trips(code_idx in 0usize..9, detail in 0u64..1000) {
         let codes = [
             "length_mismatch",
             "invalid_config",
@@ -187,6 +199,9 @@ proptest! {
             "parse_error",
             "not_found",
             "shutting_down",
+            "deadline_exceeded",
+            "overloaded",
+            "internal_panic",
         ];
         let e = ErrorWire::new(codes[code_idx], format!("detail {detail}: \"quoted\"\n"));
         prop_assert_eq!(ErrorWire::decode(&e.encode()).unwrap(), e);
